@@ -1,0 +1,108 @@
+//! Criterion microbenchmarks for the building blocks: real (wall-clock)
+//! performance of the simulator's hot paths. These guard the usability of
+//! the suite — paper-scale figure runs execute hundreds of millions of
+//! paged accesses and millions of events, so regressions here directly
+//! inflate experiment turnaround.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hpbd::PoolAllocator;
+use simcore::{Engine, SimDuration, SimTime};
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("schedule_and_run_event", |b| {
+        let engine = Engine::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            engine.schedule_at(SimTime(t), || {});
+            engine.run_until_idle();
+        });
+    });
+
+    g.bench_function("event_cascade_1000", |b| {
+        b.iter_batched(
+            Engine::new,
+            |engine| {
+                fn chain(engine: &Engine, left: u32) {
+                    if left > 0 {
+                        let e2 = engine.clone();
+                        engine.schedule_in(SimDuration::from_nanos(10), move || {
+                            chain(&e2, left - 1)
+                        });
+                    }
+                }
+                chain(&engine, 1000);
+                engine.run_until_idle();
+                black_box(engine.now())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("buffer_pool");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("alloc_free_first_fit", |b| {
+        let mut pool = PoolAllocator::new(1 << 20);
+        b.iter(|| {
+            let buf = pool.alloc(black_box(4096)).expect("fits");
+            pool.free(buf);
+        });
+    });
+
+    g.bench_function("fragmented_alloc_free", |b| {
+        // Pre-fragment: allocate 64 blocks, free every other one.
+        let mut pool = PoolAllocator::new(1 << 20);
+        let blocks: Vec<_> = (0..64).map(|_| pool.alloc(8192).expect("fits")).collect();
+        for (i, buf) in blocks.into_iter().enumerate() {
+            if i % 2 == 0 {
+                pool.free(buf);
+            }
+        }
+        b.iter(|| {
+            let buf = pool.alloc(black_box(8192)).expect("fits");
+            pool.free(buf);
+        });
+    });
+    g.finish();
+}
+
+fn bench_shared_pool_contended(c: &mut Criterion) {
+    use hpbd::SharedBufferPool;
+    use std::sync::Arc;
+
+    let mut g = c.benchmark_group("shared_pool");
+    g.bench_function("contended_8_threads", |b| {
+        b.iter_custom(|iters| {
+            let pool = Arc::new(SharedBufferPool::new(1 << 20));
+            let start = std::time::Instant::now();
+            let handles: Vec<_> = (0..8)
+                .map(|t| {
+                    let pool = pool.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..iters {
+                            let len = 1 + ((t * 997 + i * 13) % 4096);
+                            let buf = pool.alloc_blocking(len);
+                            pool.free(buf);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("worker");
+            }
+            start.elapsed()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_pool, bench_shared_pool_contended);
+criterion_main!(benches);

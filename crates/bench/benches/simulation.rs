@@ -1,0 +1,76 @@
+//! Criterion end-to-end benchmarks: wall-clock cost of running complete
+//! simulated experiments at small scale. These are the "figure pipeline"
+//! benchmarks — `cargo bench` exercises the same code paths the figure
+//! binaries use, so a slowdown here means slower experiment turnaround.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netmodel::Transport;
+use workloads::{Scenario, ScenarioConfig, SwapKind};
+
+const MB: u64 = 1 << 20;
+
+fn bench_testswap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_testswap_4MiB");
+    g.sample_size(10);
+    for (name, kind) in [
+        ("hpbd", SwapKind::Hpbd { servers: 1 }),
+        (
+            "nbd_gige",
+            SwapKind::Nbd {
+                transport: Transport::GigE,
+            },
+        ),
+        ("disk", SwapKind::Disk),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let config = ScenarioConfig::new(2 * MB, 8 * MB, kind.clone());
+                let scenario = Scenario::build(&config);
+                scenario.run_testswap(1 << 20)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_qsort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_quicksort_1MiB");
+    g.sample_size(10);
+    g.bench_function("hpbd_paged", |b| {
+        b.iter(|| {
+            let config = ScenarioConfig::new(MB, 8 * MB, SwapKind::Hpbd { servers: 2 });
+            let scenario = Scenario::build(&config);
+            scenario.run_qsort(256 * 1024, 7)
+        });
+    });
+    g.bench_function("in_memory", |b| {
+        b.iter(|| {
+            let config = ScenarioConfig::new(64 * MB, 8 * MB, SwapKind::LocalOnly);
+            let scenario = Scenario::build(&config);
+            scenario.run_qsort(256 * 1024, 7)
+        });
+    });
+    g.finish();
+}
+
+fn bench_paging_fault_path(c: &mut Criterion) {
+    use vmsim::{AddressSpace, PagedVec};
+    let mut g = c.benchmark_group("vm_fault_path");
+    g.sample_size(10);
+    g.bench_function("sequential_sweep_2x_memory", |b| {
+        b.iter(|| {
+            let config = ScenarioConfig::new(MB, 8 * MB, SwapKind::Hpbd { servers: 1 });
+            let scenario = Scenario::build(&config);
+            let space = AddressSpace::new(&scenario.vm);
+            let v: PagedVec<i64> = PagedVec::new(&space, 256 * 1024);
+            for i in 0..v.len() {
+                v.set(i, i as i64);
+            }
+            scenario.vm.stats().swap_outs
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_testswap, bench_qsort, bench_paging_fault_path);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 10: quicksort execution time with 1-16 memory servers.
+use bench::figures::fig10;
+use bench::report::{print_paper_note, print_rows, Row};
+use bench::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::parse();
+    println!(
+        "Figure 10 — Quick Sort Execution Time with Multiple Servers (scale 1/{})",
+        args.scale
+    );
+    let rows: Vec<Row> = fig10::run(&args)
+        .into_iter()
+        .map(|p| {
+            Row::new(
+                format!("{} server(s)", p.servers),
+                p.seconds,
+                format!("qp-ctx-reloads={}", p.ctx_reloads),
+            )
+        })
+        .collect();
+    print_rows("quicksort vs memory servers", "seconds", &rows);
+    println!();
+    print_paper_note(&[
+        "HPBD performs similarly up to 8 servers; for 16 servers there is some",
+        "degradation, due to the HCA design for multiple queue pair processing.",
+    ]);
+}

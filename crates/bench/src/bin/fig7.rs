@@ -1,0 +1,32 @@
+//! Figure 7: quicksort execution time across swap devices.
+use bench::figures::fig7;
+use bench::report::{print_paper_note, print_rows, Row};
+use bench::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::parse();
+    println!(
+        "Figure 7 — Quick Sort Execution Time (scale 1/{}: {} Mi elements)",
+        args.scale,
+        (256 << 20) / args.scale / (1 << 20)
+    );
+    let rows: Vec<Row> = fig7::run(&args)
+        .into_iter()
+        .map(|r| {
+            Row::new(
+                r.label.clone(),
+                r.elapsed.as_secs_f64(),
+                format!(
+                    "outs={} ins={} faults={} throttles={}",
+                    r.vm.swap_outs, r.vm.swap_ins, r.vm.major_faults, r.vm.throttles
+                ),
+            )
+        })
+        .collect();
+    print_rows("quicksort execution time", "seconds", &rows);
+    println!();
+    print_paper_note(&[
+        "local 94s, HPBD 138s (memory 1.47x faster than HPBD);",
+        "HPBD 4.5x faster than local disk, 1.36x faster than NBD-GigE, 1.13x than NBD-IPoIB.",
+    ]);
+}

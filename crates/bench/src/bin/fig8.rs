@@ -1,0 +1,32 @@
+//! Figure 8: Barnes execution time across swap devices.
+use bench::figures::fig8;
+use bench::report::{print_paper_note, print_rows, Row};
+use bench::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::parse();
+    println!(
+        "Figure 8 — Barnes Execution Time (scale 1/{}: {} bodies)",
+        args.scale,
+        (2_097_152u64 / args.scale).max(2048)
+    );
+    let rows: Vec<Row> = fig8::run(&args)
+        .into_iter()
+        .map(|r| {
+            Row::new(
+                r.label.clone(),
+                r.elapsed.as_secs_f64(),
+                format!(
+                    "outs={} ins={} faults={}",
+                    r.vm.swap_outs, r.vm.swap_ins, r.vm.major_faults
+                ),
+            )
+        })
+        .collect();
+    print_rows("Barnes execution time", "seconds", &rows);
+    println!();
+    print_paper_note(&[
+        "similar trends to quicksort; since Barnes does not perform intensive",
+        "swapping (peak 516MB vs 512MB local), the improvement is less evident.",
+    ]);
+}

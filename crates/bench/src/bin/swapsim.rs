@@ -1,0 +1,155 @@
+//! swapsim — assemble any scenario from the command line.
+//!
+//! ```text
+//! cargo run --release -p bench --bin swapsim -- \
+//!     --device hpbd --servers 4 --local-mem-mb 32 --swap-mb 128 \
+//!     --workload qsort --elements 4194304 --seed 7
+//! ```
+use netmodel::Transport;
+use workloads::barnes::BarnesParams;
+use workloads::kvstore::KvParams;
+use workloads::{Scenario, ScenarioConfig, SwapKind};
+
+struct Opts {
+    device: String,
+    servers: usize,
+    local_mem_mb: u64,
+    swap_mb: u64,
+    workload: String,
+    elements: usize,
+    bodies: usize,
+    records: usize,
+    seed: u64,
+    mirror: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Opts {
+        Opts {
+            device: "hpbd".into(),
+            servers: 1,
+            local_mem_mb: 32,
+            swap_mb: 128,
+            workload: "qsort".into(),
+            elements: 4 << 20,
+            bodies: 16384,
+            records: 200_000,
+            seed: 42,
+            mirror: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: swapsim [--device hpbd|nbd-ipoib|nbd-gige|disk|local] [--servers N]\n\
+         \x20              [--local-mem-mb N] [--swap-mb N] [--mirror]\n\
+         \x20              [--workload testswap|qsort|barnes|kv] [--elements N]\n\
+         \x20              [--bodies N] [--records N] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse() -> Opts {
+    let mut o = Opts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--device" => o.device = val(),
+            "--servers" => o.servers = val().parse().unwrap_or_else(|_| usage()),
+            "--local-mem-mb" => o.local_mem_mb = val().parse().unwrap_or_else(|_| usage()),
+            "--swap-mb" => o.swap_mb = val().parse().unwrap_or_else(|_| usage()),
+            "--workload" => o.workload = val(),
+            "--elements" => o.elements = val().parse().unwrap_or_else(|_| usage()),
+            "--bodies" => o.bodies = val().parse().unwrap_or_else(|_| usage()),
+            "--records" => o.records = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => o.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--mirror" => o.mirror = true,
+            _ => usage(),
+        }
+    }
+    o
+}
+
+fn main() {
+    let o = parse();
+    let kind = match o.device.as_str() {
+        "hpbd" => SwapKind::Hpbd { servers: o.servers },
+        "nbd-ipoib" => SwapKind::Nbd {
+            transport: Transport::IpoIb,
+        },
+        "nbd-gige" => SwapKind::Nbd {
+            transport: Transport::GigE,
+        },
+        "disk" => SwapKind::Disk,
+        "local" => SwapKind::LocalOnly,
+        _ => usage(),
+    };
+    let mut config = ScenarioConfig::new(o.local_mem_mb << 20, o.swap_mb << 20, kind);
+    config.hpbd.mirror_writes = o.mirror;
+    if o.mirror {
+        config.hpbd.request_timeout_ns = Some(10_000_000);
+    }
+    let scenario = Scenario::build(&config);
+    println!(
+        "device={} local={}MiB swap={}MiB workload={}",
+        scenario.label(),
+        o.local_mem_mb,
+        o.swap_mb,
+        o.workload
+    );
+    let report = match o.workload.as_str() {
+        "testswap" => scenario.run_testswap(o.elements),
+        "qsort" => scenario.run_qsort(o.elements, o.seed),
+        "barnes" => scenario.run_barnes(BarnesParams {
+            bodies: o.bodies,
+            seed: o.seed,
+            ..BarnesParams::default()
+        }),
+        "kv" => scenario.run_kvstore(KvParams {
+            records: o.records,
+            operations: o.records * 2,
+            seed: o.seed,
+            ..KvParams::default()
+        }),
+        _ => usage(),
+    };
+    println!(
+        "\nelapsed         {:.6}s\nmajor faults    {}\nswap-ins        {}\nswap-outs       {}\nclean evictions {}\nthrottles       {}\nrequests        {} (mean {:.0} B)",
+        report.elapsed.as_secs_f64(),
+        report.vm.major_faults,
+        report.vm.swap_ins,
+        report.vm.swap_outs,
+        report.vm.clean_evictions,
+        report.vm.throttles,
+        report.requests,
+        report.mean_request_bytes,
+    );
+    if report.read_latency_us.2 > 0 {
+        println!(
+            "read latency    mean {:.1}us max {:.1}us over {} requests",
+            report.read_latency_us.0, report.read_latency_us.1, report.read_latency_us.2
+        );
+    }
+    if report.write_latency_us.2 > 0 {
+        println!(
+            "write latency   mean {:.1}us max {:.1}us over {} requests",
+            report.write_latency_us.0, report.write_latency_us.1, report.write_latency_us.2
+        );
+    }
+    if let Some(cluster) = &scenario.hpbd {
+        let c = cluster.client.stats();
+        println!(
+            "hpbd client     phys={} splits={} stalls={} pool-waits={} timeouts={} failovers={}",
+            c.phys_requests, c.split_requests, c.flow_stalls, c.pool_waits, c.timeouts, c.failovers
+        );
+        for (i, s) in cluster.servers.iter().enumerate() {
+            let st = s.stats();
+            println!(
+                "  server {i}      reqs={} rdma-rd={} rdma-wr={} wakeups={}",
+                st.requests, st.rdma_reads, st.rdma_writes, st.wakeups
+            );
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Table 1: the paper's taxonomy of remote-memory systems, with HPBD's row.
+fn main() {
+    println!("Table 1 — Modern work in designing remote memory systems");
+    println!();
+    println!(
+        "{:<16} {:<12} {:<8} {:<12} {:<9} {:<9}",
+        "system", "basis", "global", "kernel-level", "TCP/IP", "ULP"
+    );
+    let rows = [
+        ("COCA [4]", "simulation", "Y", "n/a", "n/a", "n/a"),
+        ("PNR [18]", "simulation", "Y", "n/a", "n/a", "n/a"),
+        ("JMNRM [23]", "simulation", "Y", "n/a", "n/a", "n/a"),
+        ("NRAM [5]", "implementation", "N", "N", "Y", "N"),
+        ("NRD [13]", "implementation", "N", "Y", "Y", "N"),
+        ("RRMP [15]", "implementation", "N", "Y", "Y", "N"),
+        ("MOSIX [3]", "implementation", "Y", "Y", "Y", "N"),
+        ("GMM [8]", "implementation", "Y", "Y", "Y(UDP)", "N"),
+        ("DoDo [11]", "implementation", "Y", "N", "Y", "Y"),
+        ("HPBD (this)", "implementation", "N", "Y", "N", "Y"),
+    ];
+    for (name, basis, global, kernel, tcp, ulp) in rows {
+        println!(
+            "{:<16} {:<12} {:<8} {:<12} {:<9} {:<9}",
+            name, basis, global, kernel, tcp, ulp
+        );
+    }
+    println!();
+    println!("HPBD: kernel-level network block device over native InfiniBand verbs");
+    println!("(user-level protocol, no TCP/IP), no global resource management.");
+}

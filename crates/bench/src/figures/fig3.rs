@@ -1,0 +1,74 @@
+//! Figure 3: memory registration vs memcpy cost.
+//!
+//! The design-driving observation: registering a buffer on the fly costs
+//! far more than copying it for every size a swap request can take
+//! (4 KiB–127 KiB), which is why HPBD copies pages through a pre-registered
+//! pool (paper §4.1).
+
+use netmodel::Calibration;
+
+/// One size point (costs in microseconds).
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// Buffer size in bytes.
+    pub size: u64,
+    /// Registration cost.
+    pub registration_us: f64,
+    /// memcpy cost.
+    pub memcpy_us: f64,
+    /// Deregistration cost (the full on-the-fly cycle pays this too).
+    pub deregistration_us: f64,
+}
+
+/// Sizes from one page up to 1 MiB.
+pub fn sizes() -> Vec<u64> {
+    (12..=20).map(|i| 1u64 << i).collect()
+}
+
+/// Produce every point of Figure 3.
+pub fn run() -> Vec<Point> {
+    let cal = Calibration::cluster_2005();
+    sizes()
+        .into_iter()
+        .map(|size| Point {
+            size,
+            registration_us: cal.registration_time(size).as_micros_f64(),
+            memcpy_us: cal.memcpy_time(size).as_micros_f64(),
+            deregistration_us: cal.deregistration_time(size).as_micros_f64(),
+        })
+        .collect()
+}
+
+/// The size at which copying starts to cost more than registering — must
+/// lie beyond the 128 KiB swap-request bound for HPBD's design choice to
+/// hold.
+pub fn crossover_size() -> Option<u64> {
+    let cal = Calibration::cluster_2005();
+    (1..=1024u64)
+        .map(|i| i * 4096)
+        .find(|&len| cal.memcpy_time(len) > cal.registration_time(len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_dominates_in_swap_range() {
+        for p in run() {
+            if p.size <= 127 * 1024 {
+                assert!(
+                    p.registration_us > p.memcpy_us,
+                    "at {} registration must exceed memcpy",
+                    p.size
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_beyond_swap_requests() {
+        let x = crossover_size().expect("crossover exists");
+        assert!(x > 127 * 1024, "crossover {x} inside the swap range");
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 5: testswap execution time across swap devices.
+//!
+//! Paper (scale 1): local ≈ 5.8 s, HPBD ≈ 8.4 s (local 1.45× faster), HPBD
+//! 2.2× faster than disk, 1.45× faster than NBD-GigE, 1.29× faster than
+//! NBD-IPoIB.
+
+use super::{paper_sizes, standard_configs};
+use crate::args::CommonArgs;
+use workloads::{RunReport, Scenario};
+
+/// Run all five configurations; reports in the paper's order.
+pub fn run(args: &CommonArgs) -> Vec<RunReport> {
+    let elements = args.scaled_elems(paper_sizes::DATASET_ELEMS);
+    standard_configs(args)
+        .into_iter()
+        .map(|(label, config)| {
+            let scenario = Scenario::build(&config);
+            let mut report = scenario.run_testswap(elements);
+            report.label = label;
+            report
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_ordering() {
+        // Small scale for test speed; ordering is scale-invariant.
+        let args = CommonArgs {
+            scale: 128,
+            seed: 7,
+        };
+        let rows = run(&args);
+        let t: Vec<f64> = rows.iter().map(|r| r.elapsed.as_secs_f64()).collect();
+        assert!(t[0] < t[1], "local < HPBD");
+        assert!(t[1] < t[2], "HPBD < NBD-IPoIB");
+        assert!(t[2] < t[3], "NBD-IPoIB < NBD-GigE");
+        assert!(t[3] < t[4], "NBD-GigE < disk");
+        // Rough factor check: disk within [1.5x, 4x] of HPBD (paper: 2.2x).
+        let disk_vs_hpbd = t[4] / t[1];
+        assert!(
+            (1.5..4.0).contains(&disk_vs_hpbd),
+            "disk/HPBD = {disk_vs_hpbd}"
+        );
+    }
+}

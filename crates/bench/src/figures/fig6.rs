@@ -1,0 +1,135 @@
+//! Figure 6: testswap average request size for each request cluster.
+//!
+//! The paper profiles the HPBD request stream during testswap and finds
+//! the traffic dominated by ~120 KiB requests — sequential dirty pages,
+//! contiguous swap slots, and block-layer merging up to the 128 KiB cap.
+//! We reconstruct the same profile from the request queue's dispatch log:
+//! a *request cluster* is a burst of dispatches separated from the next by
+//! more than a quiet gap.
+
+use super::{paper_sizes, standard_configs};
+use crate::args::CommonArgs;
+use blockdev::DispatchRecord;
+use simcore::SimDuration;
+use workloads::Scenario;
+
+/// Gap that separates two request clusters.
+const CLUSTER_GAP: SimDuration = SimDuration::from_micros(500);
+
+/// One request cluster.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    /// Cluster index in dispatch order.
+    pub index: usize,
+    /// Requests in the cluster.
+    pub requests: usize,
+    /// Mean request size in bytes.
+    pub mean_bytes: f64,
+}
+
+/// The Figure 6 result: per-cluster profile plus aggregates.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    /// All request clusters in order.
+    pub clusters: Vec<Cluster>,
+    /// Mean request size over the whole run.
+    pub overall_mean: f64,
+    /// Mean over write (swap-out) requests only, the traffic the figure is
+    /// about.
+    pub write_mean: f64,
+    /// Total dispatched requests.
+    pub total_requests: usize,
+}
+
+/// Group a dispatch log into clusters.
+pub fn clusterize(log: &[DispatchRecord]) -> Vec<Cluster> {
+    let mut clusters = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=log.len() {
+        let boundary = i == log.len()
+            || log[i].at.since(log[i - 1].at) > CLUSTER_GAP;
+        if boundary {
+            let slice = &log[start..i];
+            let mean =
+                slice.iter().map(|r| r.len as f64).sum::<f64>() / slice.len() as f64;
+            clusters.push(Cluster {
+                index: clusters.len(),
+                requests: slice.len(),
+                mean_bytes: mean,
+            });
+            start = i;
+        }
+    }
+    clusters
+}
+
+/// Run testswap over HPBD and profile the request stream.
+pub fn run(args: &CommonArgs) -> Profile {
+    let elements = args.scaled_elems(paper_sizes::DATASET_ELEMS);
+    let (_, config) = standard_configs(args).into_iter().nth(1).expect("HPBD row");
+    let scenario = Scenario::build(&config);
+    scenario.run_testswap(elements);
+    let log = scenario.dispatch_log().expect("HPBD has a swap queue");
+    let log = log.borrow();
+    let clusters = clusterize(&log);
+    let total = log.len();
+    let overall = log.iter().map(|r| r.len as f64).sum::<f64>() / total.max(1) as f64;
+    let writes: Vec<&DispatchRecord> = log
+        .iter()
+        .filter(|r| r.op == blockdev::IoOp::Write)
+        .collect();
+    let write_mean =
+        writes.iter().map(|r| r.len as f64).sum::<f64>() / writes.len().max(1) as f64;
+    Profile {
+        clusters,
+        overall_mean: overall,
+        write_mean,
+        total_requests: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testswap_requests_are_large() {
+        let args = CommonArgs {
+            scale: 128,
+            seed: 7,
+        };
+        let profile = run(&args);
+        assert!(profile.total_requests > 0);
+        // The paper's point: ~120K requests dominate; at minimum, merging
+        // must push the mean well past the page size.
+        assert!(
+            profile.write_mean > 16.0 * 4096.0,
+            "write mean {} should be near the 128K cap",
+            profile.write_mean
+        );
+    }
+
+    #[test]
+    fn clusterize_splits_on_gaps() {
+        use blockdev::IoOp;
+        use simcore::SimTime;
+        let rec = |at_us: u64, len: u64| DispatchRecord {
+            at: SimTime(at_us * 1_000),
+            op: IoOp::Write,
+            offset: 0,
+            len,
+            bios: (len / 4096) as usize,
+        };
+        let log = vec![rec(0, 4096), rec(100, 8192), rec(5_000, 16384)];
+        let clusters = clusterize(&log);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].requests, 2);
+        assert_eq!(clusters[0].mean_bytes, 6144.0);
+        assert_eq!(clusters[1].requests, 1);
+    }
+
+    #[test]
+    fn clusterize_empty_log() {
+        assert!(clusterize(&[]).is_empty());
+    }
+}

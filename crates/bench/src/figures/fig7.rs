@@ -1,0 +1,46 @@
+//! Figure 7: quicksort execution time across swap devices (single server).
+//!
+//! Paper (scale 1): local ≈ 94 s, HPBD ≈ 138 s (memory 1.47× faster), HPBD
+//! 4.5× faster than local disk, 1.36× faster than NBD-GigE and 1.13×
+//! faster than NBD-IPoIB.
+
+use super::{paper_sizes, standard_configs};
+use crate::args::CommonArgs;
+use workloads::{RunReport, Scenario};
+
+/// Run all five configurations; reports in the paper's order.
+pub fn run(args: &CommonArgs) -> Vec<RunReport> {
+    let elements = args.scaled_elems(paper_sizes::DATASET_ELEMS);
+    standard_configs(args)
+        .into_iter()
+        .map(|(label, config)| {
+            let scenario = Scenario::build(&config);
+            let mut report = scenario.run_qsort(elements, args.seed);
+            report.label = label;
+            report
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_ordering() {
+        let args = CommonArgs {
+            scale: 256,
+            seed: 11,
+        };
+        let rows = run(&args);
+        let t: Vec<f64> = rows.iter().map(|r| r.elapsed.as_secs_f64()).collect();
+        assert!(t[0] < t[1], "local < HPBD");
+        assert!(t[1] < t[2], "HPBD < NBD-IPoIB");
+        assert!(t[2] < t[3], "NBD-IPoIB < NBD-GigE");
+        assert!(t[3] < t[4], "NBD-GigE < disk");
+        // Paper: disk 4.5x slower than HPBD; accept a broad band at tiny
+        // scale.
+        let disk_vs_hpbd = t[4] / t[1];
+        assert!(disk_vs_hpbd > 2.0, "disk/HPBD = {disk_vs_hpbd}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Regeneration functions for every figure in the paper's evaluation.
+//!
+//! Each module returns structured results so both the CLI binaries and the
+//! integration tests can consume them; printing lives in the binaries.
+
+pub mod fig1;
+pub mod fig10;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+
+use crate::args::CommonArgs;
+use workloads::{Scenario, ScenarioConfig, SwapKind};
+
+/// The paper's dataset and memory sizes (scale = 1).
+pub mod paper_sizes {
+    /// testswap / quicksort dataset: 1 GiB (256 Mi i32).
+    pub const DATASET_BYTES: u64 = 1 << 30;
+    /// Elements in the 1 GiB dataset.
+    pub const DATASET_ELEMS: u64 = 256 << 20;
+    /// Local memory for the swapping scenarios: 512 MiB.
+    pub const LOCAL_MEM: u64 = 512 << 20;
+    /// Local memory for the "enough memory" baseline: 2 GiB.
+    pub const BASELINE_MEM: u64 = 2 << 30;
+    /// Remote swap area for the single-server scenario: 1 GiB.
+    pub const SWAP_AREA: u64 = 1 << 30;
+    /// Barnes body count.
+    pub const BARNES_BODIES: u64 = 2_097_152;
+}
+
+/// The five swap configurations of Figures 5, 7 and 8, in the paper's
+/// order: local memory, HPBD (1 server), NBD-IPoIB, NBD-GigE, local disk.
+pub fn standard_configs(args: &CommonArgs) -> Vec<(String, ScenarioConfig)> {
+    let local = args.scaled_bytes(paper_sizes::LOCAL_MEM);
+    let baseline = args.scaled_bytes(paper_sizes::BASELINE_MEM);
+    let swap = args.scaled_bytes(paper_sizes::SWAP_AREA);
+    vec![
+        (
+            "local".into(),
+            ScenarioConfig::new(baseline, swap, SwapKind::LocalOnly),
+        ),
+        (
+            "HPBD".into(),
+            ScenarioConfig::new(local, swap, SwapKind::Hpbd { servers: 1 }),
+        ),
+        (
+            "NBD-IPoIB".into(),
+            ScenarioConfig::new(
+                local,
+                swap,
+                SwapKind::Nbd {
+                    transport: netmodel::Transport::IpoIb,
+                },
+            ),
+        ),
+        (
+            "NBD-GigE".into(),
+            ScenarioConfig::new(
+                local,
+                swap,
+                SwapKind::Nbd {
+                    transport: netmodel::Transport::GigE,
+                },
+            ),
+        ),
+        (
+            "disk".into(),
+            ScenarioConfig::new(local, swap, SwapKind::Disk),
+        ),
+    ]
+}
+
+/// Build one scenario (helper for single-configuration figures).
+pub fn build(config: &ScenarioConfig) -> Scenario {
+    Scenario::build(config)
+}

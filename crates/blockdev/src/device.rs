@@ -1,0 +1,22 @@
+//! The block device driver interface.
+
+use crate::request::IoRequest;
+
+/// A block device driver: accepts merged requests asynchronously and
+/// completes them through the request's bio callbacks.
+///
+/// Implementations in this workspace: [`crate::RamDiskDevice`],
+/// [`crate::SimDisk`], `hpbd::HpbdClient` (the paper's contribution) and
+/// `nbd::NbdClient` (the TCP baseline).
+pub trait BlockDevice {
+    /// Device capacity in bytes.
+    fn capacity(&self) -> u64;
+
+    /// Human-readable device name for reports.
+    fn name(&self) -> &str;
+
+    /// Submit a request. Must not complete it synchronously on the caller's
+    /// stack; completion happens from an engine event, even on error paths,
+    /// so callers can rely on callback-after-return ordering.
+    fn submit(&self, req: IoRequest);
+}

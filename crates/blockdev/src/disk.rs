@@ -1,0 +1,220 @@
+//! The local ATA disk baseline.
+//!
+//! Models the testbed's 40 GB ST340014A drive: a single head served
+//! serially, paying average seek + rotational delay for any non-sequential
+//! access and only the media transfer rate for sequential successors. This
+//! cost structure is what makes disk swap tolerable for testswap's
+//! largely-sequential clusters (Figure 5: disk ≈ 2.2× slower than HPBD) but
+//! catastrophic for quicksort's scattered faults (Figure 7: 4.5×) and for
+//! two interleaved quicksorts (Figure 9: 36× the local-memory time).
+
+use crate::device::BlockDevice;
+use crate::request::{IoError, IoOp, IoRequest};
+use netmodel::DiskParams;
+use simcore::{Engine, Resource};
+use std::cell::{Cell, RefCell};
+
+/// A simulated mechanical disk with data storage.
+pub struct SimDisk {
+    engine: Engine,
+    params: DiskParams,
+    capacity: u64,
+    /// Serial service: one head.
+    head: Resource,
+    /// End offset of the most recently *scheduled* request, for sequential
+    /// detection (the head is where the last queued request leaves it).
+    last_end: Cell<u64>,
+    bytes: RefCell<Vec<u8>>,
+    name: String,
+    seeks: Cell<u64>,
+    sequential_hits: Cell<u64>,
+}
+
+impl SimDisk {
+    /// Create a disk of `capacity` bytes.
+    pub fn new(
+        engine: Engine,
+        params: DiskParams,
+        capacity: u64,
+        name: impl Into<String>,
+    ) -> SimDisk {
+        SimDisk {
+            engine,
+            params,
+            capacity,
+            head: Resource::new("disk-head"),
+            last_end: Cell::new(u64::MAX), // first access always seeks
+            bytes: RefCell::new(vec![0u8; capacity as usize]),
+            name: name.into(),
+            seeks: Cell::new(0),
+            sequential_hits: Cell::new(0),
+        }
+    }
+
+    /// Number of seeking (non-sequential) accesses served.
+    pub fn seeks(&self) -> u64 {
+        self.seeks.get()
+    }
+
+    /// Number of sequential accesses served.
+    pub fn sequential_hits(&self) -> u64 {
+        self.sequential_hits.get()
+    }
+}
+
+impl BlockDevice for SimDisk {
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn submit(&self, req: IoRequest) {
+        let engine = self.engine.clone();
+        if req.offset() + req.len() > self.capacity {
+            engine.schedule_at(engine.now(), move || req.complete(Err(IoError::OutOfRange)));
+            return;
+        }
+        let sequential = req.offset() == self.last_end.get();
+        self.last_end.set(req.end());
+        if sequential {
+            self.sequential_hits.set(self.sequential_hits.get() + 1);
+        } else {
+            self.seeks.set(self.seeks.get() + 1);
+        }
+        let service = self.params.service_time(req.len(), sequential);
+        let (_, end) = self.head.reserve(engine.now(), service);
+
+        // Move the bytes at completion time.
+        let offset = req.offset() as usize;
+        let len = req.len() as usize;
+        match req.op() {
+            IoOp::Write => {
+                let data = req.gather();
+                let bytes = &self.bytes;
+                bytes.borrow_mut()[offset..offset + len].copy_from_slice(&data);
+                engine.schedule_at(end, move || req.complete(Ok(())));
+            }
+            IoOp::Read => {
+                let data = self.bytes.borrow()[offset..offset + len].to_vec();
+                engine.schedule_at(end, move || {
+                    req.scatter(&data);
+                    req.complete(Ok(()));
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{new_buffer, Bio};
+    use netmodel::Calibration;
+    use std::rc::Rc;
+
+    fn setup() -> (Engine, SimDisk) {
+        let engine = Engine::new();
+        let disk = SimDisk::new(
+            engine.clone(),
+            Calibration::cluster_2005().disk,
+            1 << 24,
+            "hda",
+        );
+        (engine, disk)
+    }
+
+    fn write_at(disk: &SimDisk, offset: u64, len: usize) {
+        disk.submit(IoRequest::single(Bio::new(
+            IoOp::Write,
+            offset,
+            new_buffer(len),
+            |r| assert!(r.is_ok()),
+        )));
+    }
+
+    #[test]
+    fn sequential_run_skips_seeks() {
+        let (engine, disk) = setup();
+        for i in 0..8u64 {
+            write_at(&disk, i * 4096, 4096);
+        }
+        engine.run_until_idle();
+        assert_eq!(disk.seeks(), 1, "only the first access seeks");
+        assert_eq!(disk.sequential_hits(), 7);
+    }
+
+    #[test]
+    fn random_accesses_all_seek() {
+        let (engine, disk) = setup();
+        for &off in &[0u64, 1 << 20, 4096, 1 << 22] {
+            write_at(&disk, off, 4096);
+        }
+        engine.run_until_idle();
+        assert_eq!(disk.seeks(), 4);
+    }
+
+    #[test]
+    fn random_is_orders_of_magnitude_slower() {
+        let params = Calibration::cluster_2005().disk;
+        // 8 random 4K pages vs 8 sequential.
+        let t_random: u64 = (0..8)
+            .map(|_| params.service_time(4096, false).as_nanos())
+            .sum();
+        let t_seq: u64 = params.service_time(4096, false).as_nanos()
+            + (0..7)
+                .map(|_| params.service_time(4096, true).as_nanos())
+                .sum::<u64>();
+        assert!(t_random > 5 * t_seq, "random {t_random} vs seq {t_seq}");
+    }
+
+    #[test]
+    fn data_integrity_roundtrip() {
+        let (engine, disk) = setup();
+        let wbuf = new_buffer(8192);
+        wbuf.borrow_mut().fill(0x3C);
+        disk.submit(IoRequest::single(Bio::new(IoOp::Write, 16384, wbuf, |r| {
+            assert!(r.is_ok())
+        })));
+        engine.run_until_idle();
+        let rbuf = new_buffer(8192);
+        disk.submit(IoRequest::single(Bio::new(
+            IoOp::Read,
+            16384,
+            rbuf.clone(),
+            |r| assert!(r.is_ok()),
+        )));
+        engine.run_until_idle();
+        assert!(rbuf.borrow().iter().all(|&b| b == 0x3C));
+    }
+
+    #[test]
+    fn requests_serve_serially() {
+        let (engine, disk) = setup();
+        write_at(&disk, 0, 4096);
+        write_at(&disk, 1 << 20, 4096);
+        engine.run_until_idle();
+        let params = Calibration::cluster_2005().disk;
+        let expect = 2 * params.service_time(4096, false).as_nanos();
+        assert_eq!(engine.now().as_nanos(), expect);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let (engine, disk) = setup();
+        let got = Rc::new(Cell::new(None));
+        {
+            let got = got.clone();
+            disk.submit(IoRequest::single(Bio::new(
+                IoOp::Write,
+                disk.capacity(),
+                new_buffer(4096),
+                move |r| got.set(Some(r)),
+            )));
+        }
+        engine.run_until_idle();
+        assert_eq!(got.get(), Some(Err(IoError::OutOfRange)));
+    }
+}

@@ -1,0 +1,980 @@
+//! The HPBD client: a block device driver over InfiniBand verbs.
+//!
+//! Serves the VM's paging I/O by staging pages through the pre-registered
+//! buffer pool and exchanging control messages with the memory servers
+//! (paper §4.2). The asynchronous design follows §4.2.3: the *sender* path
+//! issues requests as soon as the kernel submits them (subject to pool
+//! space and flow-control credits); the *receiver* path sleeps until the
+//! solicited completion event fires, then drains every available reply in
+//! one burst before re-arming.
+//!
+//! Multi-server support (§4.2.5) distributes the swap area across servers
+//! in a contiguous **blocking** (non-striped) pattern; a request crossing
+//! an extent boundary splits into physical requests, and the parent I/O
+//! completes when every physical part is acknowledged.
+//!
+//! Flow control (§4.2.4) is a per-server credit water-mark equal to the
+//! pre-posted receive buffers at the server; requests over the water-mark
+//! queue inside the driver.
+
+use crate::config::{Distribution, HpbdConfig, StagingMode};
+use crate::pool::{PoolBuf, SimBufferPool};
+use crate::proto::{PageOp, PageRequest, ReplyStatus, RevokeNotice, ServerMessage, REPLY_WIRE_SIZE};
+use blockdev::{new_buffer, Bio, BlockDevice, IoError, IoOp, IoRequest};
+use ibsim::{CompletionQueue, IbNode, MemoryRegion, Opcode, QueuePair, WcStatus, WorkKind, WorkRequest};
+use simcore::{Engine, SimDuration};
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+
+/// Client statistics.
+#[derive(Clone, Debug, Default)]
+pub struct ClientStats {
+    /// Block-layer requests accepted.
+    pub requests: u64,
+    /// Physical (per-server) requests issued.
+    pub phys_requests: u64,
+    /// Requests that had to split across server extents.
+    pub split_requests: u64,
+    /// Times a physical request waited for pool space.
+    pub pool_waits: u64,
+    /// Times a physical request waited for flow-control credits.
+    pub flow_stalls: u64,
+    /// Payload bytes swapped out.
+    pub bytes_out: u64,
+    /// Payload bytes swapped in.
+    pub bytes_in: u64,
+    /// Replies processed.
+    pub replies: u64,
+    /// Receiver-thread wakeups (completion events).
+    pub receiver_wakeups: u64,
+    /// Mirror-replica physical requests issued (mirror mode only).
+    pub mirrored_phys: u64,
+    /// Requests that timed out (failover mode only).
+    pub timeouts: u64,
+    /// Requests re-routed to a buddy server's replica region.
+    pub failovers: u64,
+    /// Revocation notices received (dynamic memory).
+    pub revocations: u64,
+    /// Chunks migrated to spare capacity.
+    pub migrations: u64,
+    /// Block requests deferred behind an in-progress migration.
+    pub deferred_requests: u64,
+}
+
+/// Parent bookkeeping for a (possibly split) block request.
+struct Parent {
+    req: RefCell<Option<IoRequest>>,
+    remaining: Cell<usize>,
+    error: Cell<Option<IoError>>,
+}
+
+impl Parent {
+    fn finish_part(&self, engine: &Engine) {
+        let left = self.remaining.get() - 1;
+        self.remaining.set(left);
+        if left == 0 {
+            let req = self.req.borrow_mut().take().expect("completed twice");
+            let result = match self.error.get() {
+                Some(e) => Err(e),
+                None => Ok(()),
+            };
+            // Completion from the event loop (already inside an event, but
+            // keep the invariant explicit for the error path too).
+            let _ = engine;
+            req.complete(result);
+        }
+    }
+}
+
+/// Where a physical request's data is staged for RDMA.
+enum Staging {
+    /// A span of the pre-registered pool (the paper's design).
+    Pool(PoolBuf),
+    /// An ephemeral on-the-fly registration (ablation / zero-copy mode).
+    Ephemeral(MemoryRegion),
+}
+
+/// One physical request in flight or awaiting credits.
+struct Phys {
+    req_id: u64,
+    op: PageOp,
+    server_idx: usize,
+    server_offset: u64,
+    len: u64,
+    staging: Staging,
+    parent: Rc<Parent>,
+    parent_off: u64,
+    /// Mirror copies do not scatter data back on reads and are counted
+    /// separately in the stats.
+    is_mirror: bool,
+}
+
+struct ServerConn {
+    qp: QueuePair,
+    credits: Cell<usize>,
+    queued: RefCell<VecDeque<Phys>>,
+    recv_region: MemoryRegion,
+    extent_len: u64,
+    /// Marked on the first request timeout; all traffic re-routes to the
+    /// buddy afterwards.
+    dead: Cell<bool>,
+}
+
+/// One entry of the device-to-server mapping (dynamic-memory indirection).
+#[derive(Clone, Copy, Debug)]
+struct Chunk {
+    /// Device offset this chunk starts at.
+    device_base: u64,
+    /// Length (the last chunk of an extent may be short).
+    len: u64,
+    /// Current home.
+    server: usize,
+    /// Server-relative offset of the chunk's storage.
+    server_offset: u64,
+}
+
+struct ClientInner {
+    engine: Engine,
+    config: HpbdConfig,
+    ibnode: IbNode,
+    pool_mr: MemoryRegion,
+    pool: SimBufferPool,
+    send_cq: CompletionQueue,
+    recv_cq: CompletionQueue,
+    conns: RefCell<Vec<ServerConn>>,
+    qp_to_conn: RefCell<HashMap<u32, usize>>,
+    outstanding: RefCell<HashMap<u64, Phys>>,
+    next_req_id: Cell<u64>,
+    capacity: Cell<u64>,
+    stats: RefCell<ClientStats>,
+    /// Device-chunk → server-location mapping, sorted by `device_base`.
+    chunk_map: RefCell<Vec<Chunk>>,
+    /// Per-server free spare chunk offsets (migration targets).
+    spares: RefCell<Vec<Vec<u64>>>,
+    /// Chunk indices currently migrating: requests touching them defer.
+    migrating: RefCell<HashSet<usize>>,
+    /// Block requests held back until their chunks finish migrating.
+    deferred: RefCell<Vec<IoRequest>>,
+    name: String,
+}
+
+/// The HPBD block device. Clone shares the device instance.
+#[derive(Clone)]
+pub struct HpbdClient {
+    inner: Rc<ClientInner>,
+}
+
+impl HpbdClient {
+    /// Create the client driver on `ibnode`. Connections are added by the
+    /// cluster builder via [`HpbdClient::attach_server`].
+    pub fn new(engine: Engine, ibnode: IbNode, config: HpbdConfig) -> HpbdClient {
+        // The pool is registered once at device load time (paper §4.2.2);
+        // charge the registration cost against the client CPU.
+        let reg = ibnode
+            .memory_model()
+            .calibration()
+            .registration_time(config.pool_size);
+        ibnode.node().cpu().reserve(engine.now(), reg);
+        let pool_mr = ibnode.hca().register(config.pool_size as usize);
+        let pool = SimBufferPool::new(config.pool_size);
+        let send_cq = ibnode.create_cq();
+        let recv_cq = ibnode.create_cq();
+        let client = HpbdClient {
+            inner: Rc::new(ClientInner {
+                engine,
+                config,
+                ibnode,
+                pool_mr,
+                pool,
+                send_cq,
+                recv_cq,
+                conns: RefCell::new(Vec::new()),
+                qp_to_conn: RefCell::new(HashMap::new()),
+                outstanding: RefCell::new(HashMap::new()),
+                next_req_id: Cell::new(1),
+                capacity: Cell::new(0),
+                stats: RefCell::new(ClientStats::default()),
+                chunk_map: RefCell::new(Vec::new()),
+                spares: RefCell::new(Vec::new()),
+                migrating: RefCell::new(HashSet::new()),
+                deferred: RefCell::new(Vec::new()),
+                name: "hpbd0".to_string(),
+            }),
+        };
+        client.install_receiver();
+        client
+    }
+
+    /// The client's fabric node (shared with the VM and applications).
+    pub fn ibnode(&self) -> &IbNode {
+        &self.inner.ibnode
+    }
+
+    /// CQs for the cluster builder to wire server QPs to:
+    /// (send CQ, recv CQ) — shared among the QPs to all servers (paper §5).
+    pub fn cqs(&self) -> (&CompletionQueue, &CompletionQueue) {
+        (&self.inner.send_cq, &self.inner.recv_cq)
+    }
+
+    /// Number of attached servers.
+    pub fn server_count(&self) -> usize {
+        self.inner.conns.borrow().len()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ClientStats {
+        self.inner.stats.borrow().clone()
+    }
+
+    /// Attach a server whose extent covers the next `extent_len` bytes of
+    /// the device (blocking distribution: extents are contiguous and in
+    /// attach order). Pre-posts reply receive buffers on `qp`.
+    pub fn attach_server(&self, qp: QueuePair, extent_len: u64) {
+        let inner = &self.inner;
+        let credits = inner.config.credits;
+        // Two extra receives beyond the credit window absorb
+        // server-initiated notices (revocations).
+        let recvs = credits + 2;
+        let wire = REPLY_WIRE_SIZE as u64 + 4;
+        let recv_region = inner.ibnode.hca().register((recvs as u64 * wire) as usize);
+        for i in 0..recvs {
+            qp.post_recv(i as u64, recv_region.slice(i as u64 * wire, wire))
+                .expect("pre-posting reply receives");
+        }
+        let base = inner.capacity.get();
+        let idx = inner.conns.borrow().len();
+        inner.qp_to_conn.borrow_mut().insert(qp.qp_num(), idx);
+        let idx_new = inner.conns.borrow().len();
+        inner.conns.borrow_mut().push(ServerConn {
+            qp,
+            credits: Cell::new(credits),
+            queued: RefCell::new(VecDeque::new()),
+            recv_region,
+            extent_len,
+            dead: Cell::new(false),
+        });
+        inner.capacity.set(base + extent_len);
+        // Device-chunk map entries for the new extent.
+        {
+            let chunk = inner.config.chunk_bytes.max(4096);
+            let mut map = inner.chunk_map.borrow_mut();
+            let mut at = 0;
+            while at < extent_len {
+                let len = chunk.min(extent_len - at);
+                map.push(Chunk {
+                    device_base: base + at,
+                    len,
+                    server: idx_new,
+                    server_offset: at,
+                });
+                at += len;
+            }
+        }
+        // Spare chunks live past the extent (and past the mirror replica
+        // region when both features are on).
+        {
+            let chunk = inner.config.chunk_bytes.max(4096);
+            let spare_base = if inner.config.mirror_writes {
+                extent_len * 2
+            } else {
+                extent_len
+            };
+            let spares: Vec<u64> = (0..inner.config.spare_chunks as u64)
+                .map(|i| spare_base + i * chunk)
+                .collect();
+            inner.spares.borrow_mut().push(spares);
+        }
+    }
+
+    // -- sender path ---------------------------------------------------------
+
+    /// Split a device extent into per-server physical parts, according to
+    /// the configured distribution (paper §4.2.5).
+    fn split(&self, offset: u64, len: u64) -> Vec<(usize, u64, u64, u64)> {
+        // (server_idx, server_offset, parent_off, part_len)
+        match self.inner.config.distribution {
+            Distribution::Blocking => self.split_blocking(offset, len),
+            Distribution::Striped { stripe_bytes } => {
+                self.split_striped(offset, len, stripe_bytes)
+            }
+        }
+    }
+
+    fn split_blocking(&self, offset: u64, len: u64) -> Vec<(usize, u64, u64, u64)> {
+        // Resolve through the chunk map (identity until migrations move
+        // chunks), coalescing runs that stay contiguous on one server.
+        let map = self.inner.chunk_map.borrow();
+        let mut parts: Vec<(usize, u64, u64, u64)> = Vec::new();
+        let mut at = offset;
+        let end = offset + len;
+        let mut idx = map.partition_point(|c| c.device_base + c.len <= at);
+        while at < end {
+            let c = &map[idx];
+            let within = at - c.device_base;
+            let server_at = c.server_offset + within;
+            let part_end = end.min(c.device_base + c.len);
+            let part_len = part_end - at;
+            match parts.last_mut() {
+                Some((srv, soff, _, plen))
+                    if *srv == c.server && *soff + *plen == server_at =>
+                {
+                    *plen += part_len;
+                }
+                _ => parts.push((c.server, server_at, at - offset, part_len)),
+            }
+            at = part_end;
+            idx += 1;
+        }
+        parts
+    }
+
+    /// Does `[offset, offset+len)` touch a chunk that is mid-migration?
+    fn touches_migrating(&self, offset: u64, len: u64) -> bool {
+        if self.inner.migrating.borrow().is_empty() {
+            return false;
+        }
+        let map = self.inner.chunk_map.borrow();
+        let migrating = self.inner.migrating.borrow();
+        let mut idx = map.partition_point(|c| c.device_base + c.len <= offset);
+        let end = offset + len;
+        while idx < map.len() && map[idx].device_base < end {
+            if migrating.contains(&idx) {
+                return true;
+            }
+            idx += 1;
+        }
+        false
+    }
+
+    /// Round-robin striping: stripe `k` lives on server `k % n` at
+    /// within-server offset `(k / n) * stripe + intra`.
+    fn split_striped(&self, offset: u64, len: u64, stripe: u64) -> Vec<(usize, u64, u64, u64)> {
+        assert!(stripe >= 4096 && stripe.is_multiple_of(4096), "stripe must be page-multiple");
+        let n = self.inner.conns.borrow().len() as u64;
+        let mut parts = Vec::new();
+        let mut at = offset;
+        let end = offset + len;
+        while at < end {
+            let k = at / stripe;
+            let server = (k % n) as usize;
+            let intra = at % stripe;
+            let server_offset = (k / n) * stripe + intra;
+            let part_end = end.min((k + 1) * stripe);
+            parts.push((server, server_offset, at - offset, part_end - at));
+            at = part_end;
+        }
+        parts
+    }
+
+    fn stage_part(&self, phys: Phys) {
+        let inner = &self.inner;
+        let Staging::Pool(pool_buf) = phys.staging else {
+            unreachable!("stage_part is the pool path");
+        };
+        match phys.op {
+            PageOp::Write => {
+                // Copy the page data into the registered pool (the paper's
+                // copy-instead-of-register decision), then send.
+                let data = {
+                    let parent = phys.parent.req.borrow();
+                    parent
+                        .as_ref()
+                        .expect("parent alive")
+                        .gather_range(phys.parent_off, phys.len)
+                };
+                inner.pool_mr.write(pool_buf.offset as usize, &data);
+                let copy = inner.ibnode.memory_model().memcpy_time(phys.len);
+                let (_, t_copy) = inner.ibnode.node().cpu().reserve(inner.engine.now(), copy);
+                let this = self.clone();
+                inner.engine.schedule_at(t_copy, move || this.enqueue_send(phys));
+            }
+            PageOp::Read => self.enqueue_send(phys),
+        }
+    }
+
+    /// Register-on-the-fly path (ablation): the page buffers become an
+    /// ephemeral MR — no staging copy, but the registration cost sits on
+    /// the critical path of every request, which is exactly what Figure 3
+    /// says loses for swap-sized transfers.
+    fn stage_registered(&self, phys: Phys) {
+        let inner = &self.inner;
+        let Staging::Ephemeral(mr) = &phys.staging else {
+            unreachable!("stage_registered is the on-the-fly path");
+        };
+        if phys.op == PageOp::Write {
+            // Zero-copy: the MR *is* the page memory (we mirror the bytes
+            // into the simulated region without a timing charge).
+            let data = {
+                let parent = phys.parent.req.borrow();
+                parent
+                    .as_ref()
+                    .expect("parent alive")
+                    .gather_range(phys.parent_off, phys.len)
+            };
+            mr.write(0, &data);
+        }
+        let reg = inner
+            .ibnode
+            .memory_model()
+            .calibration()
+            .registration_time(phys.len);
+        let (_, t_reg) = inner.ibnode.node().cpu().reserve(inner.engine.now(), reg);
+        let this = self.clone();
+        inner.engine.schedule_at(t_reg, move || this.enqueue_send(phys));
+    }
+
+    fn enqueue_send(&self, mut phys: Phys) {
+        // A server known to be dead gets no traffic: re-target the buddy's
+        // replica region up front (requires mirroring).
+        if self.inner.conns.borrow()[phys.server_idx].dead.get() {
+            match self.failover_target(&phys) {
+                Some((buddy, offset)) => {
+                    self.inner.stats.borrow_mut().failovers += 1;
+                    phys.server_idx = buddy;
+                    phys.server_offset = offset;
+                }
+                None => {
+                    self.fail_phys(phys, "hpbd server dead, no replica");
+                    return;
+                }
+            }
+        }
+        let conns = self.inner.conns.borrow();
+        let conn = &conns[phys.server_idx];
+        if conn.credits.get() == 0 {
+            // Water-mark reached: queue until credits return (§4.2.4).
+            self.inner.stats.borrow_mut().flow_stalls += 1;
+            conn.queued.borrow_mut().push_back(phys);
+            return;
+        }
+        conn.credits.set(conn.credits.get() - 1);
+        self.post_request(conn, phys);
+    }
+
+    fn post_request(&self, conn: &ServerConn, phys: Phys) {
+        let (client_rkey, client_offset) = match &phys.staging {
+            Staging::Pool(buf) => (self.inner.pool_mr.rkey(), buf.offset),
+            Staging::Ephemeral(mr) => (mr.rkey(), 0),
+        };
+        let request = PageRequest {
+            req_id: phys.req_id,
+            op: phys.op,
+            server_offset: phys.server_offset,
+            len: phys.len,
+            client_rkey,
+            client_offset,
+        };
+        {
+            let mut stats = self.inner.stats.borrow_mut();
+            stats.phys_requests += 1;
+            if phys.is_mirror {
+                stats.mirrored_phys += 1;
+            }
+        }
+        conn.qp
+            .post_send(WorkRequest {
+                wr_id: phys.req_id,
+                kind: WorkKind::Send {
+                    payload: request.encode(),
+                },
+                // Solicited so the (possibly sleeping) server wakes.
+                solicited: true,
+            })
+            .expect("client send queue sized for credits");
+        if let Some(timeout_ns) = self.inner.config.request_timeout_ns {
+            let this = self.clone();
+            let req_id = phys.req_id;
+            self.inner
+                .engine
+                .schedule_in(SimDuration::from_nanos(timeout_ns), move || {
+                    this.on_timeout(req_id);
+                });
+        }
+        self.inner.outstanding.borrow_mut().insert(phys.req_id, phys);
+    }
+
+    /// The buddy server and replica offset for a physical request, if the
+    /// deployment mirrors writes (replicas live in the upper half of the
+    /// buddy's store). `None` when there is nowhere to fail over to.
+    fn failover_target(&self, phys: &Phys) -> Option<(usize, u64)> {
+        if !self.inner.config.mirror_writes || self.server_count() < 2 {
+            return None;
+        }
+        let conns = self.inner.conns.borrow();
+        let buddy = (phys.server_idx + 1) % conns.len();
+        if conns[buddy].dead.get() {
+            return None;
+        }
+        // `% extent_len` strips a previous failover re-route (replica
+        // offsets live past the extent), yielding the primary offset.
+        let base = phys.server_offset % conns[buddy].extent_len;
+        Some((buddy, conns[buddy].extent_len + base))
+    }
+
+    /// A request timed out: its server is presumed dead; re-route to the
+    /// replica or fail the I/O.
+    fn on_timeout(&self, req_id: u64) {
+        let Some(phys) = self.inner.outstanding.borrow_mut().remove(&req_id) else {
+            return; // answered in time
+        };
+        self.inner.stats.borrow_mut().timeouts += 1;
+        let stranded: Vec<Phys> = {
+            let conns = self.inner.conns.borrow();
+            let conn = &conns[phys.server_idx];
+            conn.dead.set(true);
+            // The credit consumed by the lost request never returns via a
+            // reply; restore it so accounting stays consistent.
+            conn.credits.set(conn.credits.get() + 1);
+            // Requests still queued for the dead server will never get
+            // credits back: pull them out for re-routing.
+            let stranded: Vec<Phys> = conn.queued.borrow_mut().drain(..).collect();
+            stranded
+        };
+        for queued in stranded {
+            self.enqueue_send(queued);
+        }
+        match self.failover_target(&phys) {
+            Some((buddy, offset)) => {
+                self.inner.stats.borrow_mut().failovers += 1;
+                let reissued = Phys {
+                    server_idx: buddy,
+                    server_offset: offset,
+                    ..phys
+                };
+                self.enqueue_send(reissued);
+            }
+            None => self.fail_phys(phys, "hpbd request timed out, no replica"),
+        }
+    }
+
+    /// Complete a physical request as failed.
+    fn fail_phys(&self, phys: Phys, why: &'static str) {
+        phys.parent.error.set(Some(IoError::DeviceError(why)));
+        self.release_staging(&phys);
+        let parent = phys.parent.clone();
+        let engine = self.inner.engine.clone();
+        self.inner
+            .engine
+            .schedule_at(self.inner.engine.now(), move || parent.finish_part(&engine));
+    }
+
+    // -- receiver path --------------------------------------------------------
+
+    fn install_receiver(&self) {
+        let this = self.clone();
+        self.inner.recv_cq.set_event_handler(move || this.on_replies());
+        self.inner.recv_cq.req_notify(true);
+    }
+
+    /// The receiver thread body: drain all available replies in one burst,
+    /// then re-arm and go back to sleep (paper §4.2.3).
+    fn on_replies(&self) {
+        let inner = &self.inner;
+        inner.stats.borrow_mut().receiver_wakeups += 1;
+        while let Some(completion) = inner.recv_cq.poll() {
+            assert_eq!(completion.opcode, Opcode::Recv);
+            assert_eq!(completion.status, WcStatus::Success, "reply recv failed");
+            let conn_idx = *inner
+                .qp_to_conn
+                .borrow()
+                .get(&completion.qp_num)
+                .expect("reply from unknown QP");
+            self.handle_reply(conn_idx, completion.wr_id);
+        }
+        // Drain send-side completions too (they carry no actions, but a
+        // flow-control failure would surface here).
+        while let Some(c) = inner.send_cq.poll() {
+            assert_eq!(
+                c.status,
+                WcStatus::Success,
+                "request send failed — flow control violated"
+            );
+        }
+        inner.recv_cq.req_notify(true);
+    }
+
+    fn handle_reply(&self, conn_idx: usize, buf_idx: u64) {
+        let inner = &self.inner;
+        let wire = REPLY_WIRE_SIZE as u64 + 4;
+        let message: ServerMessage = {
+            let conns = inner.conns.borrow();
+            let conn = &conns[conn_idx];
+            let mut raw = vec![0u8; wire as usize];
+            conn.recv_region.read((buf_idx * wire) as usize, &mut raw);
+            let message = ServerMessage::decode(raw.into()).expect("corrupt server message");
+            // Re-post the consumed receive buffer.
+            conn.qp
+                .post_recv(buf_idx, conn.recv_region.slice(buf_idx * wire, wire))
+                .expect("re-posting reply receive");
+            message
+        };
+        let reply = match message {
+            ServerMessage::Reply(reply) => reply,
+            ServerMessage::Revoke(notice) => {
+                self.on_revoke(conn_idx, notice);
+                return;
+            }
+        };
+        inner.stats.borrow_mut().replies += 1;
+        // Receiver-thread CPU cost per reply.
+        let proc = SimDuration::from_nanos(inner.config.reply_proc_ns);
+        let (_, t_proc) = inner.ibnode.node().cpu().reserve(inner.engine.now(), proc);
+
+        let phys = inner
+            .outstanding
+            .borrow_mut()
+            .remove(&reply.req_id)
+            .expect("reply for unknown request");
+
+        // Credit returns; queued requests for this server may now go.
+        {
+            let conns = inner.conns.borrow();
+            let conn = &conns[conn_idx];
+            conn.credits.set(conn.credits.get() + 1);
+            let next = conn.queued.borrow_mut().pop_front();
+            if let Some(next) = next {
+                conn.credits.set(conn.credits.get() - 1);
+                self.post_request(conn, next);
+            }
+        }
+
+        if reply.status != ReplyStatus::Ok {
+            phys.parent
+                .error
+                .set(Some(IoError::DeviceError("hpbd server error")));
+            self.release_staging(&phys);
+            let parent = phys.parent.clone();
+            let engine = inner.engine.clone();
+            inner
+                .engine
+                .schedule_at(t_proc, move || parent.finish_part(&engine));
+            return;
+        }
+
+        match phys.op {
+            PageOp::Write => {
+                inner.stats.borrow_mut().bytes_out += phys.len;
+                self.release_staging(&phys);
+                let parent = phys.parent.clone();
+                let engine = inner.engine.clone();
+                inner
+                    .engine
+                    .schedule_at(t_proc, move || parent.finish_part(&engine));
+            }
+            PageOp::Read => {
+                // Swap-in data was RDMA-WRITTEN into the staging buffer;
+                // copy it out to the page frames (no copy in the
+                // register-on-the-fly mode — the MR is the page memory).
+                inner.stats.borrow_mut().bytes_in += phys.len;
+                let (data, t_data) = match &phys.staging {
+                    Staging::Pool(buf) => {
+                        let mut data = vec![0u8; phys.len as usize];
+                        inner.pool_mr.read(buf.offset as usize, &mut data);
+                        let copy = inner.ibnode.memory_model().memcpy_time(phys.len);
+                        let (_, t_copy) = inner.ibnode.node().cpu().reserve(t_proc, copy);
+                        (data, t_copy)
+                    }
+                    Staging::Ephemeral(mr) => {
+                        let mut data = vec![0u8; phys.len as usize];
+                        mr.read(0, &mut data);
+                        (data, t_proc)
+                    }
+                };
+                let this = self.clone();
+                inner.engine.schedule_at(t_data, move || {
+                    {
+                        let parent = phys.parent.req.borrow();
+                        parent
+                            .as_ref()
+                            .expect("parent alive")
+                            .scatter_range(phys.parent_off, &data);
+                    }
+                    this.release_staging(&phys);
+                    phys.parent.finish_part(&this.inner.engine);
+                });
+            }
+        }
+    }
+
+    /// Return staging resources: pool spans back to the allocator (waking
+    /// its wait queue), ephemeral MRs deregistered with the cost charged.
+    fn release_staging(&self, phys: &Phys) {
+        match &phys.staging {
+            Staging::Pool(buf) => self.inner.pool.free(*buf),
+            Staging::Ephemeral(mr) => {
+                let dereg = self
+                    .inner
+                    .ibnode
+                    .memory_model()
+                    .calibration()
+                    .deregistration_time(phys.len);
+                self.inner
+                    .ibnode
+                    .node()
+                    .cpu()
+                    .reserve(self.inner.engine.now(), dereg);
+                self.inner.ibnode.hca().deregister(mr);
+            }
+        }
+    }
+}
+
+impl HpbdClient {
+    // -- dynamic memory (the paper's future work) -----------------------------
+
+    /// A server is reclaiming memory: migrate every chunk mapped into the
+    /// revoked range to spare capacity elsewhere, deferring application
+    /// I/O to those chunks until their data has moved.
+    fn on_revoke(&self, server_idx: usize, notice: RevokeNotice) {
+        self.inner.stats.borrow_mut().revocations += 1;
+        let victims: Vec<usize> = {
+            let map = self.inner.chunk_map.borrow();
+            map.iter()
+                .enumerate()
+                .filter(|(_, c)| {
+                    c.server == server_idx
+                        && c.server_offset < notice.offset + notice.len
+                        && notice.offset < c.server_offset + c.len
+                })
+                .map(|(i, _)| i)
+                .collect()
+        };
+        for idx in victims {
+            self.inner.migrating.borrow_mut().insert(idx);
+            self.migrate_when_quiesced(idx);
+        }
+    }
+
+    /// Wait for in-flight traffic to the chunk to drain, then migrate.
+    fn migrate_when_quiesced(&self, chunk_idx: usize) {
+        let (server, lo, hi) = {
+            let map = self.inner.chunk_map.borrow();
+            let c = map[chunk_idx];
+            (c.server, c.server_offset, c.server_offset + c.len)
+        };
+        let busy = {
+            let outstanding = self.inner.outstanding.borrow();
+            let conns = self.inner.conns.borrow();
+            let queued_busy = conns[server]
+                .queued
+                .borrow()
+                .iter()
+                .any(|p| p.server_idx == server && p.server_offset < hi && lo < p.server_offset + p.len);
+            queued_busy
+                || outstanding.values().any(|p| {
+                    p.server_idx == server && p.server_offset < hi && lo < p.server_offset + p.len
+                })
+        };
+        if busy {
+            let this = self.clone();
+            self.inner
+                .engine
+                .schedule_in(SimDuration::from_micros(100), move || {
+                    this.migrate_when_quiesced(chunk_idx)
+                });
+            return;
+        }
+        self.migrate_chunk(chunk_idx);
+    }
+
+    /// Move one chunk: read its data from the old home through the normal
+    /// request path, repoint the map at a spare chunk, write the data to
+    /// the new home, then release deferred I/O.
+    fn migrate_chunk(&self, chunk_idx: usize) {
+        let (device_base, len, old_server) = {
+            let map = self.inner.chunk_map.borrow();
+            let c = map[chunk_idx];
+            (c.device_base, c.len, c.server)
+        };
+        // Pick a spare on any *other* live server (round-robin by fill).
+        let target = {
+            let conns = self.inner.conns.borrow();
+            let mut spares = self.inner.spares.borrow_mut();
+            let mut pick = None;
+            for s in 0..spares.len() {
+                if s == old_server || conns[s].dead.get() {
+                    continue;
+                }
+                if let Some(offset) = spares[s].pop() {
+                    pick = Some((s, offset));
+                    break;
+                }
+            }
+            pick
+        };
+        let Some((new_server, new_offset)) = target else {
+            panic!(
+                "revocation of chunk at device offset {device_base}: no spare                  capacity anywhere — pages would be lost"
+            );
+        };
+
+        // Read old contents (the map still points at the old home).
+        let buf = new_buffer(len as usize);
+        let this = self.clone();
+        let read_buf = buf.clone();
+        self.submit_internal(IoRequest::single(Bio::new(
+            IoOp::Read,
+            device_base,
+            read_buf,
+            move |result| {
+                result.expect("migration read");
+                // Repoint the chunk, then write the data to the new home.
+                {
+                    let mut map = this.inner.chunk_map.borrow_mut();
+                    map[chunk_idx].server = new_server;
+                    map[chunk_idx].server_offset = new_offset;
+                }
+                let this2 = this.clone();
+                this.submit_internal(IoRequest::single(Bio::new(
+                    IoOp::Write,
+                    device_base,
+                    buf.clone(),
+                    move |result| {
+                        result.expect("migration write");
+                        this2.inner.migrating.borrow_mut().remove(&chunk_idx);
+                        this2.inner.stats.borrow_mut().migrations += 1;
+                        this2.release_deferred();
+                    },
+                )));
+            },
+        )));
+    }
+
+    /// Resubmit deferred requests; those still blocked re-defer.
+    fn release_deferred(&self) {
+        let held: Vec<IoRequest> = self.inner.deferred.borrow_mut().drain(..).collect();
+        for req in held {
+            self.submit(req);
+        }
+    }
+
+    /// Stage and send the physical parts of one block request.
+    fn issue_parts(
+        &self,
+        op: PageOp,
+        parts: Vec<(usize, u64, u64, u64)>,
+        parent: Rc<Parent>,
+    ) {
+        let inner = &self.inner;
+        // Mirrored writes double the physical parts (one per replica).
+        // Replicas live in the upper half of the buddy server's store (the
+        // cluster builder doubles server capacity in mirror mode), so they
+        // never collide with the buddy's primary extent.
+        let mirror = inner.config.mirror_writes && op == PageOp::Write;
+        if mirror {
+            let extra = parts.len();
+            parent.remaining.set(parent.remaining.get() + extra);
+            assert!(
+                self.server_count() >= 2,
+                "mirrored writes need at least two servers"
+            );
+            assert!(
+                matches!(inner.config.distribution, Distribution::Blocking),
+                "mirroring is only defined for the blocking distribution"
+            );
+        }
+        for (server_idx, server_offset, parent_off, len) in parts {
+            let mut replicas: Vec<(usize, bool, u64)> = vec![(server_idx, false, server_offset)];
+            if mirror {
+                let buddy = (server_idx + 1) % self.server_count();
+                let buddy_extent = inner.conns.borrow()[buddy].extent_len;
+                // Note: both replicas are staged independently; a real
+                // implementation would share one staged buffer.
+                replicas.push((buddy, true, buddy_extent + server_offset));
+            }
+            for (target, is_mirror, server_offset) in replicas {
+                let req_id = inner.next_req_id.get();
+                inner.next_req_id.set(req_id + 1);
+                let parent = parent.clone();
+                match inner.config.staging {
+                    StagingMode::CopyToPool => {
+                        let this = self.clone();
+                        let had_space = inner.pool.free_bytes() >= len
+                            && inner.pool.queued_waiters() == 0;
+                        if !had_space {
+                            inner.stats.borrow_mut().pool_waits += 1;
+                        }
+                        inner.pool.alloc(len, move |pool_buf| {
+                            this.stage_part(Phys {
+                                req_id,
+                                op,
+                                server_idx: target,
+                                server_offset,
+                                len,
+                                staging: Staging::Pool(pool_buf),
+                                parent,
+                                parent_off,
+                                is_mirror,
+                            });
+                        });
+                    }
+                    StagingMode::RegisterOnFly => {
+                        self.stage_registered(Phys {
+                            req_id,
+                            op,
+                            server_idx: target,
+                            server_offset,
+                            len,
+                            staging: Staging::Ephemeral(
+                                inner.ibnode.hca().register(len as usize),
+                            ),
+                            parent,
+                            parent_off,
+                            is_mirror,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Submission path shared by the block-device interface and the
+    /// migration engine (which must bypass the migration deferral).
+    fn do_submit(&self, req: IoRequest, internal: bool) {
+        let inner = &self.inner;
+        let engine = inner.engine.clone();
+        if req.offset() + req.len() > self.capacity() {
+            engine.schedule_at(engine.now(), move || req.complete(Err(IoError::OutOfRange)));
+            return;
+        }
+        if !internal && self.touches_migrating(req.offset(), req.len()) {
+            inner.stats.borrow_mut().deferred_requests += 1;
+            inner.deferred.borrow_mut().push(req);
+            return;
+        }
+        inner.stats.borrow_mut().requests += 1;
+        let op = match req.op() {
+            IoOp::Write => PageOp::Write,
+            IoOp::Read => PageOp::Read,
+        };
+        let parts = self.split(req.offset(), req.len());
+        if parts.len() > 1 {
+            inner.stats.borrow_mut().split_requests += 1;
+        }
+        let parent = Rc::new(Parent {
+            req: RefCell::new(Some(req)),
+            remaining: Cell::new(parts.len()),
+            error: Cell::new(None),
+        });
+        self.issue_parts(op, parts, parent);
+    }
+
+    fn submit_internal(&self, req: IoRequest) {
+        self.do_submit(req, true);
+    }
+}
+
+impl BlockDevice for HpbdClient {
+    fn capacity(&self) -> u64 {
+        self.inner.capacity.get()
+    }
+
+    fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    fn submit(&self, req: IoRequest) {
+        self.do_submit(req, false);
+    }
+}

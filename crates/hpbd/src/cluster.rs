@@ -1,0 +1,747 @@
+//! Cluster wiring: one client, N memory servers.
+//!
+//! Stands in for HPBD's initialisation phase (paper §5): a socket
+//! connection exchanges queue-pair information, after which the client
+//! holds an IBA context per minor device — HCA handles, *shared completion
+//! queues*, the registered pool, and a QP per server.
+
+use crate::client::HpbdClient;
+use crate::config::HpbdConfig;
+use crate::server::HpbdServer;
+use ibsim::{Fabric, IbNode};
+use netmodel::Calibration;
+use simcore::Engine;
+use std::rc::Rc;
+
+/// A built HPBD deployment.
+pub struct HpbdCluster {
+    /// The fabric (owns calibration and node creation).
+    pub fabric: Fabric,
+    /// The client block device.
+    pub client: HpbdClient,
+    /// The memory servers, in extent order.
+    pub servers: Vec<HpbdServer>,
+}
+
+impl HpbdCluster {
+    /// Build a cluster: a client node plus `n_servers` memory servers each
+    /// exporting `per_server_capacity` bytes. The swap area is the
+    /// concatenation of the server extents (blocking distribution).
+    pub fn build(
+        engine: &Engine,
+        cal: Rc<Calibration>,
+        config: HpbdConfig,
+        n_servers: usize,
+        per_server_capacity: u64,
+    ) -> HpbdCluster {
+        assert!(n_servers > 0, "at least one memory server");
+        assert!(
+            per_server_capacity.is_multiple_of(4096),
+            "server capacity must be page-aligned"
+        );
+        let fabric = Fabric::new(engine.clone(), cal);
+        let client_node = fabric.add_node("hpbd-client");
+        Self::build_on(&fabric, client_node, config, n_servers, per_server_capacity)
+    }
+
+    /// Build on an existing fabric/client node (lets scenarios share the
+    /// client node with the VM and applications).
+    pub fn build_on(
+        fabric: &Fabric,
+        client_node: IbNode,
+        config: HpbdConfig,
+        n_servers: usize,
+        per_server_capacity: u64,
+    ) -> HpbdCluster {
+        let engine = fabric.engine().clone();
+        let client = HpbdClient::new(engine, client_node, config.clone());
+        let mut servers = Vec::with_capacity(n_servers);
+        // In mirror mode each server stores its own extent plus the
+        // replicas of its predecessor's extent; spare chunks for dynamic
+        // memory live after that.
+        let base_store = if config.mirror_writes {
+            assert!(n_servers >= 2, "mirrored writes need at least two servers");
+            per_server_capacity * 2
+        } else {
+            per_server_capacity
+        };
+        let server_store =
+            base_store + config.spare_chunks as u64 * config.chunk_bytes.max(4096);
+        for i in 0..n_servers {
+            let server = HpbdServer::new(
+                fabric,
+                &format!("mem-server-{i}"),
+                server_store,
+                config.clone(),
+            );
+            // QP exchange: connect with queue depths sized for the credit
+            // window (requests, replies, and in-flight RDMA).
+            let depth = config.credits * 2 + 8;
+            let (c_send, c_recv) = client.cqs();
+            let (qp_c, qp_s) = fabric.connect_with_depth(
+                client.ibnode(),
+                c_send,
+                c_recv,
+                server.ibnode(),
+                server.send_cq(),
+                server.recv_cq(),
+                depth,
+                config.credits + 2,
+            );
+            client.attach_server(qp_c, per_server_capacity);
+            server.attach_connection(qp_s);
+            servers.push(server);
+        }
+        HpbdCluster {
+            fabric: fabric.clone(),
+            client,
+            servers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockdev::{new_buffer, Bio, BlockDevice, IoOp, IoRequest};
+    use simcore::Engine;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn cluster(n_servers: usize, per_server: u64) -> (Engine, HpbdCluster) {
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let cluster = HpbdCluster::build(
+            &engine,
+            cal,
+            HpbdConfig::default(),
+            n_servers,
+            per_server,
+        );
+        (engine, cluster)
+    }
+
+    fn write_read_roundtrip(engine: &Engine, dev: &HpbdClient, offset: u64, len: usize, fill: u8) {
+        let wbuf = new_buffer(len);
+        wbuf.borrow_mut().fill(fill);
+        let done = Rc::new(Cell::new(false));
+        {
+            let done = done.clone();
+            dev.submit(IoRequest::single(Bio::new(
+                IoOp::Write,
+                offset,
+                wbuf,
+                move |r| {
+                    r.unwrap();
+                    done.set(true);
+                },
+            )));
+        }
+        engine.run_until_idle();
+        assert!(done.get(), "write completed");
+
+        let rbuf = new_buffer(len);
+        dev.submit(IoRequest::single(Bio::new(
+            IoOp::Read,
+            offset,
+            rbuf.clone(),
+            |r| r.unwrap(),
+        )));
+        engine.run_until_idle();
+        assert!(
+            rbuf.borrow().iter().all(|&b| b == fill),
+            "data must round-trip through the remote server"
+        );
+    }
+
+    #[test]
+    fn single_server_roundtrip() {
+        let (engine, cluster) = cluster(1, 8 << 20);
+        write_read_roundtrip(&engine, &cluster.client, 4096, 4096, 0xA7);
+        let s = cluster.client.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.phys_requests, 2);
+        assert_eq!(s.bytes_out, 4096);
+        assert_eq!(s.bytes_in, 4096);
+        let srv = cluster.servers[0].stats();
+        assert_eq!(srv.rdma_reads, 1, "swap-out uses server-initiated RDMA READ");
+        assert_eq!(srv.rdma_writes, 1, "swap-in uses RDMA WRITE");
+    }
+
+    #[test]
+    fn large_request_roundtrip() {
+        let (engine, cluster) = cluster(1, 8 << 20);
+        write_read_roundtrip(&engine, &cluster.client, 0, 128 * 1024, 0x3E);
+    }
+
+    #[test]
+    fn capacity_is_sum_of_extents() {
+        let (_, cluster) = cluster(4, 1 << 20);
+        assert_eq!(cluster.client.capacity(), 4 << 20);
+        assert_eq!(cluster.client.server_count(), 4);
+    }
+
+    #[test]
+    fn blocking_distribution_routes_by_extent() {
+        let (engine, cluster) = cluster(2, 1 << 20);
+        // Write into each server's extent; only that server stores bytes.
+        write_read_roundtrip(&engine, &cluster.client, 0, 4096, 1);
+        write_read_roundtrip(&engine, &cluster.client, 1 << 20, 4096, 2);
+        assert_eq!(cluster.servers[0].stats().bytes_in, 4096);
+        assert_eq!(cluster.servers[1].stats().bytes_in, 4096);
+    }
+
+    #[test]
+    fn boundary_spanning_request_splits() {
+        let (engine, cluster) = cluster(2, 1 << 20);
+        // 8K extent-straddling write: 4K to server 0, 4K to server 1.
+        write_read_roundtrip(&engine, &cluster.client, (1 << 20) - 4096, 8192, 9);
+        let s = cluster.client.stats();
+        assert!(s.split_requests >= 1, "boundary request must split");
+        assert_eq!(cluster.servers[0].stats().bytes_in, 4096);
+        assert_eq!(cluster.servers[1].stats().bytes_in, 4096);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let (engine, cluster) = cluster(1, 1 << 20);
+        let got = Rc::new(Cell::new(None));
+        {
+            let got = got.clone();
+            cluster.client.submit(IoRequest::single(Bio::new(
+                IoOp::Write,
+                1 << 20,
+                new_buffer(4096),
+                move |r| got.set(Some(r)),
+            )));
+        }
+        engine.run_until_idle();
+        assert_eq!(got.get(), Some(Err(blockdev::IoError::OutOfRange)));
+    }
+
+    #[test]
+    fn flow_control_queues_beyond_water_mark() {
+        let config = HpbdConfig {
+            credits: 2,
+            ..HpbdConfig::default()
+        };
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let cluster = HpbdCluster::build(&engine, cal, config, 1, 8 << 20);
+        let done = Rc::new(Cell::new(0));
+        // 8 concurrent 4K writes with only 2 credits.
+        for i in 0..8u64 {
+            let done = done.clone();
+            cluster.client.submit(IoRequest::single(Bio::new(
+                IoOp::Write,
+                i * 4096,
+                new_buffer(4096),
+                move |r| {
+                    r.unwrap();
+                    done.set(done.get() + 1);
+                },
+            )));
+        }
+        engine.run_until_idle();
+        assert_eq!(done.get(), 8, "all writes eventually complete");
+        let s = cluster.client.stats();
+        assert!(s.flow_stalls > 0, "water-mark must have throttled");
+    }
+
+    #[test]
+    fn pool_exhaustion_queues_requests() {
+        let config = HpbdConfig {
+            pool_size: 128 * 1024, // one max-size request
+            ..HpbdConfig::default()
+        };
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let cluster = HpbdCluster::build(&engine, cal, config, 1, 8 << 20);
+        let done = Rc::new(Cell::new(0));
+        for i in 0..4u64 {
+            let done = done.clone();
+            cluster.client.submit(IoRequest::single(Bio::new(
+                IoOp::Write,
+                i * 128 * 1024,
+                new_buffer(128 * 1024),
+                move |r| {
+                    r.unwrap();
+                    done.set(done.get() + 1);
+                },
+            )));
+        }
+        engine.run_until_idle();
+        assert_eq!(done.get(), 4);
+        assert!(cluster.client.stats().pool_waits > 0, "pool must have queued");
+    }
+
+    #[test]
+    fn concurrent_mixed_traffic_integrity() {
+        let (engine, cluster) = cluster(2, 4 << 20);
+        // Fill 64 pages with distinct patterns, then read back all.
+        let n = 64u64;
+        for i in 0..n {
+            let buf = new_buffer(4096);
+            buf.borrow_mut().fill((i % 251) as u8 + 1);
+            cluster.client.submit(IoRequest::single(Bio::new(
+                IoOp::Write,
+                i * 4096,
+                buf,
+                |r| r.unwrap(),
+            )));
+        }
+        engine.run_until_idle();
+        let bufs: Vec<_> = (0..n)
+            .map(|i| {
+                let buf = new_buffer(4096);
+                cluster.client.submit(IoRequest::single(Bio::new(
+                    IoOp::Read,
+                    i * 4096,
+                    buf.clone(),
+                    |r| r.unwrap(),
+                )));
+                buf
+            })
+            .collect();
+        engine.run_until_idle();
+        for (i, buf) in bufs.iter().enumerate() {
+            let expect = (i as u64 % 251) as u8 + 1;
+            assert!(
+                buf.borrow().iter().all(|&b| b == expect),
+                "page {i} corrupted"
+            );
+        }
+    }
+
+    #[test]
+    fn server_sleeps_and_wakes() {
+        let (engine, cluster) = cluster(1, 8 << 20);
+        write_read_roundtrip(&engine, &cluster.client, 0, 4096, 1);
+        // Let far more than 200us pass with no traffic.
+        engine.advance(simcore::SimDuration::from_millis(5));
+        write_read_roundtrip(&engine, &cluster.client, 4096, 4096, 2);
+        assert!(
+            cluster.servers[0].stats().wakeups >= 1,
+            "server should have slept through the idle gap and woken"
+        );
+    }
+
+    #[test]
+    fn striped_distribution_fans_requests_across_servers() {
+        use crate::config::Distribution;
+        let config = HpbdConfig {
+            distribution: Distribution::Striped {
+                stripe_bytes: 8 * 4096,
+            },
+            ..HpbdConfig::default()
+        };
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let cluster = HpbdCluster::build(&engine, cal, config, 4, 2 << 20);
+        // One 128K request spans 4 stripes of 32K: all four servers serve.
+        write_read_roundtrip(&engine, &cluster.client, 0, 128 * 1024, 0x6B);
+        for (i, server) in cluster.servers.iter().enumerate() {
+            assert!(
+                server.stats().bytes_in > 0,
+                "striping should spread the write to server {i}"
+            );
+        }
+        assert!(cluster.client.stats().split_requests >= 1);
+    }
+
+    #[test]
+    fn striped_data_integrity_over_many_offsets() {
+        use crate::config::Distribution;
+        let config = HpbdConfig {
+            distribution: Distribution::Striped { stripe_bytes: 4096 },
+            ..HpbdConfig::default()
+        };
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let cluster = HpbdCluster::build(&engine, cal, config, 3, 2 << 20);
+        for i in 0..24u64 {
+            let buf = new_buffer(4096);
+            buf.borrow_mut().fill(i as u8 + 1);
+            cluster.client.submit(IoRequest::single(Bio::new(
+                IoOp::Write,
+                i * 4096,
+                buf,
+                |r| r.unwrap(),
+            )));
+        }
+        engine.run_until_idle();
+        for i in 0..24u64 {
+            let buf = new_buffer(4096);
+            cluster.client.submit(IoRequest::single(Bio::new(
+                IoOp::Read,
+                i * 4096,
+                buf.clone(),
+                |r| r.unwrap(),
+            )));
+            engine.run_until_idle();
+            assert!(
+                buf.borrow().iter().all(|&b| b == i as u8 + 1),
+                "page {i} corrupted under striping"
+            );
+        }
+    }
+
+    #[test]
+    fn register_on_fly_works_but_costs_more() {
+        use crate::config::StagingMode;
+        let run = |staging: StagingMode| {
+            let config = HpbdConfig {
+                staging,
+                ..HpbdConfig::default()
+            };
+            let engine = Engine::new();
+            let cal = Rc::new(Calibration::cluster_2005());
+            let cluster = HpbdCluster::build(&engine, cal, config, 1, 8 << 20);
+            let t0 = engine.now();
+            // 16 sequential 64K writes.
+            for i in 0..16u64 {
+                let buf = new_buffer(64 * 1024);
+                buf.borrow_mut().fill(3);
+                cluster.client.submit(IoRequest::single(Bio::new(
+                    IoOp::Write,
+                    i * 64 * 1024,
+                    buf,
+                    |r| r.unwrap(),
+                )));
+            }
+            engine.run_until_idle();
+            // Read one back for integrity.
+            let buf = new_buffer(64 * 1024);
+            cluster.client.submit(IoRequest::single(Bio::new(
+                IoOp::Read,
+                0,
+                buf.clone(),
+                |r| r.unwrap(),
+            )));
+            engine.run_until_idle();
+            assert!(buf.borrow().iter().all(|&b| b == 3));
+            (engine.now() - t0).as_nanos()
+        };
+        let copy = run(StagingMode::CopyToPool);
+        let reg = run(StagingMode::RegisterOnFly);
+        // Figure 3's verdict: for swap-sized requests, registering on the
+        // fly must lose to copying through the pre-registered pool.
+        assert!(
+            reg > copy,
+            "register-on-fly ({reg}ns) should be slower than copy ({copy}ns)"
+        );
+    }
+
+    #[test]
+    fn mirrored_writes_survive_primary_data_loss() {
+        let config = HpbdConfig {
+            mirror_writes: true,
+            ..HpbdConfig::default()
+        };
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let cluster = HpbdCluster::build(&engine, cal, config, 2, 1 << 20);
+        write_read_roundtrip(&engine, &cluster.client, 4096, 4096, 0x7C);
+        // The replica landed on the buddy server's upper half.
+        let s0 = cluster.servers[0].stats();
+        let s1 = cluster.servers[1].stats();
+        assert_eq!(
+            s0.bytes_in + s1.bytes_in,
+            2 * 4096,
+            "write stored twice (primary + replica)"
+        );
+        assert!(s0.bytes_in > 0 && s1.bytes_in > 0);
+    }
+
+    #[test]
+    fn mirrored_write_completes_only_after_both_replicas() {
+        let config = HpbdConfig {
+            mirror_writes: true,
+            ..HpbdConfig::default()
+        };
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let cluster = HpbdCluster::build(&engine, cal.clone(), config, 2, 1 << 20);
+        let t0 = engine.now();
+        let buf = new_buffer(64 * 1024);
+        cluster.client.submit(IoRequest::single(Bio::new(
+            IoOp::Write,
+            0,
+            buf,
+            |r| r.unwrap(),
+        )));
+        engine.run_until_idle();
+        let mirrored = (engine.now() - t0).as_nanos();
+
+        // Same write without mirroring.
+        let engine2 = Engine::new();
+        let cluster2 =
+            HpbdCluster::build(&engine2, cal, HpbdConfig::default(), 2, 1 << 20);
+        let buf = new_buffer(64 * 1024);
+        cluster2.client.submit(IoRequest::single(Bio::new(
+            IoOp::Write,
+            0,
+            buf,
+            |r| r.unwrap(),
+        )));
+        engine2.run_until_idle();
+        let plain = (engine2.now() - t0).as_nanos();
+        assert!(
+            mirrored > plain,
+            "mirroring must cost something: {mirrored} vs {plain}"
+        );
+    }
+
+    #[test]
+    fn failover_reads_replica_after_primary_crash() {
+        let config = HpbdConfig {
+            mirror_writes: true,
+            request_timeout_ns: Some(5_000_000), // 5ms
+            ..HpbdConfig::default()
+        };
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let cluster = HpbdCluster::build(&engine, cal, config, 2, 1 << 20);
+        // Write data (mirrored to both servers).
+        let wbuf = new_buffer(8192);
+        wbuf.borrow_mut().fill(0x9D);
+        cluster.client.submit(IoRequest::single(Bio::new(
+            IoOp::Write,
+            0,
+            wbuf,
+            |r| r.unwrap(),
+        )));
+        engine.run_until_idle();
+        // Primary of extent 0 dies.
+        cluster.servers[0].crash();
+        // Read must transparently come back from server 1's replica.
+        let rbuf = new_buffer(8192);
+        cluster.client.submit(IoRequest::single(Bio::new(
+            IoOp::Read,
+            0,
+            rbuf.clone(),
+            |r| r.unwrap(),
+        )));
+        engine.run_until_idle();
+        assert!(
+            rbuf.borrow().iter().all(|&b| b == 0x9D),
+            "replica data must survive the crash"
+        );
+        let stats = cluster.client.stats();
+        assert!(stats.timeouts >= 1, "the lost request must time out");
+        assert!(stats.failovers >= 1, "and fail over to the buddy");
+    }
+
+    #[test]
+    fn post_crash_traffic_routes_away_without_new_timeouts() {
+        let config = HpbdConfig {
+            mirror_writes: true,
+            request_timeout_ns: Some(5_000_000),
+            ..HpbdConfig::default()
+        };
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let cluster = HpbdCluster::build(&engine, cal, config, 2, 1 << 20);
+        cluster.servers[0].crash();
+        // First access pays the timeout and marks the server dead...
+        let buf = new_buffer(4096);
+        buf.borrow_mut().fill(1);
+        cluster.client.submit(IoRequest::single(Bio::new(IoOp::Write, 0, buf, |r| r.unwrap())));
+        engine.run_until_idle();
+        let t_after_first = cluster.client.stats().timeouts;
+        // ...subsequent writes to the dead extent go straight to the buddy.
+        for i in 1..8u64 {
+            let buf = new_buffer(4096);
+            buf.borrow_mut().fill(i as u8);
+            cluster.client.submit(IoRequest::single(Bio::new(
+                IoOp::Write,
+                i * 4096,
+                buf,
+                |r| r.unwrap(),
+            )));
+        }
+        engine.run_until_idle();
+        let stats = cluster.client.stats();
+        assert_eq!(
+            stats.timeouts, t_after_first,
+            "dead-server traffic must not keep timing out"
+        );
+        assert!(stats.failovers >= 8);
+        // Everything is readable from the survivor.
+        for i in 0..8u64 {
+            let rbuf = new_buffer(4096);
+            cluster.client.submit(IoRequest::single(Bio::new(
+                IoOp::Read,
+                i * 4096,
+                rbuf.clone(),
+                |r| r.unwrap(),
+            )));
+            engine.run_until_idle();
+            let expect = if i == 0 { 1 } else { i as u8 };
+            assert!(rbuf.borrow().iter().all(|&b| b == expect), "page {i}");
+        }
+    }
+
+    #[test]
+    fn crash_without_mirroring_fails_the_io() {
+        let config = HpbdConfig {
+            request_timeout_ns: Some(5_000_000),
+            ..HpbdConfig::default()
+        };
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let cluster = HpbdCluster::build(&engine, cal, config, 2, 1 << 20);
+        cluster.servers[0].crash();
+        let got = Rc::new(Cell::new(None));
+        {
+            let got = got.clone();
+            cluster.client.submit(IoRequest::single(Bio::new(
+                IoOp::Write,
+                0,
+                new_buffer(4096),
+                move |r| got.set(Some(r)),
+            )));
+        }
+        engine.run_until_idle();
+        assert!(
+            matches!(got.get(), Some(Err(blockdev::IoError::DeviceError(_)))),
+            "without a replica the I/O must fail: {:?}",
+            got.get()
+        );
+    }
+
+    #[test]
+    fn revocation_migrates_chunks_and_preserves_data() {
+        let config = HpbdConfig {
+            chunk_bytes: 256 * 1024,
+            spare_chunks: 4,
+            ..HpbdConfig::default()
+        };
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let cluster = HpbdCluster::build(&engine, cal, config, 2, 1 << 20);
+        // Fill server 0's extent with distinct patterns.
+        for i in 0..64u64 {
+            let buf = new_buffer(4096);
+            buf.borrow_mut().fill((i % 250) as u8 + 1);
+            cluster.client.submit(IoRequest::single(Bio::new(
+                IoOp::Write,
+                i * 4096,
+                buf,
+                |r| r.unwrap(),
+            )));
+        }
+        engine.run_until_idle();
+        // Server 0 wants its first 256K back.
+        cluster.servers[0].revoke(0, 256 * 1024);
+        engine.run_until_idle();
+        let cs = cluster.client.stats();
+        assert_eq!(cs.revocations, 1, "notice received");
+        assert_eq!(cs.migrations, 1, "one chunk migrated");
+        // Data must be intact — the first 256K now lives on server 1.
+        let bytes_before = cluster.servers[1].stats().bytes_out;
+        for i in 0..64u64 {
+            let buf = new_buffer(4096);
+            cluster.client.submit(IoRequest::single(Bio::new(
+                IoOp::Read,
+                i * 4096,
+                buf.clone(),
+                |r| r.unwrap(),
+            )));
+            engine.run_until_idle();
+            assert!(
+                buf.borrow().iter().all(|&b| b == (i % 250) as u8 + 1),
+                "page {i} corrupted by migration"
+            );
+        }
+        assert!(
+            cluster.servers[1].stats().bytes_out > bytes_before,
+            "migrated pages must be served by the new home"
+        );
+    }
+
+    #[test]
+    fn io_during_migration_is_deferred_not_lost() {
+        let config = HpbdConfig {
+            chunk_bytes: 256 * 1024,
+            spare_chunks: 4,
+            ..HpbdConfig::default()
+        };
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let cluster = HpbdCluster::build(&engine, cal, config, 2, 1 << 20);
+        let buf = new_buffer(4096);
+        buf.borrow_mut().fill(0x11);
+        cluster.client.submit(IoRequest::single(Bio::new(IoOp::Write, 0, buf, |r| r.unwrap())));
+        engine.run_until_idle();
+        // Revoke, and immediately (same instant) write to the migrating
+        // chunk: the write must defer behind the migration and then apply.
+        cluster.servers[0].revoke(0, 256 * 1024);
+        // Let the notice arrive and the migration start.
+        engine.advance(simcore::SimDuration::from_micros(200));
+        let buf = new_buffer(4096);
+        buf.borrow_mut().fill(0x22);
+        cluster.client.submit(IoRequest::single(Bio::new(IoOp::Write, 0, buf, |r| r.unwrap())));
+        engine.run_until_idle();
+        let cs = cluster.client.stats();
+        assert!(cs.deferred_requests >= 1, "write should have deferred");
+        // The deferred write must have won (it is the latest).
+        let buf = new_buffer(4096);
+        cluster.client.submit(IoRequest::single(Bio::new(
+            IoOp::Read,
+            0,
+            buf.clone(),
+            |r| r.unwrap(),
+        )));
+        engine.run_until_idle();
+        assert!(buf.borrow().iter().all(|&b| b == 0x22));
+    }
+
+    #[test]
+    fn revocation_of_untouched_range_is_cheap() {
+        let config = HpbdConfig {
+            chunk_bytes: 256 * 1024,
+            spare_chunks: 2,
+            ..HpbdConfig::default()
+        };
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let cluster = HpbdCluster::build(&engine, cal, config, 2, 1 << 20);
+        // Nothing was ever written; revoking still migrates the (zeroed)
+        // chunk — and data reads back as zeros.
+        cluster.servers[0].revoke(512 * 1024, 256 * 1024);
+        engine.run_until_idle();
+        assert_eq!(cluster.client.stats().migrations, 1);
+        let buf = new_buffer(4096);
+        cluster.client.submit(IoRequest::single(Bio::new(
+            IoOp::Read,
+            512 * 1024,
+            buf.clone(),
+            |r| r.unwrap(),
+        )));
+        engine.run_until_idle();
+        assert!(buf.borrow().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn write_latency_is_microseconds_not_milliseconds() {
+        // A single 4K swap-out over HPBD should cost on the order of tens
+        // of microseconds (Figure 1 scale), far below a disk access.
+        let (engine, cluster) = cluster(1, 8 << 20);
+        let t0 = engine.now();
+        let wbuf = new_buffer(4096);
+        cluster.client.submit(IoRequest::single(Bio::new(
+            IoOp::Write,
+            0,
+            wbuf,
+            |r| r.unwrap(),
+        )));
+        engine.run_until_idle();
+        let elapsed = engine.now() - t0;
+        assert!(
+            elapsed.as_nanos() < 200_000,
+            "4K HPBD write took {elapsed}, expected tens of microseconds"
+        );
+        assert!(elapsed.as_nanos() > 10_000, "but not free: {elapsed}");
+    }
+}

@@ -1,0 +1,382 @@
+//! The HPBD wire protocol.
+//!
+//! Two message types travel over the send/recv channel (paper §4.2.1):
+//! *control messages* — page requests from client to server — and
+//! *acknowledgements* from server to client. Page data itself never rides
+//! in a message; it moves by server-initiated RDMA between the client's
+//! registered pool and the server's staging buffers.
+//!
+//! Every message carries a signature (magic + additive checksum over the
+//! header fields), validated on receipt: "message signature is used to
+//! validate requests and responses" (paper §4.1).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic tag on every HPBD message.
+pub const HPBD_MAGIC: u32 = 0x4850_4244; // "HPBD"
+
+/// Magic tag on server-initiated notices (dynamic-memory protocol).
+pub const NOTICE_MAGIC: u32 = 0x4850_4E54; // "HPNT"
+
+/// Encoded size of a [`PageRequest`].
+pub const REQUEST_WIRE_SIZE: usize = 44;
+/// Encoded size of a [`PageReply`].
+pub const REPLY_WIRE_SIZE: usize = 20;
+
+/// Operation requested of the memory server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PageOp {
+    /// Swap-out: server pulls page data from the client with RDMA READ and
+    /// stores it.
+    Write,
+    /// Swap-in: server pushes stored data into the client with RDMA WRITE.
+    Read,
+}
+
+impl PageOp {
+    fn code(self) -> u32 {
+        match self {
+            PageOp::Write => 1,
+            PageOp::Read => 2,
+        }
+    }
+
+    fn from_code(c: u32) -> Result<PageOp, ProtoError> {
+        match c {
+            1 => Ok(PageOp::Write),
+            2 => Ok(PageOp::Read),
+            _ => Err(ProtoError::BadField("op")),
+        }
+    }
+}
+
+/// Decoding failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Message shorter than its fixed layout.
+    Truncated,
+    /// Magic mismatch.
+    BadMagic,
+    /// Checksum mismatch (corruption).
+    BadChecksum,
+    /// Field out of range.
+    BadField(&'static str),
+}
+
+/// A page request: client → server control message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageRequest {
+    /// Client-chosen request id, echoed in the reply.
+    pub req_id: u64,
+    /// Operation.
+    pub op: PageOp,
+    /// Byte offset inside the server's swap area.
+    pub server_offset: u64,
+    /// Transfer length in bytes.
+    pub len: u64,
+    /// rkey of the client's registered pool region.
+    pub client_rkey: u32,
+    /// Offset of the staged data inside the client pool region.
+    pub client_offset: u64,
+}
+
+/// Completion status carried by a reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplyStatus {
+    /// Request served.
+    Ok,
+    /// Request referenced storage outside the server's swap area.
+    OutOfRange,
+    /// RDMA transfer failed.
+    TransferError,
+}
+
+impl ReplyStatus {
+    fn code(self) -> u32 {
+        match self {
+            ReplyStatus::Ok => 0,
+            ReplyStatus::OutOfRange => 1,
+            ReplyStatus::TransferError => 2,
+        }
+    }
+
+    fn from_code(c: u32) -> Result<ReplyStatus, ProtoError> {
+        match c {
+            0 => Ok(ReplyStatus::Ok),
+            1 => Ok(ReplyStatus::OutOfRange),
+            2 => Ok(ReplyStatus::TransferError),
+            _ => Err(ProtoError::BadField("status")),
+        }
+    }
+}
+
+/// Acknowledgement: server → client.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageReply {
+    /// Echoed request id.
+    pub req_id: u64,
+    /// Outcome.
+    pub status: ReplyStatus,
+}
+
+/// Server-initiated notice: the server is reclaiming part of its exported
+/// memory (the paper's future work: "utilize cluster wise idle memory in a
+/// dynamic and cooperative manner"). The client must migrate every page
+/// stored in `[offset, offset + len)` elsewhere and stop using the range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RevokeNotice {
+    /// Start of the reclaimed range, server-relative.
+    pub offset: u64,
+    /// Length of the reclaimed range.
+    pub len: u64,
+}
+
+impl RevokeNotice {
+    /// Serialise: same 24-byte wire size as a [`PageReply`], so notices
+    /// fit the client's pre-posted reply buffers.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(REPLY_WIRE_SIZE + 4);
+        b.put_u32_le(NOTICE_MAGIC);
+        b.put_u64_le(self.offset);
+        b.put_u64_le(self.len);
+        let sum = checksum(&[
+            self.offset as u32,
+            (self.offset >> 32) as u32,
+            self.len as u32,
+            (self.len >> 32) as u32,
+        ]);
+        b.put_u32_le(sum);
+        b.freeze()
+    }
+}
+
+/// Anything a server can send on the reply channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerMessage {
+    /// Acknowledgement of a page request.
+    Reply(PageReply),
+    /// Dynamic-memory revocation.
+    Revoke(RevokeNotice),
+}
+
+impl ServerMessage {
+    /// Parse either message kind by its magic.
+    pub fn decode(b: Bytes) -> Result<ServerMessage, ProtoError> {
+        if b.len() < 4 {
+            return Err(ProtoError::Truncated);
+        }
+        let magic = u32::from_le_bytes(b[0..4].try_into().expect("4 bytes"));
+        match magic {
+            HPBD_MAGIC => Ok(ServerMessage::Reply(PageReply::decode(b)?)),
+            NOTICE_MAGIC => {
+                let mut b = b;
+                if b.len() < REPLY_WIRE_SIZE + 4 {
+                    return Err(ProtoError::Truncated);
+                }
+                b.advance(4);
+                let offset = b.get_u64_le();
+                let len = b.get_u64_le();
+                let sum = b.get_u32_le();
+                let expect = checksum(&[
+                    offset as u32,
+                    (offset >> 32) as u32,
+                    len as u32,
+                    (len >> 32) as u32,
+                ]);
+                if sum != expect {
+                    return Err(ProtoError::BadChecksum);
+                }
+                Ok(ServerMessage::Revoke(RevokeNotice { offset, len }))
+            }
+            _ => Err(ProtoError::BadMagic),
+        }
+    }
+}
+
+fn checksum(words: &[u32]) -> u32 {
+    words
+        .iter()
+        .fold(0u32, |acc, &w| acc.wrapping_mul(31).wrapping_add(w))
+}
+
+impl PageRequest {
+    /// Serialise with magic and checksum.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(REQUEST_WIRE_SIZE);
+        b.put_u32_le(HPBD_MAGIC);
+        b.put_u64_le(self.req_id);
+        b.put_u32_le(self.op.code());
+        b.put_u64_le(self.server_offset);
+        b.put_u64_le(self.len);
+        b.put_u32_le(self.client_rkey);
+        b.put_u64_le(self.client_offset);
+        let sum = checksum(&[
+            self.req_id as u32,
+            (self.req_id >> 32) as u32,
+            self.op.code(),
+            self.server_offset as u32,
+            (self.server_offset >> 32) as u32,
+            self.len as u32,
+            (self.len >> 32) as u32,
+            self.client_rkey,
+            self.client_offset as u32,
+            (self.client_offset >> 32) as u32,
+        ]);
+        // Checksum replaces the magic slot check? No: appended. Wire size
+        // accounts for it below.
+        let mut out = BytesMut::with_capacity(REQUEST_WIRE_SIZE + 4);
+        out.extend_from_slice(&b);
+        out.put_u32_le(sum);
+        out.freeze()
+    }
+
+    /// Parse and validate.
+    pub fn decode(mut b: Bytes) -> Result<PageRequest, ProtoError> {
+        if b.len() < REQUEST_WIRE_SIZE + 4 {
+            return Err(ProtoError::Truncated);
+        }
+        if b.get_u32_le() != HPBD_MAGIC {
+            return Err(ProtoError::BadMagic);
+        }
+        let req_id = b.get_u64_le();
+        let op_code = b.get_u32_le();
+        let server_offset = b.get_u64_le();
+        let len = b.get_u64_le();
+        let client_rkey = b.get_u32_le();
+        let client_offset = b.get_u64_le();
+        let sum = b.get_u32_le();
+        let expect = checksum(&[
+            req_id as u32,
+            (req_id >> 32) as u32,
+            op_code,
+            server_offset as u32,
+            (server_offset >> 32) as u32,
+            len as u32,
+            (len >> 32) as u32,
+            client_rkey,
+            client_offset as u32,
+            (client_offset >> 32) as u32,
+        ]);
+        if sum != expect {
+            return Err(ProtoError::BadChecksum);
+        }
+        Ok(PageRequest {
+            req_id,
+            op: PageOp::from_code(op_code)?,
+            server_offset,
+            len,
+            client_rkey,
+            client_offset,
+        })
+    }
+}
+
+impl PageReply {
+    /// Serialise with magic and checksum.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(REPLY_WIRE_SIZE + 4);
+        b.put_u32_le(HPBD_MAGIC);
+        b.put_u64_le(self.req_id);
+        b.put_u32_le(self.status.code());
+        let sum = checksum(&[
+            self.req_id as u32,
+            (self.req_id >> 32) as u32,
+            self.status.code(),
+        ]);
+        b.put_u32_le(sum);
+        b.freeze()
+    }
+
+    /// Parse and validate.
+    pub fn decode(mut b: Bytes) -> Result<PageReply, ProtoError> {
+        if b.len() < REPLY_WIRE_SIZE {
+            return Err(ProtoError::Truncated);
+        }
+        if b.get_u32_le() != HPBD_MAGIC {
+            return Err(ProtoError::BadMagic);
+        }
+        let req_id = b.get_u64_le();
+        let status_code = b.get_u32_le();
+        let sum = b.get_u32_le();
+        let expect = checksum(&[req_id as u32, (req_id >> 32) as u32, status_code]);
+        if sum != expect {
+            return Err(ProtoError::BadChecksum);
+        }
+        Ok(PageReply {
+            req_id,
+            status: ReplyStatus::from_code(status_code)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> PageRequest {
+        PageRequest {
+            req_id: 0x0123_4567_89AB_CDEF,
+            op: PageOp::Write,
+            server_offset: 7 << 20,
+            len: 128 * 1024,
+            client_rkey: 42,
+            client_offset: 4096,
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let r = request();
+        assert_eq!(PageRequest::decode(r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        for status in [ReplyStatus::Ok, ReplyStatus::OutOfRange, ReplyStatus::TransferError] {
+            let r = PageReply { req_id: 99, status };
+            assert_eq!(PageReply::decode(r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut raw = request().encode().to_vec();
+        // Flip a byte in the middle of the header (not the magic).
+        raw[10] ^= 0xFF;
+        assert_eq!(
+            PageRequest::decode(Bytes::from(raw)),
+            Err(ProtoError::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut raw = request().encode().to_vec();
+        raw[0] ^= 0xFF;
+        assert_eq!(
+            PageRequest::decode(Bytes::from(raw)),
+            Err(ProtoError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let raw = request().encode().slice(0..10);
+        assert_eq!(PageRequest::decode(raw), Err(ProtoError::Truncated));
+    }
+
+    #[test]
+    fn reply_checksum_catches_status_tamper() {
+        let mut raw = PageReply {
+            req_id: 1,
+            status: ReplyStatus::Ok,
+        }
+        .encode()
+        .to_vec();
+        raw[12] = 1; // status byte: Ok -> OutOfRange
+        assert_eq!(
+            PageReply::decode(Bytes::from(raw)),
+            Err(ProtoError::BadChecksum)
+        );
+    }
+}

@@ -1,0 +1,477 @@
+//! The HPBD memory server daemon (paper §4.2.1, §5).
+//!
+//! A user-space program on a remote node exporting part of its memory as a
+//! RamDisk-backed page store. The server *initiates all RDMA*: for a
+//! swap-out request it RDMA-READs the page data out of the client's
+//! registered pool into a local staging buffer, then memcpys it into the
+//! store; for swap-in it memcpys store → staging and RDMA-WRITEs into the
+//! client's buffer. (The paper chooses server-initiated RDMA because the
+//! RamDisk is behind a file interface and because a future dynamic-memory
+//! server cannot pre-export addresses.)
+//!
+//! Staging buffers come from a pre-registered pool, so multiple requests
+//! can be in flight with the RDMA of one overlapping the memcpy of another
+//! — "by allowing multiple outstanding RDMA operations, RDMA and memcpy
+//! overlap is supported, which improves server side CPU utilization".
+//!
+//! Replies are sent with the solicited-event bit so the client's sleeping
+//! receiver thread wakes (paper §5). The server itself sleeps after 200 µs
+//! of idling and is woken by the completion event of the next request.
+
+use crate::config::HpbdConfig;
+use crate::pool::{PoolBuf, SimBufferPool};
+use crate::proto::{PageOp, PageRequest, PageReply, ProtoError, ReplyStatus, RevokeNotice, REQUEST_WIRE_SIZE};
+use blockdev::Storage;
+use ibsim::{CompletionQueue, Fabric, IbNode, MemoryRegion, Opcode, QueuePair, RemoteSlice, WcStatus, WorkKind, WorkRequest};
+use simcore::{Engine, SimDuration, SimTime};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Per-request state while its RDMA is in flight.
+struct PendingRdma {
+    request: PageRequest,
+    staging: PoolBuf,
+    conn: usize,
+}
+
+struct Conn {
+    qp: QueuePair,
+    /// Control-message receive buffers (slices of `ctrl_mr`), indexed by
+    /// recv wr_id.
+    recv_region: MemoryRegion,
+}
+
+/// Server statistics.
+#[derive(Clone, Debug, Default)]
+pub struct ServerStats {
+    /// Requests served.
+    pub requests: u64,
+    /// RDMA READ operations issued (swap-out pulls).
+    pub rdma_reads: u64,
+    /// RDMA WRITE operations issued (swap-in pushes).
+    pub rdma_writes: u64,
+    /// Bytes stored (swap-out).
+    pub bytes_in: u64,
+    /// Bytes served (swap-in).
+    pub bytes_out: u64,
+    /// Times the server had been idle past the threshold when work arrived
+    /// (it had yielded the CPU and paid a wakeup).
+    pub wakeups: u64,
+    /// Malformed control messages dropped.
+    pub bad_messages: u64,
+    /// Revocation notices sent (dynamic memory).
+    pub revokes_sent: u64,
+}
+
+struct ServerInner {
+    engine: Engine,
+    config: HpbdConfig,
+    ibnode: IbNode,
+    storage: Storage,
+    staging_mr: MemoryRegion,
+    staging_pool: SimBufferPool,
+    send_cq: CompletionQueue,
+    recv_cq: CompletionQueue,
+    conns: RefCell<Vec<Conn>>,
+    qp_to_conn: RefCell<HashMap<u32, usize>>,
+    pending: RefCell<HashMap<u64, PendingRdma>>,
+    next_token: Cell<u64>,
+    last_activity: Cell<SimTime>,
+    crashed: Cell<bool>,
+    stats: RefCell<ServerStats>,
+}
+
+/// One HPBD memory server. Clone shares the instance.
+#[derive(Clone)]
+pub struct HpbdServer {
+    inner: Rc<ServerInner>,
+}
+
+impl HpbdServer {
+    /// Create a server on a fresh fabric node exporting `capacity` bytes.
+    pub fn new(
+        fabric: &Fabric,
+        name: &str,
+        capacity: u64,
+        config: HpbdConfig,
+    ) -> HpbdServer {
+        let engine = fabric.engine().clone();
+        let ibnode = fabric.add_node(name.to_string());
+        // Staging pool is registered once at startup; charge the one-time
+        // registration against the server CPU.
+        let reg_cost = fabric.calibration().registration_time(config.server_staging_size);
+        ibnode.node().cpu().reserve(engine.now(), reg_cost);
+        let staging_mr = ibnode.hca().register(config.server_staging_size as usize);
+        let staging_pool = SimBufferPool::new(config.server_staging_size);
+        let send_cq = ibnode.create_cq();
+        let recv_cq = ibnode.create_cq();
+        let server = HpbdServer {
+            inner: Rc::new(ServerInner {
+                engine,
+                config,
+                ibnode,
+                storage: Storage::new(capacity),
+                staging_mr,
+                staging_pool,
+                send_cq,
+                recv_cq,
+                conns: RefCell::new(Vec::new()),
+                qp_to_conn: RefCell::new(HashMap::new()),
+                pending: RefCell::new(HashMap::new()),
+                next_token: Cell::new(1),
+                last_activity: Cell::new(SimTime::ZERO),
+                crashed: Cell::new(false),
+                stats: RefCell::new(ServerStats::default()),
+            }),
+        };
+        server.install_handlers();
+        server
+    }
+
+    /// The server's fabric node.
+    pub fn ibnode(&self) -> &IbNode {
+        &self.inner.ibnode
+    }
+
+    /// The receive CQ (the cluster builder wires QPs to it).
+    pub fn recv_cq(&self) -> &CompletionQueue {
+        &self.inner.recv_cq
+    }
+
+    /// The send CQ.
+    pub fn send_cq(&self) -> &CompletionQueue {
+        &self.inner.send_cq
+    }
+
+    /// Exported page-store capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.inner.storage.capacity()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.stats.borrow().clone()
+    }
+
+    /// Dynamic memory (the paper's future work): reclaim
+    /// `[offset, offset + len)` of the exported store. A revocation notice
+    /// goes to every client, which must migrate the pages it keeps there
+    /// to spare capacity on other servers and stop using the range. The
+    /// reclaim is advisory during the migration window (reads continue to
+    /// be served), matching a cooperative host that wants its memory back
+    /// but will not corrupt a tenant.
+    pub fn revoke(&self, offset: u64, len: u64) {
+        let inner = &self.inner;
+        assert!(
+            inner.storage.in_range(offset, len),
+            "revoking a range outside the store"
+        );
+        inner.stats.borrow_mut().revokes_sent += 1;
+        let notice = RevokeNotice { offset, len };
+        let conns = inner.conns.borrow();
+        for conn in conns.iter() {
+            conn.qp
+                .post_send(WorkRequest {
+                    wr_id: u64::MAX, // notices carry no request id
+                    kind: WorkKind::Send {
+                        payload: notice.encode(),
+                    },
+                    solicited: true,
+                })
+                .expect("notice send");
+        }
+    }
+
+    /// Failure injection: the server process dies. Every request from now
+    /// on is silently dropped (a dead daemon sends nothing); in-flight
+    /// RDMA data may still land, but no acknowledgement follows. The
+    /// client's timeout/failover machinery (when configured) is what keeps
+    /// the swap device alive.
+    pub fn crash(&self) {
+        self.inner.crashed.set(true);
+    }
+
+    /// Whether the server has been crashed by failure injection.
+    pub fn is_crashed(&self) -> bool {
+        self.inner.crashed.get()
+    }
+
+    /// Attach a client connection: pre-posts `credits` control-message
+    /// receive buffers on `qp`. Called by the cluster builder after the QP
+    /// exchange.
+    pub fn attach_connection(&self, qp: QueuePair) {
+        let inner = &self.inner;
+        let credits = inner.config.credits;
+        let wire = (REQUEST_WIRE_SIZE + 4) as u64;
+        let recv_region = inner.ibnode.hca().register((credits as u64 * wire) as usize);
+        for i in 0..credits {
+            qp.post_recv(i as u64, recv_region.slice(i as u64 * wire, wire))
+                .expect("pre-posting control receives");
+        }
+        let idx = inner.conns.borrow().len();
+        inner.qp_to_conn.borrow_mut().insert(qp.qp_num(), idx);
+        inner.conns.borrow_mut().push(Conn { qp, recv_region });
+    }
+
+    fn install_handlers(&self) {
+        // Receiver: woken by the solicited event of an incoming request,
+        // drains every available request (bursty processing), re-arms.
+        let this = self.clone();
+        self.inner.recv_cq.set_event_handler(move || this.on_recv_event());
+        self.inner.recv_cq.req_notify(true);
+
+        // Sender-side completions: RDMA finishes drive the protocol.
+        let this = self.clone();
+        self.inner.send_cq.set_event_handler(move || this.on_send_event());
+        self.inner.send_cq.req_notify(false);
+    }
+
+    fn note_activity(&self) {
+        let now = self.inner.engine.now();
+        let last = self.inner.last_activity.get();
+        if now.since(last).as_nanos() > self.inner.config.server_idle_ns {
+            // The server had yielded the CPU; this arrival paid a wakeup.
+            self.inner.stats.borrow_mut().wakeups += 1;
+        }
+        self.inner.last_activity.set(now);
+    }
+
+    fn on_recv_event(&self) {
+        if self.inner.crashed.get() {
+            // Dead daemon: drain and drop everything silently.
+            self.inner.recv_cq.drain();
+            return;
+        }
+        self.note_activity();
+        while let Some(completion) = self.inner.recv_cq.poll() {
+            assert_eq!(completion.opcode, Opcode::Recv);
+            assert_eq!(completion.status, WcStatus::Success, "control recv failed");
+            let conn_idx = *self
+                .inner
+                .qp_to_conn
+                .borrow()
+                .get(&completion.qp_num)
+                .expect("completion from unknown QP");
+            self.handle_request(conn_idx, completion.wr_id);
+        }
+        self.inner.recv_cq.req_notify(true);
+    }
+
+    fn handle_request(&self, conn_idx: usize, buf_idx: u64) {
+        let inner = &self.inner;
+        let wire = (REQUEST_WIRE_SIZE + 4) as u64;
+        let decoded: Result<PageRequest, ProtoError> = {
+            let conns = inner.conns.borrow();
+            let conn = &conns[conn_idx];
+            let mut raw = vec![0u8; wire as usize];
+            conn.recv_region.read((buf_idx * wire) as usize, &mut raw);
+            PageRequest::decode(raw.into())
+        };
+        // Buffer consumed: re-post it for the next request.
+        {
+            let conns = inner.conns.borrow();
+            let conn = &conns[conn_idx];
+            conn.qp
+                .post_recv(buf_idx, conn.recv_region.slice(buf_idx * wire, wire))
+                .expect("re-posting control receive");
+        }
+        let request = match decoded {
+            Ok(r) => r,
+            Err(_) => {
+                inner.stats.borrow_mut().bad_messages += 1;
+                return;
+            }
+        };
+        inner.stats.borrow_mut().requests += 1;
+        // CPU cost of parsing + dispatching the request.
+        let proc = SimDuration::from_nanos(inner.config.request_proc_ns);
+        let (_, t_proc) = inner.ibnode.node().cpu().reserve(inner.engine.now(), proc);
+
+        if !self.validate(&request) {
+            let this = self.clone();
+            inner.engine.schedule_at(t_proc, move || {
+                this.send_reply(conn_idx, request.req_id, ReplyStatus::OutOfRange);
+            });
+            return;
+        }
+
+        let this = self.clone();
+        inner.engine.schedule_at(t_proc, move || {
+            this.serve(conn_idx, request);
+        });
+    }
+
+    fn validate(&self, r: &PageRequest) -> bool {
+        r.len > 0
+            && r.len <= self.inner.config.server_staging_size
+            && self.inner.storage.in_range(r.server_offset, r.len)
+    }
+
+    /// Dispatch a validated request: allocate staging, then drive the
+    /// server-initiated RDMA state machine.
+    fn serve(&self, conn_idx: usize, request: PageRequest) {
+        let this = self.clone();
+        // Staging allocation may wait for in-flight requests to release
+        // buffers (the staging pool is its own wait queue).
+        self.inner
+            .staging_pool
+            .alloc(request.len, move |staging| {
+                this.serve_with_staging(conn_idx, request, staging);
+            });
+    }
+
+    fn serve_with_staging(&self, conn_idx: usize, request: PageRequest, staging: PoolBuf) {
+        let inner = &self.inner;
+        let token = inner.next_token.get();
+        inner.next_token.set(token + 1);
+        inner.pending.borrow_mut().insert(
+            token,
+            PendingRdma {
+                request,
+                staging,
+                conn: conn_idx,
+            },
+        );
+        let remote = RemoteSlice {
+            rkey: request.client_rkey,
+            offset: request.client_offset,
+            len: request.len,
+        };
+        let local = inner.staging_mr.slice(staging.offset, request.len);
+        match request.op {
+            PageOp::Write => {
+                // Swap-out: pull the page data from the client.
+                inner.stats.borrow_mut().rdma_reads += 1;
+                self.post_rdma(conn_idx, WorkRequest {
+                    wr_id: token,
+                    kind: WorkKind::RdmaRead { local, remote },
+                    solicited: false,
+                });
+            }
+            PageOp::Read => {
+                // Swap-in: copy store -> staging, then push with RDMA WRITE.
+                let mut data = vec![0u8; request.len as usize];
+                inner.storage.read_at(request.server_offset, &mut data);
+                let copy = inner.ibnode.memory_model().memcpy_time(request.len);
+                let (_, t_copy) = inner.ibnode.node().cpu().reserve(inner.engine.now(), copy);
+                let this = self.clone();
+                inner.engine.schedule_at(t_copy, move || {
+                    this.inner
+                        .staging_mr
+                        .write(staging.offset as usize, &data);
+                    this.inner.stats.borrow_mut().rdma_writes += 1;
+                    this.post_rdma(conn_idx, WorkRequest {
+                        wr_id: token,
+                        kind: WorkKind::RdmaWrite {
+                            local: this.inner.staging_mr.slice(staging.offset, request.len),
+                            remote,
+                        },
+                        solicited: false,
+                    });
+                });
+            }
+        }
+    }
+
+    fn post_rdma(&self, conn_idx: usize, wr: WorkRequest) {
+        let conns = self.inner.conns.borrow();
+        conns[conn_idx]
+            .qp
+            .post_send(wr)
+            .expect("server send queue sized for outstanding RDMA");
+    }
+
+    fn on_send_event(&self) {
+        if self.inner.crashed.get() {
+            self.inner.send_cq.drain();
+            return;
+        }
+        self.note_activity();
+        while let Some(completion) = self.inner.send_cq.poll() {
+            match completion.opcode {
+                Opcode::Send => {
+                    // A reply left the node; nothing further to do.
+                    assert_eq!(completion.status, WcStatus::Success, "reply send failed");
+                }
+                Opcode::RdmaRead => self.finish_pull(completion.wr_id, completion.status),
+                Opcode::RdmaWrite => self.finish_push(completion.wr_id, completion.status),
+                Opcode::Recv => unreachable!("recv completion on send CQ"),
+            }
+        }
+        self.inner.send_cq.req_notify(false);
+    }
+
+    /// RDMA READ done: the swap-out data is in staging; memcpy it into the
+    /// store (overlapping any other in-flight RDMA), then acknowledge.
+    fn finish_pull(&self, token: u64, status: WcStatus) {
+        let inner = &self.inner;
+        let PendingRdma {
+            request,
+            staging,
+            conn,
+        } = inner
+            .pending
+            .borrow_mut()
+            .remove(&token)
+            .expect("completion for unknown RDMA token");
+        if status != WcStatus::Success {
+            inner.staging_pool.free(staging);
+            self.send_reply(conn, request.req_id, ReplyStatus::TransferError);
+            return;
+        }
+        let mut data = vec![0u8; request.len as usize];
+        inner
+            .staging_mr
+            .read(staging.offset as usize, &mut data);
+        let copy = inner.ibnode.memory_model().memcpy_time(request.len);
+        let (_, t_copy) = inner.ibnode.node().cpu().reserve(inner.engine.now(), copy);
+        let this = self.clone();
+        inner.engine.schedule_at(t_copy, move || {
+            this.inner.storage.write_at(request.server_offset, &data);
+            this.inner.stats.borrow_mut().bytes_in += request.len;
+            this.inner.staging_pool.free(staging);
+            this.send_reply(conn, request.req_id, ReplyStatus::Ok);
+        });
+    }
+
+    /// RDMA WRITE done: the swap-in data is placed in the client;
+    /// acknowledge and release staging.
+    fn finish_push(&self, token: u64, status: WcStatus) {
+        let inner = &self.inner;
+        let PendingRdma {
+            request,
+            staging,
+            conn,
+        } = inner
+            .pending
+            .borrow_mut()
+            .remove(&token)
+            .expect("completion for unknown RDMA token");
+        inner.staging_pool.free(staging);
+        if status != WcStatus::Success {
+            self.send_reply(conn, request.req_id, ReplyStatus::TransferError);
+            return;
+        }
+        inner.stats.borrow_mut().bytes_out += request.len;
+        self.send_reply(conn, request.req_id, ReplyStatus::Ok);
+    }
+
+    fn send_reply(&self, conn_idx: usize, req_id: u64, status: ReplyStatus) {
+        let reply = PageReply { req_id, status };
+        let conns = self.inner.conns.borrow();
+        conns[conn_idx]
+            .qp
+            .post_send(WorkRequest {
+                wr_id: req_id,
+                kind: WorkKind::Send {
+                    payload: reply.encode(),
+                },
+                // Solicited so the client's sleeping receiver thread wakes
+                // (paper §5: the server sets the solicitation control field
+                // of the send descriptor).
+                solicited: true,
+            })
+            .expect("reply send");
+    }
+}

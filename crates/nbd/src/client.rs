@@ -1,0 +1,167 @@
+//! The NBD client block device.
+//!
+//! Requests are served strictly one at a time: send the header (and write
+//! payload), block until the reply (and read payload) returns, complete,
+//! then start the next queued request — the blocking transfer mode the
+//! paper contrasts with HPBD's asynchronous design (§6.2).
+
+use crate::proto::{NbdCmd, NbdReply, NbdRequest, REPLY_SIZE};
+use blockdev::{BlockDevice, IoError, IoOp, IoRequest};
+use bytes::Bytes;
+use netmodel::{Calibration, Node, Transport};
+use simcore::Engine;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+use tcpsim::TcpConn;
+
+/// Client statistics.
+#[derive(Clone, Debug, Default)]
+pub struct NbdStats {
+    /// Requests completed.
+    pub requests: u64,
+    /// Bytes written to the server.
+    pub bytes_out: u64,
+    /// Bytes read from the server.
+    pub bytes_in: u64,
+}
+
+struct ClientInner {
+    engine: Engine,
+    conn: TcpConn,
+    capacity: u64,
+    queue: RefCell<VecDeque<IoRequest>>,
+    busy: Cell<bool>,
+    next_handle: Cell<u64>,
+    stats: RefCell<NbdStats>,
+    name: String,
+}
+
+/// The NBD block device. Clone shares the device.
+#[derive(Clone)]
+pub struct NbdClient {
+    inner: Rc<ClientInner>,
+}
+
+impl NbdClient {
+    /// Wrap an established connection as a block device of `capacity`
+    /// bytes.
+    pub fn new(
+        engine: Engine,
+        _cal: Rc<Calibration>,
+        _node: Node,
+        conn: TcpConn,
+        capacity: u64,
+        transport: Transport,
+    ) -> NbdClient {
+        NbdClient {
+            inner: Rc::new(ClientInner {
+                engine,
+                conn,
+                capacity,
+                queue: RefCell::new(VecDeque::new()),
+                busy: Cell::new(false),
+                next_handle: Cell::new(1),
+                stats: RefCell::new(NbdStats::default()),
+                name: format!("nbd0-{}", transport.label()),
+            }),
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> NbdStats {
+        self.inner.stats.borrow().clone()
+    }
+
+    /// Start the next queued request if the single in-flight slot is free.
+    fn pump(&self) {
+        let inner = &self.inner;
+        if inner.busy.get() {
+            return;
+        }
+        let Some(req) = inner.queue.borrow_mut().pop_front() else {
+            return;
+        };
+        inner.busy.set(true);
+        let handle = inner.next_handle.get();
+        inner.next_handle.set(handle + 1);
+
+        let header = NbdRequest {
+            cmd: match req.op() {
+                IoOp::Read => NbdCmd::Read,
+                IoOp::Write => NbdCmd::Write,
+            },
+            handle,
+            offset: req.offset(),
+            len: req.len() as u32,
+        };
+        inner.conn.send(header.encode());
+        if req.op() == IoOp::Write {
+            inner.conn.send(Bytes::from(req.gather()));
+        }
+
+        // Block on the reply header, then (for reads) the payload.
+        let this = self.clone();
+        inner.conn.recv(REPLY_SIZE, move |raw| {
+            let reply = NbdReply::decode(raw);
+            assert_eq!(reply.handle, handle, "NBD reply out of order");
+            if reply.error != 0 {
+                this.finish(req, Err(IoError::DeviceError("nbd server error")));
+                return;
+            }
+            match req.op() {
+                IoOp::Write => {
+                    this.inner.stats.borrow_mut().bytes_out += req.len();
+                    this.finish(req, Ok(()));
+                }
+                IoOp::Read => {
+                    let this2 = this.clone();
+                    let len = req.len() as usize;
+                    this.inner.conn.recv(len, move |data| {
+                        req.scatter(&data);
+                        this2.inner.stats.borrow_mut().bytes_in += data.len() as u64;
+                        this2.finish(req_done(req), Ok(()));
+                    });
+                }
+            }
+        });
+    }
+
+    fn finish(&self, req: IoRequest, result: Result<(), IoError>) {
+        self.inner.stats.borrow_mut().requests += 1;
+        req.complete(result);
+        self.inner.busy.set(false);
+        // Next request, from the event loop.
+        let this = self.clone();
+        self.inner
+            .engine
+            .schedule_at(self.inner.engine.now(), move || this.pump());
+    }
+}
+
+/// Identity helper: the read closure above needs to move `req` into two
+/// stages; this keeps the intent explicit.
+fn req_done(req: IoRequest) -> IoRequest {
+    req
+}
+
+impl BlockDevice for NbdClient {
+    fn capacity(&self) -> u64 {
+        self.inner.capacity
+    }
+
+    fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    fn submit(&self, req: IoRequest) {
+        let inner = &self.inner;
+        if req.offset() + req.len() > inner.capacity {
+            let engine = inner.engine.clone();
+            engine.schedule_at(engine.now(), move || req.complete(Err(IoError::OutOfRange)));
+            return;
+        }
+        inner.queue.borrow_mut().push_back(req);
+        self.pump();
+    }
+}

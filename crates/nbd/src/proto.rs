@@ -1,0 +1,141 @@
+//! The NBD wire protocol (TCP-version layout, paper ref \[14\]).
+//!
+//! Requests are a fixed 28-byte header, with write payloads inline in the
+//! stream; replies are a fixed 16-byte header, with read payloads inline.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Request magic (`NBD_REQUEST_MAGIC`).
+pub const REQUEST_MAGIC: u32 = 0x2560_9513;
+/// Reply magic (`NBD_REPLY_MAGIC`).
+pub const REPLY_MAGIC: u32 = 0x6744_6698;
+
+/// Encoded request header size.
+pub const REQUEST_SIZE: usize = 28;
+/// Encoded reply header size.
+pub const REPLY_SIZE: usize = 16;
+
+/// NBD command type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NbdCmd {
+    /// Device → client.
+    Read,
+    /// Client → device.
+    Write,
+}
+
+/// A request header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NbdRequest {
+    /// Command.
+    pub cmd: NbdCmd,
+    /// Client handle echoed in the reply.
+    pub handle: u64,
+    /// Byte offset on the device.
+    pub offset: u64,
+    /// Transfer length.
+    pub len: u32,
+}
+
+impl NbdRequest {
+    /// Serialise the header.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(REQUEST_SIZE);
+        b.put_u32_le(REQUEST_MAGIC);
+        b.put_u32_le(match self.cmd {
+            NbdCmd::Read => 0,
+            NbdCmd::Write => 1,
+        });
+        b.put_u64_le(self.handle);
+        b.put_u64_le(self.offset);
+        b.put_u32_le(self.len);
+        b.freeze()
+    }
+
+    /// Parse a header; panics on bad magic (stream corruption is fatal for
+    /// a kernel block driver).
+    pub fn decode(mut b: Bytes) -> NbdRequest {
+        assert_eq!(b.len(), REQUEST_SIZE, "short NBD request");
+        assert_eq!(b.get_u32_le(), REQUEST_MAGIC, "bad NBD request magic");
+        let cmd = match b.get_u32_le() {
+            0 => NbdCmd::Read,
+            1 => NbdCmd::Write,
+            other => panic!("unknown NBD command {other}"),
+        };
+        NbdRequest {
+            cmd,
+            handle: b.get_u64_le(),
+            offset: b.get_u64_le(),
+            len: b.get_u32_le(),
+        }
+    }
+}
+
+/// A reply header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NbdReply {
+    /// Echoed handle.
+    pub handle: u64,
+    /// 0 = success; non-zero = errno-style failure.
+    pub error: u32,
+}
+
+impl NbdReply {
+    /// Serialise the header.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(REPLY_SIZE);
+        b.put_u32_le(REPLY_MAGIC);
+        b.put_u32_le(self.error);
+        b.put_u64_le(self.handle);
+        b.freeze()
+    }
+
+    /// Parse a header; panics on bad magic.
+    pub fn decode(mut b: Bytes) -> NbdReply {
+        assert_eq!(b.len(), REPLY_SIZE, "short NBD reply");
+        assert_eq!(b.get_u32_le(), REPLY_MAGIC, "bad NBD reply magic");
+        let error = b.get_u32_le();
+        let handle = b.get_u64_le();
+        NbdReply { handle, error }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let r = NbdRequest {
+            cmd: NbdCmd::Write,
+            handle: 0xFEED_BEEF,
+            offset: 12345678,
+            len: 131072,
+        };
+        assert_eq!(NbdRequest::decode(r.encode()), r);
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let r = NbdReply {
+            handle: 77,
+            error: 5,
+        };
+        assert_eq!(NbdReply::decode(r.encode()), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad NBD request magic")]
+    fn corrupt_magic_panics() {
+        let mut raw = NbdRequest {
+            cmd: NbdCmd::Read,
+            handle: 0,
+            offset: 0,
+            len: 0,
+        }
+        .encode()
+        .to_vec();
+        raw[0] ^= 0xFF;
+        NbdRequest::decode(Bytes::from(raw));
+    }
+}

@@ -1,0 +1,150 @@
+//! The NBD server daemon.
+//!
+//! Memory-backed (the paper's NBD server exports a RamDisk so that the
+//! comparison with HPBD isolates the network path). Serves requests
+//! sequentially off the stream: read header → (for writes) read payload →
+//! touch the store (memcpy cost) → send reply (+ payload for reads).
+
+use crate::proto::{NbdCmd, NbdReply, NbdRequest, REQUEST_SIZE};
+use blockdev::Storage;
+use bytes::Bytes;
+use netmodel::{Calibration, Node};
+use simcore::Engine;
+use std::cell::RefCell;
+use std::rc::Rc;
+use tcpsim::TcpConn;
+
+/// Server statistics.
+#[derive(Clone, Debug, Default)]
+pub struct NbdServerStats {
+    /// Requests served.
+    pub requests: u64,
+    /// Bytes stored.
+    pub bytes_in: u64,
+    /// Bytes served.
+    pub bytes_out: u64,
+}
+
+struct ServerInner {
+    engine: Engine,
+    cal: Rc<Calibration>,
+    node: Node,
+    storage: Storage,
+    stats: RefCell<NbdServerStats>,
+}
+
+/// An NBD memory server. Clone shares the instance.
+#[derive(Clone)]
+pub struct NbdServer {
+    inner: Rc<ServerInner>,
+}
+
+impl NbdServer {
+    /// Create a server on `node` exporting `capacity` bytes of RamDisk.
+    pub fn new(engine: Engine, cal: Rc<Calibration>, node: Node, capacity: u64) -> NbdServer {
+        NbdServer {
+            inner: Rc::new(ServerInner {
+                engine,
+                cal,
+                node,
+                storage: Storage::new(capacity),
+                stats: RefCell::new(NbdServerStats::default()),
+            }),
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> NbdServerStats {
+        self.inner.stats.borrow().clone()
+    }
+
+    /// Start the serve loop on `conn`. Runs for the life of the simulation.
+    pub fn serve(&self, conn: TcpConn) {
+        self.await_request(conn);
+    }
+
+    fn await_request(&self, conn: TcpConn) {
+        let this = self.clone();
+        let conn2 = conn.clone();
+        conn.recv(REQUEST_SIZE, move |raw| {
+            let request = NbdRequest::decode(raw);
+            this.dispatch(conn2, request);
+        });
+    }
+
+    fn dispatch(&self, conn: TcpConn, request: NbdRequest) {
+        let inner = &self.inner;
+        inner.stats.borrow_mut().requests += 1;
+        let ok = inner.storage.in_range(request.offset, request.len as u64);
+        match request.cmd {
+            NbdCmd::Write => {
+                // Payload follows the header on the stream.
+                let this = self.clone();
+                let conn2 = conn.clone();
+                conn.recv(request.len as usize, move |data| {
+                    let reply = if ok {
+                        // memcpy payload -> store, charged to the server CPU.
+                        let copy = this.inner.cal.memcpy_time(data.len() as u64);
+                        let (_, t) = this
+                            .inner
+                            .node
+                            .cpu()
+                            .reserve(this.inner.engine.now(), copy);
+                        let this2 = this.clone();
+                        let conn3 = conn2.clone();
+                        this.inner.engine.schedule_at(t, move || {
+                            this2.inner.storage.write_at(request.offset, &data);
+                            this2.inner.stats.borrow_mut().bytes_in += data.len() as u64;
+                            conn3.send(
+                                NbdReply {
+                                    handle: request.handle,
+                                    error: 0,
+                                }
+                                .encode(),
+                            );
+                            this2.await_request(conn3.clone());
+                        });
+                        return;
+                    } else {
+                        NbdReply {
+                            handle: request.handle,
+                            error: 5, // EIO-style
+                        }
+                    };
+                    conn2.send(reply.encode());
+                    this.await_request(conn2.clone());
+                });
+            }
+            NbdCmd::Read => {
+                if !ok {
+                    conn.send(
+                        NbdReply {
+                            handle: request.handle,
+                            error: 5,
+                        }
+                        .encode(),
+                    );
+                    self.await_request(conn);
+                    return;
+                }
+                let mut data = vec![0u8; request.len as usize];
+                inner.storage.read_at(request.offset, &mut data);
+                let copy = inner.cal.memcpy_time(request.len as u64);
+                let (_, t) = inner.node.cpu().reserve(inner.engine.now(), copy);
+                let this = self.clone();
+                inner.engine.schedule_at(t, move || {
+                    this.inner.stats.borrow_mut().bytes_out += data.len() as u64;
+                    conn.send(
+                        NbdReply {
+                            handle: request.handle,
+                            error: 0,
+                        }
+                        .encode(),
+                    );
+                    conn.send(Bytes::from(data));
+                    this.await_request(conn.clone());
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! A compute node of the simulated cluster.
+//!
+//! Each node owns the timing resources that its components contend for: a
+//! dual-CPU pool (the paper's testbed nodes are dual Xeons) and one
+//! full-duplex network port (tx and rx link resources). The InfiniBand HCA,
+//! the TCP stack, the VM subsystem and the applications running on a node
+//! all share these resources, which is how host-side contention — the
+//! paper's "host overhead" — enters every measurement.
+
+use simcore::{MultiResource, Resource};
+use std::fmt;
+use std::rc::Rc;
+
+struct NodeInner {
+    name: String,
+    id: usize,
+    cpu: MultiResource,
+    tx: Resource,
+    rx: Resource,
+}
+
+/// Shared handle to one cluster node. Clones refer to the same node.
+#[derive(Clone)]
+pub struct Node {
+    inner: Rc<NodeInner>,
+}
+
+impl Node {
+    /// Create a node with `cpus` cores (the paper's nodes have 2).
+    pub fn new(name: impl Into<String>, id: usize, cpus: usize) -> Node {
+        Node {
+            inner: Rc::new(NodeInner {
+                name: name.into(),
+                id,
+                cpu: MultiResource::new("node-cpu", cpus),
+                tx: Resource::new("port-tx"),
+                rx: Resource::new("port-rx"),
+            }),
+        }
+    }
+
+    /// Node name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Dense node id assigned by the scenario builder.
+    pub fn id(&self) -> usize {
+        self.inner.id
+    }
+
+    /// The node CPU pool.
+    pub fn cpu(&self) -> &MultiResource {
+        &self.inner.cpu
+    }
+
+    /// Egress link resource of the node's network port.
+    pub fn tx(&self) -> &Resource {
+        &self.inner.tx
+    }
+
+    /// Ingress link resource of the node's network port.
+    pub fn rx(&self) -> &Resource {
+        &self.inner.rx
+    }
+
+    /// Identity comparison (same underlying node).
+    pub fn same_node(&self, other: &Node) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl fmt::Debug for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Node")
+            .field("name", &self.inner.name)
+            .field("id", &self.inner.id)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_identity() {
+        let a = Node::new("client", 0, 2);
+        let b = a.clone();
+        let c = Node::new("client", 0, 2);
+        assert!(a.same_node(&b));
+        assert!(!a.same_node(&c));
+        assert_eq!(a.cpu().servers(), 2);
+    }
+}

@@ -1,0 +1,351 @@
+//! The discrete-event engine.
+//!
+//! [`Engine`] is a cheaply-clonable handle (an `Rc` internally) to a shared
+//! event queue. Components capture a clone and schedule boxed closures at
+//! future virtual instants. Ties are broken by submission order, so a run is
+//! fully deterministic given the same inputs.
+//!
+//! Two driving styles are supported, matching how the paging workloads use
+//! the simulator:
+//!
+//! * **run-to-condition** ([`Engine::run_until_signal`]): a page fault posts
+//!   the I/O chain and then runs the engine until the completion [`Signal`]
+//!   fires — virtual time jumps to the completion instant. Deadlocks (queue
+//!   drained, signal never set) panic with a diagnostic rather than hanging.
+//! * **advance** ([`Engine::advance`]): application compute moves the clock
+//!   forward by a span, draining any events that fall inside it — this is
+//!   what lets background page-out traffic overlap application compute, the
+//!   paper's "asynchrony of page prefetching and flushing".
+
+use crate::signal::Signal;
+use crate::time::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::rc::Rc;
+
+type Action = Box<dyn FnOnce()>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct Inner {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    executed: u64,
+}
+
+/// Handle to the shared discrete-event queue. Clone freely; all clones refer
+/// to the same virtual clock.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Create a fresh engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Engine {
+        Engine {
+            inner: Rc::new(RefCell::new(Inner {
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                executed: 0,
+            })),
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.inner.borrow().now
+    }
+
+    /// Total number of events executed so far (diagnostics).
+    pub fn events_executed(&self) -> u64 {
+        self.inner.borrow().executed
+    }
+
+    /// Number of events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.inner.borrow().queue.len()
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_next_time(&self) -> Option<SimTime> {
+        self.inner.borrow().queue.peek().map(|s| s.at)
+    }
+
+    /// Schedule `action` to run at absolute instant `at`. Scheduling in the
+    /// past panics — it would silently corrupt causality.
+    pub fn schedule_at(&self, at: SimTime, action: impl FnOnce() + 'static) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            at >= inner.now,
+            "scheduled event at {at} before now ({})",
+            inner.now
+        );
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.queue.push(Scheduled {
+            at,
+            seq,
+            action: Box::new(action),
+        });
+    }
+
+    /// Schedule `action` to run `delay` after the current instant.
+    pub fn schedule_in(&self, delay: SimDuration, action: impl FnOnce() + 'static) {
+        let at = self.now() + delay;
+        self.schedule_at(at, action);
+    }
+
+    /// Pop and execute the next event, if any. Returns whether one ran.
+    /// Public so schedulers can interleave event processing with task
+    /// scheduling decisions.
+    pub fn step_one(&self) -> bool {
+        self.step()
+    }
+
+    /// Run events until ANY of `signals` fires. Panics on deadlock like
+    /// [`Engine::run_until_signal`]. Useful when several tasks block on
+    /// different I/O completions.
+    pub fn run_until_any(&self, signals: &[Signal]) {
+        assert!(!signals.is_empty(), "waiting on no signals");
+        while !signals.iter().any(Signal::is_set) {
+            if !self.step() {
+                panic!(
+                    "simulation deadlock: waiting on {} signals with no pending events at {}",
+                    signals.len(),
+                    self.now()
+                );
+            }
+        }
+    }
+
+    /// Pop and execute the next event, if any. Returns whether one ran.
+    fn step(&self) -> bool {
+        let next = {
+            let mut inner = self.inner.borrow_mut();
+            match inner.queue.pop() {
+                Some(ev) => {
+                    debug_assert!(ev.at >= inner.now, "event queue went backwards");
+                    inner.now = ev.at;
+                    inner.executed += 1;
+                    ev
+                }
+                None => return false,
+            }
+        };
+        // The borrow is released before the action runs so the action can
+        // schedule follow-up events.
+        (next.action)();
+        true
+    }
+
+    /// Run until the event queue is empty. The clock rests on the timestamp
+    /// of the last executed event.
+    pub fn run_until_idle(&self) {
+        while self.step() {}
+    }
+
+    /// Run events until `signal` fires. Panics if the queue drains first —
+    /// that is a simulation deadlock (e.g. flow-control credits never
+    /// returned), and hanging silently would hide the bug.
+    pub fn run_until_signal(&self, signal: &Signal) {
+        while !signal.is_set() {
+            if !self.step() {
+                panic!(
+                    "simulation deadlock: waiting on signal `{}` with no pending events at {}",
+                    signal.name(),
+                    self.now()
+                );
+            }
+        }
+    }
+
+    /// Advance the clock by `span`, executing every event that falls within
+    /// it. Afterwards `now == old_now + span`, even if the queue still holds
+    /// later events.
+    pub fn advance(&self, span: SimDuration) {
+        let deadline = self.now() + span;
+        self.run_until(deadline);
+    }
+
+    /// Run events up to and including instant `deadline`, then set the clock
+    /// to `deadline`.
+    pub fn run_until(&self, deadline: SimTime) {
+        loop {
+            let next = self.peek_next_time();
+            match next {
+                Some(t) if t <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        let mut inner = self.inner.borrow_mut();
+        if inner.now < deadline {
+            inner.now = deadline;
+        }
+    }
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Engine")
+            .field("now", &inner.now)
+            .field("pending", &inner.queue.len())
+            .field("executed", &inner.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let eng = Engine::new();
+        let log: Rc<RefCell<Vec<u64>>> = Rc::default();
+        for &t in &[30u64, 10, 20] {
+            let log = log.clone();
+            eng.schedule_at(SimTime(t), move || log.borrow_mut().push(t));
+        }
+        eng.run_until_idle();
+        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+        assert_eq!(eng.now(), SimTime(30));
+    }
+
+    #[test]
+    fn ties_break_by_submission_order() {
+        let eng = Engine::new();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        for i in 0..5u32 {
+            let log = log.clone();
+            eng.schedule_at(SimTime(42), move || log.borrow_mut().push(i));
+        }
+        eng.run_until_idle();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let eng = Engine::new();
+        let log: Rc<RefCell<Vec<&'static str>>> = Rc::default();
+        {
+            let eng2 = eng.clone();
+            let log = log.clone();
+            eng.schedule_at(SimTime(10), move || {
+                log.borrow_mut().push("first");
+                let log2 = log.clone();
+                eng2.schedule_in(SimDuration(5), move || log2.borrow_mut().push("second"));
+            });
+        }
+        eng.run_until_idle();
+        assert_eq!(*log.borrow(), vec!["first", "second"]);
+        assert_eq!(eng.now(), SimTime(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn scheduling_in_the_past_panics() {
+        let eng = Engine::new();
+        eng.schedule_at(SimTime(100), || {});
+        eng.run_until_idle();
+        eng.schedule_at(SimTime(50), || {});
+    }
+
+    #[test]
+    fn advance_moves_clock_past_empty_queue() {
+        let eng = Engine::new();
+        eng.advance(SimDuration::from_micros(7));
+        assert_eq!(eng.now(), SimTime(7_000));
+    }
+
+    #[test]
+    fn advance_executes_only_events_within_span() {
+        let eng = Engine::new();
+        let log: Rc<RefCell<Vec<u64>>> = Rc::default();
+        for &t in &[5u64, 15] {
+            let log = log.clone();
+            eng.schedule_at(SimTime(t), move || log.borrow_mut().push(t));
+        }
+        eng.advance(SimDuration(10));
+        assert_eq!(*log.borrow(), vec![5]);
+        assert_eq!(eng.now(), SimTime(10));
+        eng.run_until_idle();
+        assert_eq!(*log.borrow(), vec![5, 15]);
+    }
+
+    #[test]
+    fn run_until_signal_jumps_to_completion() {
+        let eng = Engine::new();
+        let sig = Signal::new("io-done");
+        {
+            let sig = sig.clone();
+            eng.schedule_at(SimTime(1_000), move || sig.set());
+        }
+        // A later unrelated event must not run.
+        let ran_late: Rc<RefCell<bool>> = Rc::default();
+        {
+            let ran_late = ran_late.clone();
+            eng.schedule_at(SimTime(2_000), move || *ran_late.borrow_mut() = true);
+        }
+        eng.run_until_signal(&sig);
+        assert_eq!(eng.now(), SimTime(1_000));
+        assert!(!*ran_late.borrow());
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn run_until_signal_detects_deadlock() {
+        let eng = Engine::new();
+        let sig = Signal::new("never");
+        eng.run_until_signal(&sig);
+    }
+
+    #[test]
+    fn executed_counter_counts() {
+        let eng = Engine::new();
+        for i in 0..10u64 {
+            eng.schedule_at(SimTime(i), || {});
+        }
+        eng.run_until_idle();
+        assert_eq!(eng.events_executed(), 10);
+        assert_eq!(eng.pending_events(), 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Online statistics and histograms for the experiment harness.
+
+use std::fmt;
+
+/// Single-pass mean/min/max/variance accumulator (Welford's algorithm).
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl OnlineStats {
+    /// Fresh, empty accumulator.
+    pub fn new() -> OnlineStats {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Population variance (0 with fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} min={:.3} max={:.3} sd={:.3}",
+            self.count,
+            self.mean(),
+            self.min().unwrap_or(0.0),
+            self.max().unwrap_or(0.0),
+            self.stddev()
+        )
+    }
+}
+
+/// Fixed-width linear histogram over `[0, bucket_width * buckets)`, with an
+/// overflow bucket. Used for the Figure 6 request-size profile.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bucket_width: u64,
+    counts: Vec<u64>,
+    overflow: u64,
+    stats: OnlineStats,
+}
+
+impl Histogram {
+    /// `buckets` buckets of `bucket_width` each.
+    ///
+    /// # Panics
+    /// Panics if either parameter is zero.
+    pub fn new(bucket_width: u64, buckets: usize) -> Histogram {
+        assert!(bucket_width > 0 && buckets > 0);
+        Histogram {
+            bucket_width,
+            counts: vec![0; buckets],
+            overflow: 0,
+            stats: OnlineStats::new(),
+        }
+    }
+
+    /// Record a sample.
+    pub fn record(&mut self, x: u64) {
+        let idx = (x / self.bucket_width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.stats.record(x as f64);
+    }
+
+    /// Count in bucket `i` (samples in `[i*w, (i+1)*w)`).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Number of regular buckets.
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Samples beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Mean of all recorded samples.
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Iterate `(bucket_lower_bound, count)` over non-empty buckets.
+    pub fn iter_nonempty(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(move |(i, &c)| (i as u64 * self.bucket_width, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!((s.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(10, 4);
+        for x in [0, 9, 10, 35, 39, 40, 1000] {
+            h.record(x);
+        }
+        assert_eq!(h.bucket(0), 2);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(3), 2);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn histogram_nonempty_iter() {
+        let mut h = Histogram::new(5, 3);
+        h.record(0);
+        h.record(12);
+        let v: Vec<_> = h.iter_nonempty().collect();
+        assert_eq!(v, vec![(0, 1), (10, 1)]);
+    }
+}

@@ -1,0 +1,127 @@
+//! The physical frame pool.
+//!
+//! Frames are fixed 4 KiB buffers reused across their lifetimes (no
+//! per-fault allocation). Each frame's storage is an [`IoBuffer`] so it can
+//! be handed directly to the block layer as a bio buffer — swap I/O moves
+//! data in and out of the *frame itself*, as in the kernel.
+
+use blockdev::{new_buffer, IoBuffer};
+
+/// Index of a physical frame.
+pub type FrameId = usize;
+
+/// A pool of `total` page frames with a free list.
+pub struct FramePool {
+    page_size: usize,
+    bufs: Vec<IoBuffer>,
+    free: Vec<FrameId>,
+}
+
+impl FramePool {
+    /// Allocate a pool of `total` frames of `page_size` bytes.
+    pub fn new(total: usize, page_size: usize) -> FramePool {
+        FramePool {
+            page_size,
+            bufs: (0..total).map(|_| new_buffer(page_size)).collect(),
+            free: (0..total).rev().collect(),
+        }
+    }
+
+    /// Total frames in the pool.
+    pub fn total(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// Frames currently free.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Take a frame from the free list. The returned frame's contents are
+    /// whatever the previous occupant left — callers must zero or overwrite.
+    pub fn alloc(&mut self) -> Option<FrameId> {
+        self.free.pop()
+    }
+
+    /// Return a frame to the free list.
+    ///
+    /// # Panics
+    /// Panics (in debug) on double free.
+    pub fn free(&mut self, frame: FrameId) {
+        debug_assert!(
+            !self.free.contains(&frame),
+            "double free of frame {frame}"
+        );
+        self.free.push(frame);
+    }
+
+    /// The frame's backing buffer (shared with the block layer during I/O).
+    pub fn buffer(&self, frame: FrameId) -> IoBuffer {
+        self.bufs[frame].clone()
+    }
+
+    /// Zero a frame (fresh anonymous page).
+    pub fn zero(&self, frame: FrameId) {
+        self.bufs[frame].borrow_mut().fill(0);
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut p = FramePool::new(4, 4096);
+        assert_eq!(p.free_count(), 4);
+        let a = p.alloc().unwrap();
+        let b = p.alloc().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(p.free_count(), 2);
+        p.free(a);
+        assert_eq!(p.free_count(), 3);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut p = FramePool::new(2, 4096);
+        assert!(p.alloc().is_some());
+        assert!(p.alloc().is_some());
+        assert!(p.alloc().is_none());
+    }
+
+    #[test]
+    fn buffers_are_page_sized_and_shared() {
+        let mut p = FramePool::new(1, 4096);
+        let f = p.alloc().unwrap();
+        let b1 = p.buffer(f);
+        let b2 = p.buffer(f);
+        b1.borrow_mut()[0] = 42;
+        assert_eq!(b2.borrow()[0], 42);
+        assert_eq!(b1.borrow().len(), 4096);
+    }
+
+    #[test]
+    fn zero_clears_contents() {
+        let mut p = FramePool::new(1, 128);
+        let f = p.alloc().unwrap();
+        p.buffer(f).borrow_mut().fill(7);
+        p.zero(f);
+        assert!(p.buffer(f).borrow().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)] // the check is a debug_assert (O(n) scan)
+    #[should_panic(expected = "double free")]
+    fn double_free_caught() {
+        let mut p = FramePool::new(2, 64);
+        let f = p.alloc().unwrap();
+        p.free(f);
+        p.free(f);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # vmsim — the Linux 2.4-style virtual memory and swap subsystem
+//!
+//! HPBD plugs in underneath the kernel VM as a swap device (paper §3.2):
+//! when free pages fall below a threshold, `kswapd` pushes pages out to the
+//! swap back-store; page-in requests happen on demand at fault time. This
+//! crate reproduces that machinery over the workspace's discrete-event
+//! engine so real applications (testswap, quicksort, Barnes-Hut) can run
+//! against any swap device — HPBD, NBD, or the local disk:
+//!
+//! * [`Vm`] — frame pool with low/high watermarks, background `kswapd`
+//!   reclaim, second-chance (CLOCK) replacement, swap-slot management with
+//!   a next-fit allocator (which gives page-out bursts the sequential slot
+//!   runs that merge into the ~120 KiB requests of Figure 6), 8-page
+//!   swap-in readahead, and a swap-cache-like "clean page keeps its slot"
+//!   rule so undirtied pages evict without I/O.
+//! * [`AddressSpace`] / [`PagedVec`] — how applications live on the
+//!   simulated VM: element accesses fault pages in through the full paging
+//!   path. Accesses come in a *try* flavour (returns the completion
+//!   [`simcore::Signal`] when the access would block, enabling the
+//!   multi-programmed runs of Figure 9) and a *blocking* flavour that runs
+//!   the engine until the fault resolves.
+//!
+//! Simplifications vs. the real 2.4 VM (documented in DESIGN.md): one zone,
+//! no file-backed page cache (swap-only workloads), CLOCK instead of the
+//! two-list active/inactive scan, and swap readahead that stops at
+//! unallocated slots.
+
+pub mod config;
+pub mod frames;
+pub mod paged;
+pub mod swap;
+pub mod vm;
+
+pub use config::VmConfig;
+pub use frames::{FrameId, FramePool};
+pub use paged::{AddressSpace, Element, PagedVec};
+pub use swap::{Slot, SwapManager};
+pub use vm::{Vm, VmStats};

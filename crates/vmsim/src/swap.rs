@@ -1,0 +1,273 @@
+//! Swap-space management: devices, slots, and the next-fit slot allocator.
+//!
+//! Multiple swap devices with priorities are supported, as in the kernel
+//! (paper §3.2: "page-out data are placed to these devices based on their
+//! priorities"). Slots are allocated next-fit from a moving hint, so a
+//! burst of page-outs lands on consecutive slots — that contiguity is what
+//! the block layer's merging turns into the large (~120 KiB) requests of
+//! Figure 6, and what makes disk swap partially sequential for testswap.
+
+use blockdev::RequestQueue;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A page-sized slot on a swap device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Slot {
+    /// Swap device id (index into the manager's device table).
+    pub dev: u32,
+    /// Slot index on that device; byte offset = `index * page_size`.
+    pub index: u64,
+}
+
+struct SwapDevice {
+    queue: Rc<RequestQueue>,
+    priority: i32,
+    bitmap: Vec<bool>,
+    free: u64,
+    hint: u64,
+}
+
+/// Owner of a swap slot: (address-space id, virtual page number).
+pub type PageKey = (u32, u64);
+
+/// The swap-space manager.
+pub struct SwapManager {
+    page_size: u64,
+    devices: Vec<SwapDevice>,
+    /// Reverse map slot → owning page, for readahead neighbour lookup.
+    rmap: HashMap<Slot, PageKey>,
+}
+
+impl SwapManager {
+    /// Create an empty manager for `page_size`-byte pages.
+    pub fn new(page_size: u64) -> SwapManager {
+        SwapManager {
+            page_size,
+            devices: Vec::new(),
+            rmap: HashMap::new(),
+        }
+    }
+
+    /// Register a swap device (its capacity comes from the queue's device).
+    /// Higher `priority` devices fill first. Returns the device id.
+    pub fn add_device(&mut self, queue: Rc<RequestQueue>, priority: i32) -> u32 {
+        let slots = queue.device().capacity() / self.page_size;
+        assert!(slots > 0, "swap device smaller than one page");
+        self.devices.push(SwapDevice {
+            queue,
+            priority,
+            bitmap: vec![false; slots as usize],
+            free: slots,
+            hint: 0,
+        });
+        (self.devices.len() - 1) as u32
+    }
+
+    /// Number of registered devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Total free slots across devices.
+    pub fn free_slots(&self) -> u64 {
+        self.devices.iter().map(|d| d.free).sum()
+    }
+
+    /// The request queue of device `dev`.
+    pub fn queue(&self, dev: u32) -> Rc<RequestQueue> {
+        self.devices[dev as usize].queue.clone()
+    }
+
+    /// Flush the request queues of every device (after staging a batch).
+    pub fn flush_all(&self) {
+        for d in &self.devices {
+            d.queue.flush();
+        }
+    }
+
+    /// Byte offset of `slot` on its device.
+    pub fn offset_of(&self, slot: Slot) -> u64 {
+        slot.index * self.page_size
+    }
+
+    /// Allocate a slot for `owner`, next-fit on the highest-priority device
+    /// with space. Returns `None` when swap is exhausted.
+    pub fn alloc_slot(&mut self, owner: PageKey) -> Option<Slot> {
+        // Highest priority first; ties broken by registration order, which
+        // keeps allocation deterministic.
+        let mut order: Vec<usize> = (0..self.devices.len()).collect();
+        order.sort_by_key(|&i| (-self.devices[i].priority, i));
+        for di in order {
+            let dev = &mut self.devices[di];
+            if dev.free == 0 {
+                continue;
+            }
+            let n = dev.bitmap.len() as u64;
+            for probe in 0..n {
+                let idx = (dev.hint + probe) % n;
+                if !dev.bitmap[idx as usize] {
+                    dev.bitmap[idx as usize] = true;
+                    dev.free -= 1;
+                    dev.hint = (idx + 1) % n;
+                    let slot = Slot {
+                        dev: di as u32,
+                        index: idx,
+                    };
+                    self.rmap.insert(slot, owner);
+                    return Some(slot);
+                }
+            }
+        }
+        None
+    }
+
+    /// Release a slot.
+    ///
+    /// # Panics
+    /// Panics if the slot is not allocated (double free).
+    pub fn free_slot(&mut self, slot: Slot) {
+        let dev = &mut self.devices[slot.dev as usize];
+        assert!(
+            std::mem::replace(&mut dev.bitmap[slot.index as usize], false),
+            "freeing unallocated swap slot {slot:?}"
+        );
+        dev.free += 1;
+        self.rmap.remove(&slot);
+    }
+
+    /// The page owning `slot`, if allocated.
+    pub fn owner_of(&self, slot: Slot) -> Option<PageKey> {
+        self.rmap.get(&slot).copied()
+    }
+
+    /// Allocated slots immediately following `slot` on the same device, up
+    /// to `k`, stopping at the first unallocated slot — the swap-in
+    /// readahead cluster.
+    pub fn readahead_neighbors(&self, slot: Slot, k: usize) -> Vec<(Slot, PageKey)> {
+        let dev = &self.devices[slot.dev as usize];
+        let n = dev.bitmap.len() as u64;
+        let mut out = Vec::new();
+        for step in 1..=k as u64 {
+            let idx = slot.index + step;
+            if idx >= n || !dev.bitmap[idx as usize] {
+                break;
+            }
+            let s = Slot {
+                dev: slot.dev,
+                index: idx,
+            };
+            match self.owner_of(s) {
+                Some(owner) => out.push((s, owner)),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockdev::{RamDiskDevice, RequestQueue};
+    use netmodel::{Calibration, Node};
+    use simcore::Engine;
+
+    fn manager_with_dev(slots: u64) -> SwapManager {
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let node = Node::new("n", 0, 2);
+        let dev = Rc::new(RamDiskDevice::new(
+            engine.clone(),
+            cal.clone(),
+            node.clone(),
+            slots * 4096,
+            "swap-ram",
+        ));
+        let q = Rc::new(RequestQueue::new(engine, cal, node, dev));
+        let mut m = SwapManager::new(4096);
+        m.add_device(q, 0);
+        m
+    }
+
+    #[test]
+    fn burst_allocation_is_contiguous() {
+        let mut m = manager_with_dev(64);
+        let slots: Vec<Slot> = (0..8).map(|i| m.alloc_slot((1, i)).unwrap()).collect();
+        for w in slots.windows(2) {
+            assert_eq!(w[1].index, w[0].index + 1, "next-fit contiguity");
+        }
+    }
+
+    #[test]
+    fn free_then_realloc_wraps_via_hint() {
+        let mut m = manager_with_dev(4);
+        let s: Vec<Slot> = (0..4).map(|i| m.alloc_slot((1, i)).unwrap()).collect();
+        assert!(m.alloc_slot((1, 99)).is_none(), "exhausted");
+        m.free_slot(s[1]);
+        let again = m.alloc_slot((1, 99)).unwrap();
+        assert_eq!(again.index, 1, "hint wraps to the freed slot");
+    }
+
+    #[test]
+    fn owner_tracking() {
+        let mut m = manager_with_dev(16);
+        let s = m.alloc_slot((7, 123)).unwrap();
+        assert_eq!(m.owner_of(s), Some((7, 123)));
+        m.free_slot(s);
+        assert_eq!(m.owner_of(s), None);
+    }
+
+    #[test]
+    fn readahead_stops_at_hole() {
+        let mut m = manager_with_dev(16);
+        let s0 = m.alloc_slot((1, 0)).unwrap();
+        let s1 = m.alloc_slot((1, 1)).unwrap();
+        let s2 = m.alloc_slot((1, 2)).unwrap();
+        let _s3 = m.alloc_slot((1, 3)).unwrap();
+        m.free_slot(s2); // hole after s1
+        let ra = m.readahead_neighbors(s0, 8);
+        assert_eq!(ra, vec![(s1, (1, 1))]);
+    }
+
+    #[test]
+    fn priority_device_fills_first() {
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let node = Node::new("n", 0, 2);
+        let mk = |name: &str| {
+            let dev = Rc::new(RamDiskDevice::new(
+                engine.clone(),
+                cal.clone(),
+                node.clone(),
+                16 * 4096,
+                name,
+            ));
+            Rc::new(RequestQueue::new(engine.clone(), cal.clone(), node.clone(), dev))
+        };
+        let mut m = SwapManager::new(4096);
+        let low = m.add_device(mk("slow"), 0);
+        let high = m.add_device(mk("fast"), 10);
+        let s = m.alloc_slot((1, 0)).unwrap();
+        assert_eq!(s.dev, high);
+        let _ = low;
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated swap slot")]
+    fn double_free_slot_caught() {
+        let mut m = manager_with_dev(4);
+        let s = m.alloc_slot((1, 0)).unwrap();
+        m.free_slot(s);
+        m.free_slot(s);
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let mut m = manager_with_dev(2);
+        assert!(m.alloc_slot((1, 0)).is_some());
+        assert!(m.alloc_slot((1, 1)).is_some());
+        assert_eq!(m.free_slots(), 0);
+        assert!(m.alloc_slot((1, 2)).is_none());
+    }
+}

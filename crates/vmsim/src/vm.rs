@@ -1,0 +1,705 @@
+//! The VM core: fault handling, reclaim, kswapd.
+//!
+//! State machine per page (keyed by address-space id + virtual page
+//! number):
+//!
+//! ```text
+//!   (absent) --first touch--> Resident{dirty}
+//!   Resident --clock eviction, clean+slot--> Swapped      (no I/O)
+//!   Resident --clock eviction, dirty------> Writing --io--> Swapped
+//!   Swapped  --fault-----------------------> Reading --io--> Resident
+//!   Writing  --touch (re-reference)--------> stays, re-dirties on write
+//! ```
+//!
+//! Replacement is second-chance (CLOCK) over resident pages. `kswapd` runs
+//! as engine events: woken when free frames drop below the low watermark,
+//! it issues batched page-outs until the high watermark is restored —
+//! asynchronously, so page-out I/O overlaps application compute exactly as
+//! the paper's measurements rely on. Swap-in performs cluster readahead
+//! over the next-fit-contiguous slots. Pages that came back clean from
+//! swap keep their slot and evict for free until re-dirtied.
+
+use crate::config::VmConfig;
+use crate::frames::{FrameId, FramePool};
+use crate::swap::{PageKey, Slot, SwapManager};
+use blockdev::{Bio, IoBuffer, IoOp, RequestQueue};
+use netmodel::{Calibration, Node};
+use simcore::{Engine, SimDuration, Signal};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+/// Free frames the swap-in readahead may not consume.
+const READAHEAD_RESERVE: usize = 2;
+/// Retry bound for the blocking access path, to turn livelock into a
+/// diagnosable panic.
+const MAX_FAULT_RETRIES: usize = 10_000;
+
+#[derive(Clone)]
+enum PageState {
+    Resident {
+        frame: FrameId,
+        slot: Option<Slot>,
+        dirty: bool,
+    },
+    Swapped {
+        slot: Slot,
+    },
+    Reading {
+        frame: FrameId,
+        slot: Slot,
+        signal: Signal,
+    },
+    Writing {
+        frame: FrameId,
+        slot: Slot,
+        dirty_again: bool,
+    },
+}
+
+#[derive(Clone)]
+struct PageEntry {
+    state: PageState,
+    referenced: bool,
+}
+
+/// Paging activity counters.
+#[derive(Clone, Debug, Default)]
+pub struct VmStats {
+    /// Faults that required swap-in I/O.
+    pub major_faults: u64,
+    /// Pages read from swap (faults + readahead).
+    pub swap_ins: u64,
+    /// Of which readahead.
+    pub readaheads: u64,
+    /// Pages written to swap.
+    pub swap_outs: u64,
+    /// Clean pages evicted without I/O (swap-cache hit on eviction).
+    pub clean_evictions: u64,
+    /// First-touch zero-filled pages.
+    pub zero_fills: u64,
+    /// Times an allocation had to wait for a free frame.
+    pub frame_waits: u64,
+    /// Synchronous-reclaim episodes the allocating task waited on
+    /// (Linux 2.4 `try_to_free_pages` throttling).
+    pub throttles: u64,
+}
+
+/// An in-flight synchronous reclaim episode (Linux 2.4
+/// `try_to_free_pages` semantics): the allocating task waits until the
+/// episode's page-outs complete.
+struct Throttle {
+    signal: Signal,
+    remaining: usize,
+}
+
+struct VmInner {
+    config: VmConfig,
+    frames: FramePool,
+    table: HashMap<PageKey, PageEntry>,
+    clock: VecDeque<PageKey>,
+    swap: SwapManager,
+    /// Signals to fire whenever forward progress happens (frame freed or
+    /// I/O finished) so blocked allocators retry.
+    waiters: Vec<Signal>,
+    /// Synchronous-reclaim episode in flight, if any.
+    throttle: Option<Throttle>,
+    kswapd_active: bool,
+    next_asid: u32,
+    epoch: u64,
+    stats: VmStats,
+}
+
+/// The simulated VM subsystem of one node. Clone shares the instance.
+#[derive(Clone)]
+pub struct Vm {
+    engine: Engine,
+    cal: Rc<Calibration>,
+    node: Node,
+    inner: Rc<RefCell<VmInner>>,
+}
+
+impl Vm {
+    /// Create a VM with `config` on `node`.
+    pub fn new(engine: Engine, cal: Rc<Calibration>, node: Node, config: VmConfig) -> Vm {
+        assert!(
+            config.total_frames > config.high_watermark + READAHEAD_RESERVE,
+            "memory too small for watermarks"
+        );
+        let frames = FramePool::new(config.total_frames, config.page_size as usize);
+        let swap = SwapManager::new(config.page_size);
+        Vm {
+            engine,
+            cal,
+            node,
+            inner: Rc::new(RefCell::new(VmInner {
+                config,
+                frames,
+                table: HashMap::new(),
+                clock: VecDeque::new(),
+                swap,
+                waiters: Vec::new(),
+                throttle: None,
+                kswapd_active: false,
+                next_asid: 1,
+                epoch: 0,
+                stats: VmStats::default(),
+            })),
+        }
+    }
+
+    /// The engine driving this VM.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The node the VM lives on.
+    pub fn node(&self) -> &Node {
+        &self.node
+    }
+
+    /// The calibration in effect.
+    pub fn calibration(&self) -> &Rc<Calibration> {
+        &self.cal
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> u64 {
+        self.inner.borrow().config.page_size
+    }
+
+    /// Register a swap device with `priority` (higher fills first).
+    pub fn add_swap_device(&self, queue: Rc<RequestQueue>, priority: i32) -> u32 {
+        self.inner.borrow_mut().swap.add_device(queue, priority)
+    }
+
+    /// Allocate a fresh address-space id.
+    pub fn new_asid(&self) -> u32 {
+        let mut inner = self.inner.borrow_mut();
+        let asid = inner.next_asid;
+        inner.next_asid += 1;
+        asid
+    }
+
+    /// Frames currently free.
+    pub fn free_frames(&self) -> usize {
+        self.inner.borrow().frames.free_count()
+    }
+
+    /// Free slots across all swap devices.
+    pub fn free_swap_slots(&self) -> u64 {
+        self.inner.borrow().swap.free_slots()
+    }
+
+    /// Counter that bumps on every residency change; callers caching frame
+    /// buffers must re-validate when it moves.
+    pub fn epoch(&self) -> u64 {
+        self.inner.borrow().epoch
+    }
+
+    /// Snapshot of the activity counters.
+    pub fn stats(&self) -> VmStats {
+        self.inner.borrow().stats.clone()
+    }
+
+    /// Validate cross-structure invariants (used by property tests):
+    /// every frame is either free or owned by exactly one page entry, and
+    /// every allocated swap slot is referenced by exactly one page entry.
+    ///
+    /// # Panics
+    /// Panics with a diagnostic if an invariant is violated.
+    pub fn check_invariants(&self) {
+        let inner = self.inner.borrow();
+        let mut frames_used = 0usize;
+        let mut seen_frames = std::collections::HashSet::new();
+        let mut seen_slots = std::collections::HashSet::new();
+        for (key, entry) in &inner.table {
+            let (frame, slot) = match entry.state {
+                PageState::Resident { frame, slot, .. } => (Some(frame), slot),
+                PageState::Swapped { slot } => (None, Some(slot)),
+                PageState::Reading { frame, slot, .. } => (Some(frame), Some(slot)),
+                PageState::Writing { frame, slot, .. } => (Some(frame), Some(slot)),
+            };
+            if let Some(f) = frame {
+                assert!(
+                    seen_frames.insert(f),
+                    "frame {f} owned by two pages (second: {key:?})"
+                );
+                frames_used += 1;
+            }
+            if let Some(s) = slot {
+                assert!(
+                    seen_slots.insert(s),
+                    "slot {s:?} referenced by two pages (second: {key:?})"
+                );
+                assert_eq!(
+                    inner.swap.owner_of(s),
+                    Some(*key),
+                    "slot {s:?} rmap does not point back at {key:?}"
+                );
+            }
+        }
+        assert_eq!(
+            frames_used + inner.frames.free_count(),
+            inner.frames.total(),
+            "frame accounting: used + free != total"
+        );
+    }
+
+    /// Touch page `(asid, vpn)`. On success returns the frame buffer (valid
+    /// until the next engine run). If the access must wait — swap-in in
+    /// flight, or no free frame — returns the [`Signal`] that fires when
+    /// retrying makes sense.
+    pub fn try_page(&self, asid: u32, vpn: u64, write: bool) -> Result<IoBuffer, Signal> {
+        let mut inner = self.inner.borrow_mut();
+        let key = (asid, vpn);
+        match inner.table.get_mut(&key) {
+            Some(entry) => {
+                entry.referenced = true;
+                match &mut entry.state {
+                    PageState::Resident { frame, dirty, .. } => {
+                        if write {
+                            *dirty = true;
+                        }
+                        let frame = *frame;
+                        Ok(inner.frames.buffer(frame))
+                    }
+                    PageState::Writing {
+                        frame, dirty_again, ..
+                    } => {
+                        // Page under writeback is still mapped; a write
+                        // re-dirties it so it will not be freed.
+                        if write {
+                            *dirty_again = true;
+                        }
+                        let frame = *frame;
+                        Ok(inner.frames.buffer(frame))
+                    }
+                    PageState::Reading { signal, .. } => Err(signal.clone()),
+                    PageState::Swapped { slot } => {
+                        let slot = *slot;
+                        self.start_swap_in(&mut inner, key, slot)
+                    }
+                }
+            }
+            None => self.zero_fill(&mut inner, key),
+        }
+    }
+
+    /// Blocking flavour of [`Vm::try_page`]: runs the engine until the
+    /// access succeeds.
+    pub fn page_blocking(&self, asid: u32, vpn: u64, write: bool) -> IoBuffer {
+        for _ in 0..MAX_FAULT_RETRIES {
+            match self.try_page(asid, vpn, write) {
+                Ok(buf) => return buf,
+                Err(sig) => self.engine.run_until_signal(&sig),
+            }
+        }
+        panic!("page ({asid},{vpn}) did not become resident after {MAX_FAULT_RETRIES} retries");
+    }
+
+    /// Drop `pages` pages starting at `base_vpn` (address-space teardown).
+    /// Frames return to the pool, swap slots free.
+    ///
+    /// # Panics
+    /// Panics if any page still has I/O in flight — quiesce the engine
+    /// first.
+    pub fn release_range(&self, asid: u32, base_vpn: u64, pages: u64) {
+        let mut inner = self.inner.borrow_mut();
+        for vpn in base_vpn..base_vpn + pages {
+            let key = (asid, vpn);
+            match inner.table.remove(&key) {
+                None => {}
+                Some(entry) => match entry.state {
+                    PageState::Resident { frame, slot, .. } => {
+                        inner.frames.free(frame);
+                        if let Some(slot) = slot {
+                            inner.swap.free_slot(slot);
+                        }
+                        inner.epoch += 1;
+                    }
+                    PageState::Swapped { slot } => inner.swap.free_slot(slot),
+                    PageState::Reading { .. } | PageState::Writing { .. } => {
+                        panic!("release_range with I/O in flight on page ({asid},{vpn})")
+                    }
+                },
+            }
+        }
+        let waiters: Vec<Signal> = inner.waiters.drain(..).collect();
+        drop(inner);
+        for w in waiters {
+            w.set();
+        }
+    }
+
+    // -- fault paths --------------------------------------------------------
+
+    fn zero_fill(&self, inner: &mut VmInner, key: PageKey) -> Result<IoBuffer, Signal> {
+        if let Some(sig) = self.maybe_throttle(inner) {
+            return Err(sig);
+        }
+        let Some(frame) = self.grab_frame(inner) else {
+            return Err(self.frame_wait(inner));
+        };
+        inner.frames.zero(frame);
+        // Zeroing a page costs about a page-sized memcpy.
+        let cost = self.cal.memcpy_time(inner.config.page_size);
+        self.node.cpu().reserve(self.engine.now(), cost);
+        inner.table.insert(
+            key,
+            PageEntry {
+                state: PageState::Resident {
+                    frame,
+                    slot: None,
+                    dirty: true,
+                },
+                referenced: true,
+            },
+        );
+        inner.clock.push_back(key);
+        inner.epoch += 1;
+        inner.stats.zero_fills += 1;
+        self.maybe_wake_kswapd(inner);
+        Ok(inner.frames.buffer(frame))
+    }
+
+    fn start_swap_in(
+        &self,
+        inner: &mut VmInner,
+        key: PageKey,
+        slot: Slot,
+    ) -> Result<IoBuffer, Signal> {
+        if let Some(sig) = self.maybe_throttle(inner) {
+            return Err(sig);
+        }
+        let Some(frame) = self.grab_frame(inner) else {
+            return Err(self.frame_wait(inner));
+        };
+        inner.stats.major_faults += 1;
+        inner.stats.swap_ins += 1;
+        // Kernel fault-path cost.
+        let cost = SimDuration::from_nanos(self.cal.compute.fault_ns);
+        self.node.cpu().reserve(self.engine.now(), cost);
+
+        let signal = Signal::new("swap-in");
+        inner.table.insert(
+            key,
+            PageEntry {
+                state: PageState::Reading {
+                    frame,
+                    slot,
+                    signal: signal.clone(),
+                },
+                referenced: true,
+            },
+        );
+        let queue = inner.swap.queue(slot.dev);
+        self.stage_read(inner, key, frame, slot, &queue);
+
+        // Cluster readahead over contiguous allocated slots.
+        let neighbors = inner
+            .swap
+            .readahead_neighbors(slot, inner.config.readahead_pages.saturating_sub(1));
+        for (nslot, nkey) in neighbors {
+            if inner.frames.free_count() <= READAHEAD_RESERVE {
+                break;
+            }
+            let swapped_here = matches!(
+                inner.table.get(&nkey),
+                Some(PageEntry {
+                    state: PageState::Swapped { slot } , ..
+                }) if *slot == nslot
+            );
+            if !swapped_here {
+                continue;
+            }
+            let Some(nframe) = self.grab_frame(inner) else {
+                break;
+            };
+            inner.stats.swap_ins += 1;
+            inner.stats.readaheads += 1;
+            inner.table.insert(
+                nkey,
+                PageEntry {
+                    state: PageState::Reading {
+                        frame: nframe,
+                        slot: nslot,
+                        signal: Signal::new("readahead"),
+                    },
+                    referenced: false,
+                },
+            );
+            self.stage_read(inner, nkey, nframe, nslot, &queue);
+        }
+        queue.flush();
+        self.maybe_wake_kswapd(inner);
+        Err(signal)
+    }
+
+    fn stage_read(
+        &self,
+        inner: &mut VmInner,
+        key: PageKey,
+        frame: FrameId,
+        slot: Slot,
+        queue: &Rc<RequestQueue>,
+    ) {
+        let offset = inner.swap.offset_of(slot);
+        let buf = inner.frames.buffer(frame);
+        let vm = self.clone();
+        queue.submit(Bio::new(IoOp::Read, offset, buf, move |result| {
+            result.unwrap_or_else(|e| panic!("swap-in failed for page {key:?}: {e:?}"));
+            vm.finish_read(key);
+        }));
+    }
+
+    fn finish_read(&self, key: PageKey) {
+        let mut inner = self.inner.borrow_mut();
+        let entry = inner.table.get(&key).cloned();
+        match entry.map(|e| e.state) {
+            Some(PageState::Reading { frame, slot, signal }) => {
+                inner.table.insert(
+                    key,
+                    PageEntry {
+                        state: PageState::Resident {
+                            frame,
+                            slot: Some(slot),
+                            dirty: false,
+                        },
+                        referenced: true,
+                    },
+                );
+                inner.clock.push_back(key);
+                inner.epoch += 1;
+                signal.set();
+                self.notify_waiters(&mut inner);
+            }
+            other => panic!(
+                "swap-in completion for page {key:?} in unexpected state (present: {})",
+                other.is_some()
+            ),
+        }
+    }
+
+    fn finish_write(&self, key: PageKey) {
+        let mut inner = self.inner.borrow_mut();
+        let entry = inner.table.get(&key).cloned();
+        match entry.map(|e| e.state) {
+            Some(PageState::Writing {
+                frame,
+                slot,
+                dirty_again,
+            }) => {
+                if dirty_again {
+                    inner.table.insert(
+                        key,
+                        PageEntry {
+                            state: PageState::Resident {
+                                frame,
+                                slot: Some(slot),
+                                dirty: true,
+                            },
+                            referenced: true,
+                        },
+                    );
+                    inner.clock.push_back(key);
+                } else {
+                    inner.table.insert(
+                        key,
+                        PageEntry {
+                            state: PageState::Swapped { slot },
+                            referenced: false,
+                        },
+                    );
+                    inner.frames.free(frame);
+                }
+                inner.epoch += 1;
+                if let Some(t) = &mut inner.throttle {
+                    t.remaining = t.remaining.saturating_sub(1);
+                    if t.remaining == 0 {
+                        t.signal.set();
+                        inner.throttle = None;
+                    }
+                }
+                self.notify_waiters(&mut inner);
+            }
+            other => panic!(
+                "swap-out completion for page {key:?} in unexpected state (present: {})",
+                other.is_some()
+            ),
+        }
+    }
+
+    // -- frames & reclaim ----------------------------------------------------
+
+    fn grab_frame(&self, inner: &mut VmInner) -> Option<FrameId> {
+        inner.frames.alloc()
+    }
+
+    /// Linux 2.4-style allocation throttling: when free frames dip below
+    /// the low watermark, the allocating task itself performs a reclaim
+    /// pass and sleeps until its page-outs complete. This is the mechanism
+    /// that couples application progress to the swap device's round-trip
+    /// time under heavy dirtying — the effect behind the Figure 5/7 gaps
+    /// between local memory and every remote pager.
+    fn maybe_throttle(&self, inner: &mut VmInner) -> Option<Signal> {
+        if let Some(t) = &inner.throttle {
+            // An episode is already in flight: every allocator below the
+            // watermark joins the wait (2.4's try_to_free_pages throttled
+            // each allocating process, not just the first).
+            if inner.frames.free_count() < inner.config.low_watermark {
+                return Some(t.signal.clone());
+            }
+            return None;
+        }
+        if inner.frames.free_count() >= inner.config.low_watermark {
+            return None;
+        }
+        let issued = self.reclaim(inner, inner.config.reclaim_batch);
+        inner.swap.flush_all();
+        if issued == 0 {
+            // Clean evictions (or nothing evictable): no I/O to wait for.
+            return None;
+        }
+        inner.stats.throttles += 1;
+        let signal = Signal::new("reclaim-throttle");
+        inner.throttle = Some(Throttle {
+            signal: signal.clone(),
+            remaining: issued,
+        });
+        Some(signal)
+    }
+
+    /// Register a progress waiter and kick direct reclaim.
+    fn frame_wait(&self, inner: &mut VmInner) -> Signal {
+        inner.stats.frame_waits += 1;
+        let sig = Signal::new("frame-wait");
+        inner.waiters.push(sig.clone());
+        let batch = inner.config.reclaim_batch;
+        let _ = self.reclaim(inner, batch);
+        inner.swap.flush_all();
+        self.maybe_wake_kswapd(inner);
+        sig
+    }
+
+    fn notify_waiters(&self, inner: &mut VmInner) {
+        for sig in inner.waiters.drain(..) {
+            sig.set();
+        }
+    }
+
+    fn maybe_wake_kswapd(&self, inner: &mut VmInner) {
+        if inner.kswapd_active || inner.frames.free_count() >= inner.config.low_watermark {
+            return;
+        }
+        inner.kswapd_active = true;
+        let vm = self.clone();
+        self.engine
+            .schedule_at(self.engine.now(), move || vm.kswapd_tick());
+    }
+
+    fn kswapd_tick(&self) {
+        let reschedule = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.frames.free_count() >= inner.config.high_watermark {
+                inner.kswapd_active = false;
+                false
+            } else {
+                let batch = inner.config.kswapd_batch;
+                let _ = self.reclaim(&mut inner, batch);
+                inner.swap.flush_all();
+                true
+            }
+        };
+        if reschedule {
+            let vm = self.clone();
+            let interval =
+                SimDuration::from_nanos(self.inner.borrow().config.kswapd_interval_ns);
+            self.engine.schedule_in(interval, move || vm.kswapd_tick());
+        }
+    }
+
+    /// One reclaim pass: free or start writing out up to `target` pages
+    /// using second-chance CLOCK. Staged bios are NOT flushed here; callers
+    /// flush so adjacent page-outs merge. Returns the number of page-out
+    /// writes issued.
+    fn reclaim(&self, inner: &mut VmInner, target: usize) -> usize {
+        let mut writes = 0usize;
+        let mut progressed = 0usize;
+        let mut scanned = 0usize;
+        let cap = inner.clock.len() * 2 + 1;
+        while progressed < target && scanned < cap {
+            let Some(key) = inner.clock.pop_front() else {
+                break;
+            };
+            scanned += 1;
+            let Some(entry) = inner.table.get(&key).cloned() else {
+                continue; // released
+            };
+            let PageState::Resident { frame, slot, dirty } = entry.state else {
+                continue; // stale clock entry
+            };
+            if entry.referenced {
+                if let Some(e) = inner.table.get_mut(&key) {
+                    e.referenced = false;
+                }
+                inner.clock.push_back(key);
+                continue;
+            }
+            match (dirty, slot) {
+                (false, Some(slot)) => {
+                    // Clean page whose swap copy is still valid: free now.
+                    inner.table.insert(
+                        key,
+                        PageEntry {
+                            state: PageState::Swapped { slot },
+                            referenced: false,
+                        },
+                    );
+                    inner.frames.free(frame);
+                    inner.epoch += 1;
+                    inner.stats.clean_evictions += 1;
+                    self.notify_waiters(inner);
+                    progressed += 1;
+                }
+                (dirty_or_fresh, maybe_slot) => {
+                    // Dirty (or never-swapped) page: write it out.
+                    debug_assert!(dirty_or_fresh || maybe_slot.is_none());
+                    let slot = match maybe_slot.or_else(|| inner.swap.alloc_slot(key)) {
+                        Some(s) => s,
+                        None => {
+                            // Swap exhausted: nothing we can do with this
+                            // page; keep it resident.
+                            inner.clock.push_back(key);
+                            continue;
+                        }
+                    };
+                    inner.table.insert(
+                        key,
+                        PageEntry {
+                            state: PageState::Writing {
+                                frame,
+                                slot,
+                                dirty_again: false,
+                            },
+                            referenced: false,
+                        },
+                    );
+                    inner.stats.swap_outs += 1;
+                    let queue = inner.swap.queue(slot.dev);
+                    let offset = inner.swap.offset_of(slot);
+                    let buf = inner.frames.buffer(frame);
+                    let vm = self.clone();
+                    queue.submit(Bio::new(IoOp::Write, offset, buf, move |result| {
+                        result
+                            .unwrap_or_else(|e| panic!("swap-out failed for page {key:?}: {e:?}"));
+                        vm.finish_write(key);
+                    }));
+                    writes += 1;
+                    progressed += 1;
+                }
+            }
+        }
+        writes
+    }
+}

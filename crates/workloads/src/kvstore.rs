@@ -1,0 +1,302 @@
+//! A database-like key-value workload over paged memory.
+//!
+//! The paper's introduction motivates remote paging with exactly this
+//! shape: "modern databases typically maintain millions of records.
+//! Keeping the working set in memory for database transactions demands a
+//! high volume of memory space" (§1). This workload builds an
+//! open-addressing hash table (linear probing) in paged memory — keys and
+//! 32-byte values — loads it with records, then runs a read-mostly
+//! transaction mix with optionally skewed key popularity. Unlike testswap
+//! and quicksort, its fault pattern is *random single pages*, the
+//! worst case for readahead and for the disk, which is what makes it an
+//! interesting extra point beyond the paper's three programs.
+//!
+//! Uses the blocking access path plus a [`ComputeMeter`] (single-instance
+//! scenarios), like Barnes-Hut.
+
+use crate::barnes::ComputeMeter;
+use simcore::SimRng;
+use vmsim::{AddressSpace, PagedVec, Vm};
+
+/// Value payload words per record (4 × u64 = 32 bytes).
+const VALUE_WORDS: usize = 4;
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct KvParams {
+    /// Records loaded into the table.
+    pub records: usize,
+    /// Transactions executed after loading (reads + updates).
+    pub operations: usize,
+    /// Fraction of operations that are reads, in percent (rest update).
+    pub read_percent: u32,
+    /// Skew the key popularity quadratically toward a hot set (a crude
+    /// Zipf stand-in) instead of uniform.
+    pub skewed: bool,
+    /// RNG seed.
+    pub seed: u64,
+    /// Modeled compute cost per table probe, ns.
+    pub ns_per_probe: u64,
+}
+
+impl Default for KvParams {
+    fn default() -> KvParams {
+        KvParams {
+            records: 100_000,
+            operations: 200_000,
+            read_percent: 80,
+            skewed: false,
+            seed: 23,
+            ns_per_probe: 60,
+        }
+    }
+}
+
+/// Outcome counters.
+#[derive(Clone, Debug)]
+pub struct KvResult {
+    /// Reads that found their key (must equal the reads issued).
+    pub hits: u64,
+    /// Updates applied.
+    pub updates: u64,
+    /// Total probe steps (table pressure measure).
+    pub probes: u64,
+    /// Verified sample size (values checked against a shadow model).
+    pub verified: u64,
+}
+
+/// The paged hash table plus its driver.
+pub struct KvStore {
+    keys: PagedVec<u64>,
+    values: PagedVec<u64>,
+    capacity: usize,
+    meter: ComputeMeter,
+    params: KvParams,
+    probes: u64,
+}
+
+impl KvStore {
+    /// Create a table sized at 2× the record count (50 % load factor) in
+    /// its own address space on `vm`.
+    pub fn new(vm: &Vm, params: KvParams) -> KvStore {
+        let capacity = (2 * params.records).next_power_of_two();
+        let space = AddressSpace::new(vm);
+        KvStore {
+            keys: PagedVec::new(&space, capacity),
+            values: PagedVec::new(&space, capacity * VALUE_WORDS),
+            capacity,
+            meter: ComputeMeter::new(vm.engine().clone(), vm.node().cpu().clone()),
+            params,
+            probes: 0,
+        }
+    }
+
+    /// Table footprint in bytes (keys + values).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.keys.footprint_bytes() + self.values.footprint_bytes()
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64) -> usize {
+        // Fibonacci hashing spreads sequential keys.
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & (self.capacity - 1)
+    }
+
+    /// Insert or update `key` with a value derived from `stamp`.
+    pub fn put(&mut self, key: u64, stamp: u64) {
+        assert!(key != 0, "key 0 is the empty marker");
+        let mut slot = self.slot_of(key);
+        loop {
+            self.probes += 1;
+            self.meter.charge(self.params.ns_per_probe);
+            let k = self.keys.get(slot);
+            if k == 0 || k == key {
+                self.keys.set(slot, key);
+                for w in 0..VALUE_WORDS {
+                    self.values
+                        .set(slot * VALUE_WORDS + w, stamp.wrapping_add(w as u64));
+                }
+                return;
+            }
+            slot = (slot + 1) & (self.capacity - 1);
+        }
+    }
+
+    /// Look up `key`; returns the first value word if present.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        let mut slot = self.slot_of(key);
+        loop {
+            self.probes += 1;
+            self.meter.charge(self.params.ns_per_probe);
+            let k = self.keys.get(slot);
+            if k == key {
+                // Touch the whole value, as a record read would.
+                let mut first = 0;
+                for w in 0..VALUE_WORDS {
+                    let v = self.values.get(slot * VALUE_WORDS + w);
+                    if w == 0 {
+                        first = v;
+                    }
+                }
+                return Some(first);
+            }
+            if k == 0 {
+                return None;
+            }
+            slot = (slot + 1) & (self.capacity - 1);
+        }
+    }
+
+    /// Load the table, run the transaction mix, verify a sample against a
+    /// shadow model. Panics on any divergence (data integrity through the
+    /// paging path is the point).
+    pub fn run(&mut self) -> KvResult {
+        let params = self.params.clone();
+        let mut rng = SimRng::new(params.seed);
+        // Keys are 1..=records (dense, nonzero).
+        for key in 1..=params.records as u64 {
+            self.put(key, key.wrapping_mul(31));
+        }
+        // Shadow model: latest stamp per key; sampled verification.
+        let mut shadow: Vec<u64> = (0..=params.records as u64)
+            .map(|k| k.wrapping_mul(31))
+            .collect();
+
+        let mut hits = 0u64;
+        let mut updates = 0u64;
+        let mut verified = 0u64;
+        for op in 0..params.operations {
+            let r = rng.below(params.records as u64);
+            let key = 1 + if params.skewed {
+                // Quadratic skew toward low keys.
+                (r * r) / params.records as u64
+            } else {
+                r
+            };
+            if rng.below(100) < params.read_percent as u64 {
+                let got = self.get(key).expect("loaded key must be present");
+                hits += 1;
+                if op % 64 == 0 {
+                    assert_eq!(
+                        got, shadow[key as usize],
+                        "value diverged for key {key}"
+                    );
+                    verified += 1;
+                }
+            } else {
+                let stamp = (op as u64).wrapping_mul(0xABCD_1234);
+                self.put(key, stamp);
+                shadow[key as usize] = stamp;
+                updates += 1;
+            }
+        }
+        self.meter.flush();
+        KvResult {
+            hits,
+            updates,
+            probes: self.probes,
+            verified,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockdev::{RamDiskDevice, RequestQueue};
+    use netmodel::{Calibration, Node};
+    use simcore::Engine;
+    use std::rc::Rc;
+    use vmsim::VmConfig;
+
+    fn vm_fixture(frames: usize, swap_pages: u64) -> (Engine, Vm) {
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let node = Node::new("client", 0, 2);
+        let mut config = VmConfig::for_memory(frames as u64 * 4096);
+        config.total_frames = frames;
+        let vm = Vm::new(engine.clone(), cal.clone(), node.clone(), config);
+        let dev = Rc::new(RamDiskDevice::new(
+            engine.clone(),
+            cal.clone(),
+            node.clone(),
+            swap_pages * 4096,
+            "swap",
+        ));
+        let q = Rc::new(RequestQueue::new(engine.clone(), cal, node, dev));
+        vm.add_swap_device(q, 0);
+        (engine, vm)
+    }
+
+    #[test]
+    fn put_get_roundtrip_in_memory() {
+        let (_e, vm) = vm_fixture(2048, 256);
+        let mut kv = KvStore::new(
+            &vm,
+            KvParams {
+                records: 1000,
+                operations: 0,
+                ..KvParams::default()
+            },
+        );
+        for key in 1..=500u64 {
+            kv.put(key, key * 7);
+        }
+        for key in 1..=500u64 {
+            assert_eq!(kv.get(key), Some(key * 7), "key {key}");
+        }
+        assert_eq!(kv.get(99_999), None);
+    }
+
+    #[test]
+    fn transaction_mix_verifies_under_pressure() {
+        // Table ~4x local memory: constant random paging.
+        let (_e, vm) = vm_fixture(64, 2048);
+        let mut kv = KvStore::new(
+            &vm,
+            KvParams {
+                records: 20_000, // table ≈ 40B * 65536 slots ≈ 2.6MB vs 256KB local
+                operations: 4_000,
+                ..KvParams::default()
+            },
+        );
+        let result = kv.run();
+        assert!(result.verified > 0, "sampled verification ran");
+        assert!(result.hits > 0 && result.updates > 0);
+        assert!(vm.stats().swap_outs > 0, "must have paged");
+    }
+
+    #[test]
+    fn skewed_mix_faults_less_than_uniform() {
+        let run = |skewed| {
+            let (engine, vm) = vm_fixture(64, 2048);
+            let mut kv = KvStore::new(
+                &vm,
+                KvParams {
+                    records: 20_000,
+                    operations: 4_000,
+                    skewed,
+                    ..KvParams::default()
+                },
+            );
+            kv.run();
+            let _ = engine;
+            vm.stats().major_faults
+        };
+        let uniform = run(false);
+        let skewed = run(true);
+        assert!(
+            skewed < uniform,
+            "a hot set should fault less: skewed {skewed} vs uniform {uniform}"
+        );
+    }
+
+    #[test]
+    fn update_overwrites_are_visible() {
+        let (_e, vm) = vm_fixture(2048, 256);
+        let mut kv = KvStore::new(&vm, KvParams::default());
+        kv.put(42, 1);
+        kv.put(42, 2);
+        assert_eq!(kv.get(42), Some(2));
+    }
+}

@@ -1,0 +1,443 @@
+//! Quicksort over paged memory (paper §6.1: "an implementation of a
+//! quick-sort algorithm \[CLRS\], which sorts 256M randomly generated
+//! integers, whose data set is around 1 GB on our IA-32 platform").
+//!
+//! The task is a fully resumable state machine: every element access can
+//! report "would block" (a page fault in flight), and re-entry retries the
+//! same access — the micro-state carried in `Phase` caches already-read
+//! values so re-execution is idempotent. This is what lets two quicksort
+//! instances interleave over one VM for Figure 9.
+//!
+//! Algorithm: iterative Lomuto-partition quicksort with an insertion-sort
+//! cutoff, the textbook CLRS structure the paper cites.
+
+use crate::task::{Step, Task};
+use simcore::SimRng;
+use vmsim::{AddressSpace, PagedVec};
+
+/// Ranges at or below this length use insertion sort.
+const INSERTION_CUTOFF: u64 = 16;
+
+/// Micro-state of the quicksort state machine. Indices are element
+/// positions; `Option` fields cache values across a blocking retry.
+enum Phase {
+    /// Writing random input data.
+    Fill,
+    /// Pop the next range off the stack.
+    Next,
+    /// Load the pivot `a[hi]`.
+    PivotLoad { lo: u64, hi: u64 },
+    /// Lomuto scan: `i` is the store index, `j` the scan index.
+    Scan {
+        lo: u64,
+        hi: u64,
+        pivot: i32,
+        i: u64,
+        j: u64,
+        vj: Option<i32>,
+        vi: Option<i32>,
+        wrote_i: bool,
+    },
+    /// Swap the pivot into place at `i`, then push subranges.
+    FinalSwap {
+        lo: u64,
+        hi: u64,
+        i: u64,
+        vi: Option<i32>,
+        vhi: Option<i32>,
+        wrote_i: bool,
+    },
+    /// Insertion sort outer loop at element `i`.
+    InsOuter { lo: u64, hi: u64, i: u64 },
+    /// Insertion sort inner loop: sift `key` down to position `j`.
+    InsInner {
+        lo: u64,
+        hi: u64,
+        i: u64,
+        j: u64,
+        key: i32,
+    },
+    /// Sorting complete.
+    Finished,
+}
+
+/// A resumable quicksort instance.
+pub struct QsortTask {
+    data: PagedVec<i32>,
+    stack: Vec<(u64, u64)>,
+    phase: Phase,
+    fill_next: usize,
+    fill_val: Option<i32>,
+    rng: SimRng,
+    ns_per_op: u64,
+    name: String,
+}
+
+impl QsortTask {
+    /// Allocate and later sort `elements` random i32s.
+    pub fn new(
+        space: &AddressSpace,
+        elements: usize,
+        seed: u64,
+        ns_per_op: u64,
+        name: impl Into<String>,
+    ) -> QsortTask {
+        QsortTask {
+            data: PagedVec::new(space, elements),
+            stack: Vec::new(),
+            phase: Phase::Fill,
+            fill_next: 0,
+            fill_val: None,
+            rng: SimRng::new(seed),
+            ns_per_op,
+            name: name.into(),
+        }
+    }
+
+    /// The array (for verification).
+    pub fn data(&self) -> &PagedVec<i32> {
+        &self.data
+    }
+
+    /// Blocking full-array sortedness check (verification outside the
+    /// measured run).
+    pub fn is_sorted(&self) -> bool {
+        let n = self.data.len();
+        if n < 2 {
+            return true;
+        }
+        let mut prev = self.data.get(0);
+        for i in 1..n {
+            let v = self.data.get(i);
+            if v < prev {
+                return false;
+            }
+            prev = v;
+        }
+        true
+    }
+
+    /// One micro-transition. Returns ops consumed, or the blocking signal.
+    fn advance_one(&mut self) -> Result<u64, simcore::Signal> {
+        let n = self.data.len() as u64;
+        match &mut self.phase {
+            Phase::Fill => {
+                if self.fill_next as u64 == n {
+                    self.phase = if n >= 2 {
+                        self.stack.push((0, n - 1));
+                        Phase::Next
+                    } else {
+                        Phase::Finished
+                    };
+                    return Ok(0);
+                }
+                let val = *self
+                    .fill_val
+                    .get_or_insert_with(|| self.rng.next_u32() as i32);
+                self.data.try_set(self.fill_next, val)?;
+                self.fill_next += 1;
+                self.fill_val = None;
+                Ok(1)
+            }
+            Phase::Next => match self.stack.pop() {
+                None => {
+                    self.phase = Phase::Finished;
+                    Ok(0)
+                }
+                Some((lo, hi)) => {
+                    self.phase = if hi - lo < INSERTION_CUTOFF {
+                        Phase::InsOuter { lo, hi, i: lo + 1 }
+                    } else {
+                        Phase::PivotLoad { lo, hi }
+                    };
+                    Ok(0)
+                }
+            },
+            Phase::PivotLoad { lo, hi } => {
+                let (lo, hi) = (*lo, *hi);
+                let pivot = self.data.try_get(hi as usize)?;
+                self.phase = Phase::Scan {
+                    lo,
+                    hi,
+                    pivot,
+                    i: lo,
+                    j: lo,
+                    vj: None,
+                    vi: None,
+                    wrote_i: false,
+                };
+                Ok(1)
+            }
+            Phase::Scan {
+                lo,
+                hi,
+                pivot,
+                i,
+                j,
+                vj,
+                vi,
+                wrote_i,
+            } => {
+                let (lo, hi, pivot) = (*lo, *hi, *pivot);
+                if *j == hi {
+                    let i = *i;
+                    self.phase = Phase::FinalSwap {
+                        lo,
+                        hi,
+                        i,
+                        vi: None,
+                        vhi: None,
+                        wrote_i: false,
+                    };
+                    return Ok(0);
+                }
+                // Read a[j].
+                let cur_vj = match *vj {
+                    Some(v) => v,
+                    None => {
+                        let v = self.data.try_get(*j as usize)?;
+                        *vj = Some(v);
+                        return Ok(1);
+                    }
+                };
+                if cur_vj > pivot {
+                    *j += 1;
+                    *vj = None;
+                    return Ok(0);
+                }
+                if *i == *j {
+                    *i += 1;
+                    *j += 1;
+                    *vj = None;
+                    return Ok(0);
+                }
+                // Swap a[i] <-> a[j], one access per transition.
+                let cur_vi = match *vi {
+                    Some(v) => v,
+                    None => {
+                        let v = self.data.try_get(*i as usize)?;
+                        *vi = Some(v);
+                        return Ok(1);
+                    }
+                };
+                if !*wrote_i {
+                    self.data.try_set(*i as usize, cur_vj)?;
+                    *wrote_i = true;
+                    return Ok(1);
+                }
+                self.data.try_set(*j as usize, cur_vi)?;
+                *i += 1;
+                *j += 1;
+                *vj = None;
+                *vi = None;
+                *wrote_i = false;
+                Ok(1)
+            }
+            Phase::FinalSwap {
+                lo,
+                hi,
+                i,
+                vi,
+                vhi,
+                wrote_i,
+            } => {
+                let (lo, hi, i) = (*lo, *hi, *i);
+                if i != hi {
+                    let cur_vhi = match *vhi {
+                        Some(v) => v,
+                        None => {
+                            let v = self.data.try_get(hi as usize)?;
+                            *vhi = Some(v);
+                            return Ok(1);
+                        }
+                    };
+                    let cur_vi = match *vi {
+                        Some(v) => v,
+                        None => {
+                            let v = self.data.try_get(i as usize)?;
+                            *vi = Some(v);
+                            return Ok(1);
+                        }
+                    };
+                    if !*wrote_i {
+                        self.data.try_set(i as usize, cur_vhi)?;
+                        *wrote_i = true;
+                        return Ok(1);
+                    }
+                    self.data.try_set(hi as usize, cur_vi)?;
+                }
+                // Pivot in place at i. Push larger side first so the
+                // smaller is processed next (bounded stack depth).
+                let left = (i > lo).then(|| (lo, i - 1));
+                let right = (i < hi).then(|| (i + 1, hi));
+                match (left, right) {
+                    (Some(l), Some(r)) => {
+                        if l.1 - l.0 > r.1 - r.0 {
+                            self.stack.push(l);
+                            self.stack.push(r);
+                        } else {
+                            self.stack.push(r);
+                            self.stack.push(l);
+                        }
+                    }
+                    (Some(l), None) => self.stack.push(l),
+                    (None, Some(r)) => self.stack.push(r),
+                    (None, None) => {}
+                }
+                self.phase = Phase::Next;
+                Ok(1)
+            }
+            Phase::InsOuter { lo, hi, i } => {
+                let (lo, hi, i) = (*lo, *hi, *i);
+                if i > hi {
+                    self.phase = Phase::Next;
+                    return Ok(0);
+                }
+                let key = self.data.try_get(i as usize)?;
+                self.phase = Phase::InsInner {
+                    lo,
+                    hi,
+                    i,
+                    j: i,
+                    key,
+                };
+                Ok(1)
+            }
+            Phase::InsInner { lo, hi, i, j, key } => {
+                let (lo, hi, i, key) = (*lo, *hi, *i, *key);
+                if *j > lo {
+                    let prev = self.data.try_get(*j as usize - 1)?;
+                    if prev > key {
+                        self.data.try_set(*j as usize, prev)?;
+                        *j -= 1;
+                        return Ok(2);
+                    }
+                }
+                self.data.try_set(*j as usize, key)?;
+                self.phase = Phase::InsOuter { lo, hi, i: i + 1 };
+                Ok(2)
+            }
+            Phase::Finished => Ok(0),
+        }
+    }
+}
+
+impl Task for QsortTask {
+    fn step(&mut self, max_ops: u64) -> Step {
+        let mut budget = max_ops as i64;
+        while budget > 0 {
+            if matches!(self.phase, Phase::Finished) {
+                return Step::Done;
+            }
+            match self.advance_one() {
+                Ok(ops) => budget -= ops as i64,
+                Err(sig) => return Step::Blocked(sig),
+            }
+            // Zero-op transitions (stack pops) still make progress; the
+            // budget only counts memory operations, matching the paper's
+            // compute model.
+        }
+        if matches!(self.phase, Phase::Finished) {
+            Step::Done
+        } else {
+            Step::Ran
+        }
+    }
+
+    fn ns_per_op(&self) -> u64 {
+        self.ns_per_op
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Scheduler;
+    use blockdev::{RamDiskDevice, RequestQueue};
+    use netmodel::{Calibration, Node};
+    use simcore::Engine;
+    use std::rc::Rc;
+    use vmsim::{Vm, VmConfig};
+
+    fn vm_with_ram_swap(frames: usize, swap_pages: u64) -> (Engine, Vm) {
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let node = Node::new("client", 0, 2);
+        let mut config = VmConfig::for_memory(frames as u64 * 4096);
+        config.total_frames = frames;
+        let vm = Vm::new(engine.clone(), cal.clone(), node.clone(), config);
+        let dev = Rc::new(RamDiskDevice::new(
+            engine.clone(),
+            cal.clone(),
+            node.clone(),
+            swap_pages * 4096,
+            "swap",
+        ));
+        let q = Rc::new(RequestQueue::new(engine.clone(), cal, node, dev));
+        vm.add_swap_device(q, 0);
+        (engine, vm)
+    }
+
+    #[test]
+    fn sorts_in_memory() {
+        let (engine, vm) = vm_with_ram_swap(256, 64);
+        let space = AddressSpace::new(&vm);
+        let mut t = QsortTask::new(&space, 50_000, 42, 11, "qsort");
+        Scheduler::new(engine.clone(), 2).run_one(&mut t);
+        assert!(t.is_sorted(), "output must be sorted");
+        assert_eq!(vm.stats().major_faults, 0, "fits in memory");
+    }
+
+    #[test]
+    fn sorts_tiny_and_degenerate_inputs() {
+        let (engine, vm) = vm_with_ram_swap(64, 16);
+        let space = AddressSpace::new(&vm);
+        for n in [0usize, 1, 2, 3, 15, 16, 17, 100] {
+            let mut t = QsortTask::new(&space, n, n as u64, 11, "tiny");
+            Scheduler::new(engine.clone(), 2).run_one(&mut t);
+            assert!(t.is_sorted(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn sorts_under_memory_pressure() {
+        // Array is 4x local memory: the sort has to page constantly and
+        // must still be correct.
+        let (engine, vm) = vm_with_ram_swap(32, 512);
+        let space = AddressSpace::new(&vm);
+        let mut t = QsortTask::new(&space, 128 * 1024, 7, 11, "qsort");
+        Scheduler::new(engine.clone(), 2).run_one(&mut t);
+        assert!(vm.stats().swap_outs > 0, "must have paged");
+        assert!(t.is_sorted(), "paging must not corrupt the sort");
+    }
+
+    #[test]
+    fn paging_run_is_slower() {
+        let run = |frames| {
+            let (engine, vm) = vm_with_ram_swap(frames, 512);
+            let space = AddressSpace::new(&vm);
+            let mut t = QsortTask::new(&space, 64 * 1024, 3, 11, "qsort");
+            Scheduler::new(engine.clone(), 2).run_one(&mut t)
+        };
+        let fast = run(256);
+        let slow = run(16);
+        assert!(slow > fast, "pressure {slow} vs in-memory {fast}");
+    }
+
+    #[test]
+    fn two_instances_interleave_and_both_sort() {
+        let (engine, vm) = vm_with_ram_swap(48, 1024);
+        let s1 = AddressSpace::new(&vm);
+        let s2 = AddressSpace::new(&vm);
+        let mut a = QsortTask::new(&s1, 64 * 1024, 1, 11, "qsort-a");
+        let mut b = QsortTask::new(&s2, 64 * 1024, 2, 11, "qsort-b");
+        let mut tasks: [&mut dyn Task; 2] = [&mut a, &mut b];
+        Scheduler::new(engine.clone(), 2).run(&mut tasks);
+        assert!(a.is_sorted(), "instance A sorted");
+        assert!(b.is_sorted(), "instance B sorted");
+    }
+}

@@ -1,0 +1,444 @@
+//! Scenario assembly: full simulated machines for every figure.
+//!
+//! A [`Scenario`] is one experimental configuration from the paper's §6.1
+//! setup: a client node with a given amount of local memory and one swap
+//! back-end — nothing (abundant local memory), HPBD with N memory servers,
+//! NBD over GigE or IPoIB, or the local ATA disk. The run methods execute
+//! a workload to completion on the simulated machine and return a
+//! [`RunReport`] with the virtual execution time and the paging/device
+//! counters the harness prints.
+
+use crate::barnes::{Barnes, BarnesParams};
+use crate::kvstore::{KvParams, KvStore};
+use crate::qsort::QsortTask;
+use crate::task::Scheduler;
+use crate::testswap::TestswapTask;
+use blockdev::{DispatchRecord, RequestQueue, SimDisk};
+use hpbd::{HpbdCluster, HpbdConfig};
+use ibsim::Fabric;
+use netmodel::{Calibration, Node, Transport};
+use simcore::{Engine, SimDuration};
+use std::cell::RefCell;
+use std::rc::Rc;
+use vmsim::{AddressSpace, Vm, VmConfig, VmStats};
+
+/// Which swap back-end a scenario uses.
+#[derive(Clone, Debug)]
+pub enum SwapKind {
+    /// No swap device: local memory must fit the workload ("enough local
+    /// memory" baseline).
+    LocalOnly,
+    /// HPBD over InfiniBand with this many memory servers.
+    Hpbd {
+        /// Number of remote memory servers (extents split evenly).
+        servers: usize,
+    },
+    /// NBD over the given TCP transport (single server, as in Linux 2.4).
+    Nbd {
+        /// GigE or IPoIB.
+        transport: Transport,
+    },
+    /// The local ATA disk.
+    Disk,
+}
+
+/// One experimental configuration.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// Local memory available to the VM.
+    pub local_mem: u64,
+    /// Total swap capacity (split across HPBD servers if several).
+    pub swap_capacity: u64,
+    /// Back-end selection.
+    pub kind: SwapKind,
+    /// HPBD tuning (ignored by other kinds).
+    pub hpbd: HpbdConfig,
+    /// Override the VM's swap-in readahead window (None: the 2.4 default
+    /// of 8 pages). 1 disables readahead — the right setting for
+    /// random-access workloads like the KV mix.
+    pub readahead_pages: Option<usize>,
+}
+
+impl ScenarioConfig {
+    /// A configuration with default HPBD tuning.
+    pub fn new(local_mem: u64, swap_capacity: u64, kind: SwapKind) -> ScenarioConfig {
+        ScenarioConfig {
+            local_mem,
+            swap_capacity,
+            kind,
+            hpbd: HpbdConfig::default(),
+            readahead_pages: None,
+        }
+    }
+}
+
+/// Uniform result record for the figure harnesses.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Configuration label ("local", "HPBD-4", "NBD-GigE", "disk").
+    pub label: String,
+    /// Workload name.
+    pub workload: String,
+    /// Virtual execution time.
+    pub elapsed: SimDuration,
+    /// VM paging counters.
+    pub vm: VmStats,
+    /// Dispatched swap requests (count, mean size in bytes).
+    pub requests: u64,
+    /// Mean dispatched request size.
+    pub mean_request_bytes: f64,
+    /// Swap-in (read) service latency in µs: (mean, max, count).
+    pub read_latency_us: (f64, f64, u64),
+    /// Swap-out (write) service latency in µs: (mean, max, count).
+    pub write_latency_us: (f64, f64, u64),
+}
+
+/// A built machine, ready to run workloads.
+pub struct Scenario {
+    /// The event engine (fresh per scenario).
+    pub engine: Engine,
+    /// Calibration in effect.
+    pub cal: Rc<Calibration>,
+    /// The client node.
+    pub node: Node,
+    /// The VM on the client node.
+    pub vm: Vm,
+    /// HPBD deployment, when `kind` is HPBD.
+    pub hpbd: Option<HpbdCluster>,
+    /// Disk device, when `kind` is Disk.
+    pub disk: Option<Rc<SimDisk>>,
+    /// The swap request queue (None for LocalOnly).
+    pub swap_queue: Option<Rc<RequestQueue>>,
+    label: String,
+}
+
+impl Scenario {
+    /// Build a machine per `config` with the 2005 calibration.
+    pub fn build(config: &ScenarioConfig) -> Scenario {
+        Scenario::build_with(config, Rc::new(Calibration::cluster_2005()))
+    }
+
+    /// Build with an explicit calibration (ablations).
+    pub fn build_with(config: &ScenarioConfig, cal: Rc<Calibration>) -> Scenario {
+        let engine = Engine::new();
+        let mut vm_config = VmConfig::for_memory(config.local_mem);
+        if let Some(ra) = config.readahead_pages {
+            assert!(ra >= 1, "readahead window must be at least the page itself");
+            vm_config.readahead_pages = ra;
+        }
+
+        let (node, hpbd, disk, swap_queue, label) = match &config.kind {
+            SwapKind::LocalOnly => {
+                let node = Node::new("client", 0, 2);
+                (node, None, None, None, "local".to_string())
+            }
+            SwapKind::Hpbd { servers } => {
+                let fabric = Fabric::new(engine.clone(), cal.clone());
+                let client_ibnode = fabric.add_node("hpbd-client");
+                let node = client_ibnode.node().clone();
+                let per_server =
+                    (config.swap_capacity / *servers as u64 / 4096).max(1) * 4096;
+                let cluster = HpbdCluster::build_on(
+                    &fabric,
+                    client_ibnode,
+                    config.hpbd.clone(),
+                    *servers,
+                    per_server,
+                );
+                let queue = Rc::new(RequestQueue::new(
+                    engine.clone(),
+                    cal.clone(),
+                    node.clone(),
+                    Rc::new(cluster.client.clone()),
+                ));
+                let label = format!("HPBD-{servers}");
+                (node, Some(cluster), None, Some(queue), label)
+            }
+            SwapKind::Nbd { transport } => {
+                let node = Node::new("client", 0, 2);
+                let dev = nbd::build_pair(
+                    &engine,
+                    cal.clone(),
+                    *transport,
+                    &node,
+                    config.swap_capacity,
+                );
+                let queue = Rc::new(RequestQueue::new(
+                    engine.clone(),
+                    cal.clone(),
+                    node.clone(),
+                    Rc::new(dev),
+                ));
+                let label = format!("NBD-{}", transport.label());
+                (node, None, None, Some(queue), label)
+            }
+            SwapKind::Disk => {
+                let node = Node::new("client", 0, 2);
+                let dev = Rc::new(SimDisk::new(
+                    engine.clone(),
+                    cal.disk.clone(),
+                    config.swap_capacity,
+                    "hda",
+                ));
+                let queue = Rc::new(RequestQueue::new(
+                    engine.clone(),
+                    cal.clone(),
+                    node.clone(),
+                    dev.clone(),
+                ));
+                (node, None, Some(dev), Some(queue), "disk".to_string())
+            }
+        };
+
+        let vm = Vm::new(engine.clone(), cal.clone(), node.clone(), vm_config);
+        if let Some(queue) = &swap_queue {
+            vm.add_swap_device(queue.clone(), 0);
+        }
+        Scenario {
+            engine,
+            cal,
+            node,
+            vm,
+            hpbd,
+            disk,
+            swap_queue,
+            label,
+        }
+    }
+
+    /// Configuration label for reports.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The dispatch log of the swap queue, if any.
+    pub fn dispatch_log(&self) -> Option<Rc<RefCell<Vec<DispatchRecord>>>> {
+        self.swap_queue.as_ref().map(|q| q.dispatch_log())
+    }
+
+    fn report(&self, workload: &str, elapsed: SimDuration) -> RunReport {
+        let (requests, mean) = match self.dispatch_log() {
+            Some(log) => {
+                let log = log.borrow();
+                let count = log.len() as u64;
+                let mean = if count == 0 {
+                    0.0
+                } else {
+                    log.iter().map(|r| r.len as f64).sum::<f64>() / count as f64
+                };
+                (count, mean)
+            }
+            None => (0, 0.0),
+        };
+        let lat = |s: simcore::OnlineStats| (s.mean(), s.max().unwrap_or(0.0), s.count());
+        let (read_latency_us, write_latency_us) = match &self.swap_queue {
+            Some(q) => (lat(q.read_latency()), lat(q.write_latency())),
+            None => ((0.0, 0.0, 0), (0.0, 0.0, 0)),
+        };
+        RunReport {
+            label: self.label.clone(),
+            workload: workload.to_string(),
+            elapsed,
+            vm: self.vm.stats(),
+            requests,
+            mean_request_bytes: mean,
+            read_latency_us,
+            write_latency_us,
+        }
+    }
+
+    fn scheduler(&self) -> Scheduler {
+        Scheduler::new(self.engine.clone(), 2).with_node_cpu(self.node.cpu().clone())
+    }
+
+    /// Run testswap over `elements` i32s.
+    pub fn run_testswap(&self, elements: usize) -> RunReport {
+        let space = AddressSpace::new(&self.vm);
+        let mut task = TestswapTask::new(
+            &space,
+            elements,
+            self.cal.compute.testswap_ns_per_write,
+        );
+        let t0 = self.engine.now();
+        let done = self.scheduler().run_one(&mut task);
+        self.report("testswap", done - t0)
+    }
+
+    /// Run one quicksort instance over `elements` random i32s.
+    pub fn run_qsort(&self, elements: usize, seed: u64) -> RunReport {
+        let space = AddressSpace::new(&self.vm);
+        let mut task = QsortTask::new(
+            &space,
+            elements,
+            seed,
+            self.cal.compute.qsort_ns_per_op,
+            "qsort",
+        );
+        let t0 = self.engine.now();
+        let done = self.scheduler().run_one(&mut task);
+        debug_assert!(task.is_sorted());
+        self.report("quicksort", done - t0)
+    }
+
+    /// Run two concurrent quicksort instances (Figure 9). Returns the two
+    /// completion spans and a combined report (elapsed = max of the two).
+    pub fn run_qsort_pair(
+        &self,
+        elements: usize,
+        seed: u64,
+    ) -> (SimDuration, SimDuration, RunReport) {
+        let s1 = AddressSpace::new(&self.vm);
+        let s2 = AddressSpace::new(&self.vm);
+        let ns = self.cal.compute.qsort_ns_per_op;
+        let mut a = QsortTask::new(&s1, elements, seed, ns, "qsort-a");
+        let mut b = QsortTask::new(&s2, elements, seed.wrapping_add(1), ns, "qsort-b");
+        let t0 = self.engine.now();
+        let done = {
+            let mut tasks: [&mut dyn crate::task::Task; 2] = [&mut a, &mut b];
+            self.scheduler().run(&mut tasks)
+        };
+        debug_assert!(a.is_sorted() && b.is_sorted());
+        let (da, db) = (done[0] - t0, done[1] - t0);
+        let report = self.report("quicksort-x2", da.max(db));
+        (da, db, report)
+    }
+
+    /// Run the database-like key-value transaction mix (extra workload
+    /// beyond the paper; see EXPERIMENTS.md).
+    pub fn run_kvstore(&self, params: KvParams) -> RunReport {
+        let t0 = self.engine.now();
+        let mut kv = KvStore::new(&self.vm, params);
+        let result = kv.run();
+        assert!(result.hits > 0 || result.updates > 0);
+        let elapsed = self.engine.now() - t0;
+        self.report("kvstore", elapsed)
+    }
+
+    /// Run Barnes-Hut with the given parameters (Figure 8).
+    pub fn run_barnes(&self, params: BarnesParams) -> RunReport {
+        let t0 = self.engine.now();
+        let mut barnes = Barnes::new(&self.vm, params);
+        let result = barnes.run();
+        assert!(result.kinetic_energy.is_finite());
+        let elapsed = self.engine.now() - t0;
+        self.report("barnes", elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+
+    /// Small-scale version of the Figure 5 setup: dataset 2x local memory.
+    fn run_testswap_on(kind: SwapKind, local_mem: u64) -> RunReport {
+        let config = ScenarioConfig::new(local_mem, 64 * MB, kind);
+        let scenario = Scenario::build(&config);
+        // 8M i32 = 32 MB dataset.
+        scenario.run_testswap(8 << 20)
+    }
+
+    #[test]
+    fn figure5_ordering_holds_at_small_scale() {
+        // local < HPBD < NBD-IPoIB < NBD-GigE < disk.
+        let local = run_testswap_on(SwapKind::LocalOnly, 64 * MB);
+        let hpbd = run_testswap_on(SwapKind::Hpbd { servers: 1 }, 16 * MB);
+        let ipoib = run_testswap_on(
+            SwapKind::Nbd {
+                transport: Transport::IpoIb,
+            },
+            16 * MB,
+        );
+        let gige = run_testswap_on(
+            SwapKind::Nbd {
+                transport: Transport::GigE,
+            },
+            16 * MB,
+        );
+        let disk = run_testswap_on(SwapKind::Disk, 16 * MB);
+        assert!(
+            local.elapsed < hpbd.elapsed,
+            "local {} !< hpbd {}",
+            local.elapsed,
+            hpbd.elapsed
+        );
+        assert!(
+            hpbd.elapsed < ipoib.elapsed,
+            "hpbd {} !< ipoib {}",
+            hpbd.elapsed,
+            ipoib.elapsed
+        );
+        assert!(
+            ipoib.elapsed < gige.elapsed,
+            "ipoib {} !< gige {}",
+            ipoib.elapsed,
+            gige.elapsed
+        );
+        assert!(
+            gige.elapsed < disk.elapsed,
+            "gige {} !< disk {}",
+            gige.elapsed,
+            disk.elapsed
+        );
+    }
+
+    #[test]
+    fn hpbd_data_integrity_through_qsort() {
+        let config = ScenarioConfig::new(8 * MB, 64 * MB, SwapKind::Hpbd { servers: 2 });
+        let scenario = Scenario::build(&config);
+        // is_sorted() is debug-asserted inside run_qsort.
+        let report = scenario.run_qsort(1 << 20, 3); // 4 MB dataset, 8 MB mem... fits mostly
+        assert!(report.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn request_sizes_cluster_near_128k_for_testswap() {
+        // Figure 6: sequential page-outs merge into large requests.
+        let report = run_testswap_on(SwapKind::Hpbd { servers: 1 }, 16 * MB);
+        assert!(
+            report.mean_request_bytes > 64.0 * 1024.0,
+            "mean request {} should be large (merging works)",
+            report.mean_request_bytes
+        );
+        assert!(report.requests > 0);
+    }
+
+    #[test]
+    fn multi_server_roughly_flat_through_4() {
+        let t = |servers| {
+            run_testswap_on(SwapKind::Hpbd { servers }, 16 * MB)
+                .elapsed
+                .as_nanos() as f64
+        };
+        let one = t(1);
+        let four = t(4);
+        assert!(
+            (four - one).abs() / one < 0.25,
+            "1 server {one} vs 4 servers {four} should be within 25%"
+        );
+    }
+
+    #[test]
+    fn pair_run_completes_and_reports_both() {
+        let config = ScenarioConfig::new(8 * MB, 128 * MB, SwapKind::Hpbd { servers: 2 });
+        let scenario = Scenario::build(&config);
+        let (da, db, report) = scenario.run_qsort_pair(1 << 20, 9);
+        assert!(da.as_nanos() > 0 && db.as_nanos() > 0);
+        assert_eq!(report.workload, "quicksort-x2");
+        assert!(report.elapsed >= da.min(db));
+    }
+
+    #[test]
+    fn barnes_runs_on_hpbd() {
+        let config = ScenarioConfig::new(MB, 64 * MB, SwapKind::Hpbd { servers: 1 });
+        let scenario = Scenario::build(&config);
+        let report = scenario.run_barnes(BarnesParams {
+            bodies: 8192,
+            iterations: 1,
+            ..BarnesParams::default()
+        });
+        assert!(report.vm.swap_outs > 0, "Barnes should page at 1MB local");
+        assert!(report.elapsed.as_nanos() > 0);
+    }
+}

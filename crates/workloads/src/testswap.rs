@@ -1,0 +1,148 @@
+//! The `testswap` microbenchmark (paper §6.1).
+//!
+//! "Allocates a 1 GB array and sequentially writes integers into this
+//! array." Sequential writes dirty page after page, forcing a steady
+//! page-out stream once local memory fills — the workload behind Figures 5
+//! and 6.
+
+use crate::task::{Step, Task};
+use simcore::Signal;
+use vmsim::{AddressSpace, PagedVec};
+
+/// Sequential integer-write task over a paged array.
+pub struct TestswapTask {
+    data: PagedVec<i32>,
+    next: usize,
+    ns_per_op: u64,
+    /// Retry state after a block (the access is idempotent; we simply
+    /// re-run it).
+    pending: Option<Signal>,
+}
+
+impl TestswapTask {
+    /// Allocate `elements` i32s in `space`. `ns_per_op` is the calibrated
+    /// per-write compute cost.
+    pub fn new(space: &AddressSpace, elements: usize, ns_per_op: u64) -> TestswapTask {
+        TestswapTask {
+            data: PagedVec::new(space, elements),
+            next: 0,
+            ns_per_op,
+            pending: None,
+        }
+    }
+
+    /// Elements written so far.
+    pub fn progress(&self) -> usize {
+        self.next
+    }
+
+    /// The underlying array (for post-run verification).
+    pub fn data(&self) -> &PagedVec<i32> {
+        &self.data
+    }
+}
+
+impl Task for TestswapTask {
+    fn step(&mut self, max_ops: u64) -> Step {
+        self.pending = None;
+        let mut budget = max_ops;
+        while budget > 0 {
+            if self.next == self.data.len() {
+                return Step::Done;
+            }
+            match self.data.try_set(self.next, self.next as i32) {
+                Ok(()) => {
+                    self.next += 1;
+                    budget -= 1;
+                }
+                Err(sig) => {
+                    self.pending = Some(sig.clone());
+                    return Step::Blocked(sig);
+                }
+            }
+        }
+        Step::Ran
+    }
+
+    fn ns_per_op(&self) -> u64 {
+        self.ns_per_op
+    }
+
+    fn name(&self) -> &str {
+        "testswap"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Scheduler;
+    use blockdev::{RamDiskDevice, RequestQueue};
+    use netmodel::{Calibration, Node};
+    use simcore::Engine;
+    use std::rc::Rc;
+    use vmsim::{Vm, VmConfig};
+
+    fn vm_with_ram_swap(frames: usize, swap_pages: u64) -> (Engine, Vm) {
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let node = Node::new("client", 0, 2);
+        let mut config = VmConfig::for_memory(frames as u64 * 4096);
+        config.total_frames = frames;
+        let vm = Vm::new(engine.clone(), cal.clone(), node.clone(), config);
+        let dev = Rc::new(RamDiskDevice::new(
+            engine.clone(),
+            cal.clone(),
+            node.clone(),
+            swap_pages * 4096,
+            "swap",
+        ));
+        let q = Rc::new(RequestQueue::new(engine.clone(), cal, node, dev));
+        vm.add_swap_device(q, 0);
+        (engine, vm)
+    }
+
+    #[test]
+    fn completes_within_memory() {
+        let (engine, vm) = vm_with_ram_swap(64, 64);
+        let space = AddressSpace::new(&vm);
+        let mut t = TestswapTask::new(&space, 10_000, 13);
+        let sched = Scheduler::new(engine.clone(), 2);
+        let done = sched.run_one(&mut t);
+        assert_eq!(t.progress(), 10_000);
+        // ~130us of compute.
+        assert!(done.as_nanos() >= 130_000);
+        assert_eq!(vm.stats().major_faults, 0);
+    }
+
+    #[test]
+    fn pages_out_when_oversubscribed_and_data_survives() {
+        let (engine, vm) = vm_with_ram_swap(32, 512);
+        let space = AddressSpace::new(&vm);
+        let n = 100 * 1024; // 100 pages of i32
+        let mut t = TestswapTask::new(&space, n, 13);
+        let sched = Scheduler::new(engine.clone(), 2);
+        sched.run_one(&mut t);
+        assert!(vm.stats().swap_outs > 0);
+        // Spot-check data integrity through swap.
+        for &i in &[0usize, 1, n / 2, n - 1] {
+            assert_eq!(t.data().get(i), i as i32);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_run_is_slower_than_in_memory() {
+        let run = |frames: usize| {
+            let (engine, vm) = vm_with_ram_swap(frames, 512);
+            let space = AddressSpace::new(&vm);
+            let mut t = TestswapTask::new(&space, 100 * 1024, 13);
+            Scheduler::new(engine.clone(), 2).run_one(&mut t)
+        };
+        let in_mem = run(128);
+        let paged = run(16);
+        assert!(
+            paged > in_mem,
+            "paging run {paged} must exceed in-memory {in_mem}"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Tests for the load-bearing mechanisms behind the figures: 2.4-style
+//! reclaim throttling, HCA multi-QP costs, readahead policy, and CPU
+//! contention between application quanta and kernel work.
+
+use hpbd_suite::blockdev::{RamDiskDevice, RequestQueue};
+use hpbd_suite::netmodel::{Calibration, Node};
+use hpbd_suite::simcore::Engine;
+use hpbd_suite::vmsim::{AddressSpace, PagedVec, Vm, VmConfig};
+use hpbd_suite::workloads::{Scenario, ScenarioConfig, SwapKind};
+use std::rc::Rc;
+
+const MB: u64 = 1 << 20;
+
+fn vm_with_ram_swap(frames: usize, swap_pages: u64) -> (Engine, Vm) {
+    let engine = Engine::new();
+    let cal = Rc::new(Calibration::cluster_2005());
+    let node = Node::new("client", 0, 2);
+    let mut config = VmConfig::for_memory(frames as u64 * 4096);
+    config.total_frames = frames;
+    let vm = Vm::new(engine.clone(), cal.clone(), node.clone(), config);
+    let dev = Rc::new(RamDiskDevice::new(
+        engine.clone(),
+        cal.clone(),
+        node.clone(),
+        swap_pages * 4096,
+        "swap",
+    ));
+    let q = Rc::new(RequestQueue::new(engine.clone(), cal, node, dev));
+    vm.add_swap_device(q, 0);
+    (engine, vm)
+}
+
+#[test]
+fn throttling_fires_under_streaming_dirtying() {
+    // Dirty pages far faster than kswapd's small batch can drain: the
+    // allocating task must hit synchronous-reclaim episodes.
+    let (_engine, vm) = vm_with_ram_swap(64, 2048);
+    let space = AddressSpace::new(&vm);
+    let v: PagedVec<i64> = PagedVec::new(&space, 256 * 1024); // 4x memory
+    for i in 0..v.len() {
+        v.set(i, i as i64);
+    }
+    let stats = vm.stats();
+    assert!(
+        stats.throttles > 0,
+        "streaming writes must throttle: {stats:?}"
+    );
+    assert!(stats.swap_outs > 0);
+}
+
+#[test]
+fn throttle_episodes_advance_time_by_device_roundtrips() {
+    // The same dirty stream against a zero-latency-ish ramdisk vs a padded
+    // version of it: virtual time must scale with the device.
+    let run = |frames: usize| {
+        let (engine, vm) = vm_with_ram_swap(frames, 2048);
+        let space = AddressSpace::new(&vm);
+        let v: PagedVec<i64> = PagedVec::new(&space, 128 * 1024);
+        for i in 0..v.len() {
+            v.set(i, 1);
+        }
+        (engine.now(), vm.stats().throttles)
+    };
+    let (t_pressured, throttles) = run(48);
+    let (t_roomy, _) = run(4096);
+    assert!(throttles > 0);
+    assert!(
+        t_pressured > t_roomy,
+        "throttled run must be slower: {t_pressured} vs {t_roomy}"
+    );
+}
+
+#[test]
+fn hca_scheduling_penalty_scales_with_connected_qps() {
+    use hpbd_suite::ibsim::Fabric;
+    use hpbd_suite::simcore::SimTime;
+    let cal = Rc::new(Calibration::cluster_2005());
+    let wqe = |n_peers: usize| {
+        let engine = Engine::new();
+        let fabric = Fabric::new(engine.clone(), cal.clone());
+        let hub = fabric.add_node("hub");
+        let mut _qps = Vec::new();
+        for i in 0..n_peers {
+            let peer = fabric.add_node(format!("peer-{i}"));
+            let (a, b, c, d) = (
+                hub.create_cq(),
+                hub.create_cq(),
+                peer.create_cq(),
+                peer.create_cq(),
+            );
+            _qps.push(fabric.connect(&hub, &a, &b, &peer, &c, &d));
+        }
+        // Cost of one WQE on the hub HCA after warmup of qp 1.
+        hub.hca().process_wqe(SimTime::ZERO, 1);
+        let t0 = hub.hca().process_wqe(SimTime::ZERO, 1);
+        let t1 = hub.hca().process_wqe(t0, 1);
+        (t1 - t0).as_nanos()
+    };
+    let few = wqe(4);
+    let many = wqe(16);
+    assert!(
+        many > few,
+        "a 16-QP population must cost more per WQE: {many} vs {few}"
+    );
+    assert_eq!(
+        many - few,
+        8 * cal.hca.qp_sched_ns_per_excess,
+        "penalty is per excess QP beyond the context cache"
+    );
+}
+
+#[test]
+fn readahead_override_controls_cluster_reads() {
+    let run = |ra: Option<usize>| {
+        let mut config = ScenarioConfig::new(MB, 32 * MB, SwapKind::Hpbd { servers: 1 });
+        config.readahead_pages = ra;
+        let scenario = Scenario::build(&config);
+        let space = AddressSpace::new(&scenario.vm);
+        let v: PagedVec<i32> = PagedVec::new(&space, 1 << 20); // 4 MiB
+        for i in 0..v.len() {
+            v.set(i, i as i32);
+        }
+        for i in 0..v.len() {
+            assert_eq!(v.get(i), i as i32);
+        }
+        scenario.vm.stats()
+    };
+    let with_ra = run(None); // 2.4 default: 8 pages
+    let without = run(Some(1));
+    assert!(with_ra.readaheads > 0, "default readahead active");
+    assert_eq!(without.readaheads, 0, "override disables readahead");
+    assert!(
+        without.major_faults > with_ra.major_faults,
+        "sequential sweep without readahead faults more"
+    );
+}
+
+#[test]
+fn io_latency_reported_per_direction() {
+    let config = ScenarioConfig::new(MB, 32 * MB, SwapKind::Hpbd { servers: 1 });
+    let scenario = Scenario::build(&config);
+    let report = scenario.run_qsort(512 * 1024, 5);
+    let (r_mean, r_max, r_n) = report.read_latency_us;
+    let (w_mean, w_max, w_n) = report.write_latency_us;
+    assert!(r_n > 0 && w_n > 0, "both directions saw traffic");
+    assert!(r_mean > 0.0 && w_mean > 0.0);
+    assert!(r_max >= r_mean && w_max >= w_mean);
+    // HPBD service times live in the tens-to-hundreds of µs band.
+    assert!(
+        (10.0..2_000.0).contains(&r_mean),
+        "read mean {r_mean}us out of band"
+    );
+}

@@ -1,0 +1,451 @@
+//! Property-based tests over the core data structures and invariants.
+
+use hpbd_suite::hpbd::PoolAllocator;
+use hpbd_suite::hpbd::SimBufferPool;
+use hpbd_suite::simcore::{Engine, SimTime};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Buffer pool allocator: conservation, coalescing, no overlap.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum PoolOp {
+    Alloc(u64),
+    FreeNth(usize),
+}
+
+fn pool_ops() -> impl Strategy<Value = Vec<PoolOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..64 * 1024).prop_map(PoolOp::Alloc),
+            (0usize..64).prop_map(PoolOp::FreeNth),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any interleaving of allocs and frees keeps the free list sorted,
+    /// coalesced, in-bounds and byte-conserving, and live allocations never
+    /// overlap.
+    #[test]
+    fn pool_allocator_invariants(ops in pool_ops()) {
+        const SIZE: u64 = 1 << 20;
+        let mut pool = PoolAllocator::new(SIZE);
+        let mut live: Vec<hpbd_suite::hpbd::pool::PoolBuf> = Vec::new();
+        for op in ops {
+            match op {
+                PoolOp::Alloc(len) => {
+                    if let Some(buf) = pool.alloc(len) {
+                        // No overlap with any live allocation.
+                        for other in &live {
+                            let disjoint = buf.offset + buf.len <= other.offset
+                                || other.offset + other.len <= buf.offset;
+                            prop_assert!(disjoint, "overlap {buf:?} vs {other:?}");
+                        }
+                        live.push(buf);
+                    }
+                }
+                PoolOp::FreeNth(i) => {
+                    if !live.is_empty() {
+                        let buf = live.swap_remove(i % live.len());
+                        pool.free(buf);
+                    }
+                }
+            }
+            pool.check_invariants();
+            let live_bytes: u64 = live.iter().map(|b| b.len).sum();
+            prop_assert_eq!(pool.free_bytes() + live_bytes, SIZE, "byte conservation");
+        }
+        // Free everything: the pool must coalesce back to one extent.
+        for buf in live.drain(..) {
+            pool.free(buf);
+        }
+        pool.check_invariants();
+        prop_assert_eq!(pool.free_bytes(), SIZE);
+        prop_assert_eq!(pool.fragments(), 1, "merge-on-free must fully coalesce");
+    }
+
+    /// After any load, a drained SimBufferPool serves queued waiters FIFO
+    /// and ends with all bytes back.
+    #[test]
+    fn sim_pool_serves_all_waiters(sizes in prop::collection::vec(1u64..1024, 1..64)) {
+        let pool = Rc::new(SimBufferPool::new(4096));
+        let served: Rc<RefCell<Vec<usize>>> = Rc::default();
+        let held: Rc<RefCell<Vec<hpbd_suite::hpbd::pool::PoolBuf>>> = Rc::default();
+        for (i, &len) in sizes.iter().enumerate() {
+            let served = served.clone();
+            let held = held.clone();
+            pool.alloc(len, move |buf| {
+                served.borrow_mut().push(i);
+                held.borrow_mut().push(buf);
+            });
+        }
+        // Free everything granted so far, repeatedly, until quiescent.
+        let mut guard = 0;
+        while pool.queued_waiters() > 0 {
+            let bufs: Vec<_> = held.borrow_mut().drain(..).collect();
+            prop_assert!(!bufs.is_empty(), "waiters but nothing to free: deadlock");
+            for b in bufs {
+                pool.free(b);
+            }
+            guard += 1;
+            prop_assert!(guard < 1000, "no forward progress");
+        }
+        for b in held.borrow_mut().drain(..) {
+            pool.free(b);
+        }
+        // Everyone served exactly once, in FIFO order.
+        let served = served.borrow();
+        prop_assert_eq!(served.len(), sizes.len());
+        let mut sorted = served.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&*served, &sorted, "FIFO service order");
+        prop_assert_eq!(pool.free_bytes(), 4096);
+    }
+
+    // -----------------------------------------------------------------------
+    // Engine: time never runs backwards, ties keep submission order.
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn engine_executes_in_nondecreasing_time_order(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let engine = Engine::new();
+        let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::default();
+        for (i, &t) in times.iter().enumerate() {
+            let log = log.clone();
+            let eng = engine.clone();
+            engine.schedule_at(SimTime(t), move || {
+                log.borrow_mut().push((eng.now().as_nanos(), i));
+            });
+        }
+        engine.run_until_idle();
+        let log = log.borrow();
+        prop_assert_eq!(log.len(), times.len());
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "tie broke submission order");
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Wire protocol: roundtrip for arbitrary field values; corruption is
+    // always detected.
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn hpbd_request_roundtrip(
+        req_id in any::<u64>(),
+        write in any::<bool>(),
+        server_offset in any::<u64>(),
+        len in 1u64..=(1 << 20),
+        rkey in any::<u32>(),
+        client_offset in any::<u64>(),
+    ) {
+        use hpbd_suite::hpbd::proto::{PageOp, PageRequest};
+        let req = PageRequest {
+            req_id,
+            op: if write { PageOp::Write } else { PageOp::Read },
+            server_offset,
+            len,
+            client_rkey: rkey,
+            client_offset,
+        };
+        prop_assert_eq!(PageRequest::decode(req.encode()), Ok(req));
+    }
+
+    #[test]
+    fn hpbd_request_detects_any_single_byte_corruption(
+        flip_byte in 4usize..44, // past the magic, within the signed header
+        flip_bit in 0u8..8,
+    ) {
+        use hpbd_suite::hpbd::proto::PageRequest;
+        let req = PageRequest {
+            req_id: 7,
+            op: hpbd_suite::hpbd::proto::PageOp::Write,
+            server_offset: 123456,
+            len: 4096,
+            client_rkey: 9,
+            client_offset: 8192,
+        };
+        let mut raw = req.encode().to_vec();
+        raw[flip_byte] ^= 1 << flip_bit;
+        let decoded = PageRequest::decode(raw.into());
+        prop_assert!(decoded.is_err() || decoded == Ok(req),
+            "silent corruption: {decoded:?}");
+        prop_assert_ne!(decoded, Ok(PageRequest { req_id: 8, ..req }));
+        prop_assert!(decoded.is_err(), "checksum must catch the flip");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Paged memory: random access sequences round-trip under pressure.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn paged_vec_matches_reference_vec(
+        writes in prop::collection::vec((0usize..32 * 1024, any::<i32>()), 1..400),
+        frames in 24usize..64,
+    ) {
+        use hpbd_suite::blockdev::{RamDiskDevice, RequestQueue};
+        use hpbd_suite::netmodel::{Calibration, Node};
+        use hpbd_suite::vmsim::{AddressSpace, PagedVec, Vm, VmConfig};
+
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let node = Node::new("n", 0, 2);
+        let mut config = VmConfig::for_memory(frames as u64 * 4096);
+        config.total_frames = frames;
+        let vm = Vm::new(engine.clone(), cal.clone(), node.clone(), config);
+        let dev = Rc::new(RamDiskDevice::new(
+            engine.clone(), cal.clone(), node.clone(), 64 << 20, "swap"));
+        let q = Rc::new(RequestQueue::new(engine.clone(), cal, node, dev));
+        vm.add_swap_device(q, 0);
+
+        let space = AddressSpace::new(&vm);
+        let v: PagedVec<i32> = PagedVec::new(&space, 32 * 1024);
+        let mut reference = vec![0i32; 32 * 1024];
+        for &(i, val) in &writes {
+            v.set(i, val);
+            reference[i] = val;
+        }
+        for &(i, _) in &writes {
+            prop_assert_eq!(v.get(i), reference[i], "index {}", i);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block-layer merging: no bio lost, no bio duplicated, extents exact.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn request_queue_completes_every_bio_exactly_once(
+        pages in prop::collection::hash_set(0u64..512, 1..128),
+    ) {
+        use hpbd_suite::blockdev::{new_buffer, Bio, IoOp, RamDiskDevice, RequestQueue};
+        use hpbd_suite::netmodel::{Calibration, Node};
+
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let node = Node::new("n", 0, 2);
+        let dev = Rc::new(RamDiskDevice::new(
+            engine.clone(), cal.clone(), node.clone(), 4 << 20, "ram"));
+        let queue = RequestQueue::new(engine.clone(), cal, node, dev);
+        let completions: Rc<RefCell<Vec<u64>>> = Rc::default();
+        for &p in &pages {
+            let completions = completions.clone();
+            queue.submit(Bio::new(IoOp::Write, p * 4096, new_buffer(4096), move |r| {
+                r.unwrap();
+                completions.borrow_mut().push(p);
+            }));
+        }
+        queue.flush();
+        engine.run_until_idle();
+        let mut got = completions.borrow().clone();
+        got.sort_unstable();
+        let mut want: Vec<u64> = pages.iter().copied().collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want, "every bio completes exactly once");
+
+        // The dispatch log covers exactly the submitted pages, merged.
+        let log = queue.dispatch_log();
+        let total: u64 = log.borrow().iter().map(|r| r.len).sum();
+        prop_assert_eq!(total, pages.len() as u64 * 4096);
+        for rec in log.borrow().iter() {
+            prop_assert!(rec.len <= 128 * 1024, "cap respected");
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // VM invariants under random access patterns and tight memory.
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn vm_invariants_hold_under_random_paging(
+        accesses in prop::collection::vec((0u64..256, any::<bool>()), 1..300),
+        frames in 24usize..48,
+    ) {
+        use hpbd_suite::blockdev::{RamDiskDevice, RequestQueue};
+        use hpbd_suite::netmodel::{Calibration, Node};
+        use hpbd_suite::vmsim::{Vm, VmConfig};
+
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let node = Node::new("n", 0, 2);
+        let mut config = VmConfig::for_memory(frames as u64 * 4096);
+        config.total_frames = frames;
+        let vm = Vm::new(engine.clone(), cal.clone(), node.clone(), config);
+        let dev = Rc::new(RamDiskDevice::new(
+            engine.clone(), cal.clone(), node.clone(), 8 << 20, "swap"));
+        let q = Rc::new(RequestQueue::new(engine.clone(), cal, node, dev));
+        vm.add_swap_device(q, 0);
+
+        let asid = vm.new_asid();
+        for (i, &(vpn, write)) in accesses.iter().enumerate() {
+            let _buf = vm.page_blocking(asid, vpn, write);
+            if i % 16 == 0 {
+                vm.check_invariants();
+            }
+        }
+        engine.run_until_idle();
+        vm.check_invariants();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// tcpsim: the stream is exactly the concatenation of sends, however the
+// receiver chunks its reads.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tcp_stream_preserves_byte_sequence(
+        sends in prop::collection::vec(1usize..5000, 1..20),
+        read_chunks in prop::collection::vec(1usize..4000, 1..40),
+    ) {
+        use hpbd_suite::netmodel::{Calibration, Node};
+        let engine = Engine::new();
+        let cal = Calibration::cluster_2005();
+        let model = Rc::new(cal.ipoib.clone());
+        let a = Node::new("a", 0, 2);
+        let b = Node::new("b", 1, 2);
+        let (ca, cb) = hpbd_suite::tcpsim::connect(&engine, model, &a, &b);
+
+        // Send a deterministic byte pattern split into arbitrary messages.
+        let total: usize = sends.iter().sum();
+        let payload: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+        let mut at = 0;
+        for &n in &sends {
+            ca.send(bytes::Bytes::copy_from_slice(&payload[at..at + n]));
+            at += n;
+        }
+        // Read it back in arbitrary chunk sizes (bounded by what was sent).
+        let received: Rc<RefCell<Vec<u8>>> = Rc::default();
+        let mut requested = 0usize;
+        for &n in &read_chunks {
+            let n = n.min(total - requested);
+            if n == 0 { break; }
+            requested += n;
+            let received = received.clone();
+            cb.recv(n, move |chunk| received.borrow_mut().extend_from_slice(&chunk));
+        }
+        engine.run_until_idle();
+        let received = received.borrow();
+        prop_assert_eq!(&received[..], &payload[..requested],
+            "stream must be the exact concatenation of sends");
+    }
+
+    // -----------------------------------------------------------------------
+    // ibsim: random RDMA traffic matches a plain reference buffer.
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn rdma_ops_match_reference_model(
+        ops in prop::collection::vec(
+            (any::<bool>(), 0u64..32, 1u64..8192), 1..40),
+    ) {
+        use hpbd_suite::ibsim::{Fabric, RemoteSlice, WorkKind, WorkRequest};
+        use hpbd_suite::netmodel::Calibration;
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let fabric = Fabric::new(engine.clone(), cal);
+        let a = fabric.add_node("a");
+        let b = fabric.add_node("b");
+        let (acq, arcq, bcq, brcq) = (a.create_cq(), a.create_cq(), b.create_cq(), b.create_cq());
+        let (qp, _qp_b) = fabric.connect(&a, &acq, &arcq, &b, &bcq, &brcq);
+
+        const REGION: u64 = 64 * 1024;
+        let local = a.hca().register(REGION as usize);
+        let remote = b.hca().register(REGION as usize);
+        let mut ref_local = vec![0u8; REGION as usize];
+        let mut ref_remote = vec![0u8; REGION as usize];
+
+        for (i, &(is_write, page, len)) in ops.iter().enumerate() {
+            let offset = (page * 2048).min(REGION - 1);
+            let len = len.min(REGION - offset);
+            if is_write {
+                // Fill local with a marker, RDMA-write to remote.
+                let marker = (i % 251) as u8 + 1;
+                let data = vec![marker; len as usize];
+                local.write(offset as usize, &data);
+                ref_local[offset as usize..(offset + len) as usize].fill(marker);
+                qp.post_send(WorkRequest {
+                    wr_id: i as u64,
+                    kind: WorkKind::RdmaWrite {
+                        local: local.slice(offset, len),
+                        remote: RemoteSlice { rkey: remote.rkey(), offset, len },
+                    },
+                    solicited: false,
+                }).expect("post");
+                engine.run_until_idle();
+                ref_remote[offset as usize..(offset + len) as usize].fill(marker);
+            } else {
+                qp.post_send(WorkRequest {
+                    wr_id: i as u64,
+                    kind: WorkKind::RdmaRead {
+                        local: local.slice(offset, len),
+                        remote: RemoteSlice { rkey: remote.rkey(), offset, len },
+                    },
+                    solicited: false,
+                }).expect("post");
+                engine.run_until_idle();
+                let src = &ref_remote[offset as usize..(offset + len) as usize];
+                ref_local[offset as usize..(offset + len) as usize]
+                    .copy_from_slice(src);
+            }
+            // All completions must be successes.
+            while let Some(c) = acq.poll() {
+                prop_assert_eq!(c.status, hpbd_suite::ibsim::WcStatus::Success);
+            }
+        }
+        prop_assert_eq!(local.to_vec(), ref_local, "local region diverged");
+        prop_assert_eq!(remote.to_vec(), ref_remote, "remote region diverged");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quicksort over the full stack: always sorted, for random shapes.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn quicksort_sorts_under_any_memory_pressure(
+        elements in 1usize..40_000,
+        frames_kb in 64u64..512,
+        seed in any::<u64>(),
+        servers in 1usize..4,
+    ) {
+        use hpbd_suite::workloads::qsort::QsortTask;
+        use hpbd_suite::workloads::{Scenario, ScenarioConfig, SwapKind, Scheduler};
+        use hpbd_suite::vmsim::AddressSpace;
+
+        let config = ScenarioConfig::new(
+            frames_kb * 1024,
+            16 << 20,
+            SwapKind::Hpbd { servers },
+        );
+        let scenario = Scenario::build(&config);
+        let space = AddressSpace::new(&scenario.vm);
+        let mut task = QsortTask::new(&space, elements, seed, 4, "prop-qsort");
+        Scheduler::new(scenario.engine.clone(), 2).run_one(&mut task);
+        prop_assert!(task.is_sorted(), "sortedness violated: n={elements} seed={seed}");
+    }
+}
