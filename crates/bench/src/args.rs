@@ -1,5 +1,7 @@
 //! Command-line arguments shared by the figure binaries.
 
+use std::path::PathBuf;
+
 /// Parsed common arguments.
 #[derive(Clone, Debug)]
 pub struct CommonArgs {
@@ -8,11 +10,20 @@ pub struct CommonArgs {
     pub scale: u64,
     /// Workload RNG seed.
     pub seed: u64,
+    /// Write a Chrome trace-event file here (`--trace PATH`).
+    pub trace: Option<PathBuf>,
+    /// Print per-configuration metrics summaries (`--metrics`).
+    pub metrics: bool,
 }
 
 impl Default for CommonArgs {
     fn default() -> CommonArgs {
-        CommonArgs { scale: 16, seed: 42 }
+        CommonArgs {
+            scale: 16,
+            seed: 42,
+            trace: None,
+            metrics: false,
+        }
     }
 }
 
@@ -24,12 +35,10 @@ impl CommonArgs {
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             let mut take = |name: &str| -> u64 {
-                args.next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("{name} requires an integer value");
-                        std::process::exit(2);
-                    })
+                args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("{name} requires an integer value");
+                    std::process::exit(2);
+                })
             };
             match arg.as_str() {
                 "--scale" => {
@@ -38,10 +47,22 @@ impl CommonArgs {
                 "--seed" => {
                     out.seed = take("--seed");
                 }
+                "--trace" => {
+                    let path = args.next().unwrap_or_else(|| {
+                        eprintln!("--trace requires a file path");
+                        std::process::exit(2);
+                    });
+                    out.trace = Some(PathBuf::from(path));
+                }
+                "--metrics" => {
+                    out.metrics = true;
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: [--scale N] [--seed N]");
-                    eprintln!("  --scale N   divide the paper's sizes by N (default 16)");
-                    eprintln!("  --seed N    workload RNG seed (default 42)");
+                    eprintln!("usage: [--scale N] [--seed N] [--trace PATH] [--metrics]");
+                    eprintln!("  --scale N    divide the paper's sizes by N (default 16)");
+                    eprintln!("  --seed N     workload RNG seed (default 42)");
+                    eprintln!("  --trace PATH write a Chrome trace-event JSON (load in Perfetto)");
+                    eprintln!("  --metrics    print per-configuration metrics summaries");
                     std::process::exit(0);
                 }
                 other => {
@@ -70,7 +91,11 @@ mod tests {
 
     #[test]
     fn scaling_is_page_aligned() {
-        let a = CommonArgs { scale: 16, seed: 1 };
+        let a = CommonArgs {
+            scale: 16,
+            seed: 1,
+            ..CommonArgs::default()
+        };
         assert_eq!(a.scaled_bytes(1 << 30) % 4096, 0);
         assert_eq!(a.scaled_bytes(1 << 30), 64 << 20);
         assert_eq!(a.scaled_elems(256 << 20), 16 << 20);
@@ -81,6 +106,7 @@ mod tests {
         let a = CommonArgs {
             scale: 1 << 40,
             seed: 1,
+            ..CommonArgs::default()
         };
         assert!(a.scaled_bytes(1 << 30) >= 4 * 4096);
         assert!(a.scaled_elems(256 << 20) >= 1024);

@@ -75,11 +75,7 @@ fn main() {
         };
         rows.push(run_one(&args, &format!("credits-{credits}"), c, 1));
     }
-    print_rows(
-        "flow-control water-mark (paper §4.2.4)",
-        "seconds",
-        &rows,
-    );
+    print_rows("flow-control water-mark (paper §4.2.4)", "seconds", &rows);
 
     // 4. Registered pool size.
     let mut rows = Vec::new();

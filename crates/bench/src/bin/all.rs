@@ -12,7 +12,10 @@ fn ratios(label: &str, secs: &[f64], names: &[&str]) {
 
 fn main() {
     let args = CommonArgs::parse();
-    println!("# HPBD reproduction — full experiment sweep (scale 1/{})", args.scale);
+    println!(
+        "# HPBD reproduction — full experiment sweep (scale 1/{})",
+        args.scale
+    );
 
     println!("\n## Figure 1 (latency, us)");
     for p in fig1::run() {
@@ -32,7 +35,10 @@ fn main() {
 
     let names = ["local", "HPBD", "NBD-IPoIB", "NBD-GigE", "disk"];
 
-    let f5: Vec<f64> = fig5::run(&args).iter().map(|r| r.elapsed.as_secs_f64()).collect();
+    let f5: Vec<f64> = fig5::run(&args)
+        .iter()
+        .map(|r| r.elapsed.as_secs_f64())
+        .collect();
     ratios("Figure 5: testswap", &f5, &names);
 
     let profile = fig6::run(&args);
@@ -45,10 +51,16 @@ fn main() {
         profile.write_mean
     );
 
-    let f7: Vec<f64> = fig7::run(&args).iter().map(|r| r.elapsed.as_secs_f64()).collect();
+    let f7: Vec<f64> = fig7::run(&args)
+        .iter()
+        .map(|r| r.elapsed.as_secs_f64())
+        .collect();
     ratios("Figure 7: quicksort", &f7, &names);
 
-    let f8: Vec<f64> = fig8::run(&args).iter().map(|r| r.elapsed.as_secs_f64()).collect();
+    let f8: Vec<f64> = fig8::run(&args)
+        .iter()
+        .map(|r| r.elapsed.as_secs_f64())
+        .collect();
     ratios("Figure 8: Barnes", &f8, &names);
 
     println!("\n### Figure 9: two concurrent quicksorts");

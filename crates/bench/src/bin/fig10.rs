@@ -1,21 +1,24 @@
 //! Figure 10: quicksort execution time with 1-16 memory servers.
 use bench::figures::fig10;
-use bench::report::{print_paper_note, print_rows, Row};
+use bench::report::{hpbd_note, print_metrics, print_paper_note, print_rows, write_trace, Row};
 use bench::CommonArgs;
+use simcore::TraceSession;
 
 fn main() {
     let args = CommonArgs::parse();
+    let mut session = TraceSession::new(args.trace.is_some());
     println!(
         "Figure 10 — Quick Sort Execution Time with Multiple Servers (scale 1/{})",
         args.scale
     );
-    let rows: Vec<Row> = fig10::run(&args)
-        .into_iter()
+    let points = fig10::run_traced(&args, &mut session);
+    let rows: Vec<Row> = points
+        .iter()
         .map(|p| {
             Row::new(
                 format!("{} server(s)", p.servers),
                 p.seconds,
-                format!("qp-ctx-reloads={}", p.ctx_reloads),
+                format!("qp-ctx-reloads={}{}", p.ctx_reloads, hpbd_note(&p.report)),
             )
         })
         .collect();
@@ -25,4 +28,12 @@ fn main() {
         "HPBD performs similarly up to 8 servers; for 16 servers there is some",
         "degradation, due to the HCA design for multiple queue pair processing.",
     ]);
+    if args.metrics {
+        print_metrics(
+            points
+                .iter()
+                .map(|p| (p.report.label.as_str(), &p.report.metrics)),
+        );
+    }
+    write_trace(&args, &session);
 }

@@ -51,7 +51,10 @@ fn main() {
 
     // Readahead ablation on the HPBD row: the 2.4 default of 8 pages vs off.
     let mut rows = Vec::new();
-    for (label, ra) in [("readahead-8 (2.4 default)", None), ("readahead-off", Some(1))] {
+    for (label, ra) in [
+        ("readahead-8 (2.4 default)", None),
+        ("readahead-off", Some(1)),
+    ] {
         let (_, mut config) = standard_configs(&args).into_iter().nth(1).expect("HPBD");
         config.readahead_pages = ra;
         let report = run(&config);

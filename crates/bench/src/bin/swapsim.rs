@@ -6,6 +6,8 @@
 //!     --workload qsort --elements 4194304 --seed 7
 //! ```
 use netmodel::Transport;
+use simcore::TraceSession;
+use std::path::PathBuf;
 use workloads::barnes::BarnesParams;
 use workloads::kvstore::KvParams;
 use workloads::{Scenario, ScenarioConfig, SwapKind};
@@ -21,6 +23,8 @@ struct Opts {
     records: usize,
     seed: u64,
     mirror: bool,
+    trace: Option<PathBuf>,
+    metrics: bool,
 }
 
 impl Default for Opts {
@@ -36,6 +40,8 @@ impl Default for Opts {
             records: 200_000,
             seed: 42,
             mirror: false,
+            trace: None,
+            metrics: false,
         }
     }
 }
@@ -45,7 +51,8 @@ fn usage() -> ! {
         "usage: swapsim [--device hpbd|nbd-ipoib|nbd-gige|disk|local] [--servers N]\n\
          \x20              [--local-mem-mb N] [--swap-mb N] [--mirror]\n\
          \x20              [--workload testswap|qsort|barnes|kv] [--elements N]\n\
-         \x20              [--bodies N] [--records N] [--seed N]"
+         \x20              [--bodies N] [--records N] [--seed N]\n\
+         \x20              [--trace PATH] [--metrics]"
     );
     std::process::exit(2);
 }
@@ -66,6 +73,8 @@ fn parse() -> Opts {
             "--records" => o.records = val().parse().unwrap_or_else(|_| usage()),
             "--seed" => o.seed = val().parse().unwrap_or_else(|_| usage()),
             "--mirror" => o.mirror = true,
+            "--trace" => o.trace = Some(PathBuf::from(val())),
+            "--metrics" => o.metrics = true,
             _ => usage(),
         }
     }
@@ -91,6 +100,8 @@ fn main() {
     if o.mirror {
         config.hpbd.request_timeout_ns = Some(10_000_000);
     }
+    let mut session = TraceSession::new(o.trace.is_some());
+    config.tracer = Some(session.tracer_for(&format!("{}/{}", o.device, o.workload)));
     let scenario = Scenario::build(&config);
     println!(
         "device={} local={}MiB swap={}MiB workload={}",
@@ -136,6 +147,18 @@ fn main() {
         println!(
             "write latency   mean {:.1}us max {:.1}us over {} requests",
             report.write_latency_us.0, report.write_latency_us.1, report.write_latency_us.2
+        );
+    }
+    if o.metrics {
+        println!("\nmetrics");
+        print!("{}", report.metrics.render_text());
+    }
+    if let Some(path) = &o.trace {
+        session.write_chrome(path).expect("write trace file");
+        println!(
+            "\ntrace: {} events written to {}",
+            session.total_events(),
+            path.display()
         );
     }
     if let Some(cluster) = &scenario.hpbd {

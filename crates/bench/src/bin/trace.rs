@@ -7,9 +7,9 @@
 //! # replay it against every device, open- and closed-loop
 //! cargo run --release -p bench --bin trace -- replay /tmp/qsort.trace
 //! ```
+use bench::CommonArgs;
 use blockdev::trace::{replay_closed_loop, replay_open_loop};
 use blockdev::{SimDisk, SwapTrace};
-use bench::CommonArgs;
 use netmodel::{Calibration, Node, Transport};
 use simcore::Engine;
 use std::rc::Rc;
@@ -63,7 +63,10 @@ fn replay(path: &str, args: &CommonArgs) {
         print_row("HPBD-2", &report);
     }
     // NBD over both transports.
-    for (label, transport) in [("NBD-IPoIB", Transport::IpoIb), ("NBD-GigE", Transport::GigE)] {
+    for (label, transport) in [
+        ("NBD-IPoIB", Transport::IpoIb),
+        ("NBD-GigE", Transport::GigE),
+    ] {
         let engine = Engine::new();
         let node = Node::new("client", 0, 2);
         let dev = nbd::build_pair(&engine, cal.clone(), transport, &node, capacity);
@@ -76,14 +79,24 @@ fn replay(path: &str, args: &CommonArgs) {
     // other, not to the closed-loop rows).
     {
         let engine = Engine::new();
-        let disk = Rc::new(SimDisk::new(engine.clone(), cal.disk.clone(), capacity, "hda"));
+        let disk = Rc::new(SimDisk::new(
+            engine.clone(),
+            cal.disk.clone(),
+            capacity,
+            "hda",
+        ));
         let report = replay_closed_loop(&engine, disk, &trace);
         print_row("disk", &report);
     }
     println!();
     for (label, use_elevator) in [("disk open*", false), ("disk+cscan*", true)] {
         let engine = Engine::new();
-        let disk = Rc::new(SimDisk::new(engine.clone(), cal.disk.clone(), capacity, "hda"));
+        let disk = Rc::new(SimDisk::new(
+            engine.clone(),
+            cal.disk.clone(),
+            capacity,
+            "hda",
+        ));
         let report = if use_elevator {
             let elevator = Rc::new(blockdev::Elevator::new(disk, 1));
             replay_open_loop(&engine, elevator, &trace)

@@ -81,7 +81,9 @@ fn measure_tcp(size: u64, which: fn(&Calibration) -> &netmodel::TransportModel) 
     {
         let arrived = arrived.clone();
         let eng = engine.clone();
-        cb.recv(size as usize, move |_| *arrived.borrow_mut() = Some(eng.now()));
+        cb.recv(size as usize, move |_| {
+            *arrived.borrow_mut() = Some(eng.now())
+        });
     }
     ca.send(bytes::Bytes::from(vec![0u8; size as usize]));
     engine.run_until_idle();

@@ -8,6 +8,7 @@
 
 use super::paper_sizes;
 use crate::args::CommonArgs;
+use simcore::TraceSession;
 use workloads::{RunReport, Scenario, ScenarioConfig, SwapKind};
 
 /// Result for one server count.
@@ -30,6 +31,11 @@ pub fn server_counts() -> Vec<usize> {
 
 /// Run quicksort for each server count.
 pub fn run(args: &CommonArgs) -> Vec<ServerPoint> {
+    run_traced(args, &mut TraceSession::disabled())
+}
+
+/// Like [`run`], collecting each server count's events into `session`.
+pub fn run_traced(args: &CommonArgs, session: &mut TraceSession) -> Vec<ServerPoint> {
     let elements = args.scaled_elems(paper_sizes::DATASET_ELEMS);
     let local = args.scaled_bytes(paper_sizes::LOCAL_MEM);
     // The swap area must hold the whole dataset (swap-cache slots persist
@@ -38,7 +44,8 @@ pub fn run(args: &CommonArgs) -> Vec<ServerPoint> {
     server_counts()
         .into_iter()
         .map(|servers| {
-            let config = ScenarioConfig::new(local, swap, SwapKind::Hpbd { servers });
+            let mut config = ScenarioConfig::new(local, swap, SwapKind::Hpbd { servers });
+            config.tracer = Some(session.tracer_for(&format!("HPBD-{servers}")));
             let scenario = Scenario::build(&config);
             let report = scenario.run_qsort(elements, args.seed);
             let ctx_reloads = scenario
@@ -68,6 +75,7 @@ mod tests {
         let args = CommonArgs {
             scale: 256,
             seed: 13,
+            ..CommonArgs::default()
         };
         let points = run(&args);
         let one = points[0].seconds;

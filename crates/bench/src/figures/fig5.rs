@@ -6,14 +6,22 @@
 
 use super::{paper_sizes, standard_configs};
 use crate::args::CommonArgs;
+use simcore::TraceSession;
 use workloads::{RunReport, Scenario};
 
 /// Run all five configurations; reports in the paper's order.
 pub fn run(args: &CommonArgs) -> Vec<RunReport> {
+    run_traced(args, &mut TraceSession::disabled())
+}
+
+/// Like [`run`], collecting each configuration's events into `session`
+/// (one Chrome-trace process per configuration).
+pub fn run_traced(args: &CommonArgs, session: &mut TraceSession) -> Vec<RunReport> {
     let elements = args.scaled_elems(paper_sizes::DATASET_ELEMS);
     standard_configs(args)
         .into_iter()
-        .map(|(label, config)| {
+        .map(|(label, mut config)| {
+            config.tracer = Some(session.tracer_for(&label));
             let scenario = Scenario::build(&config);
             let mut report = scenario.run_testswap(elements);
             report.label = label;
@@ -32,6 +40,7 @@ mod tests {
         let args = CommonArgs {
             scale: 128,
             seed: 7,
+            ..CommonArgs::default()
         };
         let rows = run(&args);
         let t: Vec<f64> = rows.iter().map(|r| r.elapsed.as_secs_f64()).collect();

@@ -46,12 +46,10 @@ pub fn clusterize(log: &[DispatchRecord]) -> Vec<Cluster> {
     let mut clusters = Vec::new();
     let mut start = 0usize;
     for i in 1..=log.len() {
-        let boundary = i == log.len()
-            || log[i].at.since(log[i - 1].at) > CLUSTER_GAP;
+        let boundary = i == log.len() || log[i].at.since(log[i - 1].at) > CLUSTER_GAP;
         if boundary {
             let slice = &log[start..i];
-            let mean =
-                slice.iter().map(|r| r.len as f64).sum::<f64>() / slice.len() as f64;
+            let mean = slice.iter().map(|r| r.len as f64).sum::<f64>() / slice.len() as f64;
             clusters.push(Cluster {
                 index: clusters.len(),
                 requests: slice.len(),
@@ -78,8 +76,7 @@ pub fn run(args: &CommonArgs) -> Profile {
         .iter()
         .filter(|r| r.op == blockdev::IoOp::Write)
         .collect();
-    let write_mean =
-        writes.iter().map(|r| r.len as f64).sum::<f64>() / writes.len().max(1) as f64;
+    let write_mean = writes.iter().map(|r| r.len as f64).sum::<f64>() / writes.len().max(1) as f64;
     Profile {
         clusters,
         overall_mean: overall,
@@ -97,6 +94,7 @@ mod tests {
         let args = CommonArgs {
             scale: 128,
             seed: 7,
+            ..CommonArgs::default()
         };
         let profile = run(&args);
         assert!(profile.total_requests > 0);

@@ -31,6 +31,7 @@ mod tests {
         let args = CommonArgs {
             scale: 256,
             seed: 11,
+            ..CommonArgs::default()
         };
         let rows = run(&args);
         let t: Vec<f64> = rows.iter().map(|r| r.elapsed.as_secs_f64()).collect();

@@ -38,6 +38,7 @@ mod tests {
         let args = CommonArgs {
             scale: 256,
             seed: 5,
+            ..CommonArgs::default()
         };
         let rows = run(&args);
         let t: Vec<f64> = rows.iter().map(|r| r.elapsed.as_secs_f64()).collect();
@@ -49,7 +50,10 @@ mod tests {
         // paper's point is that Barnes pages lightly, not that it doesn't
         // page. (The disk-vs-HPBD gap narrows at realistic scale, where
         // compute dominates; see EXPERIMENTS.md at scale 16.)
-        assert!(rows[1].vm.swap_outs > 0, "Barnes must page under 512MB-scaled");
+        assert!(
+            rows[1].vm.swap_outs > 0,
+            "Barnes must page under 512MB-scaled"
+        );
         let disk_vs_hpbd = t[4] / t[1];
         assert!(disk_vs_hpbd > 1.0, "disk slower than HPBD: {disk_vs_hpbd}");
     }

@@ -9,8 +9,8 @@
 
 use super::paper_sizes;
 use crate::args::CommonArgs;
-use simcore::SimDuration;
-use workloads::{Scenario, ScenarioConfig, SwapKind};
+use simcore::{SimDuration, TraceSession};
+use workloads::{RunReport, Scenario, ScenarioConfig, SwapKind};
 
 /// One Figure 9 configuration's outcome.
 #[derive(Clone, Debug)]
@@ -25,9 +25,18 @@ pub struct PairRun {
     pub makespan_secs: f64,
     /// Swap-outs observed (diagnostics).
     pub swap_outs: u64,
+    /// Full run report (HPBD counters, metrics snapshot).
+    pub report: RunReport,
 }
 
-fn run_pair(label: &str, config: &ScenarioConfig, elements: usize, seed: u64) -> PairRun {
+fn run_pair(
+    label: &str,
+    config: &mut ScenarioConfig,
+    elements: usize,
+    seed: u64,
+    session: &mut TraceSession,
+) -> PairRun {
+    config.tracer = Some(session.tracer_for(label));
     let scenario = Scenario::build(config);
     let (a, b, report) = scenario.run_qsort_pair(elements, seed);
     let to_s = |d: SimDuration| d.as_secs_f64();
@@ -37,12 +46,18 @@ fn run_pair(label: &str, config: &ScenarioConfig, elements: usize, seed: u64) ->
         b_secs: to_s(b),
         makespan_secs: to_s(report.elapsed),
         swap_outs: report.vm.swap_outs,
+        report,
     }
 }
 
 /// Run the four Figure 9 configurations: local 2 GiB, HPBD at 50 % and
 /// 25 % local memory (4 servers × 512 MiB), and disk at 50 %.
 pub fn run(args: &CommonArgs) -> Vec<PairRun> {
+    run_traced(args, &mut TraceSession::disabled())
+}
+
+/// Like [`run`], collecting each configuration's events into `session`.
+pub fn run_traced(args: &CommonArgs, session: &mut TraceSession) -> Vec<PairRun> {
     let elements = args.scaled_elems(paper_sizes::DATASET_ELEMS);
     // Two 1 GiB datasets: give the baseline a little slack above 2 GiB so
     // "enough memory" truly holds, as on the testbed where the kernel's own
@@ -58,27 +73,31 @@ pub fn run(args: &CommonArgs) -> Vec<PairRun> {
     vec![
         run_pair(
             "local-2GB",
-            &ScenarioConfig::new(baseline_mem, total_swap, SwapKind::LocalOnly),
+            &mut ScenarioConfig::new(baseline_mem, total_swap, SwapKind::LocalOnly),
             elements,
             args.seed,
+            session,
         ),
         run_pair(
             "HPBD-50%",
-            &ScenarioConfig::new(mem_50, total_swap, SwapKind::Hpbd { servers: 4 }),
+            &mut ScenarioConfig::new(mem_50, total_swap, SwapKind::Hpbd { servers: 4 }),
             elements,
             args.seed,
+            session,
         ),
         run_pair(
             "HPBD-25%",
-            &ScenarioConfig::new(mem_25, total_swap, SwapKind::Hpbd { servers: 4 }),
+            &mut ScenarioConfig::new(mem_25, total_swap, SwapKind::Hpbd { servers: 4 }),
             elements,
             args.seed,
+            session,
         ),
         run_pair(
             "disk-50%",
-            &ScenarioConfig::new(mem_50, total_swap, SwapKind::Disk),
+            &mut ScenarioConfig::new(mem_50, total_swap, SwapKind::Disk),
             elements,
             args.seed,
+            session,
         ),
     ]
 }
@@ -92,6 +111,7 @@ mod tests {
         let args = CommonArgs {
             scale: 256,
             seed: 3,
+            ..CommonArgs::default()
         };
         let rows = run(&args);
         let local = rows[0].makespan_secs;
@@ -118,6 +138,7 @@ mod tests {
         let args = CommonArgs {
             scale: 256,
             seed: 3,
+            ..CommonArgs::default()
         };
         let rows = run(&args);
         for r in &rows {

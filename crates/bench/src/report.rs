@@ -1,5 +1,8 @@
 //! Result-table formatting shared by the figure binaries.
 
+use crate::args::CommonArgs;
+use simcore::{MetricsSnapshot, TraceSession};
+
 /// One row of a figure's result table.
 #[derive(Clone, Debug)]
 pub struct Row {
@@ -36,10 +39,7 @@ pub fn print_rows(title: &str, unit: &str, rows: &[Row]) {
     println!("\n{title}");
     println!("{}", "-".repeat(title.len().min(78)));
     let base = rows.first().map(|r| r.value).unwrap_or(0.0);
-    println!(
-        "{:<14} {:>12} {:>10}  notes",
-        "config", unit, "vs first"
-    );
+    println!("{:<14} {:>12} {:>10}  notes", "config", unit, "vs first");
     for r in rows {
         println!(
             "{:<14} {:>12.3} {:>9.2}x  {}",
@@ -56,6 +56,42 @@ pub fn print_paper_note(lines: &[&str]) {
     println!("paper reports:");
     for l in lines {
         println!("  {l}");
+    }
+}
+
+/// HPBD client counters for a row note — empty for non-HPBD rows.
+pub fn hpbd_note(report: &workloads::RunReport) -> String {
+    match &report.hpbd_client {
+        Some(c) => format!(
+            " stalls={} splits={} failovers={}",
+            c.flow_stalls, c.split_requests, c.failovers
+        ),
+        None => String::new(),
+    }
+}
+
+/// Print per-configuration metrics summaries (the `--metrics` flag).
+pub fn print_metrics<'a>(runs: impl IntoIterator<Item = (&'a str, &'a MetricsSnapshot)>) {
+    for (label, snapshot) in runs {
+        println!("\nmetrics [{label}]");
+        print!("{}", snapshot.render_text());
+    }
+}
+
+/// Write the session's Chrome trace if `--trace` was given.
+pub fn write_trace(args: &CommonArgs, session: &TraceSession) {
+    if let Some(path) = &args.trace {
+        match session.write_chrome(path) {
+            Ok(()) => println!(
+                "\ntrace: {} events written to {} (chrome://tracing or https://ui.perfetto.dev)",
+                session.total_events(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("failed to write trace {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
 }
 

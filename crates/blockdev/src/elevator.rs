@@ -200,7 +200,7 @@ mod tests {
             (engine.now().as_nanos(), disk.seeks())
         };
         let (t_fifo_like, seeks_fifo) = run(1); // window 1 still sorts the backlog
-        // True FIFO: submit directly to a raw disk.
+                                                // True FIFO: submit directly to a raw disk.
         let engine = Engine::new();
         let disk = Rc::new(SimDisk::new(
             engine.clone(),

@@ -33,5 +33,5 @@ pub use disk::SimDisk;
 pub use elevator::Elevator;
 pub use queue::{DispatchRecord, RequestQueue};
 pub use ramdisk::{RamDiskDevice, Storage};
-pub use trace::{ReplayReport, SwapTrace, TraceEvent};
 pub use request::{new_buffer, Bio, IoBuffer, IoError, IoOp, IoRequest, IoResult};
+pub use trace::{ReplayReport, SwapTrace, TraceEvent};

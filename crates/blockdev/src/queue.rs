@@ -157,9 +157,8 @@ impl RequestQueue {
             let req = IoRequest::from_bios(run);
             // Kernel block-layer work scales with the pages in the request
             // (swap-cache bookkeeping, bio setup, page table updates).
-            let submit_cost = SimDuration::from_nanos(
-                self.cal.compute.block_submit_ns * req.bio_count() as u64,
-            );
+            let submit_cost =
+                SimDuration::from_nanos(self.cal.compute.block_submit_ns * req.bio_count() as u64);
             let (_, t) = self.node.cpu().reserve(now, submit_cost);
             self.log.borrow_mut().push(DispatchRecord {
                 at: t,
@@ -174,12 +173,31 @@ impl RequestQueue {
                 IoOp::Write => self.write_latency.clone(),
             };
             let engine = self.engine.clone();
+            let metrics = self.engine.metrics();
+            metrics.inc("blockdev.requests");
+            metrics.add("blockdev.bios", req.bio_count() as u64);
+            metrics.observe("blockdev.bios_per_request", req.bio_count() as f64);
             self.engine.schedule_at(t, move || {
                 let dispatched = engine.now();
                 let engine2 = engine.clone();
+                let op = req.op();
+                let bytes = req.len();
+                let bios = req.bio_count() as u64;
                 let req = req.on_complete(move |_| {
                     let us = engine2.now().since(dispatched).as_micros_f64();
                     stats.borrow_mut().record(us);
+                    let (name, hist) = match op {
+                        IoOp::Read => ("read", "blockdev.swap_in_latency_us"),
+                        IoOp::Write => ("write", "blockdev.swap_out_latency_us"),
+                    };
+                    metrics.observe(hist, us);
+                    engine2.tracer().span(
+                        "blockdev",
+                        name,
+                        dispatched.as_nanos(),
+                        engine2.now().as_nanos(),
+                        &[("bytes", bytes), ("bios", bios)],
+                    );
                 });
                 device.submit(req)
             });

@@ -209,12 +209,9 @@ pub fn replay_closed_loop(
         let eng2 = engine.clone();
         let dev2 = device.clone();
         device.submit(
-            IoRequest::single(Bio::new(
-                e.op,
-                e.offset,
-                new_buffer(e.len as usize),
-                |r| r.expect("replayed I/O failed"),
-            ))
+            IoRequest::single(Bio::new(e.op, e.offset, new_buffer(e.len as usize), |r| {
+                r.expect("replayed I/O failed")
+            }))
             .on_complete(move |_| {
                 latency
                     .borrow_mut()

@@ -19,10 +19,14 @@
 
 use crate::config::{Distribution, HpbdConfig, StagingMode};
 use crate::pool::{PoolBuf, SimBufferPool};
-use crate::proto::{PageOp, PageRequest, ReplyStatus, RevokeNotice, ServerMessage, REPLY_WIRE_SIZE};
+use crate::proto::{
+    PageOp, PageRequest, ReplyStatus, RevokeNotice, ServerMessage, REPLY_WIRE_SIZE,
+};
 use blockdev::{new_buffer, Bio, BlockDevice, IoError, IoOp, IoRequest};
-use ibsim::{CompletionQueue, IbNode, MemoryRegion, Opcode, QueuePair, WcStatus, WorkKind, WorkRequest};
-use simcore::{Engine, SimDuration};
+use ibsim::{
+    CompletionQueue, IbNode, MemoryRegion, Opcode, QueuePair, WcStatus, WorkKind, WorkRequest,
+};
+use simcore::{Engine, SimDuration, SimTime};
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
@@ -67,6 +71,12 @@ struct Parent {
     req: RefCell<Option<IoRequest>>,
     remaining: Cell<usize>,
     error: Cell<Option<IoError>>,
+    /// Submission instant (trace span start).
+    started: SimTime,
+    op: PageOp,
+    len: u64,
+    /// Physical parts issued (including mirror replicas).
+    parts: Cell<usize>,
 }
 
 impl Parent {
@@ -79,9 +89,27 @@ impl Parent {
                 Some(e) => Err(e),
                 None => Ok(()),
             };
-            // Completion from the event loop (already inside an event, but
-            // keep the invariant explicit for the error path too).
-            let _ = engine;
+            engine.tracer().span(
+                "hpbd",
+                match self.op {
+                    PageOp::Read => "request_read",
+                    PageOp::Write => "request_write",
+                },
+                self.started.as_nanos(),
+                engine.now().as_nanos(),
+                &[
+                    ("bytes", self.len),
+                    ("parts", self.parts.get() as u64),
+                    ("ok", result.is_ok() as u64),
+                ],
+            );
+            let hist = match self.op {
+                PageOp::Read => "hpbd.swap_in_latency_us",
+                PageOp::Write => "hpbd.swap_out_latency_us",
+            };
+            engine
+                .metrics()
+                .observe(hist, engine.now().since(self.started).as_micros_f64());
             req.complete(result);
         }
     }
@@ -169,6 +197,14 @@ impl HpbdClient {
     /// Create the client driver on `ibnode`. Connections are added by the
     /// cluster builder via [`HpbdClient::attach_server`].
     pub fn new(engine: Engine, ibnode: IbNode, config: HpbdConfig) -> HpbdClient {
+        // Pre-register the headline metrics so reports always show them,
+        // even for runs where the condition never fires.
+        let metrics = engine.metrics();
+        metrics.add("hpbd.credit_stalls", 0);
+        metrics.add("hpbd.split_requests", 0);
+        metrics.add("hpbd.failovers", 0);
+        metrics.declare_histogram("hpbd.swap_in_latency_us");
+        metrics.declare_histogram("hpbd.swap_out_latency_us");
         // The pool is registered once at device load time (paper §4.2.2);
         // charge the registration cost against the client CPU.
         let reg = ibnode
@@ -295,9 +331,7 @@ impl HpbdClient {
         // (server_idx, server_offset, parent_off, part_len)
         match self.inner.config.distribution {
             Distribution::Blocking => self.split_blocking(offset, len),
-            Distribution::Striped { stripe_bytes } => {
-                self.split_striped(offset, len, stripe_bytes)
-            }
+            Distribution::Striped { stripe_bytes } => self.split_striped(offset, len, stripe_bytes),
         }
     }
 
@@ -316,9 +350,7 @@ impl HpbdClient {
             let part_end = end.min(c.device_base + c.len);
             let part_len = part_end - at;
             match parts.last_mut() {
-                Some((srv, soff, _, plen))
-                    if *srv == c.server && *soff + *plen == server_at =>
-                {
+                Some((srv, soff, _, plen)) if *srv == c.server && *soff + *plen == server_at => {
                     *plen += part_len;
                 }
                 _ => parts.push((c.server, server_at, at - offset, part_len)),
@@ -350,7 +382,10 @@ impl HpbdClient {
     /// Round-robin striping: stripe `k` lives on server `k % n` at
     /// within-server offset `(k / n) * stripe + intra`.
     fn split_striped(&self, offset: u64, len: u64, stripe: u64) -> Vec<(usize, u64, u64, u64)> {
-        assert!(stripe >= 4096 && stripe.is_multiple_of(4096), "stripe must be page-multiple");
+        assert!(
+            stripe >= 4096 && stripe.is_multiple_of(4096),
+            "stripe must be page-multiple"
+        );
         let n = self.inner.conns.borrow().len() as u64;
         let mut parts = Vec::new();
         let mut at = offset;
@@ -386,8 +421,17 @@ impl HpbdClient {
                 inner.pool_mr.write(pool_buf.offset as usize, &data);
                 let copy = inner.ibnode.memory_model().memcpy_time(phys.len);
                 let (_, t_copy) = inner.ibnode.node().cpu().reserve(inner.engine.now(), copy);
+                inner.engine.tracer().span(
+                    "hpbd",
+                    "stage_copy",
+                    inner.engine.now().as_nanos(),
+                    t_copy.as_nanos(),
+                    &[("req", phys.req_id), ("bytes", phys.len)],
+                );
                 let this = self.clone();
-                inner.engine.schedule_at(t_copy, move || this.enqueue_send(phys));
+                inner
+                    .engine
+                    .schedule_at(t_copy, move || this.enqueue_send(phys));
             }
             PageOp::Read => self.enqueue_send(phys),
         }
@@ -421,7 +465,9 @@ impl HpbdClient {
             .registration_time(phys.len);
         let (_, t_reg) = inner.ibnode.node().cpu().reserve(inner.engine.now(), reg);
         let this = self.clone();
-        inner.engine.schedule_at(t_reg, move || this.enqueue_send(phys));
+        inner
+            .engine
+            .schedule_at(t_reg, move || this.enqueue_send(phys));
     }
 
     fn enqueue_send(&self, mut phys: Phys) {
@@ -431,6 +477,13 @@ impl HpbdClient {
             match self.failover_target(&phys) {
                 Some((buddy, offset)) => {
                     self.inner.stats.borrow_mut().failovers += 1;
+                    self.inner.engine.metrics().inc("hpbd.failovers");
+                    self.inner.engine.tracer().instant(
+                        "hpbd",
+                        "failover",
+                        self.inner.engine.now().as_nanos(),
+                        &[("req", phys.req_id), ("buddy", buddy as u64)],
+                    );
                     phys.server_idx = buddy;
                     phys.server_offset = offset;
                 }
@@ -445,6 +498,17 @@ impl HpbdClient {
         if conn.credits.get() == 0 {
             // Water-mark reached: queue until credits return (§4.2.4).
             self.inner.stats.borrow_mut().flow_stalls += 1;
+            self.inner.engine.metrics().inc("hpbd.credit_stalls");
+            self.inner.engine.tracer().instant(
+                "hpbd",
+                "credit_stall",
+                self.inner.engine.now().as_nanos(),
+                &[
+                    ("server", phys.server_idx as u64),
+                    ("req", phys.req_id),
+                    ("bytes", phys.len),
+                ],
+            );
             conn.queued.borrow_mut().push_back(phys);
             return;
         }
@@ -468,6 +532,7 @@ impl HpbdClient {
         {
             let mut stats = self.inner.stats.borrow_mut();
             stats.phys_requests += 1;
+            self.inner.engine.metrics().inc("hpbd.phys_requests");
             if phys.is_mirror {
                 stats.mirrored_phys += 1;
             }
@@ -491,7 +556,10 @@ impl HpbdClient {
                     this.on_timeout(req_id);
                 });
         }
-        self.inner.outstanding.borrow_mut().insert(phys.req_id, phys);
+        self.inner
+            .outstanding
+            .borrow_mut()
+            .insert(phys.req_id, phys);
     }
 
     /// The buddy server and replica offset for a physical request, if the
@@ -519,6 +587,13 @@ impl HpbdClient {
             return; // answered in time
         };
         self.inner.stats.borrow_mut().timeouts += 1;
+        self.inner.engine.metrics().inc("hpbd.timeouts");
+        self.inner.engine.tracer().instant(
+            "hpbd",
+            "timeout",
+            self.inner.engine.now().as_nanos(),
+            &[("req", req_id), ("server", phys.server_idx as u64)],
+        );
         let stranded: Vec<Phys> = {
             let conns = self.inner.conns.borrow();
             let conn = &conns[phys.server_idx];
@@ -537,6 +612,13 @@ impl HpbdClient {
         match self.failover_target(&phys) {
             Some((buddy, offset)) => {
                 self.inner.stats.borrow_mut().failovers += 1;
+                self.inner.engine.metrics().inc("hpbd.failovers");
+                self.inner.engine.tracer().instant(
+                    "hpbd",
+                    "failover",
+                    self.inner.engine.now().as_nanos(),
+                    &[("req", phys.req_id), ("buddy", buddy as u64)],
+                );
                 let reissued = Phys {
                     server_idx: buddy,
                     server_offset: offset,
@@ -563,7 +645,9 @@ impl HpbdClient {
 
     fn install_receiver(&self) {
         let this = self.clone();
-        self.inner.recv_cq.set_event_handler(move || this.on_replies());
+        self.inner
+            .recv_cq
+            .set_event_handler(move || this.on_replies());
         self.inner.recv_cq.req_notify(true);
     }
 
@@ -572,6 +656,7 @@ impl HpbdClient {
     fn on_replies(&self) {
         let inner = &self.inner;
         inner.stats.borrow_mut().receiver_wakeups += 1;
+        inner.engine.metrics().inc("hpbd.receiver_wakeups");
         while let Some(completion) = inner.recv_cq.poll() {
             assert_eq!(completion.opcode, Opcode::Recv);
             assert_eq!(completion.status, WcStatus::Success, "reply recv failed");
@@ -673,6 +758,13 @@ impl HpbdClient {
                         inner.pool_mr.read(buf.offset as usize, &mut data);
                         let copy = inner.ibnode.memory_model().memcpy_time(phys.len);
                         let (_, t_copy) = inner.ibnode.node().cpu().reserve(t_proc, copy);
+                        inner.engine.tracer().span(
+                            "hpbd",
+                            "unstage_copy",
+                            t_proc.as_nanos(),
+                            t_copy.as_nanos(),
+                            &[("req", phys.req_id), ("bytes", phys.len)],
+                        );
                         (data, t_copy)
                     }
                     Staging::Ephemeral(mr) => {
@@ -728,6 +820,17 @@ impl HpbdClient {
     /// I/O to those chunks until their data has moved.
     fn on_revoke(&self, server_idx: usize, notice: RevokeNotice) {
         self.inner.stats.borrow_mut().revocations += 1;
+        self.inner.engine.metrics().inc("hpbd.revocations");
+        self.inner.engine.tracer().instant(
+            "hpbd",
+            "revoke",
+            self.inner.engine.now().as_nanos(),
+            &[
+                ("server", server_idx as u64),
+                ("offset", notice.offset),
+                ("len", notice.len),
+            ],
+        );
         let victims: Vec<usize> = {
             let map = self.inner.chunk_map.borrow();
             map.iter()
@@ -756,11 +859,9 @@ impl HpbdClient {
         let busy = {
             let outstanding = self.inner.outstanding.borrow();
             let conns = self.inner.conns.borrow();
-            let queued_busy = conns[server]
-                .queued
-                .borrow()
-                .iter()
-                .any(|p| p.server_idx == server && p.server_offset < hi && lo < p.server_offset + p.len);
+            let queued_busy = conns[server].queued.borrow().iter().any(|p| {
+                p.server_idx == server && p.server_offset < hi && lo < p.server_offset + p.len
+            });
             queued_busy
                 || outstanding.values().any(|p| {
                     p.server_idx == server && p.server_offset < hi && lo < p.server_offset + p.len
@@ -834,6 +935,13 @@ impl HpbdClient {
                         result.expect("migration write");
                         this2.inner.migrating.borrow_mut().remove(&chunk_idx);
                         this2.inner.stats.borrow_mut().migrations += 1;
+                        this2.inner.engine.metrics().inc("hpbd.migrations");
+                        this2.inner.engine.tracer().instant(
+                            "hpbd",
+                            "migration_done",
+                            this2.inner.engine.now().as_nanos(),
+                            &[("chunk", chunk_idx as u64), ("server", new_server as u64)],
+                        );
                         this2.release_deferred();
                     },
                 )));
@@ -850,12 +958,7 @@ impl HpbdClient {
     }
 
     /// Stage and send the physical parts of one block request.
-    fn issue_parts(
-        &self,
-        op: PageOp,
-        parts: Vec<(usize, u64, u64, u64)>,
-        parent: Rc<Parent>,
-    ) {
+    fn issue_parts(&self, op: PageOp, parts: Vec<(usize, u64, u64, u64)>, parent: Rc<Parent>) {
         let inner = &self.inner;
         // Mirrored writes double the physical parts (one per replica).
         // Replicas live in the upper half of the buddy server's store (the
@@ -865,6 +968,7 @@ impl HpbdClient {
         if mirror {
             let extra = parts.len();
             parent.remaining.set(parent.remaining.get() + extra);
+            parent.parts.set(parent.parts.get() + extra);
             assert!(
                 self.server_count() >= 2,
                 "mirrored writes need at least two servers"
@@ -890,10 +994,17 @@ impl HpbdClient {
                 match inner.config.staging {
                     StagingMode::CopyToPool => {
                         let this = self.clone();
-                        let had_space = inner.pool.free_bytes() >= len
-                            && inner.pool.queued_waiters() == 0;
+                        let had_space =
+                            inner.pool.free_bytes() >= len && inner.pool.queued_waiters() == 0;
                         if !had_space {
                             inner.stats.borrow_mut().pool_waits += 1;
+                            inner.engine.metrics().inc("hpbd.pool_waits");
+                            inner.engine.tracer().instant(
+                                "hpbd",
+                                "pool_wait",
+                                inner.engine.now().as_nanos(),
+                                &[("req", req_id), ("bytes", len)],
+                            );
                         }
                         inner.pool.alloc(len, move |pool_buf| {
                             this.stage_part(Phys {
@@ -916,9 +1027,7 @@ impl HpbdClient {
                             server_idx: target,
                             server_offset,
                             len,
-                            staging: Staging::Ephemeral(
-                                inner.ibnode.hca().register(len as usize),
-                            ),
+                            staging: Staging::Ephemeral(inner.ibnode.hca().register(len as usize)),
                             parent,
                             parent_off,
                             is_mirror,
@@ -948,11 +1057,23 @@ impl HpbdClient {
             IoOp::Write => PageOp::Write,
             IoOp::Read => PageOp::Read,
         };
+        engine.metrics().inc("hpbd.requests");
         let parts = self.split(req.offset(), req.len());
         if parts.len() > 1 {
             inner.stats.borrow_mut().split_requests += 1;
+            engine.metrics().inc("hpbd.split_requests");
+            engine.tracer().instant(
+                "hpbd",
+                "request_split",
+                engine.now().as_nanos(),
+                &[("parts", parts.len() as u64), ("bytes", req.len())],
+            );
         }
         let parent = Rc::new(Parent {
+            started: engine.now(),
+            op,
+            len: req.len(),
+            parts: Cell::new(parts.len()),
             req: RefCell::new(Some(req)),
             remaining: Cell::new(parts.len()),
             error: Cell::new(None),

@@ -65,8 +65,7 @@ impl HpbdCluster {
         } else {
             per_server_capacity
         };
-        let server_store =
-            base_store + config.spare_chunks as u64 * config.chunk_bytes.max(4096);
+        let server_store = base_store + config.spare_chunks as u64 * config.chunk_bytes.max(4096);
         for i in 0..n_servers {
             let server = HpbdServer::new(
                 fabric,
@@ -111,13 +110,8 @@ mod tests {
     fn cluster(n_servers: usize, per_server: u64) -> (Engine, HpbdCluster) {
         let engine = Engine::new();
         let cal = Rc::new(Calibration::cluster_2005());
-        let cluster = HpbdCluster::build(
-            &engine,
-            cal,
-            HpbdConfig::default(),
-            n_servers,
-            per_server,
-        );
+        let cluster =
+            HpbdCluster::build(&engine, cal, HpbdConfig::default(), n_servers, per_server);
         (engine, cluster)
     }
 
@@ -164,7 +158,10 @@ mod tests {
         assert_eq!(s.bytes_out, 4096);
         assert_eq!(s.bytes_in, 4096);
         let srv = cluster.servers[0].stats();
-        assert_eq!(srv.rdma_reads, 1, "swap-out uses server-initiated RDMA READ");
+        assert_eq!(
+            srv.rdma_reads, 1,
+            "swap-out uses server-initiated RDMA READ"
+        );
         assert_eq!(srv.rdma_writes, 1, "swap-in uses RDMA WRITE");
     }
 
@@ -272,7 +269,10 @@ mod tests {
         }
         engine.run_until_idle();
         assert_eq!(done.get(), 4);
-        assert!(cluster.client.stats().pool_waits > 0, "pool must have queued");
+        assert!(
+            cluster.client.stats().pool_waits > 0,
+            "pool must have queued"
+        );
     }
 
     #[test]
@@ -464,26 +464,23 @@ mod tests {
         let cluster = HpbdCluster::build(&engine, cal.clone(), config, 2, 1 << 20);
         let t0 = engine.now();
         let buf = new_buffer(64 * 1024);
-        cluster.client.submit(IoRequest::single(Bio::new(
-            IoOp::Write,
-            0,
-            buf,
-            |r| r.unwrap(),
-        )));
+        cluster
+            .client
+            .submit(IoRequest::single(Bio::new(IoOp::Write, 0, buf, |r| {
+                r.unwrap()
+            })));
         engine.run_until_idle();
         let mirrored = (engine.now() - t0).as_nanos();
 
         // Same write without mirroring.
         let engine2 = Engine::new();
-        let cluster2 =
-            HpbdCluster::build(&engine2, cal, HpbdConfig::default(), 2, 1 << 20);
+        let cluster2 = HpbdCluster::build(&engine2, cal, HpbdConfig::default(), 2, 1 << 20);
         let buf = new_buffer(64 * 1024);
-        cluster2.client.submit(IoRequest::single(Bio::new(
-            IoOp::Write,
-            0,
-            buf,
-            |r| r.unwrap(),
-        )));
+        cluster2
+            .client
+            .submit(IoRequest::single(Bio::new(IoOp::Write, 0, buf, |r| {
+                r.unwrap()
+            })));
         engine2.run_until_idle();
         let plain = (engine2.now() - t0).as_nanos();
         assert!(
@@ -505,12 +502,11 @@ mod tests {
         // Write data (mirrored to both servers).
         let wbuf = new_buffer(8192);
         wbuf.borrow_mut().fill(0x9D);
-        cluster.client.submit(IoRequest::single(Bio::new(
-            IoOp::Write,
-            0,
-            wbuf,
-            |r| r.unwrap(),
-        )));
+        cluster
+            .client
+            .submit(IoRequest::single(Bio::new(IoOp::Write, 0, wbuf, |r| {
+                r.unwrap()
+            })));
         engine.run_until_idle();
         // Primary of extent 0 dies.
         cluster.servers[0].crash();
@@ -546,7 +542,11 @@ mod tests {
         // First access pays the timeout and marks the server dead...
         let buf = new_buffer(4096);
         buf.borrow_mut().fill(1);
-        cluster.client.submit(IoRequest::single(Bio::new(IoOp::Write, 0, buf, |r| r.unwrap())));
+        cluster
+            .client
+            .submit(IoRequest::single(Bio::new(IoOp::Write, 0, buf, |r| {
+                r.unwrap()
+            })));
         engine.run_until_idle();
         let t_after_first = cluster.client.stats().timeouts;
         // ...subsequent writes to the dead extent go straight to the buddy.
@@ -672,7 +672,11 @@ mod tests {
         let cluster = HpbdCluster::build(&engine, cal, config, 2, 1 << 20);
         let buf = new_buffer(4096);
         buf.borrow_mut().fill(0x11);
-        cluster.client.submit(IoRequest::single(Bio::new(IoOp::Write, 0, buf, |r| r.unwrap())));
+        cluster
+            .client
+            .submit(IoRequest::single(Bio::new(IoOp::Write, 0, buf, |r| {
+                r.unwrap()
+            })));
         engine.run_until_idle();
         // Revoke, and immediately (same instant) write to the migrating
         // chunk: the write must defer behind the migration and then apply.
@@ -681,7 +685,11 @@ mod tests {
         engine.advance(simcore::SimDuration::from_micros(200));
         let buf = new_buffer(4096);
         buf.borrow_mut().fill(0x22);
-        cluster.client.submit(IoRequest::single(Bio::new(IoOp::Write, 0, buf, |r| r.unwrap())));
+        cluster
+            .client
+            .submit(IoRequest::single(Bio::new(IoOp::Write, 0, buf, |r| {
+                r.unwrap()
+            })));
         engine.run_until_idle();
         let cs = cluster.client.stats();
         assert!(cs.deferred_requests >= 1, "write should have deferred");
@@ -730,12 +738,11 @@ mod tests {
         let (engine, cluster) = cluster(1, 8 << 20);
         let t0 = engine.now();
         let wbuf = new_buffer(4096);
-        cluster.client.submit(IoRequest::single(Bio::new(
-            IoOp::Write,
-            0,
-            wbuf,
-            |r| r.unwrap(),
-        )));
+        cluster
+            .client
+            .submit(IoRequest::single(Bio::new(IoOp::Write, 0, wbuf, |r| {
+                r.unwrap()
+            })));
         engine.run_until_idle();
         let elapsed = engine.now() - t0;
         assert!(

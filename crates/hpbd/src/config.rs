@@ -100,8 +100,16 @@ mod tests {
         assert_eq!(c.pool_size, 1 << 20, "1MB default pool (paper §4.2.2)");
         assert_eq!(c.server_idle_ns, 200_000, "200us idle sleep (paper §4.2.3)");
         assert!(c.credits > 0);
-        assert_eq!(c.distribution, Distribution::Blocking, "non-striping (§4.2.5)");
-        assert_eq!(c.staging, StagingMode::CopyToPool, "copy beats register (§4.1)");
+        assert_eq!(
+            c.distribution,
+            Distribution::Blocking,
+            "non-striping (§4.2.5)"
+        );
+        assert_eq!(
+            c.staging,
+            StagingMode::CopyToPool,
+            "copy beats register (§4.1)"
+        );
         assert!(!c.mirror_writes, "mirroring is out of the paper's scope");
     }
 }

@@ -36,8 +36,8 @@ pub mod pool;
 pub mod proto;
 pub mod server;
 
-pub use client::HpbdClient;
+pub use client::{ClientStats, HpbdClient};
 pub use cluster::HpbdCluster;
 pub use config::HpbdConfig;
 pub use pool::{PoolAllocator, SharedBufferPool, SimBufferPool};
-pub use server::HpbdServer;
+pub use server::{HpbdServer, ServerStats};

@@ -14,10 +14,10 @@
 //! driver's wait queue), and the [`SimBufferPool`] queues a continuation
 //! fired on deallocation.
 
-use parking_lot::{Condvar, Mutex};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::{Condvar, Mutex};
 
 /// A span allocated from the pool: offset into the registered region.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -159,30 +159,30 @@ impl SharedBufferPool {
 
     /// Non-blocking allocation.
     pub fn try_alloc(&self, len: u64) -> Option<PoolBuf> {
-        self.inner.lock().alloc(len)
+        self.inner.lock().expect("pool lock").alloc(len)
     }
 
     /// Blocking allocation: waits on the deallocation wait queue until a
     /// contiguous span of `len` is available.
     pub fn alloc_blocking(&self, len: u64) -> PoolBuf {
-        let mut pool = self.inner.lock();
+        let mut pool = self.inner.lock().expect("pool lock");
         loop {
             if let Some(buf) = pool.alloc(len) {
                 return buf;
             }
-            self.freed.wait(&mut pool);
+            pool = self.freed.wait(pool).expect("pool lock");
         }
     }
 
     /// Free a span and wake waiters.
     pub fn free(&self, buf: PoolBuf) {
-        self.inner.lock().free(buf);
+        self.inner.lock().expect("pool lock").free(buf);
         self.freed.notify_all();
     }
 
     /// Bytes currently free.
     pub fn free_bytes(&self) -> u64 {
-        self.inner.lock().free_bytes()
+        self.inner.lock().expect("pool lock").free_bytes()
     }
 }
 

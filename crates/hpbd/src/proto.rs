@@ -332,7 +332,11 @@ mod tests {
 
     #[test]
     fn reply_roundtrip() {
-        for status in [ReplyStatus::Ok, ReplyStatus::OutOfRange, ReplyStatus::TransferError] {
+        for status in [
+            ReplyStatus::Ok,
+            ReplyStatus::OutOfRange,
+            ReplyStatus::TransferError,
+        ] {
             let r = PageReply { req_id: 99, status };
             assert_eq!(PageReply::decode(r.encode()).unwrap(), r);
         }

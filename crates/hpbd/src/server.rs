@@ -20,9 +20,14 @@
 
 use crate::config::HpbdConfig;
 use crate::pool::{PoolBuf, SimBufferPool};
-use crate::proto::{PageOp, PageRequest, PageReply, ProtoError, ReplyStatus, RevokeNotice, REQUEST_WIRE_SIZE};
+use crate::proto::{
+    PageOp, PageReply, PageRequest, ProtoError, ReplyStatus, RevokeNotice, REQUEST_WIRE_SIZE,
+};
 use blockdev::Storage;
-use ibsim::{CompletionQueue, Fabric, IbNode, MemoryRegion, Opcode, QueuePair, RemoteSlice, WcStatus, WorkKind, WorkRequest};
+use ibsim::{
+    CompletionQueue, Fabric, IbNode, MemoryRegion, Opcode, QueuePair, RemoteSlice, WcStatus,
+    WorkKind, WorkRequest,
+};
 use simcore::{Engine, SimDuration, SimTime};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -33,6 +38,8 @@ struct PendingRdma {
     request: PageRequest,
     staging: PoolBuf,
     conn: usize,
+    /// Request arrival instant (trace span start).
+    started: SimTime,
 }
 
 struct Conn {
@@ -90,17 +97,14 @@ pub struct HpbdServer {
 
 impl HpbdServer {
     /// Create a server on a fresh fabric node exporting `capacity` bytes.
-    pub fn new(
-        fabric: &Fabric,
-        name: &str,
-        capacity: u64,
-        config: HpbdConfig,
-    ) -> HpbdServer {
+    pub fn new(fabric: &Fabric, name: &str, capacity: u64, config: HpbdConfig) -> HpbdServer {
         let engine = fabric.engine().clone();
         let ibnode = fabric.add_node(name.to_string());
         // Staging pool is registered once at startup; charge the one-time
         // registration against the server CPU.
-        let reg_cost = fabric.calibration().registration_time(config.server_staging_size);
+        let reg_cost = fabric
+            .calibration()
+            .registration_time(config.server_staging_size);
         ibnode.node().cpu().reserve(engine.now(), reg_cost);
         let staging_mr = ibnode.hca().register(config.server_staging_size as usize);
         let staging_pool = SimBufferPool::new(config.server_staging_size);
@@ -204,7 +208,10 @@ impl HpbdServer {
         let inner = &self.inner;
         let credits = inner.config.credits;
         let wire = (REQUEST_WIRE_SIZE + 4) as u64;
-        let recv_region = inner.ibnode.hca().register((credits as u64 * wire) as usize);
+        let recv_region = inner
+            .ibnode
+            .hca()
+            .register((credits as u64 * wire) as usize);
         for i in 0..credits {
             qp.post_recv(i as u64, recv_region.slice(i as u64 * wire, wire))
                 .expect("pre-posting control receives");
@@ -218,12 +225,16 @@ impl HpbdServer {
         // Receiver: woken by the solicited event of an incoming request,
         // drains every available request (bursty processing), re-arms.
         let this = self.clone();
-        self.inner.recv_cq.set_event_handler(move || this.on_recv_event());
+        self.inner
+            .recv_cq
+            .set_event_handler(move || this.on_recv_event());
         self.inner.recv_cq.req_notify(true);
 
         // Sender-side completions: RDMA finishes drive the protocol.
         let this = self.clone();
-        self.inner.send_cq.set_event_handler(move || this.on_send_event());
+        self.inner
+            .send_cq
+            .set_event_handler(move || this.on_send_event());
         self.inner.send_cq.req_notify(false);
     }
 
@@ -233,6 +244,13 @@ impl HpbdServer {
         if now.since(last).as_nanos() > self.inner.config.server_idle_ns {
             // The server had yielded the CPU; this arrival paid a wakeup.
             self.inner.stats.borrow_mut().wakeups += 1;
+            self.inner.engine.metrics().inc("hpbd_server.wakeups");
+            self.inner.engine.tracer().instant(
+                "hpbd_server",
+                "wakeup",
+                now.as_nanos(),
+                &[("idle_ns", now.since(last).as_nanos())],
+            );
         }
         self.inner.last_activity.set(now);
     }
@@ -284,9 +302,11 @@ impl HpbdServer {
             }
         };
         inner.stats.borrow_mut().requests += 1;
+        inner.engine.metrics().inc("hpbd_server.requests");
+        let started = inner.engine.now();
         // CPU cost of parsing + dispatching the request.
         let proc = SimDuration::from_nanos(inner.config.request_proc_ns);
-        let (_, t_proc) = inner.ibnode.node().cpu().reserve(inner.engine.now(), proc);
+        let (_, t_proc) = inner.ibnode.node().cpu().reserve(started, proc);
 
         if !self.validate(&request) {
             let this = self.clone();
@@ -298,7 +318,7 @@ impl HpbdServer {
 
         let this = self.clone();
         inner.engine.schedule_at(t_proc, move || {
-            this.serve(conn_idx, request);
+            this.serve(conn_idx, request, started);
         });
     }
 
@@ -310,18 +330,22 @@ impl HpbdServer {
 
     /// Dispatch a validated request: allocate staging, then drive the
     /// server-initiated RDMA state machine.
-    fn serve(&self, conn_idx: usize, request: PageRequest) {
+    fn serve(&self, conn_idx: usize, request: PageRequest, started: SimTime) {
         let this = self.clone();
         // Staging allocation may wait for in-flight requests to release
         // buffers (the staging pool is its own wait queue).
-        self.inner
-            .staging_pool
-            .alloc(request.len, move |staging| {
-                this.serve_with_staging(conn_idx, request, staging);
-            });
+        self.inner.staging_pool.alloc(request.len, move |staging| {
+            this.serve_with_staging(conn_idx, request, staging, started);
+        });
     }
 
-    fn serve_with_staging(&self, conn_idx: usize, request: PageRequest, staging: PoolBuf) {
+    fn serve_with_staging(
+        &self,
+        conn_idx: usize,
+        request: PageRequest,
+        staging: PoolBuf,
+        started: SimTime,
+    ) {
         let inner = &self.inner;
         let token = inner.next_token.get();
         inner.next_token.set(token + 1);
@@ -331,6 +355,7 @@ impl HpbdServer {
                 request,
                 staging,
                 conn: conn_idx,
+                started,
             },
         );
         let remote = RemoteSlice {
@@ -343,11 +368,14 @@ impl HpbdServer {
             PageOp::Write => {
                 // Swap-out: pull the page data from the client.
                 inner.stats.borrow_mut().rdma_reads += 1;
-                self.post_rdma(conn_idx, WorkRequest {
-                    wr_id: token,
-                    kind: WorkKind::RdmaRead { local, remote },
-                    solicited: false,
-                });
+                self.post_rdma(
+                    conn_idx,
+                    WorkRequest {
+                        wr_id: token,
+                        kind: WorkKind::RdmaRead { local, remote },
+                        solicited: false,
+                    },
+                );
             }
             PageOp::Read => {
                 // Swap-in: copy store -> staging, then push with RDMA WRITE.
@@ -355,20 +383,28 @@ impl HpbdServer {
                 inner.storage.read_at(request.server_offset, &mut data);
                 let copy = inner.ibnode.memory_model().memcpy_time(request.len);
                 let (_, t_copy) = inner.ibnode.node().cpu().reserve(inner.engine.now(), copy);
+                inner.engine.tracer().span(
+                    "hpbd_server",
+                    "store_to_staging",
+                    inner.engine.now().as_nanos(),
+                    t_copy.as_nanos(),
+                    &[("bytes", request.len)],
+                );
                 let this = self.clone();
                 inner.engine.schedule_at(t_copy, move || {
-                    this.inner
-                        .staging_mr
-                        .write(staging.offset as usize, &data);
+                    this.inner.staging_mr.write(staging.offset as usize, &data);
                     this.inner.stats.borrow_mut().rdma_writes += 1;
-                    this.post_rdma(conn_idx, WorkRequest {
-                        wr_id: token,
-                        kind: WorkKind::RdmaWrite {
-                            local: this.inner.staging_mr.slice(staging.offset, request.len),
-                            remote,
+                    this.post_rdma(
+                        conn_idx,
+                        WorkRequest {
+                            wr_id: token,
+                            kind: WorkKind::RdmaWrite {
+                                local: this.inner.staging_mr.slice(staging.offset, request.len),
+                                remote,
+                            },
+                            solicited: false,
                         },
-                        solicited: false,
-                    });
+                    );
                 });
             }
         }
@@ -410,6 +446,7 @@ impl HpbdServer {
             request,
             staging,
             conn,
+            started,
         } = inner
             .pending
             .borrow_mut()
@@ -417,20 +454,27 @@ impl HpbdServer {
             .expect("completion for unknown RDMA token");
         if status != WcStatus::Success {
             inner.staging_pool.free(staging);
+            self.serve_span(&request, started, false);
             self.send_reply(conn, request.req_id, ReplyStatus::TransferError);
             return;
         }
         let mut data = vec![0u8; request.len as usize];
-        inner
-            .staging_mr
-            .read(staging.offset as usize, &mut data);
+        inner.staging_mr.read(staging.offset as usize, &mut data);
         let copy = inner.ibnode.memory_model().memcpy_time(request.len);
         let (_, t_copy) = inner.ibnode.node().cpu().reserve(inner.engine.now(), copy);
+        inner.engine.tracer().span(
+            "hpbd_server",
+            "staging_to_store",
+            inner.engine.now().as_nanos(),
+            t_copy.as_nanos(),
+            &[("bytes", request.len)],
+        );
         let this = self.clone();
         inner.engine.schedule_at(t_copy, move || {
             this.inner.storage.write_at(request.server_offset, &data);
             this.inner.stats.borrow_mut().bytes_in += request.len;
             this.inner.staging_pool.free(staging);
+            this.serve_span(&request, started, true);
             this.send_reply(conn, request.req_id, ReplyStatus::Ok);
         });
     }
@@ -443,6 +487,7 @@ impl HpbdServer {
             request,
             staging,
             conn,
+            started,
         } = inner
             .pending
             .borrow_mut()
@@ -450,11 +495,32 @@ impl HpbdServer {
             .expect("completion for unknown RDMA token");
         inner.staging_pool.free(staging);
         if status != WcStatus::Success {
+            self.serve_span(&request, started, false);
             self.send_reply(conn, request.req_id, ReplyStatus::TransferError);
             return;
         }
         inner.stats.borrow_mut().bytes_out += request.len;
+        self.serve_span(&request, started, true);
         self.send_reply(conn, request.req_id, ReplyStatus::Ok);
+    }
+
+    /// Emit the request-arrival -> reply trace span for one served request.
+    fn serve_span(&self, request: &PageRequest, started: SimTime, ok: bool) {
+        let engine = &self.inner.engine;
+        engine.tracer().span(
+            "hpbd_server",
+            match request.op {
+                PageOp::Write => "serve_write",
+                PageOp::Read => "serve_read",
+            },
+            started.as_nanos(),
+            engine.now().as_nanos(),
+            &[
+                ("req", request.req_id),
+                ("bytes", request.len),
+                ("ok", ok as u64),
+            ],
+        );
     }
 
     fn send_reply(&self, conn_idx: usize, req_id: u64, status: ReplyStatus) {

@@ -146,7 +146,9 @@ impl CompletionQueue {
             let mut inner = self.inner.borrow_mut();
             let qualifies = inner.armed
                 && inner.handler.is_some()
-                && (!inner.solicited_only || completion.solicited || completion.status != WcStatus::Success);
+                && (!inner.solicited_only
+                    || completion.solicited
+                    || completion.status != WcStatus::Success);
             inner.queue.push_back(completion);
             if qualifies {
                 inner.armed = false;
@@ -157,6 +159,13 @@ impl CompletionQueue {
             }
         };
         if let Some((handler, latency)) = fire {
+            self.engine.metrics().inc("ibsim.cq_events");
+            self.engine.tracer().instant(
+                "ibsim",
+                "cq_event",
+                self.engine.now().as_nanos(),
+                &[("latency_ns", latency.as_nanos())],
+            );
             self.engine.schedule_in(latency, move || handler());
         }
     }

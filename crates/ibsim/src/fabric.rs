@@ -47,7 +47,11 @@ impl IbNode {
 
     /// A memory model charging copies against this node's CPUs.
     pub fn memory_model(&self) -> MemoryModel {
-        MemoryModel::new(self.engine.clone(), self.cal.clone(), self.node.cpu().clone())
+        MemoryModel::new(
+            self.engine.clone(),
+            self.cal.clone(),
+            self.node.cpu().clone(),
+        )
     }
 }
 
@@ -86,9 +90,11 @@ impl Fabric {
     pub fn add_node(&self, name: impl Into<String>) -> IbNode {
         let id = self.next_node_id.get();
         self.next_node_id.set(id + 1);
+        let hca = Hca::new(self.cal.hca.clone());
+        hca.set_metrics(self.engine.metrics());
         IbNode {
             node: Node::new(name, id, 2),
-            hca: Hca::new(self.cal.hca.clone()),
+            hca,
             engine: self.engine.clone(),
             cal: self.cal.clone(),
         }
@@ -106,7 +112,14 @@ impl Fabric {
         b_recv_cq: &CompletionQueue,
     ) -> (QueuePair, QueuePair) {
         self.connect_with_depth(
-            a, a_send_cq, a_recv_cq, b, b_send_cq, b_recv_cq, DEFAULT_MAX_WR, DEFAULT_MAX_WR,
+            a,
+            a_send_cq,
+            a_recv_cq,
+            b,
+            b_send_cq,
+            b_recv_cq,
+            DEFAULT_MAX_WR,
+            DEFAULT_MAX_WR,
         )
     }
 
@@ -460,8 +473,7 @@ mod tests {
         let a = fabric.add_node("a");
         let b = fabric.add_node("b");
         let (acq, arcq, bcq, brcq) = (a.create_cq(), a.create_cq(), b.create_cq(), b.create_cq());
-        let (qp_a, _qp_b) =
-            fabric.connect_with_depth(&a, &acq, &arcq, &b, &bcq, &brcq, 2, 2);
+        let (qp_a, _qp_b) = fabric.connect_with_depth(&a, &acq, &arcq, &b, &bcq, &brcq, 2, 2);
         let mk = |id| WorkRequest {
             wr_id: id,
             kind: WorkKind::Send {
@@ -579,7 +591,11 @@ mod tests {
         }
         engine.run_until_idle();
         let completions = shared_send.drain();
-        assert_eq!(completions.len(), 3, "one completion per QP on the shared CQ");
+        assert_eq!(
+            completions.len(),
+            3,
+            "one completion per QP on the shared CQ"
+        );
         let qp_nums: std::collections::HashSet<u32> =
             completions.iter().map(|c| c.qp_num).collect();
         assert_eq!(qp_nums.len(), 3, "distinguishable by qp_num");

@@ -13,7 +13,7 @@
 
 use crate::mr::MemoryRegion;
 use netmodel::HcaParams;
-use simcore::{Resource, SimDuration, SimTime};
+use simcore::{MetricsRegistry, Resource, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
@@ -29,6 +29,8 @@ struct HcaInner {
     connected_qps: usize,
     ctx_reloads: u64,
     ctx_hits: u64,
+    /// Shared metrics sink, installed by the fabric at node creation.
+    metrics: Option<MetricsRegistry>,
 }
 
 /// Per-node host channel adapter.
@@ -51,8 +53,15 @@ impl Hca {
                 connected_qps: 0,
                 ctx_reloads: 0,
                 ctx_hits: 0,
+                metrics: None,
             })),
         }
+    }
+
+    /// Install the shared metrics registry so context-cache hits/misses
+    /// are recorded (done by the fabric when the node is created).
+    pub fn set_metrics(&self, metrics: MetricsRegistry) {
+        self.inner.borrow_mut().metrics = Some(metrics);
     }
 
     /// Calibrated parameters.
@@ -119,9 +128,15 @@ impl Hca {
             };
             if hit {
                 inner.ctx_hits += 1;
+                if let Some(m) = &inner.metrics {
+                    m.inc("ibsim.qp_ctx_hits");
+                }
                 inner.params.per_wqe_ns + sched
             } else {
                 inner.ctx_reloads += 1;
+                if let Some(m) = &inner.metrics {
+                    m.inc("ibsim.qp_ctx_reloads");
+                }
                 inner.params.per_wqe_ns + inner.params.qp_ctx_reload_ns + sched
             }
         };

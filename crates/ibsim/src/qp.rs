@@ -200,7 +200,11 @@ impl QueuePair {
     /// receive CQ).
     pub fn post_send(&self, wr: WorkRequest) -> Result<(), PostError> {
         let inner = &self.inner;
-        let peer = inner.peer.borrow().upgrade().ok_or(PostError::NotConnected)?;
+        let peer = inner
+            .peer
+            .borrow()
+            .upgrade()
+            .ok_or(PostError::NotConnected)?;
         if inner.outstanding_send.get() >= inner.max_send_wr {
             return Err(PostError::SendQueueFull);
         }
@@ -213,30 +217,65 @@ impl QueuePair {
         // Local HCA fetches and processes the WQE.
         let t_hca = inner.hca.process_wqe(t_posted, inner.qp_num);
 
+        let metrics = inner.engine.metrics();
         match wr.kind {
             WorkKind::Send { ref payload } => {
                 inner.sends_posted.set(inner.sends_posted.get() + 1);
-                self.do_send(peer, wr.wr_id, payload.clone(), wr.solicited, t_hca);
+                metrics.inc("ibsim.sends");
+                self.do_send(peer, wr.wr_id, payload.clone(), wr.solicited, now, t_hca);
             }
-            WorkKind::RdmaWrite { ref local, ref remote } => {
+            WorkKind::RdmaWrite {
+                ref local,
+                ref remote,
+            } => {
                 inner.rdma_writes.set(inner.rdma_writes.get() + 1);
-                self.do_rdma_write(peer, wr.wr_id, local.clone(), *remote, t_hca);
+                metrics.inc("ibsim.rdma_writes");
+                self.do_rdma_write(peer, wr.wr_id, local.clone(), *remote, now, t_hca);
             }
-            WorkKind::RdmaRead { ref local, ref remote } => {
+            WorkKind::RdmaRead {
+                ref local,
+                ref remote,
+            } => {
                 inner.rdma_reads.set(inner.rdma_reads.get() + 1);
-                self.do_rdma_read(peer, wr.wr_id, local.clone(), *remote, t_hca);
+                metrics.inc("ibsim.rdma_reads");
+                self.do_rdma_read(peer, wr.wr_id, local.clone(), *remote, now, t_hca);
             }
         }
         Ok(())
     }
 
     /// Deliver a completion to this QP's send CQ and release a send-queue
-    /// slot.
-    fn complete_send(&self, at: SimTime, wr_id: u64, opcode: Opcode, status: WcStatus, len: u64) {
+    /// slot. `posted` is the original post instant, for the trace span.
+    fn complete_send(
+        &self,
+        posted: SimTime,
+        at: SimTime,
+        wr_id: u64,
+        opcode: Opcode,
+        status: WcStatus,
+        len: u64,
+    ) {
         let this = self.inner.clone();
         self.inner.engine.schedule_at(at, move || {
             this.outstanding_send
                 .set(this.outstanding_send.get().saturating_sub(1));
+            let name = match opcode {
+                Opcode::Send => "send",
+                Opcode::RdmaWrite => "rdma_write",
+                Opcode::RdmaRead => "rdma_read",
+                Opcode::Recv => "recv",
+            };
+            this.engine.tracer().span(
+                "ibsim",
+                name,
+                posted.as_nanos(),
+                this.engine.now().as_nanos(),
+                &[
+                    ("bytes", len),
+                    ("qp", this.qp_num as u64),
+                    ("ok", (status == WcStatus::Success) as u64),
+                ],
+            );
             this.send_cq.push(Completion {
                 wr_id,
                 opcode,
@@ -262,7 +301,16 @@ impl QueuePair {
         rx_end
     }
 
-    fn do_send(&self, peer: Rc<QpInner>, wr_id: u64, payload: Bytes, solicited: bool, t_hca: SimTime) {
+    #[allow(clippy::too_many_arguments)]
+    fn do_send(
+        &self,
+        peer: Rc<QpInner>,
+        wr_id: u64,
+        payload: Bytes,
+        solicited: bool,
+        posted: SimTime,
+        t_hca: SimTime,
+    ) {
         let inner = self.inner.clone();
         let len = payload.len() as u64;
         let delivered = self.wire_transfer(&peer, t_hca, len);
@@ -280,7 +328,14 @@ impl QueuePair {
                 None => {
                     // Receiver not ready: RC retries exhaust and the SENDER
                     // sees the failure.
-                    this.complete_send(ack, wr_id, Opcode::Send, WcStatus::RnrRetryExceeded, 0);
+                    this.complete_send(
+                        posted,
+                        ack,
+                        wr_id,
+                        Opcode::Send,
+                        WcStatus::RnrRetryExceeded,
+                        0,
+                    );
                 }
                 Some((recv_wr_id, slice)) => {
                     let status = if len > slice.len {
@@ -289,7 +344,7 @@ impl QueuePair {
                         slice.mr.write(slice.offset as usize, &payload);
                         WcStatus::Success
                     };
-                    this.complete_send(ack, wr_id, Opcode::Send, WcStatus::Success, len);
+                    this.complete_send(posted, ack, wr_id, Opcode::Send, WcStatus::Success, len);
                     let peer3 = peer2.clone();
                     peer2.engine.schedule_at(t_placed, move || {
                         peer3.recv_cq.push(Completion {
@@ -306,18 +361,27 @@ impl QueuePair {
         });
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn do_rdma_write(
         &self,
         peer: Rc<QpInner>,
         wr_id: u64,
         local: MrSlice,
         remote: RemoteSlice,
+        posted: SimTime,
         t_hca: SimTime,
     ) {
         let inner = self.inner.clone();
         // Local protection check happens in the HCA before any wire traffic.
         if !local.mr.contains(local.offset, local.len) || local.len != remote.len {
-            self.complete_send(t_hca, wr_id, Opcode::RdmaWrite, WcStatus::LocalProtectionError, 0);
+            self.complete_send(
+                posted,
+                t_hca,
+                wr_id,
+                Opcode::RdmaWrite,
+                WcStatus::LocalProtectionError,
+                0,
+            );
             return;
         }
         let len = local.len;
@@ -338,6 +402,7 @@ impl QueuePair {
                         let _ = peer2;
                         // Ack travels back; requester completion after it.
                         this2.complete_send(
+                            posted,
                             this2.inner.engine.now() + prop,
                             wr_id,
                             Opcode::RdmaWrite,
@@ -348,6 +413,7 @@ impl QueuePair {
                 }
                 _ => {
                     this.complete_send(
+                        posted,
                         t_done + prop,
                         wr_id,
                         Opcode::RdmaWrite,
@@ -359,17 +425,26 @@ impl QueuePair {
         });
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn do_rdma_read(
         &self,
         peer: Rc<QpInner>,
         wr_id: u64,
         local: MrSlice,
         remote: RemoteSlice,
+        posted: SimTime,
         t_hca: SimTime,
     ) {
         let inner = self.inner.clone();
         if !local.mr.contains(local.offset, local.len) || local.len != remote.len {
-            self.complete_send(t_hca, wr_id, Opcode::RdmaRead, WcStatus::LocalProtectionError, 0);
+            self.complete_send(
+                posted,
+                t_hca,
+                wr_id,
+                Opcode::RdmaRead,
+                WcStatus::LocalProtectionError,
+                0,
+            );
             return;
         }
         let len = local.len;
@@ -390,9 +465,8 @@ impl QueuePair {
                         .model
                         .bytes_per_ns
                         .min(peer.hca.params().rdma_read_bytes_per_ns);
-                    let wire = simcore::SimDuration::from_nanos(
-                        (len as f64 / read_bw).round() as u64,
-                    );
+                    let wire =
+                        simcore::SimDuration::from_nanos((len as f64 / read_bw).round() as u64);
                     let (_, tx_end) = peer.node.tx().reserve(t_srv, wire);
                     let rx_earliest = (tx_end + prop).saturating_minus(wire);
                     let (_, rx_end) = this.inner.node.rx().reserve(rx_earliest, wire);
@@ -407,6 +481,7 @@ impl QueuePair {
                         this2.inner.engine.schedule_at(t_done, move || {
                             local2.mr.write(local2.offset as usize, &data);
                             this3.complete_send(
+                                posted,
                                 this3.inner.engine.now(),
                                 wr_id,
                                 Opcode::RdmaRead,
@@ -418,6 +493,7 @@ impl QueuePair {
                 }
                 _ => {
                     this.complete_send(
+                        posted,
                         t_srv + prop,
                         wr_id,
                         Opcode::RdmaRead,

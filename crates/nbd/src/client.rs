@@ -85,6 +85,8 @@ impl NbdClient {
         inner.busy.set(true);
         let handle = inner.next_handle.get();
         inner.next_handle.set(handle + 1);
+        let started = inner.engine.now();
+        inner.engine.metrics().inc("nbd.requests");
 
         let header = NbdRequest {
             cmd: match req.op() {
@@ -102,24 +104,53 @@ impl NbdClient {
 
         // Block on the reply header, then (for reads) the payload.
         let this = self.clone();
+        let op = req.op();
+        let len = req.len();
         inner.conn.recv(REPLY_SIZE, move |raw| {
+            let span_done = {
+                let this = this.clone();
+                move |ok: bool| {
+                    let engine = &this.inner.engine;
+                    engine.tracer().span(
+                        "nbd",
+                        match op {
+                            IoOp::Read => "request_read",
+                            IoOp::Write => "request_write",
+                        },
+                        started.as_nanos(),
+                        engine.now().as_nanos(),
+                        &[("handle", handle), ("bytes", len), ("ok", ok as u64)],
+                    );
+                    let us = (engine.now().since(started).as_nanos() / 1_000) as f64;
+                    engine.metrics().observe(
+                        match op {
+                            IoOp::Read => "nbd.swap_in_latency_us",
+                            IoOp::Write => "nbd.swap_out_latency_us",
+                        },
+                        us,
+                    );
+                }
+            };
             let reply = NbdReply::decode(raw);
             assert_eq!(reply.handle, handle, "NBD reply out of order");
             if reply.error != 0 {
+                span_done(false);
                 this.finish(req, Err(IoError::DeviceError("nbd server error")));
                 return;
             }
             match req.op() {
                 IoOp::Write => {
                     this.inner.stats.borrow_mut().bytes_out += req.len();
+                    span_done(true);
                     this.finish(req, Ok(()));
                 }
                 IoOp::Read => {
                     let this2 = this.clone();
-                    let len = req.len() as usize;
-                    this.inner.conn.recv(len, move |data| {
+                    let payload = req.len() as usize;
+                    this.inner.conn.recv(payload, move |data| {
                         req.scatter(&data);
                         this2.inner.stats.borrow_mut().bytes_in += data.len() as u64;
+                        span_done(true);
                         this2.finish(req_done(req), Ok(()));
                     });
                 }

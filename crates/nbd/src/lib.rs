@@ -51,7 +51,14 @@ pub fn build_pair(
     let (conn_c, conn_s) = tcpsim::connect(engine, model, client_node, &server_node);
     let server = NbdServer::new(engine.clone(), cal.clone(), server_node, capacity);
     server.serve(conn_s);
-    NbdClient::new(engine.clone(), cal, client_node.clone(), conn_c, capacity, transport)
+    NbdClient::new(
+        engine.clone(),
+        cal,
+        client_node.clone(),
+        conn_c,
+        capacity,
+        transport,
+    )
 }
 
 #[cfg(test)]
@@ -159,7 +166,10 @@ mod tests {
         };
         let gige = run(Transport::GigE);
         let ipoib = run(Transport::IpoIb);
-        assert!(gige > ipoib, "GigE {gige} should be slower than IPoIB {ipoib}");
+        assert!(
+            gige > ipoib,
+            "GigE {gige} should be slower than IPoIB {ipoib}"
+        );
     }
 
     #[test]

@@ -85,11 +85,7 @@ impl NbdServer {
                     let reply = if ok {
                         // memcpy payload -> store, charged to the server CPU.
                         let copy = this.inner.cal.memcpy_time(data.len() as u64);
-                        let (_, t) = this
-                            .inner
-                            .node
-                            .cpu()
-                            .reserve(this.inner.engine.now(), copy);
+                        let (_, t) = this.inner.node.cpu().reserve(this.inner.engine.now(), copy);
                         let this2 = this.clone();
                         let conn3 = conn2.clone();
                         this.inner.engine.schedule_at(t, move || {

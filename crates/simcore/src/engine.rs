@@ -19,6 +19,7 @@
 
 use crate::signal::Signal;
 use crate::time::{SimDuration, SimTime};
+use simtrace::{MetricsRegistry, Tracer};
 use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -56,6 +57,10 @@ struct Inner {
     seq: u64,
     queue: BinaryHeap<Scheduled>,
     executed: u64,
+    /// Peak queue length observed (diagnostics / metrics).
+    max_pending: usize,
+    tracer: Tracer,
+    metrics: MetricsRegistry,
 }
 
 /// Handle to the shared discrete-event queue. Clone freely; all clones refer
@@ -80,6 +85,9 @@ impl Engine {
                 seq: 0,
                 queue: BinaryHeap::new(),
                 executed: 0,
+                max_pending: 0,
+                tracer: Tracer::disabled(),
+                metrics: MetricsRegistry::new(),
             })),
         }
     }
@@ -105,6 +113,31 @@ impl Engine {
         self.inner.borrow().queue.peek().map(|s| s.at)
     }
 
+    /// Peak event-queue depth observed over the run (diagnostics).
+    pub fn max_pending_events(&self) -> usize {
+        self.inner.borrow().max_pending
+    }
+
+    /// The tracing handle shared by every component on this engine.
+    /// Disabled (no-op) by default; cheap to clone.
+    pub fn tracer(&self) -> Tracer {
+        self.inner.borrow().tracer.clone()
+    }
+
+    /// Install a tracer: components constructed afterwards (and those
+    /// that re-read [`Engine::tracer`]) record through it. Install before
+    /// building the stack so all layers share one buffer.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        self.inner.borrow_mut().tracer = tracer;
+    }
+
+    /// The metrics registry shared by every component on this engine.
+    /// Always present; recording is deterministic and does not perturb
+    /// the simulation.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.inner.borrow().metrics.clone()
+    }
+
     /// Schedule `action` to run at absolute instant `at`. Scheduling in the
     /// past panics — it would silently corrupt causality.
     pub fn schedule_at(&self, at: SimTime, action: impl FnOnce() + 'static) {
@@ -121,6 +154,7 @@ impl Engine {
             seq,
             action: Box::new(action),
         });
+        inner.max_pending = inner.max_pending.max(inner.queue.len());
     }
 
     /// Schedule `action` to run `delay` after the current instant.

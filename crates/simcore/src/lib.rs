@@ -20,6 +20,12 @@
 //! * [`stats`] — online statistics and histograms used by the experiment
 //!   harness.
 //!
+//! The engine also carries the suite's observability handles: a
+//! [`simtrace::Tracer`] (disabled by default, installed by harnesses
+//! that want a Chrome trace) and a [`simtrace::MetricsRegistry`] that
+//! instrumented components record into. Holding them on the [`Engine`]
+//! means every layer can reach them without extra plumbing.
+//!
 //! The engine is deliberately single-threaded (`Rc`-based): determinism is a
 //! core requirement for reproducing the paper's figures exactly and for
 //! property-based testing. Parallelism in this workspace happens *across*
@@ -36,5 +42,6 @@ pub use engine::Engine;
 pub use resource::{MultiResource, Resource};
 pub use rng::SimRng;
 pub use signal::{Counter, Latch, Signal};
+pub use simtrace::{MetricsRegistry, MetricsSnapshot, TraceSession, Tracer};
 pub use stats::{Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};

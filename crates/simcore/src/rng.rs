@@ -1,54 +1,87 @@
 //! Deterministic random numbers for simulations.
 //!
-//! A thin wrapper over `rand`'s `SmallRng` seeded explicitly, so every
-//! simulation run is reproducible from its seed. Workloads use this to
-//! generate the integers they sort and the bodies they simulate.
+//! A self-contained xoshiro256++ generator seeded explicitly (via a
+//! splitmix64 expansion of the seed), so every simulation run is
+//! reproducible from its seed with no external dependencies. Workloads
+//! use this to generate the integers they sort and the bodies they
+//! simulate.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
-/// Deterministic simulation RNG.
+/// Deterministic simulation RNG (xoshiro256++).
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
+}
+
+/// splitmix64 step: used to expand a 64-bit seed into the full state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Seed a new RNG. The same seed always yields the same stream.
     pub fn new(seed: u64) -> SimRng {
-        SimRng {
-            inner: SmallRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
     }
 
     /// Uniform `u64`.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Uniform `u32`.
     #[inline]
     pub fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
+        (self.next_u64() >> 32) as u32
     }
 
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
     #[inline]
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0)");
-        self.inner.gen_range(0..n)
+        // Rejection sampling over the largest multiple of `n` that fits
+        // in u64, so the result is exactly uniform.
+        let zone = u64::MAX - (u64::MAX.wrapping_sub(n.wrapping_sub(1)) % n);
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
     }
 
     /// Uniform `f64` in `[0, 1)`.
     #[inline]
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.gen_range(0.0..1.0)
+        // 53 high-quality mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform `f64` in `[lo, hi)`.
     #[inline]
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        self.inner.gen_range(lo..hi)
+        lo + self.unit_f64() * (hi - lo)
     }
 
     /// Fisher–Yates shuffle.
@@ -87,6 +120,16 @@ mod tests {
         for _ in 0..1000 {
             assert!(r.below(10) < 10);
         }
+    }
+
+    #[test]
+    fn below_covers_all_values() {
+        let mut r = SimRng::new(11);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
     }
 
     #[test]

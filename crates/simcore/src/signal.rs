@@ -77,7 +77,11 @@ impl Latch {
     /// latch means an I/O completed twice, which is a protocol bug.
     pub fn count_down(&self) {
         let r = self.remaining.get();
-        assert!(r > 0, "latch `{}` counted down below zero", self.signal.name());
+        assert!(
+            r > 0,
+            "latch `{}` counted down below zero",
+            self.signal.name()
+        );
         self.remaining.set(r - 1);
         if r == 1 {
             self.signal.set();

@@ -79,6 +79,28 @@ impl OnlineStats {
     pub fn stddev(&self) -> f64 {
         self.variance().sqrt()
     }
+
+    /// Merge another accumulator into this one, as if every sample of
+    /// `other` had been recorded here (parallel Welford combination).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.mean += delta * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 impl fmt::Display for OnlineStats {
@@ -164,6 +186,52 @@ impl Histogram {
             .filter(|(_, &c)| c > 0)
             .map(move |(i, &c)| (i as u64 * self.bucket_width, c))
     }
+
+    /// Estimate the `q`-quantile (`0 < q <= 1`) from the bucket counts:
+    /// the upper bound of the bucket containing the nearest-rank sample.
+    /// Returns `None` when empty; overflow samples report the overflow
+    /// boundary (the histogram cannot resolve beyond its range).
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `(0, 1]`.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        assert!(q > 0.0 && q <= 1.0, "quantile out of range: {q}");
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = (q * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some((i as u64 + 1) * self.bucket_width);
+            }
+        }
+        Some(self.counts.len() as u64 * self.bucket_width)
+    }
+
+    /// Merge another histogram into this one.
+    ///
+    /// # Panics
+    /// Panics if the bucket layouts differ — merged counts would be
+    /// meaningless.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "bucket width mismatch"
+        );
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "bucket count mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.stats.merge(&other.stats);
+    }
 }
 
 #[cfg(test)]
@@ -212,5 +280,89 @@ mod tests {
         h.record(12);
         let v: Vec<_> = h.iter_nonempty().collect();
         assert_eq!(v, vec![(0, 1), (10, 1)]);
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let samples = [1.0, 5.0, 2.5, 9.0, 4.0, 4.0, 7.5, 0.5];
+        let mut whole = OnlineStats::new();
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for (i, &x) in samples.iter().enumerate() {
+            whole.record(x);
+            if i < 3 {
+                left.record(x);
+            } else {
+                right.record(x);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+        assert!((left.sum() - whole.sum()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.record(3.0);
+        a.record(5.0);
+        let before = (a.count(), a.mean(), a.variance());
+        a.merge(&OnlineStats::new());
+        assert_eq!((a.count(), a.mean(), a.variance()), before);
+
+        let mut empty = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        b.record(7.0);
+        empty.merge(&b);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.mean(), 7.0);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new(10, 10);
+        // 100 samples: 1..=100, so bucket i holds values [10i, 10i+10).
+        for x in 1..=100u64 {
+            h.record(x - 1);
+        }
+        assert_eq!(h.percentile(0.5), Some(50));
+        assert_eq!(h.percentile(0.95), Some(100));
+        assert_eq!(h.percentile(1.0), Some(100));
+        assert_eq!(h.percentile(0.01), Some(10));
+    }
+
+    #[test]
+    fn histogram_percentile_empty_and_overflow() {
+        let mut h = Histogram::new(10, 2);
+        assert_eq!(h.percentile(0.5), None);
+        h.record(1000); // overflow
+        assert_eq!(h.percentile(0.5), Some(20), "overflow reports range end");
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new(10, 4);
+        let mut b = Histogram::new(10, 4);
+        a.record(5);
+        b.record(5);
+        b.record(35);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.bucket(0), 2);
+        assert_eq!(a.bucket(3), 1);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width mismatch")]
+    fn histogram_merge_rejects_layout_mismatch() {
+        let mut a = Histogram::new(10, 4);
+        let b = Histogram::new(20, 4);
+        a.merge(&b);
     }
 }

@@ -1,0 +1,197 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Emits the "JSON Object Format" of the Trace Event specification:
+//! an object with a `traceEvents` array, loadable in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`. Each simulation
+//! run becomes one *process* (pid), each instrumented component one
+//! *thread* (tid) inside it, named via metadata events.
+//!
+//! Timestamps in the format are microseconds; virtual nanoseconds are
+//! rendered as `µs.nnn` with exact integer arithmetic so output is
+//! lossless and byte-identical across runs.
+
+use crate::{EventKind, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Exact ns → µs decimal rendering (no floating point).
+fn write_us(out: &mut String, ns: u64) {
+    let _ = write!(out, "{}.{:03}", ns / 1000, ns % 1000);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serialise several runs' events into one Chrome trace JSON document.
+///
+/// `runs` pairs a human-readable label (the process name in the viewer)
+/// with that run's recorded events. Component→tid assignment is sorted
+/// and per-process, so the document is deterministic.
+pub fn to_chrome_json(runs: &[(String, Vec<TraceEvent>)]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let push_sep = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+    };
+
+    for (pid, (label, events)) in runs.iter().enumerate() {
+        // Stable component → tid table for this process.
+        let mut tids: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for ev in events {
+            let next = tids.len();
+            tids.entry(ev.component).or_insert(next);
+        }
+
+        push_sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\""
+        );
+        write_escaped(&mut out, label);
+        out.push_str("\"}}");
+
+        for (component, tid) in &tids {
+            push_sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\""
+            );
+            write_escaped(&mut out, component);
+            out.push_str("\"}}");
+        }
+
+        for ev in events {
+            let tid = tids[ev.component];
+            push_sep(&mut out, &mut first);
+            out.push_str("{\"name\":\"");
+            write_escaped(&mut out, ev.name);
+            out.push_str("\",\"cat\":\"");
+            write_escaped(&mut out, ev.component);
+            match ev.kind {
+                EventKind::Span { dur_ns } => {
+                    out.push_str("\",\"ph\":\"X\",\"ts\":");
+                    write_us(&mut out, ev.ts_ns);
+                    out.push_str(",\"dur\":");
+                    write_us(&mut out, dur_ns);
+                }
+                EventKind::Instant => {
+                    out.push_str("\",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
+                    write_us(&mut out, ev.ts_ns);
+                }
+            }
+            let _ = write!(out, ",\"pid\":{pid},\"tid\":{tid},\"args\":{{");
+            for (i, (key, value)) in ev.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                write_escaped(&mut out, key);
+                let _ = write!(out, "\":{value}");
+            }
+            out.push_str("}}");
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Value};
+    use crate::Tracer;
+
+    fn sample_runs() -> Vec<(String, Vec<TraceEvent>)> {
+        let t = Tracer::enabled();
+        t.span(
+            "hpbd",
+            "request",
+            1_500,
+            12_750,
+            &[("bytes", 4096), ("req", 1)],
+        );
+        t.instant("vmsim", "kswapd \"tick\"", 2_000, &[("batch", 32)]);
+        t.span("ibsim", "rdma_read", 3_000, 9_000, &[("server", 0)]);
+        vec![("HPBD x1".to_string(), t.snapshot())]
+    }
+
+    #[test]
+    fn exact_microsecond_rendering() {
+        let mut s = String::new();
+        write_us(&mut s, 12_345_678);
+        assert_eq!(s, "12345.678");
+        let mut s = String::new();
+        write_us(&mut s, 999);
+        assert_eq!(s, "0.999");
+    }
+
+    #[test]
+    fn output_is_valid_json_with_expected_shape() {
+        let doc = to_chrome_json(&sample_runs());
+        let v = parse(&doc).expect("valid JSON");
+        let obj = v.as_object().expect("top-level object");
+        let events = obj["traceEvents"].as_array().expect("traceEvents array");
+        // 1 process_name + 3 thread_names + 3 events.
+        assert_eq!(events.len(), 7);
+        for ev in events {
+            let e = ev.as_object().expect("event object");
+            assert!(e.contains_key("name"));
+            assert!(e.contains_key("ph"));
+            assert!(e.contains_key("pid"));
+            assert!(e.contains_key("tid"));
+            let ph = e["ph"].as_string().unwrap();
+            match ph {
+                "X" => {
+                    assert!(e.contains_key("ts"));
+                    assert!(e.contains_key("dur"));
+                }
+                "i" => assert!(e.contains_key("ts")),
+                "M" => assert!(e.contains_key("args")),
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn span_timestamps_convert_ns_to_us() {
+        let doc = to_chrome_json(&sample_runs());
+        let v = parse(&doc).unwrap();
+        let events = v.as_object().unwrap()["traceEvents"].as_array().unwrap();
+        let req = events
+            .iter()
+            .filter_map(Value::as_object)
+            .find(|e| e["name"].as_string() == Some("request"))
+            .expect("request span present");
+        assert_eq!(req["ts"].as_f64(), Some(1.5));
+        assert_eq!(req["dur"].as_f64(), Some(11.25));
+        let args = req["args"].as_object().unwrap();
+        assert_eq!(args["bytes"].as_f64(), Some(4096.0));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        assert_eq!(
+            to_chrome_json(&sample_runs()),
+            to_chrome_json(&sample_runs())
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let doc = to_chrome_json(&[]);
+        assert!(parse(&doc).is_ok());
+    }
+}

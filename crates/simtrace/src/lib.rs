@@ -1,0 +1,223 @@
+//! Structured tracing and metrics on the virtual clock.
+//!
+//! The suite's argument is a latency story: where virtual time goes
+//! between a page fault and its completion. This crate provides the
+//! unified observability layer for that story:
+//!
+//! * [`Tracer`] — a cheap handle emitting typed spans and instant events
+//!   `(component, op, start/end virtual-ns, bytes, request id, server id)`.
+//!   A disabled tracer is a no-op: it allocates nothing, schedules
+//!   nothing, and has zero behavioral impact on a simulation.
+//! * [`MetricsRegistry`] — named counters, gauges and sample histograms
+//!   with p50/p95/p99 support, snapshotted into plain-text or CSV
+//!   summaries.
+//! * [`chrome`] — a Chrome trace-event JSON exporter (loadable in
+//!   Perfetto / `chrome://tracing`), converting virtual nanoseconds to
+//!   the format's microsecond timestamps losslessly.
+//! * [`TraceSession`] — collects the tracers of several simulation runs
+//!   (one per figure configuration) into one multi-process trace file.
+//!
+//! Everything here is deterministic: with the same seed, a traced run
+//! produces byte-identical output. Times are plain `u64` nanoseconds so
+//! the crate sits below `simcore` in the dependency graph and the
+//! [`simcore::Engine`]-held tracer is reachable from every layer.
+//!
+//! [`simcore::Engine`]: ../simcore/struct.Engine.html
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod json;
+mod metrics;
+mod session;
+
+pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use session::TraceSession;
+
+use std::cell::{Ref, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+/// What a [`TraceEvent`] describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// An operation with duration: `ts_ns .. ts_ns + dur_ns`.
+    Span {
+        /// Duration in virtual nanoseconds.
+        dur_ns: u64,
+    },
+    /// A point-in-time marker.
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Component (maps to a Chrome trace thread): `"hpbd"`, `"ibsim"`, …
+    pub component: &'static str,
+    /// Operation name: `"request"`, `"rdma_read"`, `"fault"`, …
+    pub name: &'static str,
+    /// Start time (spans) or occurrence time (instants), virtual ns.
+    pub ts_ns: u64,
+    /// Span or instant.
+    pub kind: EventKind,
+    /// Numeric arguments (`bytes`, `req`, `server`, …), shown in the
+    /// trace viewer's detail pane. Kept as integers for determinism.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+struct TracerInner {
+    events: RefCell<Vec<TraceEvent>>,
+}
+
+/// A cheap, cloneable tracing handle.
+///
+/// Cloning shares the event buffer. The default handle is disabled:
+/// every emit is an early-out branch, so instrumented code can call it
+/// unconditionally.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Rc<TracerInner>>,
+}
+
+impl Tracer {
+    /// A disabled (no-op) tracer.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer with an empty event buffer.
+    pub fn enabled() -> Tracer {
+        Tracer {
+            inner: Some(Rc::new(TracerInner {
+                events: RefCell::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Is this handle recording?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record a span from `start_ns` to `end_ns` (both virtual ns).
+    #[inline]
+    pub fn span(
+        &self,
+        component: &'static str,
+        name: &'static str,
+        start_ns: u64,
+        end_ns: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        if let Some(inner) = &self.inner {
+            inner.events.borrow_mut().push(TraceEvent {
+                component,
+                name,
+                ts_ns: start_ns,
+                kind: EventKind::Span {
+                    dur_ns: end_ns.saturating_sub(start_ns),
+                },
+                args: args.to_vec(),
+            });
+        }
+    }
+
+    /// Record an instant event at `ts_ns`.
+    #[inline]
+    pub fn instant(
+        &self,
+        component: &'static str,
+        name: &'static str,
+        ts_ns: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        if let Some(inner) = &self.inner {
+            inner.events.borrow_mut().push(TraceEvent {
+                component,
+                name,
+                ts_ns,
+                kind: EventKind::Instant,
+                args: args.to_vec(),
+            });
+        }
+    }
+
+    /// Number of events recorded so far (0 for a disabled tracer).
+    pub fn len(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.events.borrow().len())
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrow the recorded events (empty slice semantics for disabled
+    /// tracers are handled by [`Tracer::snapshot`]).
+    pub fn events(&self) -> Option<Ref<'_, Vec<TraceEvent>>> {
+        self.inner.as_ref().map(|inner| inner.events.borrow())
+    }
+
+    /// Clone out the recorded events.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |inner| inner.events.borrow().clone())
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .field("events", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        t.span("hpbd", "request", 0, 100, &[("bytes", 4096)]);
+        t.instant("hpbd", "stall", 50, &[]);
+        assert!(!t.is_enabled());
+        assert_eq!(t.len(), 0);
+        assert!(t.snapshot().is_empty());
+    }
+
+    #[test]
+    fn enabled_tracer_records_in_order() {
+        let t = Tracer::enabled();
+        t.span("ibsim", "send", 10, 30, &[("bytes", 64)]);
+        t.instant("vmsim", "kswapd", 20, &[("batch", 8)]);
+        let events = t.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "send");
+        assert_eq!(events[0].kind, EventKind::Span { dur_ns: 20 });
+        assert_eq!(events[1].kind, EventKind::Instant);
+        assert_eq!(events[1].args, vec![("batch", 8)]);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let t = Tracer::enabled();
+        let u = t.clone();
+        u.instant("x", "y", 1, &[]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn span_duration_saturates() {
+        let t = Tracer::enabled();
+        t.span("x", "backwards", 10, 5, &[]);
+        assert_eq!(t.snapshot()[0].kind, EventKind::Span { dur_ns: 0 });
+    }
+}

@@ -119,17 +119,25 @@ impl TcpConn {
 
         // Sender stack occupies the CPU but PIPELINES with the wire: only
         // the first segment's processing delays transmission.
-        inner.node.cpu().reserve(now, inner.model.host_side_time(len));
+        inner
+            .node
+            .cpu()
+            .reserve(now, inner.model.host_side_time(len));
         let startup_tx = inner.model.segment_startup(len);
         // Wire: tx port, propagation, rx port (cut-through).
-        let wire = inner.model.wire_time(len).max(inner.model.host_side_time(len));
+        let wire = inner
+            .model
+            .wire_time(len)
+            .max(inner.model.host_side_time(len));
         let prop = inner.model.propagation();
         let (_, tx_end) = inner.node.tx().reserve(now + startup_tx, wire);
         let rx_earliest = SimTime((tx_end + prop).as_nanos().saturating_sub(wire.as_nanos()));
         let (_, rx_end) = peer.node.rx().reserve(rx_earliest, wire);
         // Receiver stack: occupancy on the CPU, last segment's processing
         // in the latency path.
-        peer.node.cpu().reserve(rx_end, peer.model.host_side_time(len));
+        peer.node
+            .cpu()
+            .reserve(rx_end, peer.model.host_side_time(len));
         let startup_rx = peer.model.segment_startup(len);
         // In-order delivery.
         let t_deliver = (rx_end + startup_rx).max(peer.last_delivery.get());
@@ -318,8 +326,14 @@ mod tests {
         let before_rx = cb.node().cpu().busy_total();
         ca.send(Bytes::from(vec![0u8; 64 * 1024]));
         engine.run_until_idle();
-        assert!(ca.node().cpu().busy_total() > before_tx, "sender stack work");
-        assert!(cb.node().cpu().busy_total() > before_rx, "receiver stack work");
+        assert!(
+            ca.node().cpu().busy_total() > before_tx,
+            "sender stack work"
+        );
+        assert!(
+            cb.node().cpu().busy_total() > before_rx,
+            "receiver stack work"
+        );
     }
 
     #[test]

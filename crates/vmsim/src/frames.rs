@@ -48,10 +48,7 @@ impl FramePool {
     /// # Panics
     /// Panics (in debug) on double free.
     pub fn free(&mut self, frame: FrameId) {
-        debug_assert!(
-            !self.free.contains(&frame),
-            "double free of frame {frame}"
-        );
+        debug_assert!(!self.free.contains(&frame), "double free of frame {frame}");
         self.free.push(frame);
     }
 

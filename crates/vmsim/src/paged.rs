@@ -230,7 +230,8 @@ impl<T: Element> PagedVec<T> {
     /// Release the backing pages and swap slots. Call with the engine
     /// quiesced (no in-flight I/O on these pages).
     pub fn release(self) {
-        self.vm.release_range(self.asid, self.base_vpn, self.pages());
+        self.vm
+            .release_range(self.asid, self.base_vpn, self.pages());
     }
 }
 

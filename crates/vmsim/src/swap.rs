@@ -243,7 +243,12 @@ mod tests {
                 16 * 4096,
                 name,
             ));
-            Rc::new(RequestQueue::new(engine.clone(), cal.clone(), node.clone(), dev))
+            Rc::new(RequestQueue::new(
+                engine.clone(),
+                cal.clone(),
+                node.clone(),
+                dev,
+            ))
         };
         let mut m = SwapManager::new(4096);
         let low = m.add_device(mk("slow"), 0);

@@ -24,7 +24,7 @@ use crate::frames::{FrameId, FramePool};
 use crate::swap::{PageKey, Slot, SwapManager};
 use blockdev::{Bio, IoBuffer, IoOp, RequestQueue};
 use netmodel::{Calibration, Node};
-use simcore::{Engine, SimDuration, Signal};
+use simcore::{Engine, Signal, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
@@ -49,6 +49,10 @@ enum PageState {
         frame: FrameId,
         slot: Slot,
         signal: Signal,
+        /// When the read was issued (trace span start).
+        started: SimTime,
+        /// Demand fault (true) vs readahead (false).
+        major: bool,
     },
     Writing {
         frame: FrameId,
@@ -91,6 +95,10 @@ pub struct VmStats {
 struct Throttle {
     signal: Signal,
     remaining: usize,
+    /// Episode start (trace span start).
+    started: SimTime,
+    /// Page-outs this episode issued.
+    issued: usize,
 }
 
 struct VmInner {
@@ -275,7 +283,13 @@ impl Vm {
                         let frame = *frame;
                         Ok(inner.frames.buffer(frame))
                     }
-                    PageState::Reading { signal, .. } => Err(signal.clone()),
+                    PageState::Reading { signal, major, .. } => {
+                        if !*major {
+                            // Demand fault absorbed by in-flight readahead.
+                            self.engine.metrics().inc("vmsim.readahead_hits");
+                        }
+                        Err(signal.clone())
+                    }
                     PageState::Swapped { slot } => {
                         let slot = *slot;
                         self.start_swap_in(&mut inner, key, slot)
@@ -389,6 +403,8 @@ impl Vm {
                     frame,
                     slot,
                     signal: signal.clone(),
+                    started: self.engine.now(),
+                    major: true,
                 },
                 referenced: true,
             },
@@ -425,6 +441,8 @@ impl Vm {
                         frame: nframe,
                         slot: nslot,
                         signal: Signal::new("readahead"),
+                        started: self.engine.now(),
+                        major: false,
                     },
                     referenced: false,
                 },
@@ -457,7 +475,26 @@ impl Vm {
         let mut inner = self.inner.borrow_mut();
         let entry = inner.table.get(&key).cloned();
         match entry.map(|e| e.state) {
-            Some(PageState::Reading { frame, slot, signal }) => {
+            Some(PageState::Reading {
+                frame,
+                slot,
+                signal,
+                started,
+                major,
+            }) => {
+                let now = self.engine.now();
+                self.engine.tracer().span(
+                    "vmsim",
+                    if major { "fault" } else { "readahead" },
+                    started.as_nanos(),
+                    now.as_nanos(),
+                    &[("vpn", key.1), ("dev", slot.dev as u64)],
+                );
+                if major {
+                    self.engine
+                        .metrics()
+                        .observe("vmsim.fault_latency_us", now.since(started).as_micros_f64());
+                }
                 inner.table.insert(
                     key,
                     PageEntry {
@@ -518,7 +555,16 @@ impl Vm {
                     t.remaining = t.remaining.saturating_sub(1);
                     if t.remaining == 0 {
                         t.signal.set();
+                        let started = t.started;
+                        let issued = t.issued;
                         inner.throttle = None;
+                        self.engine.tracer().span(
+                            "vmsim",
+                            "reclaim_throttle",
+                            started.as_nanos(),
+                            self.engine.now().as_nanos(),
+                            &[("pageouts", issued as u64)],
+                        );
                     }
                 }
                 self.notify_waiters(&mut inner);
@@ -562,10 +608,13 @@ impl Vm {
             return None;
         }
         inner.stats.throttles += 1;
+        self.engine.metrics().inc("vmsim.throttles");
         let signal = Signal::new("reclaim-throttle");
         inner.throttle = Some(Throttle {
             signal: signal.clone(),
             remaining: issued,
+            started: self.engine.now(),
+            issued,
         });
         Some(signal)
     }
@@ -606,15 +655,21 @@ impl Vm {
                 false
             } else {
                 let batch = inner.config.kswapd_batch;
-                let _ = self.reclaim(&mut inner, batch);
+                let writes = self.reclaim(&mut inner, batch);
                 inner.swap.flush_all();
+                self.engine.metrics().inc("vmsim.kswapd_batches");
+                self.engine.tracer().instant(
+                    "vmsim",
+                    "kswapd_batch",
+                    self.engine.now().as_nanos(),
+                    &[("pageouts", writes as u64)],
+                );
                 true
             }
         };
         if reschedule {
             let vm = self.clone();
-            let interval =
-                SimDuration::from_nanos(self.inner.borrow().config.kswapd_interval_ns);
+            let interval = SimDuration::from_nanos(self.inner.borrow().config.kswapd_interval_ns);
             self.engine.schedule_in(interval, move || vm.kswapd_tick());
         }
     }

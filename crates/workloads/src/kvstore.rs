@@ -177,10 +177,7 @@ impl KvStore {
                 let got = self.get(key).expect("loaded key must be present");
                 hits += 1;
                 if op % 64 == 0 {
-                    assert_eq!(
-                        got, shadow[key as usize],
-                        "value diverged for key {key}"
-                    );
+                    assert_eq!(got, shadow[key as usize], "value diverged for key {key}");
                     verified += 1;
                 }
             } else {

@@ -17,7 +17,7 @@ use blockdev::{DispatchRecord, RequestQueue, SimDisk};
 use hpbd::{HpbdCluster, HpbdConfig};
 use ibsim::Fabric;
 use netmodel::{Calibration, Node, Transport};
-use simcore::{Engine, SimDuration};
+use simcore::{Engine, MetricsSnapshot, SimDuration, Tracer};
 use std::cell::RefCell;
 use std::rc::Rc;
 use vmsim::{AddressSpace, Vm, VmConfig, VmStats};
@@ -57,6 +57,10 @@ pub struct ScenarioConfig {
     /// of 8 pages). 1 disables readahead — the right setting for
     /// random-access workloads like the KV mix.
     pub readahead_pages: Option<usize>,
+    /// Tracer installed on the scenario's engine (None: tracing off).
+    /// Hand out per-run tracers from one [`simcore::TraceSession`] to
+    /// collect several configurations into a single Chrome trace.
+    pub tracer: Option<Tracer>,
 }
 
 impl ScenarioConfig {
@@ -68,6 +72,7 @@ impl ScenarioConfig {
             kind,
             hpbd: HpbdConfig::default(),
             readahead_pages: None,
+            tracer: None,
         }
     }
 }
@@ -91,6 +96,11 @@ pub struct RunReport {
     pub read_latency_us: (f64, f64, u64),
     /// Swap-out (write) service latency in µs: (mean, max, count).
     pub write_latency_us: (f64, f64, u64),
+    /// HPBD client counters (None for non-HPBD scenarios).
+    pub hpbd_client: Option<hpbd::ClientStats>,
+    /// Metrics registry snapshot at report time (counters, gauges,
+    /// latency histograms — see `simtrace`).
+    pub metrics: MetricsSnapshot,
 }
 
 /// A built machine, ready to run workloads.
@@ -121,6 +131,9 @@ impl Scenario {
     /// Build with an explicit calibration (ablations).
     pub fn build_with(config: &ScenarioConfig, cal: Rc<Calibration>) -> Scenario {
         let engine = Engine::new();
+        if let Some(tracer) = &config.tracer {
+            engine.set_tracer(tracer.clone());
+        }
         let mut vm_config = VmConfig::for_memory(config.local_mem);
         if let Some(ra) = config.readahead_pages {
             assert!(ra >= 1, "readahead window must be at least the page itself");
@@ -136,8 +149,7 @@ impl Scenario {
                 let fabric = Fabric::new(engine.clone(), cal.clone());
                 let client_ibnode = fabric.add_node("hpbd-client");
                 let node = client_ibnode.node().clone();
-                let per_server =
-                    (config.swap_capacity / *servers as u64 / 4096).max(1) * 4096;
+                let per_server = (config.swap_capacity / *servers as u64 / 4096).max(1) * 4096;
                 let cluster = HpbdCluster::build_on(
                     &fabric,
                     client_ibnode,
@@ -244,6 +256,8 @@ impl Scenario {
             mean_request_bytes: mean,
             read_latency_us,
             write_latency_us,
+            hpbd_client: self.hpbd.as_ref().map(|c| c.client.stats()),
+            metrics: self.engine.metrics().snapshot(),
         }
     }
 
@@ -254,11 +268,7 @@ impl Scenario {
     /// Run testswap over `elements` i32s.
     pub fn run_testswap(&self, elements: usize) -> RunReport {
         let space = AddressSpace::new(&self.vm);
-        let mut task = TestswapTask::new(
-            &space,
-            elements,
-            self.cal.compute.testswap_ns_per_write,
-        );
+        let mut task = TestswapTask::new(&space, elements, self.cal.compute.testswap_ns_per_write);
         let t0 = self.engine.now();
         let done = self.scheduler().run_one(&mut task);
         self.report("testswap", done - t0)

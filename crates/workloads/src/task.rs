@@ -13,7 +13,7 @@
 //! interleaving; it is far below the millisecond-scale phenomena the
 //! figures measure.
 
-use simcore::{Engine, MultiResource, SimDuration, SimTime, Signal};
+use simcore::{Engine, MultiResource, Signal, SimDuration, SimTime};
 use std::rc::Rc;
 
 /// Outcome of one scheduling step.
@@ -135,9 +135,7 @@ impl Scheduler {
                 match tasks[i].step(ops) {
                     Step::Ran => {}
                     Step::Blocked(sig) => states[i] = TaskState::Blocked(sig),
-                    Step::Done => {
-                        states[i] = TaskState::Done(self.engine.now() + self.quantum)
-                    }
+                    Step::Done => states[i] = TaskState::Done(self.engine.now() + self.quantum),
                 }
             }
             // Occupy the node CPUs for the quantum so background kernel
@@ -361,6 +359,11 @@ mod tests {
         let done = sched.run(&mut tasks);
         // b must finish before a despite starting together: it computes
         // through a's I/O stall.
-        assert!(done[1] < done[0], "b {:?} should beat a {:?}", done[1], done[0]);
+        assert!(
+            done[1] < done[0],
+            "b {:?} should beat a {:?}",
+            done[1],
+            done[0]
+        );
     }
 }

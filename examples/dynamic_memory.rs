@@ -25,9 +25,7 @@ fn main() {
         ..HpbdConfig::default()
     };
     let cluster = HpbdCluster::build(&engine, cal, config, 3, 4 << 20);
-    println!(
-        "3 memory servers x 4 MiB, 8 spare chunks of 256 KiB each\n"
-    );
+    println!("3 memory servers x 4 MiB, 8 spare chunks of 256 KiB each\n");
 
     // The application stores data across server 0's extent.
     for i in 0..256u64 {

@@ -33,15 +33,12 @@ fn main() {
 
     let elements = 2 << 20; // 8 MiB per instance
     let (a, b, report) = scenario.run_qsort_pair(elements, 7);
+    println!("instance A finished at {:>8.3}s", a.as_secs_f64());
+    println!("instance B finished at {:>8.3}s", b.as_secs_f64());
     println!(
-        "instance A finished at {:>8.3}s",
-        a.as_secs_f64()
+        "makespan            {:>8.3}s\n",
+        report.elapsed.as_secs_f64()
     );
-    println!(
-        "instance B finished at {:>8.3}s",
-        b.as_secs_f64()
-    );
-    println!("makespan            {:>8.3}s\n", report.elapsed.as_secs_f64());
 
     let stats = cluster.client.stats();
     println!("client driver:");

@@ -32,7 +32,10 @@ fn paged_data_round_trips_through_remote_memory() {
         );
     }
     let stats = scenario.vm.stats();
-    assert!(stats.swap_outs > 1000, "pressure must have paged: {stats:?}");
+    assert!(
+        stats.swap_outs > 1000,
+        "pressure must have paged: {stats:?}"
+    );
     let client = scenario.hpbd.as_ref().unwrap().client.stats();
     assert!(client.bytes_out > 4 * MB, "data went over the wire");
 }
@@ -70,7 +73,10 @@ fn determinism_same_seed_same_virtual_time() {
     };
     let a = run();
     let b = run();
-    assert_eq!(a, b, "identical runs must produce identical virtual timings");
+    assert_eq!(
+        a, b,
+        "identical runs must produce identical virtual timings"
+    );
 }
 
 #[test]
@@ -83,7 +89,10 @@ fn different_seeds_differ_in_detail_but_not_shape() {
     let a = run(1);
     let b = run(2);
     // Same configuration: runtimes within 20% of each other.
-    assert!((a - b).abs() / a < 0.2, "seed variance too large: {a} vs {b}");
+    assert!(
+        (a - b).abs() / a < 0.2,
+        "seed variance too large: {a} vs {b}"
+    );
 }
 
 #[test]

@@ -1,80 +1,76 @@
-//! Property-based tests over the core data structures and invariants.
+//! Randomized invariant tests over the core data structures.
+//!
+//! Formerly proptest-based; now driven by the suite's own deterministic
+//! [`SimRng`] so the tests build offline and every failure reproduces
+//! from its printed case seed.
 
 use hpbd_suite::hpbd::PoolAllocator;
 use hpbd_suite::hpbd::SimBufferPool;
-use hpbd_suite::simcore::{Engine, SimTime};
-use proptest::prelude::*;
+use hpbd_suite::simcore::{Engine, SimRng, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// Run `f` over `cases` generated inputs, each seeded reproducibly.
+fn for_cases(cases: u64, mut f: impl FnMut(u64, &mut SimRng)) {
+    for case in 0..cases {
+        let mut rng = SimRng::new(0x70_5E_ED ^ (case * 0x9E37_79B9));
+        f(case, &mut rng);
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Buffer pool allocator: conservation, coalescing, no overlap.
 // ---------------------------------------------------------------------------
 
-#[derive(Clone, Debug)]
-enum PoolOp {
-    Alloc(u64),
-    FreeNth(usize),
-}
-
-fn pool_ops() -> impl Strategy<Value = Vec<PoolOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (1u64..64 * 1024).prop_map(PoolOp::Alloc),
-            (0usize..64).prop_map(PoolOp::FreeNth),
-        ],
-        1..200,
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Any interleaving of allocs and frees keeps the free list sorted,
-    /// coalesced, in-bounds and byte-conserving, and live allocations never
-    /// overlap.
-    #[test]
-    fn pool_allocator_invariants(ops in pool_ops()) {
-        const SIZE: u64 = 1 << 20;
+#[test]
+fn pool_allocator_invariants() {
+    const SIZE: u64 = 1 << 20;
+    for_cases(256, |case, rng| {
+        let ops = 1 + rng.below(200);
         let mut pool = PoolAllocator::new(SIZE);
         let mut live: Vec<hpbd_suite::hpbd::pool::PoolBuf> = Vec::new();
-        for op in ops {
-            match op {
-                PoolOp::Alloc(len) => {
-                    if let Some(buf) = pool.alloc(len) {
-                        // No overlap with any live allocation.
-                        for other in &live {
-                            let disjoint = buf.offset + buf.len <= other.offset
-                                || other.offset + other.len <= buf.offset;
-                            prop_assert!(disjoint, "overlap {buf:?} vs {other:?}");
-                        }
-                        live.push(buf);
+        for _ in 0..ops {
+            if rng.below(2) == 0 {
+                let len = 1 + rng.below(64 * 1024 - 1);
+                if let Some(buf) = pool.alloc(len) {
+                    for other in &live {
+                        let disjoint = buf.offset + buf.len <= other.offset
+                            || other.offset + other.len <= buf.offset;
+                        assert!(disjoint, "case {case}: overlap {buf:?} vs {other:?}");
                     }
+                    live.push(buf);
                 }
-                PoolOp::FreeNth(i) => {
-                    if !live.is_empty() {
-                        let buf = live.swap_remove(i % live.len());
-                        pool.free(buf);
-                    }
-                }
+            } else if !live.is_empty() {
+                let i = rng.below(live.len() as u64) as usize;
+                let buf = live.swap_remove(i);
+                pool.free(buf);
             }
             pool.check_invariants();
             let live_bytes: u64 = live.iter().map(|b| b.len).sum();
-            prop_assert_eq!(pool.free_bytes() + live_bytes, SIZE, "byte conservation");
+            assert_eq!(
+                pool.free_bytes() + live_bytes,
+                SIZE,
+                "case {case}: byte conservation"
+            );
         }
         // Free everything: the pool must coalesce back to one extent.
         for buf in live.drain(..) {
             pool.free(buf);
         }
         pool.check_invariants();
-        prop_assert_eq!(pool.free_bytes(), SIZE);
-        prop_assert_eq!(pool.fragments(), 1, "merge-on-free must fully coalesce");
-    }
+        assert_eq!(pool.free_bytes(), SIZE);
+        assert_eq!(pool.fragments(), 1, "case {case}: merge-on-free coalesces");
+    });
+}
 
-    /// After any load, a drained SimBufferPool serves queued waiters FIFO
-    /// and ends with all bytes back.
-    #[test]
-    fn sim_pool_serves_all_waiters(sizes in prop::collection::vec(1u64..1024, 1..64)) {
+/// After any load, a drained SimBufferPool serves queued waiters FIFO and
+/// ends with all bytes back.
+#[test]
+fn sim_pool_serves_all_waiters() {
+    for_cases(256, |case, rng| {
+        let sizes: Vec<u64> = (0..1 + rng.below(63))
+            .map(|_| 1 + rng.below(1023))
+            .collect();
         let pool = Rc::new(SimBufferPool::new(4096));
         let served: Rc<RefCell<Vec<usize>>> = Rc::default();
         let held: Rc<RefCell<Vec<hpbd_suite::hpbd::pool::PoolBuf>>> = Rc::default();
@@ -90,31 +86,37 @@ proptest! {
         let mut guard = 0;
         while pool.queued_waiters() > 0 {
             let bufs: Vec<_> = held.borrow_mut().drain(..).collect();
-            prop_assert!(!bufs.is_empty(), "waiters but nothing to free: deadlock");
+            assert!(
+                !bufs.is_empty(),
+                "case {case}: waiters but nothing to free: deadlock"
+            );
             for b in bufs {
                 pool.free(b);
             }
             guard += 1;
-            prop_assert!(guard < 1000, "no forward progress");
+            assert!(guard < 1000, "case {case}: no forward progress");
         }
         for b in held.borrow_mut().drain(..) {
             pool.free(b);
         }
         // Everyone served exactly once, in FIFO order.
         let served = served.borrow();
-        prop_assert_eq!(served.len(), sizes.len());
+        assert_eq!(served.len(), sizes.len());
         let mut sorted = served.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(&*served, &sorted, "FIFO service order");
-        prop_assert_eq!(pool.free_bytes(), 4096);
-    }
+        assert_eq!(&*served, &sorted, "case {case}: FIFO service order");
+        assert_eq!(pool.free_bytes(), 4096);
+    });
+}
 
-    // -----------------------------------------------------------------------
-    // Engine: time never runs backwards, ties keep submission order.
-    // -----------------------------------------------------------------------
+// ---------------------------------------------------------------------------
+// Engine: time never runs backwards, ties keep submission order.
+// ---------------------------------------------------------------------------
 
-    #[test]
-    fn engine_executes_in_nondecreasing_time_order(times in prop::collection::vec(0u64..10_000, 1..200)) {
+#[test]
+fn engine_executes_in_nondecreasing_time_order() {
+    for_cases(64, |case, rng| {
+        let times: Vec<u64> = (0..1 + rng.below(200)).map(|_| rng.below(10_000)).collect();
         let engine = Engine::new();
         let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::default();
         for (i, &t) in times.iter().enumerate() {
@@ -126,62 +128,64 @@ proptest! {
         }
         engine.run_until_idle();
         let log = log.borrow();
-        prop_assert_eq!(log.len(), times.len());
+        assert_eq!(log.len(), times.len());
         for w in log.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            assert!(w[0].0 <= w[1].0, "case {case}: time went backwards");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "tie broke submission order");
+                assert!(w[0].1 < w[1].1, "case {case}: tie broke submission order");
             }
         }
-    }
+    });
+}
 
-    // -----------------------------------------------------------------------
-    // Wire protocol: roundtrip for arbitrary field values; corruption is
-    // always detected.
-    // -----------------------------------------------------------------------
+// ---------------------------------------------------------------------------
+// Wire protocol: roundtrip for arbitrary field values; corruption is
+// always detected.
+// ---------------------------------------------------------------------------
 
-    #[test]
-    fn hpbd_request_roundtrip(
-        req_id in any::<u64>(),
-        write in any::<bool>(),
-        server_offset in any::<u64>(),
-        len in 1u64..=(1 << 20),
-        rkey in any::<u32>(),
-        client_offset in any::<u64>(),
-    ) {
-        use hpbd_suite::hpbd::proto::{PageOp, PageRequest};
+#[test]
+fn hpbd_request_roundtrip() {
+    use hpbd_suite::hpbd::proto::{PageOp, PageRequest};
+    for_cases(256, |_case, rng| {
         let req = PageRequest {
-            req_id,
-            op: if write { PageOp::Write } else { PageOp::Read },
-            server_offset,
-            len,
-            client_rkey: rkey,
-            client_offset,
+            req_id: rng.next_u64(),
+            op: if rng.below(2) == 0 {
+                PageOp::Write
+            } else {
+                PageOp::Read
+            },
+            server_offset: rng.next_u64(),
+            len: 1 + rng.below(1 << 20),
+            client_rkey: rng.next_u32(),
+            client_offset: rng.next_u64(),
         };
-        prop_assert_eq!(PageRequest::decode(req.encode()), Ok(req));
-    }
+        assert_eq!(PageRequest::decode(req.encode()), Ok(req));
+    });
+}
 
-    #[test]
-    fn hpbd_request_detects_any_single_byte_corruption(
-        flip_byte in 4usize..44, // past the magic, within the signed header
-        flip_bit in 0u8..8,
-    ) {
-        use hpbd_suite::hpbd::proto::PageRequest;
-        let req = PageRequest {
-            req_id: 7,
-            op: hpbd_suite::hpbd::proto::PageOp::Write,
-            server_offset: 123456,
-            len: 4096,
-            client_rkey: 9,
-            client_offset: 8192,
-        };
-        let mut raw = req.encode().to_vec();
-        raw[flip_byte] ^= 1 << flip_bit;
-        let decoded = PageRequest::decode(raw.into());
-        prop_assert!(decoded.is_err() || decoded == Ok(req),
-            "silent corruption: {decoded:?}");
-        prop_assert_ne!(decoded, Ok(PageRequest { req_id: 8, ..req }));
-        prop_assert!(decoded.is_err(), "checksum must catch the flip");
+#[test]
+fn hpbd_request_detects_any_single_byte_corruption() {
+    use hpbd_suite::hpbd::proto::PageRequest;
+    let req = PageRequest {
+        req_id: 7,
+        op: hpbd_suite::hpbd::proto::PageOp::Write,
+        server_offset: 123456,
+        len: 4096,
+        client_rkey: 9,
+        client_offset: 8192,
+    };
+    // Exhaustive: every bit of every signed header byte past the magic.
+    for flip_byte in 4usize..44 {
+        for flip_bit in 0u8..8 {
+            let mut raw = req.encode().to_vec();
+            raw[flip_byte] ^= 1 << flip_bit;
+            let decoded = PageRequest::decode(raw.into());
+            assert_ne!(decoded, Ok(PageRequest { req_id: 8, ..req }));
+            assert!(
+                decoded.is_err(),
+                "byte {flip_byte} bit {flip_bit}: checksum must catch the flip"
+            );
+        }
     }
 }
 
@@ -189,17 +193,17 @@ proptest! {
 // Paged memory: random access sequences round-trip under pressure.
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn paged_vec_matches_reference_vec() {
+    use hpbd_suite::blockdev::{RamDiskDevice, RequestQueue};
+    use hpbd_suite::netmodel::{Calibration, Node};
+    use hpbd_suite::vmsim::{AddressSpace, PagedVec, Vm, VmConfig};
 
-    #[test]
-    fn paged_vec_matches_reference_vec(
-        writes in prop::collection::vec((0usize..32 * 1024, any::<i32>()), 1..400),
-        frames in 24usize..64,
-    ) {
-        use hpbd_suite::blockdev::{RamDiskDevice, RequestQueue};
-        use hpbd_suite::netmodel::{Calibration, Node};
-        use hpbd_suite::vmsim::{AddressSpace, PagedVec, Vm, VmConfig};
+    for_cases(12, |case, rng| {
+        let frames = 24 + rng.below(40) as usize;
+        let writes: Vec<(usize, i32)> = (0..1 + rng.below(400))
+            .map(|_| (rng.below(32 * 1024) as usize, rng.next_u32() as i32))
+            .collect();
 
         let engine = Engine::new();
         let cal = Rc::new(Calibration::cluster_2005());
@@ -208,7 +212,12 @@ proptest! {
         config.total_frames = frames;
         let vm = Vm::new(engine.clone(), cal.clone(), node.clone(), config);
         let dev = Rc::new(RamDiskDevice::new(
-            engine.clone(), cal.clone(), node.clone(), 64 << 20, "swap"));
+            engine.clone(),
+            cal.clone(),
+            node.clone(),
+            64 << 20,
+            "swap",
+        ));
         let q = Rc::new(RequestQueue::new(engine.clone(), cal, node, dev));
         vm.add_swap_device(q, 0);
 
@@ -220,68 +229,83 @@ proptest! {
             reference[i] = val;
         }
         for &(i, _) in &writes {
-            prop_assert_eq!(v.get(i), reference[i], "index {}", i);
+            assert_eq!(v.get(i), reference[i], "case {case}: index {i}");
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------------
 // Block-layer merging: no bio lost, no bio duplicated, extents exact.
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn request_queue_completes_every_bio_exactly_once() {
+    use hpbd_suite::blockdev::{new_buffer, Bio, IoOp, RamDiskDevice, RequestQueue};
+    use hpbd_suite::netmodel::{Calibration, Node};
+    use std::collections::BTreeSet;
 
-    #[test]
-    fn request_queue_completes_every_bio_exactly_once(
-        pages in prop::collection::hash_set(0u64..512, 1..128),
-    ) {
-        use hpbd_suite::blockdev::{new_buffer, Bio, IoOp, RamDiskDevice, RequestQueue};
-        use hpbd_suite::netmodel::{Calibration, Node};
+    for_cases(32, |case, rng| {
+        let mut pages = BTreeSet::new();
+        for _ in 0..1 + rng.below(127) {
+            pages.insert(rng.below(512));
+        }
 
         let engine = Engine::new();
         let cal = Rc::new(Calibration::cluster_2005());
         let node = Node::new("n", 0, 2);
         let dev = Rc::new(RamDiskDevice::new(
-            engine.clone(), cal.clone(), node.clone(), 4 << 20, "ram"));
+            engine.clone(),
+            cal.clone(),
+            node.clone(),
+            4 << 20,
+            "ram",
+        ));
         let queue = RequestQueue::new(engine.clone(), cal, node, dev);
         let completions: Rc<RefCell<Vec<u64>>> = Rc::default();
         for &p in &pages {
             let completions = completions.clone();
-            queue.submit(Bio::new(IoOp::Write, p * 4096, new_buffer(4096), move |r| {
-                r.unwrap();
-                completions.borrow_mut().push(p);
-            }));
+            queue.submit(Bio::new(
+                IoOp::Write,
+                p * 4096,
+                new_buffer(4096),
+                move |r| {
+                    r.unwrap();
+                    completions.borrow_mut().push(p);
+                },
+            ));
         }
         queue.flush();
         engine.run_until_idle();
         let mut got = completions.borrow().clone();
         got.sort_unstable();
-        let mut want: Vec<u64> = pages.iter().copied().collect();
-        want.sort_unstable();
-        prop_assert_eq!(got, want, "every bio completes exactly once");
+        let want: Vec<u64> = pages.iter().copied().collect();
+        assert_eq!(got, want, "case {case}: every bio completes exactly once");
 
         // The dispatch log covers exactly the submitted pages, merged.
         let log = queue.dispatch_log();
         let total: u64 = log.borrow().iter().map(|r| r.len).sum();
-        prop_assert_eq!(total, pages.len() as u64 * 4096);
+        assert_eq!(total, pages.len() as u64 * 4096);
         for rec in log.borrow().iter() {
-            prop_assert!(rec.len <= 128 * 1024, "cap respected");
+            assert!(rec.len <= 128 * 1024, "case {case}: cap respected");
         }
-    }
+    });
+}
 
-    // -----------------------------------------------------------------------
-    // VM invariants under random access patterns and tight memory.
-    // -----------------------------------------------------------------------
+// ---------------------------------------------------------------------------
+// VM invariants under random access patterns and tight memory.
+// ---------------------------------------------------------------------------
 
-    #[test]
-    fn vm_invariants_hold_under_random_paging(
-        accesses in prop::collection::vec((0u64..256, any::<bool>()), 1..300),
-        frames in 24usize..48,
-    ) {
-        use hpbd_suite::blockdev::{RamDiskDevice, RequestQueue};
-        use hpbd_suite::netmodel::{Calibration, Node};
-        use hpbd_suite::vmsim::{Vm, VmConfig};
+#[test]
+fn vm_invariants_hold_under_random_paging() {
+    use hpbd_suite::blockdev::{RamDiskDevice, RequestQueue};
+    use hpbd_suite::netmodel::{Calibration, Node};
+    use hpbd_suite::vmsim::{Vm, VmConfig};
+
+    for_cases(16, |_case, rng| {
+        let frames = 24 + rng.below(24) as usize;
+        let accesses: Vec<(u64, bool)> = (0..1 + rng.below(300))
+            .map(|_| (rng.below(256), rng.below(2) == 0))
+            .collect();
 
         let engine = Engine::new();
         let cal = Rc::new(Calibration::cluster_2005());
@@ -290,7 +314,12 @@ proptest! {
         config.total_frames = frames;
         let vm = Vm::new(engine.clone(), cal.clone(), node.clone(), config);
         let dev = Rc::new(RamDiskDevice::new(
-            engine.clone(), cal.clone(), node.clone(), 8 << 20, "swap"));
+            engine.clone(),
+            cal.clone(),
+            node.clone(),
+            8 << 20,
+            "swap",
+        ));
         let q = Rc::new(RequestQueue::new(engine.clone(), cal, node, dev));
         vm.add_swap_device(q, 0);
 
@@ -303,7 +332,7 @@ proptest! {
         }
         engine.run_until_idle();
         vm.check_invariants();
-    }
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -311,15 +340,17 @@ proptest! {
 // receiver chunks its reads.
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn tcp_stream_preserves_byte_sequence() {
+    use hpbd_suite::netmodel::{Calibration, Node};
+    for_cases(24, |case, rng| {
+        let sends: Vec<usize> = (0..1 + rng.below(19))
+            .map(|_| 1 + rng.below(4999) as usize)
+            .collect();
+        let read_chunks: Vec<usize> = (0..1 + rng.below(39))
+            .map(|_| 1 + rng.below(3999) as usize)
+            .collect();
 
-    #[test]
-    fn tcp_stream_preserves_byte_sequence(
-        sends in prop::collection::vec(1usize..5000, 1..20),
-        read_chunks in prop::collection::vec(1usize..4000, 1..40),
-    ) {
-        use hpbd_suite::netmodel::{Calibration, Node};
         let engine = Engine::new();
         let cal = Calibration::cluster_2005();
         let model = Rc::new(cal.ipoib.clone());
@@ -340,28 +371,38 @@ proptest! {
         let mut requested = 0usize;
         for &n in &read_chunks {
             let n = n.min(total - requested);
-            if n == 0 { break; }
+            if n == 0 {
+                break;
+            }
             requested += n;
             let received = received.clone();
-            cb.recv(n, move |chunk| received.borrow_mut().extend_from_slice(&chunk));
+            cb.recv(n, move |chunk| {
+                received.borrow_mut().extend_from_slice(&chunk)
+            });
         }
         engine.run_until_idle();
         let received = received.borrow();
-        prop_assert_eq!(&received[..], &payload[..requested],
-            "stream must be the exact concatenation of sends");
-    }
+        assert_eq!(
+            &received[..],
+            &payload[..requested],
+            "case {case}: stream must be the exact concatenation of sends"
+        );
+    });
+}
 
-    // -----------------------------------------------------------------------
-    // ibsim: random RDMA traffic matches a plain reference buffer.
-    // -----------------------------------------------------------------------
+// ---------------------------------------------------------------------------
+// ibsim: random RDMA traffic matches a plain reference buffer.
+// ---------------------------------------------------------------------------
 
-    #[test]
-    fn rdma_ops_match_reference_model(
-        ops in prop::collection::vec(
-            (any::<bool>(), 0u64..32, 1u64..8192), 1..40),
-    ) {
-        use hpbd_suite::ibsim::{Fabric, RemoteSlice, WorkKind, WorkRequest};
-        use hpbd_suite::netmodel::Calibration;
+#[test]
+fn rdma_ops_match_reference_model() {
+    use hpbd_suite::ibsim::{Fabric, RemoteSlice, WorkKind, WorkRequest};
+    use hpbd_suite::netmodel::Calibration;
+    for_cases(16, |case, rng| {
+        let ops: Vec<(bool, u64, u64)> = (0..1 + rng.below(39))
+            .map(|_| (rng.below(2) == 0, rng.below(32), 1 + rng.below(8191)))
+            .collect();
+
         let engine = Engine::new();
         let cal = Rc::new(Calibration::cluster_2005());
         let fabric = Fabric::new(engine.clone(), cal);
@@ -389,10 +430,15 @@ proptest! {
                     wr_id: i as u64,
                     kind: WorkKind::RdmaWrite {
                         local: local.slice(offset, len),
-                        remote: RemoteSlice { rkey: remote.rkey(), offset, len },
+                        remote: RemoteSlice {
+                            rkey: remote.rkey(),
+                            offset,
+                            len,
+                        },
                     },
                     solicited: false,
-                }).expect("post");
+                })
+                .expect("post");
                 engine.run_until_idle();
                 ref_remote[offset as usize..(offset + len) as usize].fill(marker);
             } else {
@@ -400,52 +446,61 @@ proptest! {
                     wr_id: i as u64,
                     kind: WorkKind::RdmaRead {
                         local: local.slice(offset, len),
-                        remote: RemoteSlice { rkey: remote.rkey(), offset, len },
+                        remote: RemoteSlice {
+                            rkey: remote.rkey(),
+                            offset,
+                            len,
+                        },
                     },
                     solicited: false,
-                }).expect("post");
+                })
+                .expect("post");
                 engine.run_until_idle();
                 let src = &ref_remote[offset as usize..(offset + len) as usize];
-                ref_local[offset as usize..(offset + len) as usize]
-                    .copy_from_slice(src);
+                ref_local[offset as usize..(offset + len) as usize].copy_from_slice(src);
             }
             // All completions must be successes.
             while let Some(c) = acq.poll() {
-                prop_assert_eq!(c.status, hpbd_suite::ibsim::WcStatus::Success);
+                assert_eq!(c.status, hpbd_suite::ibsim::WcStatus::Success);
             }
         }
-        prop_assert_eq!(local.to_vec(), ref_local, "local region diverged");
-        prop_assert_eq!(remote.to_vec(), ref_remote, "remote region diverged");
-    }
+        assert_eq!(
+            local.to_vec(),
+            ref_local,
+            "case {case}: local region diverged"
+        );
+        assert_eq!(
+            remote.to_vec(),
+            ref_remote,
+            "case {case}: remote region diverged"
+        );
+    });
 }
 
 // ---------------------------------------------------------------------------
 // Quicksort over the full stack: always sorted, for random shapes.
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn quicksort_sorts_under_any_memory_pressure() {
+    use hpbd_suite::vmsim::AddressSpace;
+    use hpbd_suite::workloads::qsort::QsortTask;
+    use hpbd_suite::workloads::{Scenario, ScenarioConfig, Scheduler, SwapKind};
 
-    #[test]
-    fn quicksort_sorts_under_any_memory_pressure(
-        elements in 1usize..40_000,
-        frames_kb in 64u64..512,
-        seed in any::<u64>(),
-        servers in 1usize..4,
-    ) {
-        use hpbd_suite::workloads::qsort::QsortTask;
-        use hpbd_suite::workloads::{Scenario, ScenarioConfig, SwapKind, Scheduler};
-        use hpbd_suite::vmsim::AddressSpace;
+    for_cases(6, |_case, rng| {
+        let elements = 1 + rng.below(40_000) as usize;
+        let frames_kb = 64 + rng.below(448);
+        let seed = rng.next_u64();
+        let servers = 1 + rng.below(3) as usize;
 
-        let config = ScenarioConfig::new(
-            frames_kb * 1024,
-            16 << 20,
-            SwapKind::Hpbd { servers },
-        );
+        let config = ScenarioConfig::new(frames_kb * 1024, 16 << 20, SwapKind::Hpbd { servers });
         let scenario = Scenario::build(&config);
         let space = AddressSpace::new(&scenario.vm);
         let mut task = QsortTask::new(&space, elements, seed, 4, "prop-qsort");
         Scheduler::new(scenario.engine.clone(), 2).run_one(&mut task);
-        prop_assert!(task.is_sorted(), "sortedness violated: n={elements} seed={seed}");
-    }
+        assert!(
+            task.is_sorted(),
+            "sortedness violated: n={elements} seed={seed}"
+        );
+    });
 }
