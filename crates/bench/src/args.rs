@@ -14,6 +14,10 @@ pub struct CommonArgs {
     pub trace: Option<PathBuf>,
     /// Print per-configuration metrics summaries (`--metrics`).
     pub metrics: bool,
+    /// Worker threads for figure sweeps (`--threads N`, 0 = one per
+    /// core). Results are assembled in cell order, so the output is
+    /// byte-identical at any thread count; the default of 1 runs inline.
+    pub threads: usize,
 }
 
 impl Default for CommonArgs {
@@ -23,6 +27,7 @@ impl Default for CommonArgs {
             seed: 42,
             trace: None,
             metrics: false,
+            threads: 1,
         }
     }
 }
@@ -57,12 +62,18 @@ impl CommonArgs {
                 "--metrics" => {
                     out.metrics = true;
                 }
+                "--threads" => {
+                    out.threads = take("--threads") as usize;
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: [--scale N] [--seed N] [--trace PATH] [--metrics]");
+                    eprintln!(
+                        "usage: [--scale N] [--seed N] [--trace PATH] [--metrics] [--threads N]"
+                    );
                     eprintln!("  --scale N    divide the paper's sizes by N (default 16)");
                     eprintln!("  --seed N     workload RNG seed (default 42)");
                     eprintln!("  --trace PATH write a Chrome trace-event JSON (load in Perfetto)");
                     eprintln!("  --metrics    print per-configuration metrics summaries");
+                    eprintln!("  --threads N  sweep worker threads (0 = one per core, default 1)");
                     std::process::exit(0);
                 }
                 other => {
@@ -72,6 +83,11 @@ impl CommonArgs {
             }
         }
         out
+    }
+
+    /// The sweep runner selected by `--threads`.
+    pub fn runner(&self) -> crate::runner::Runner {
+        crate::runner::Runner::with_threads(self.threads)
     }
 
     /// The paper's quantity divided by the scale, page-aligned.

@@ -1,0 +1,337 @@
+//! perfbench — simulator throughput benchmark with a tracked baseline.
+//!
+//! Runs the three sweep figures (5, 9, 10) through the parallel runner and
+//! reports, per figure and in total: wall-clock seconds, simulation events
+//! executed, and events per second — the simulator's core throughput
+//! metric, largely independent of the `--scale` divisor. Peak RSS comes
+//! from `/proc/self/status` (`VmHWM`) where available.
+//!
+//! ```text
+//! perfbench [--smoke] [--scale N] [--seed N] [--threads N]
+//!           [--out PATH] [--baseline PATH]
+//! ```
+//!
+//! `--smoke` shrinks the workloads (scale 256) for CI; `--out` writes a
+//! JSON report (`BENCH_core.json` at the repo root is the tracked
+//! baseline); `--baseline` compares per-figure events/sec against a prior
+//! report and **exits 1 on a >20 % regression**.
+
+use bench::figures::{fig10, fig5, fig9};
+use bench::{CommonArgs, Runner};
+use simcore::TraceSession;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Allowed events/sec drop vs the baseline before the run fails.
+const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// Figures whose wall time is below this are reported but not gated —
+/// sub-second cells are dominated by setup cost and process noise, which
+/// dwarfs the tolerance. The total is always gated.
+const MIN_GATED_WALL_S: f64 = 1.0;
+
+struct FigureResult {
+    name: &'static str,
+    wall_s: f64,
+    events: u64,
+}
+
+impl FigureResult {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.events as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut common = CommonArgs::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--scale" => common.scale = take("--scale").parse().unwrap_or(16).max(1),
+            "--seed" => common.seed = take("--seed").parse().unwrap_or(42),
+            "--threads" => common.threads = take("--threads").parse().unwrap_or(1),
+            "--out" => out = Some(PathBuf::from(take("--out"))),
+            "--baseline" => baseline = Some(PathBuf::from(take("--baseline"))),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: perfbench [--smoke] [--scale N] [--seed N] [--threads N] \
+                     [--out PATH] [--baseline PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        common.scale = common.scale.max(256);
+    }
+    let runner = Runner::with_threads(common.threads);
+
+    let mut results: Vec<FigureResult> = Vec::new();
+    let mut measure = |name: &'static str, f: &dyn Fn() -> u64| {
+        let start = Instant::now();
+        let events = f();
+        let wall_s = start.elapsed().as_secs_f64();
+        let r = FigureResult {
+            name,
+            wall_s,
+            events,
+        };
+        println!(
+            "{:>6}  wall {:8.3} s  events {:>12}  {:>12.0} events/s",
+            r.name,
+            r.wall_s,
+            r.events,
+            r.events_per_sec()
+        );
+        results.push(r);
+    };
+
+    measure("fig5", &|| {
+        fig5::run_parallel(&common, &mut TraceSession::disabled(), &runner)
+            .iter()
+            .map(|r| r.events)
+            .sum()
+    });
+    measure("fig9", &|| {
+        fig9::run_parallel(&common, &mut TraceSession::disabled(), &runner)
+            .iter()
+            .map(|p| p.report.events)
+            .sum()
+    });
+    measure("fig10", &|| {
+        fig10::run_parallel(&common, &mut TraceSession::disabled(), &runner)
+            .iter()
+            .map(|p| p.report.events)
+            .sum()
+    });
+
+    let total_wall: f64 = results.iter().map(|r| r.wall_s).sum();
+    let total_events: u64 = results.iter().map(|r| r.events).sum();
+    let total_eps = if total_wall > 0.0 {
+        total_events as f64 / total_wall
+    } else {
+        0.0
+    };
+    let rss = peak_rss_kb();
+    println!(
+        " total  wall {total_wall:8.3} s  events {total_events:>12}  {total_eps:>12.0} events/s  peak RSS {rss} kB"
+    );
+
+    let report = render_json(
+        &common,
+        smoke,
+        &runner,
+        &results,
+        total_wall,
+        total_events,
+        rss,
+    );
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, &report) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+    }
+
+    if let Some(path) = &baseline {
+        match check_baseline(path, &results) {
+            Ok(lines) => {
+                for l in &lines {
+                    println!("{l}");
+                }
+            }
+            Err(msgs) => {
+                for m in &msgs {
+                    eprintln!("REGRESSION: {m}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Peak resident set size in kB from `/proc/self/status`, or 0 when the
+/// platform does not expose it.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn render_json(
+    common: &CommonArgs,
+    smoke: bool,
+    runner: &Runner,
+    results: &[FigureResult],
+    total_wall: f64,
+    total_events: u64,
+    rss_kb: u64,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"hpbd-perfbench-v1\",\n");
+    s.push_str(&format!("  \"smoke\": {smoke},\n"));
+    s.push_str(&format!("  \"scale\": {},\n", common.scale));
+    s.push_str(&format!("  \"seed\": {},\n", common.seed));
+    s.push_str(&format!("  \"threads\": {},\n", runner.threads()));
+    s.push_str("  \"figures\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}}}{}\n",
+            r.name,
+            r.wall_s,
+            r.events,
+            r.events_per_sec(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    let total_eps = if total_wall > 0.0 {
+        total_events as f64 / total_wall
+    } else {
+        0.0
+    };
+    s.push_str(&format!(
+        "  \"total\": {{\"wall_s\": {total_wall:.3}, \"events\": {total_events}, \"events_per_sec\": {total_eps:.0}}},\n"
+    ));
+    s.push_str(&format!("  \"peak_rss_kb\": {rss_kb}\n"));
+    s.push_str("}\n");
+    s
+}
+
+/// Compare per-figure events/sec against a prior report. `Ok` carries the
+/// per-figure comparison lines; `Err` the regression messages.
+fn check_baseline(path: &PathBuf, results: &[FigureResult]) -> Result<Vec<String>, Vec<String>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            return Err(vec![format!(
+                "cannot read baseline {}: {e}",
+                path.display()
+            )])
+        }
+    };
+    let doc = match simtrace::json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            return Err(vec![format!(
+                "baseline {} is not valid JSON: {e:?}",
+                path.display()
+            )])
+        }
+    };
+    let figures = doc
+        .as_object()
+        .and_then(|o| o.get("figures"))
+        .and_then(|f| f.as_array());
+    let Some(figures) = figures else {
+        return Err(vec![format!(
+            "baseline {} has no \"figures\" array",
+            path.display()
+        )]);
+    };
+    let base_eps = |name: &str| -> Option<f64> {
+        figures.iter().find_map(|f| {
+            let o = f.as_object()?;
+            if o.get("name")?.as_string()? == name {
+                o.get("events_per_sec")?.as_f64()
+            } else {
+                None
+            }
+        })
+    };
+
+    let base_total_eps = doc
+        .as_object()
+        .and_then(|o| o.get("total"))
+        .and_then(|t| t.as_object())
+        .and_then(|t| t.get("events_per_sec"))
+        .and_then(|v| v.as_f64());
+
+    fn gate(
+        lines: &mut Vec<String>,
+        regressions: &mut Vec<String>,
+        name: &str,
+        wall_s: f64,
+        now: f64,
+        base: f64,
+    ) {
+        let ratio = if base > 0.0 { now / base } else { 1.0 };
+        let gated = wall_s >= MIN_GATED_WALL_S;
+        lines.push(format!(
+            "{}: {:.0} events/s vs baseline {:.0} ({:+.1}%){}",
+            name,
+            now,
+            base,
+            (ratio - 1.0) * 100.0,
+            if gated { "" } else { " [too short, not gated]" }
+        ));
+        if gated && ratio < 1.0 - REGRESSION_TOLERANCE {
+            regressions.push(format!(
+                "{}: events/sec fell {:.1}% below baseline ({:.0} vs {:.0}, tolerance {:.0}%)",
+                name,
+                (1.0 - ratio) * 100.0,
+                now,
+                base,
+                REGRESSION_TOLERANCE * 100.0
+            ));
+        }
+    }
+
+    let mut lines = Vec::new();
+    let mut regressions = Vec::new();
+    for r in results {
+        let Some(base) = base_eps(r.name) else {
+            lines.push(format!("{}: no baseline entry, skipped", r.name));
+            continue;
+        };
+        gate(
+            &mut lines,
+            &mut regressions,
+            r.name,
+            r.wall_s,
+            r.events_per_sec(),
+            base,
+        );
+    }
+    let total_wall: f64 = results.iter().map(|r| r.wall_s).sum();
+    let total_events: u64 = results.iter().map(|r| r.events).sum();
+    if let Some(base) = base_total_eps {
+        let now = if total_wall > 0.0 {
+            total_events as f64 / total_wall
+        } else {
+            0.0
+        };
+        gate(&mut lines, &mut regressions, "total", total_wall, now, base);
+    }
+    if regressions.is_empty() {
+        Ok(lines)
+    } else {
+        Err(regressions)
+    }
+}

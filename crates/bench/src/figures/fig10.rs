@@ -8,7 +8,8 @@
 
 use super::paper_sizes;
 use crate::args::CommonArgs;
-use simcore::TraceSession;
+use crate::runner::Runner;
+use simcore::{TraceSession, Tracer};
 use workloads::{RunReport, Scenario, ScenarioConfig, SwapKind};
 
 /// Result for one server count.
@@ -36,32 +37,57 @@ pub fn run(args: &CommonArgs) -> Vec<ServerPoint> {
 
 /// Like [`run`], collecting each server count's events into `session`.
 pub fn run_traced(args: &CommonArgs, session: &mut TraceSession) -> Vec<ServerPoint> {
+    run_parallel(args, session, &args.runner())
+}
+
+/// Like [`run_traced`], fanning the server-count cells across the
+/// runner's worker threads; results come back in sweep order.
+pub fn run_parallel(
+    args: &CommonArgs,
+    session: &mut TraceSession,
+    runner: &Runner,
+) -> Vec<ServerPoint> {
     let elements = args.scaled_elems(paper_sizes::DATASET_ELEMS);
     let local = args.scaled_bytes(paper_sizes::LOCAL_MEM);
     // The swap area must hold the whole dataset (swap-cache slots persist
     // while pages are resident-clean); split evenly across servers.
     let swap = args.scaled_bytes(paper_sizes::DATASET_BYTES + (128 << 20));
-    server_counts()
-        .into_iter()
-        .map(|servers| {
-            let mut config = ScenarioConfig::new(local, swap, SwapKind::Hpbd { servers });
-            config.tracer = Some(session.tracer_for(&format!("HPBD-{servers}")));
-            let scenario = Scenario::build(&config);
-            let report = scenario.run_qsort(elements, args.seed);
-            let ctx_reloads = scenario
-                .hpbd
-                .as_ref()
-                .expect("HPBD scenario")
-                .client
-                .ibnode()
-                .hca()
-                .ctx_reloads();
+    let counts = server_counts();
+    let traced = session.is_enabled();
+    let results = runner.run_cells(counts.len(), |i| {
+        let servers = counts[i];
+        let mut config = ScenarioConfig::new(local, swap, SwapKind::Hpbd { servers });
+        let tracer = if traced {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
+        config.tracer = Some(tracer.clone());
+        let scenario = Scenario::build(&config);
+        let report = scenario.run_qsort(elements, args.seed);
+        let ctx_reloads = scenario
+            .hpbd
+            .as_ref()
+            .expect("HPBD scenario")
+            .client
+            .ibnode()
+            .hca()
+            .ctx_reloads();
+        (
             ServerPoint {
                 servers,
                 seconds: report.elapsed.as_secs_f64(),
                 ctx_reloads,
                 report,
-            }
+            },
+            tracer.snapshot(),
+        )
+    });
+    results
+        .into_iter()
+        .map(|(point, events)| {
+            session.push_run(&format!("HPBD-{}", point.servers), events);
+            point
         })
         .collect()
 }

@@ -6,7 +6,8 @@
 
 use super::{paper_sizes, standard_configs};
 use crate::args::CommonArgs;
-use simcore::TraceSession;
+use crate::runner::Runner;
+use simcore::{TraceSession, Tracer};
 use workloads::{RunReport, Scenario};
 
 /// Run all five configurations; reports in the paper's order.
@@ -17,14 +18,38 @@ pub fn run(args: &CommonArgs) -> Vec<RunReport> {
 /// Like [`run`], collecting each configuration's events into `session`
 /// (one Chrome-trace process per configuration).
 pub fn run_traced(args: &CommonArgs, session: &mut TraceSession) -> Vec<RunReport> {
+    run_parallel(args, session, &args.runner())
+}
+
+/// Like [`run_traced`], fanning the five configurations across the
+/// runner's worker threads. Each cell builds its machine inside the
+/// worker; reports and trace buffers are reassembled in the paper's
+/// order, so the output is byte-identical at any thread count.
+pub fn run_parallel(
+    args: &CommonArgs,
+    session: &mut TraceSession,
+    runner: &Runner,
+) -> Vec<RunReport> {
     let elements = args.scaled_elems(paper_sizes::DATASET_ELEMS);
-    standard_configs(args)
+    let traced = session.is_enabled();
+    let cells = standard_configs(args).len();
+    let results = runner.run_cells(cells, |i| {
+        let (label, mut config) = standard_configs(args).swap_remove(i);
+        let tracer = if traced {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
+        config.tracer = Some(tracer.clone());
+        let scenario = Scenario::build(&config);
+        let mut report = scenario.run_testswap(elements);
+        report.label = label;
+        (report, tracer.snapshot())
+    });
+    results
         .into_iter()
-        .map(|(label, mut config)| {
-            config.tracer = Some(session.tracer_for(&label));
-            let scenario = Scenario::build(&config);
-            let mut report = scenario.run_testswap(elements);
-            report.label = label;
+        .map(|(report, events)| {
+            session.push_run(&report.label, events);
             report
         })
         .collect()

@@ -9,7 +9,8 @@
 
 use super::paper_sizes;
 use crate::args::CommonArgs;
-use simcore::{SimDuration, TraceSession};
+use crate::runner::Runner;
+use simcore::{SimDuration, TraceSession, Tracer};
 use workloads::{RunReport, Scenario, ScenarioConfig, SwapKind};
 
 /// One Figure 9 configuration's outcome.
@@ -29,25 +30,21 @@ pub struct PairRun {
     pub report: RunReport,
 }
 
-fn run_pair(
-    label: &str,
-    config: &mut ScenarioConfig,
-    elements: usize,
-    seed: u64,
-    session: &mut TraceSession,
-) -> PairRun {
-    config.tracer = Some(session.tracer_for(label));
-    let scenario = Scenario::build(config);
-    let (a, b, report) = scenario.run_qsort_pair(elements, seed);
-    let to_s = |d: SimDuration| d.as_secs_f64();
-    PairRun {
-        label: label.to_string(),
-        a_secs: to_s(a),
-        b_secs: to_s(b),
-        makespan_secs: to_s(report.elapsed),
-        swap_outs: report.vm.swap_outs,
-        report,
-    }
+/// The four cell descriptors: label, local memory bytes, swap kind.
+/// `ScenarioConfig` itself is built inside the worker (it is not `Send`).
+fn cell_specs(args: &CommonArgs) -> Vec<(&'static str, u64, SwapKind)> {
+    // Two 1 GiB datasets: give the baseline a little slack above 2 GiB so
+    // "enough memory" truly holds, as on the testbed where the kernel's own
+    // footprint was not swapped.
+    let baseline_mem = args.scaled_bytes((2 << 30) + (256 << 20));
+    let mem_50 = args.scaled_bytes(1 << 30);
+    let mem_25 = args.scaled_bytes(512 << 20);
+    vec![
+        ("local-2GB", baseline_mem, SwapKind::LocalOnly),
+        ("HPBD-50%", mem_50, SwapKind::Hpbd { servers: 4 }),
+        ("HPBD-25%", mem_25, SwapKind::Hpbd { servers: 4 }),
+        ("disk-50%", mem_50, SwapKind::Disk),
+    ]
 }
 
 /// Run the four Figure 9 configurations: local 2 GiB, HPBD at 50 % and
@@ -58,48 +55,53 @@ pub fn run(args: &CommonArgs) -> Vec<PairRun> {
 
 /// Like [`run`], collecting each configuration's events into `session`.
 pub fn run_traced(args: &CommonArgs, session: &mut TraceSession) -> Vec<PairRun> {
+    run_parallel(args, session, &args.runner())
+}
+
+/// Like [`run_traced`], fanning the four configurations across the
+/// runner's worker threads; results come back in the figure's order.
+pub fn run_parallel(
+    args: &CommonArgs,
+    session: &mut TraceSession,
+    runner: &Runner,
+) -> Vec<PairRun> {
     let elements = args.scaled_elems(paper_sizes::DATASET_ELEMS);
-    // Two 1 GiB datasets: give the baseline a little slack above 2 GiB so
-    // "enough memory" truly holds, as on the testbed where the kernel's own
-    // footprint was not swapped.
-    let baseline_mem = args.scaled_bytes((2 << 30) + (256 << 20));
-    let mem_50 = args.scaled_bytes(1 << 30);
-    let mem_25 = args.scaled_bytes(512 << 20);
     // "each memory server is configured with 512MB swap area"; four servers
     // cover the two datasets.
-    let per_server = args.scaled_bytes(512 << 20);
-    let total_swap = per_server * 4;
-
-    vec![
-        run_pair(
-            "local-2GB",
-            &mut ScenarioConfig::new(baseline_mem, total_swap, SwapKind::LocalOnly),
-            elements,
-            args.seed,
-            session,
-        ),
-        run_pair(
-            "HPBD-50%",
-            &mut ScenarioConfig::new(mem_50, total_swap, SwapKind::Hpbd { servers: 4 }),
-            elements,
-            args.seed,
-            session,
-        ),
-        run_pair(
-            "HPBD-25%",
-            &mut ScenarioConfig::new(mem_25, total_swap, SwapKind::Hpbd { servers: 4 }),
-            elements,
-            args.seed,
-            session,
-        ),
-        run_pair(
-            "disk-50%",
-            &mut ScenarioConfig::new(mem_50, total_swap, SwapKind::Disk),
-            elements,
-            args.seed,
-            session,
-        ),
-    ]
+    let total_swap = args.scaled_bytes(512 << 20) * 4;
+    let specs = cell_specs(args);
+    let traced = session.is_enabled();
+    let results = runner.run_cells(specs.len(), |i| {
+        let (label, local_mem, kind) = specs[i].clone();
+        let mut config = ScenarioConfig::new(local_mem, total_swap, kind);
+        let tracer = if traced {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
+        config.tracer = Some(tracer.clone());
+        let scenario = Scenario::build(&config);
+        let (a, b, report) = scenario.run_qsort_pair(elements, args.seed);
+        let to_s = |d: SimDuration| d.as_secs_f64();
+        (
+            PairRun {
+                label: label.to_string(),
+                a_secs: to_s(a),
+                b_secs: to_s(b),
+                makespan_secs: to_s(report.elapsed),
+                swap_outs: report.vm.swap_outs,
+                report,
+            },
+            tracer.snapshot(),
+        )
+    });
+    results
+        .into_iter()
+        .map(|(pair, events)| {
+            session.push_run(&pair.label, events);
+            pair
+        })
+        .collect()
 }
 
 #[cfg(test)]

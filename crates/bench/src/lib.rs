@@ -25,6 +25,8 @@
 pub mod args;
 pub mod figures;
 pub mod report;
+pub mod runner;
 
 pub use args::CommonArgs;
 pub use report::{print_rows, ratio, Row};
+pub use runner::Runner;

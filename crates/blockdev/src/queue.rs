@@ -13,7 +13,8 @@ use crate::device::BlockDevice;
 use crate::request::{Bio, IoOp, IoRequest};
 use netmodel::{Calibration, Node};
 use simcore::{Engine, OnlineStats, SimDuration, SimTime};
-use std::cell::RefCell;
+use simtrace::{Counter, Histogram};
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 /// Maximum merged request size (Linux 2.4: 128 KiB).
@@ -42,6 +43,9 @@ pub struct RequestQueue {
     device: Rc<dyn BlockDevice>,
     max_request: u64,
     staged: RefCell<Vec<Bio>>,
+    /// Recycled batch buffer: `flush` swaps it with `staged` so the staging
+    /// vector keeps its capacity across plug/unplug cycles.
+    spare: Cell<Vec<Bio>>,
     log: Rc<RefCell<Vec<DispatchRecord>>>,
     /// Per-request service latency (dispatch → completion), microseconds,
     /// split by operation.
@@ -76,6 +80,7 @@ impl RequestQueue {
             device,
             max_request,
             staged: RefCell::new(Vec::new()),
+            spare: Cell::new(Vec::new()),
             log: Rc::new(RefCell::new(Vec::new())),
             read_latency: Rc::new(RefCell::new(OnlineStats::new())),
             write_latency: Rc::new(RefCell::new(OnlineStats::new())),
@@ -127,70 +132,102 @@ impl RequestQueue {
 
     /// Sort, merge, chunk and dispatch everything staged.
     pub fn flush(&self) {
-        let mut staged = self.staged.take();
-        if staged.is_empty() {
-            return;
-        }
+        let mut batch = {
+            let mut staged = self.staged.borrow_mut();
+            if staged.is_empty() {
+                return;
+            }
+            std::mem::replace(&mut *staged, self.spare.take())
+        };
         // Stable sort by offset keeps same-offset submission order.
-        staged.sort_by_key(|b| b.offset);
+        batch.sort_by_key(|b| b.offset);
 
-        let mut runs: Vec<Vec<Bio>> = Vec::new();
-        for bio in staged {
-            let start_new = match runs.last() {
-                Some(run) => {
-                    let last = run.last().expect("non-empty run");
-                    let run_len: u64 = run.iter().map(Bio::len).sum();
+        // Handles are resolved once per flush; counter/histogram entries are
+        // created at the first non-empty flush, exactly when per-dispatch
+        // `inc`/`observe` calls used to create them (rendered metrics stay
+        // byte-identical).
+        let metrics = self.engine.metrics();
+        let requests_ctr = metrics.counter_handle("blockdev.requests");
+        let bios_ctr = metrics.counter_handle("blockdev.bios");
+        let bios_per_request = metrics.histogram_handle("blockdev.bios_per_request");
+
+        let now = self.engine.now();
+        let mut run: Vec<Bio> = Vec::new();
+        let mut run_len: u64 = 0;
+        for bio in batch.drain(..) {
+            let start_new = match run.last() {
+                Some(last) => {
                     last.op != bio.op
                         || last.end() != bio.offset
                         || run_len + bio.len() > self.max_request
                 }
-                None => true,
+                None => false,
             };
             if start_new {
-                runs.push(Vec::new());
+                self.dispatch(
+                    now,
+                    std::mem::take(&mut run),
+                    &requests_ctr,
+                    &bios_ctr,
+                    &bios_per_request,
+                );
+                run_len = 0;
             }
-            runs.last_mut().expect("just ensured").push(bio);
+            run_len += bio.len();
+            run.push(bio);
         }
+        if !run.is_empty() {
+            self.dispatch(now, run, &requests_ctr, &bios_ctr, &bios_per_request);
+        }
+        self.spare.set(batch);
+    }
 
-        let now = self.engine.now();
-        for run in runs {
-            let req = IoRequest::from_bios(run);
-            // Kernel block-layer work scales with the pages in the request
-            // (swap-cache bookkeeping, bio setup, page table updates).
-            let submit_cost =
-                SimDuration::from_nanos(self.cal.compute.block_submit_ns * req.bio_count() as u64);
-            let (_, t) = self.node.cpu().reserve(now, submit_cost);
-            self.log.borrow_mut().push(DispatchRecord {
-                at: t,
-                op: req.op(),
-                offset: req.offset(),
-                len: req.len(),
-                bios: req.bio_count(),
-            });
-            let device = self.device.clone();
-            let stats = match req.op() {
-                IoOp::Read => self.read_latency.clone(),
-                IoOp::Write => self.write_latency.clone(),
-            };
-            let engine = self.engine.clone();
-            let metrics = self.engine.metrics();
-            metrics.inc("blockdev.requests");
-            metrics.add("blockdev.bios", req.bio_count() as u64);
-            metrics.observe("blockdev.bios_per_request", req.bio_count() as f64);
-            self.engine.schedule_at(t, move || {
-                let dispatched = engine.now();
-                let engine2 = engine.clone();
-                let op = req.op();
-                let bytes = req.len();
-                let bios = req.bio_count() as u64;
-                let req = req.on_complete(move |_| {
-                    let us = engine2.now().since(dispatched).as_micros_f64();
-                    stats.borrow_mut().record(us);
-                    let (name, hist) = match op {
-                        IoOp::Read => ("read", "blockdev.swap_in_latency_us"),
-                        IoOp::Write => ("write", "blockdev.swap_out_latency_us"),
-                    };
-                    metrics.observe(hist, us);
+    fn dispatch(
+        &self,
+        now: SimTime,
+        run: Vec<Bio>,
+        requests_ctr: &Counter,
+        bios_ctr: &Counter,
+        bios_per_request: &Histogram,
+    ) {
+        let req = IoRequest::from_bios(run);
+        // Kernel block-layer work scales with the pages in the request
+        // (swap-cache bookkeeping, bio setup, page table updates).
+        let submit_cost =
+            SimDuration::from_nanos(self.cal.compute.block_submit_ns * req.bio_count() as u64);
+        let (_, t) = self.node.cpu().reserve(now, submit_cost);
+        self.log.borrow_mut().push(DispatchRecord {
+            at: t,
+            op: req.op(),
+            offset: req.offset(),
+            len: req.len(),
+            bios: req.bio_count(),
+        });
+        let device = self.device.clone();
+        let stats = match req.op() {
+            IoOp::Read => self.read_latency.clone(),
+            IoOp::Write => self.write_latency.clone(),
+        };
+        let engine = self.engine.clone();
+        let metrics = self.engine.metrics();
+        requests_ctr.inc();
+        bios_ctr.add(req.bio_count() as u64);
+        bios_per_request.observe(req.bio_count() as f64);
+        self.engine.schedule_at(t, move || {
+            let dispatched = engine.now();
+            let engine2 = engine.clone();
+            let op = req.op();
+            let bytes = req.len();
+            let bios = req.bio_count() as u64;
+            let req = req.on_complete(move |_| {
+                let us = engine2.now().since(dispatched).as_micros_f64();
+                stats.borrow_mut().record(us);
+                let (name, hist) = match op {
+                    IoOp::Read => ("read", "blockdev.swap_in_latency_us"),
+                    IoOp::Write => ("write", "blockdev.swap_out_latency_us"),
+                };
+                metrics.observe(hist, us);
+                if engine2.trace_enabled() {
                     engine2.tracer().span(
                         "blockdev",
                         name,
@@ -198,10 +235,10 @@ impl RequestQueue {
                         engine2.now().as_nanos(),
                         &[("bytes", bytes), ("bios", bios)],
                     );
-                });
-                device.submit(req)
+                }
             });
-        }
+            device.submit(req)
+        });
     }
 }
 

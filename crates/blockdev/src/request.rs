@@ -189,8 +189,21 @@ impl IoRequest {
     /// # Panics
     /// Panics if the range exceeds the request.
     pub fn gather_range(&self, start: u64, len: u64) -> Vec<u8> {
-        assert!(start + len <= self.len, "gather_range out of request");
         let mut out = Vec::with_capacity(len as usize);
+        self.gather_range_into(start, len, &mut out);
+        out
+    }
+
+    /// [`IoRequest::gather_range`] into a caller-owned buffer (cleared
+    /// first), so drivers staging many parts can reuse one scratch
+    /// allocation instead of building a fresh `Vec` per part.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the request.
+    pub fn gather_range_into(&self, start: u64, len: u64, out: &mut Vec<u8>) {
+        assert!(start + len <= self.len, "gather_range out of request");
+        out.clear();
+        out.reserve(len as usize);
         let mut cursor = 0u64; // position within the request
         for b in &self.bios {
             let blen = b.len();
@@ -205,7 +218,6 @@ impl IoRequest {
                 break;
             }
         }
-        out
     }
 
     /// Distribute `data` into the bio buffers starting at request-relative

@@ -27,6 +27,7 @@ use ibsim::{
     CompletionQueue, IbNode, MemoryRegion, Opcode, QueuePair, WcStatus, WorkKind, WorkRequest,
 };
 use simcore::{Engine, SimDuration, SimTime};
+use simtrace::{Counter, Histogram, LazyCounter};
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
@@ -77,6 +78,8 @@ struct Parent {
     len: u64,
     /// Physical parts issued (including mirror replicas).
     parts: Cell<usize>,
+    /// Pre-resolved swap-in/out latency histogram for this op.
+    latency_hist: Histogram,
 }
 
 impl Parent {
@@ -89,27 +92,24 @@ impl Parent {
                 Some(e) => Err(e),
                 None => Ok(()),
             };
-            engine.tracer().span(
-                "hpbd",
-                match self.op {
-                    PageOp::Read => "request_read",
-                    PageOp::Write => "request_write",
-                },
-                self.started.as_nanos(),
-                engine.now().as_nanos(),
-                &[
-                    ("bytes", self.len),
-                    ("parts", self.parts.get() as u64),
-                    ("ok", result.is_ok() as u64),
-                ],
-            );
-            let hist = match self.op {
-                PageOp::Read => "hpbd.swap_in_latency_us",
-                PageOp::Write => "hpbd.swap_out_latency_us",
-            };
-            engine
-                .metrics()
-                .observe(hist, engine.now().since(self.started).as_micros_f64());
+            if engine.trace_enabled() {
+                engine.tracer().span(
+                    "hpbd",
+                    match self.op {
+                        PageOp::Read => "request_read",
+                        PageOp::Write => "request_write",
+                    },
+                    self.started.as_nanos(),
+                    engine.now().as_nanos(),
+                    &[
+                        ("bytes", self.len),
+                        ("parts", self.parts.get() as u64),
+                        ("ok", result.is_ok() as u64),
+                    ],
+                );
+            }
+            self.latency_hist
+                .observe(engine.now().since(self.started).as_micros_f64());
             req.complete(result);
         }
     }
@@ -185,6 +185,25 @@ struct ClientInner {
     /// Block requests held back until their chunks finish migrating.
     deferred: RefCell<Vec<IoRequest>>,
     name: String,
+    /// Scratch for decoding one reply off a receive buffer (reused — the
+    /// receiver burst never allocates per message).
+    wire_scratch: RefCell<Vec<u8>>,
+    /// Scratch for gathering write payloads out of the parent request.
+    gather_scratch: RefCell<Vec<u8>>,
+    /// Freelist of swap-in data buffers (filled from the pool MR, scattered
+    /// back to the page frames, then recycled).
+    data_pool: RefCell<Vec<Vec<u8>>>,
+    /// Pre-resolved handles for metrics that are registered at construction
+    /// anyway; hot emit sites bump these without a registry lookup.
+    ctr_credit_stalls: Counter,
+    hist_swap_in: Histogram,
+    hist_swap_out: Histogram,
+    /// Lazily-resolved handles: the registry entry appears at the first
+    /// increment, exactly like the string-keyed `inc` path they replace.
+    ctr_requests: LazyCounter,
+    ctr_phys_requests: LazyCounter,
+    ctr_pool_waits: LazyCounter,
+    ctr_receiver_wakeups: LazyCounter,
 }
 
 /// The HPBD block device. Clone shares the device instance.
@@ -200,11 +219,11 @@ impl HpbdClient {
         // Pre-register the headline metrics so reports always show them,
         // even for runs where the condition never fires.
         let metrics = engine.metrics();
-        metrics.add("hpbd.credit_stalls", 0);
+        let ctr_credit_stalls = metrics.counter_handle("hpbd.credit_stalls");
         metrics.add("hpbd.split_requests", 0);
         metrics.add("hpbd.failovers", 0);
-        metrics.declare_histogram("hpbd.swap_in_latency_us");
-        metrics.declare_histogram("hpbd.swap_out_latency_us");
+        let hist_swap_in = metrics.histogram_handle("hpbd.swap_in_latency_us");
+        let hist_swap_out = metrics.histogram_handle("hpbd.swap_out_latency_us");
         // The pool is registered once at device load time (paper §4.2.2);
         // charge the registration cost against the client CPU.
         let reg = ibnode
@@ -236,6 +255,16 @@ impl HpbdClient {
                 migrating: RefCell::new(HashSet::new()),
                 deferred: RefCell::new(Vec::new()),
                 name: "hpbd0".to_string(),
+                wire_scratch: RefCell::new(Vec::new()),
+                gather_scratch: RefCell::new(Vec::new()),
+                data_pool: RefCell::new(Vec::new()),
+                ctr_credit_stalls,
+                hist_swap_in,
+                hist_swap_out,
+                ctr_requests: metrics.lazy_counter("hpbd.requests"),
+                ctr_phys_requests: metrics.lazy_counter("hpbd.phys_requests"),
+                ctr_pool_waits: metrics.lazy_counter("hpbd.pool_waits"),
+                ctr_receiver_wakeups: metrics.lazy_counter("hpbd.receiver_wakeups"),
             }),
         };
         client.install_receiver();
@@ -411,23 +440,29 @@ impl HpbdClient {
             PageOp::Write => {
                 // Copy the page data into the registered pool (the paper's
                 // copy-instead-of-register decision), then send.
-                let data = {
-                    let parent = phys.parent.req.borrow();
-                    parent
-                        .as_ref()
-                        .expect("parent alive")
-                        .gather_range(phys.parent_off, phys.len)
-                };
-                inner.pool_mr.write(pool_buf.offset as usize, &data);
+                {
+                    let mut data = inner.gather_scratch.borrow_mut();
+                    {
+                        let parent = phys.parent.req.borrow();
+                        parent.as_ref().expect("parent alive").gather_range_into(
+                            phys.parent_off,
+                            phys.len,
+                            &mut data,
+                        );
+                    }
+                    inner.pool_mr.write(pool_buf.offset as usize, &data);
+                }
                 let copy = inner.ibnode.memory_model().memcpy_time(phys.len);
                 let (_, t_copy) = inner.ibnode.node().cpu().reserve(inner.engine.now(), copy);
-                inner.engine.tracer().span(
-                    "hpbd",
-                    "stage_copy",
-                    inner.engine.now().as_nanos(),
-                    t_copy.as_nanos(),
-                    &[("req", phys.req_id), ("bytes", phys.len)],
-                );
+                if inner.engine.trace_enabled() {
+                    inner.engine.tracer().span(
+                        "hpbd",
+                        "stage_copy",
+                        inner.engine.now().as_nanos(),
+                        t_copy.as_nanos(),
+                        &[("req", phys.req_id), ("bytes", phys.len)],
+                    );
+                }
                 let this = self.clone();
                 inner
                     .engine
@@ -449,13 +484,15 @@ impl HpbdClient {
         if phys.op == PageOp::Write {
             // Zero-copy: the MR *is* the page memory (we mirror the bytes
             // into the simulated region without a timing charge).
-            let data = {
+            let mut data = inner.gather_scratch.borrow_mut();
+            {
                 let parent = phys.parent.req.borrow();
-                parent
-                    .as_ref()
-                    .expect("parent alive")
-                    .gather_range(phys.parent_off, phys.len)
-            };
+                parent.as_ref().expect("parent alive").gather_range_into(
+                    phys.parent_off,
+                    phys.len,
+                    &mut data,
+                );
+            }
             mr.write(0, &data);
         }
         let reg = inner
@@ -498,17 +535,19 @@ impl HpbdClient {
         if conn.credits.get() == 0 {
             // Water-mark reached: queue until credits return (§4.2.4).
             self.inner.stats.borrow_mut().flow_stalls += 1;
-            self.inner.engine.metrics().inc("hpbd.credit_stalls");
-            self.inner.engine.tracer().instant(
-                "hpbd",
-                "credit_stall",
-                self.inner.engine.now().as_nanos(),
-                &[
-                    ("server", phys.server_idx as u64),
-                    ("req", phys.req_id),
-                    ("bytes", phys.len),
-                ],
-            );
+            self.inner.ctr_credit_stalls.inc();
+            if self.inner.engine.trace_enabled() {
+                self.inner.engine.tracer().instant(
+                    "hpbd",
+                    "credit_stall",
+                    self.inner.engine.now().as_nanos(),
+                    &[
+                        ("server", phys.server_idx as u64),
+                        ("req", phys.req_id),
+                        ("bytes", phys.len),
+                    ],
+                );
+            }
             conn.queued.borrow_mut().push_back(phys);
             return;
         }
@@ -532,7 +571,7 @@ impl HpbdClient {
         {
             let mut stats = self.inner.stats.borrow_mut();
             stats.phys_requests += 1;
-            self.inner.engine.metrics().inc("hpbd.phys_requests");
+            self.inner.ctr_phys_requests.inc();
             if phys.is_mirror {
                 stats.mirrored_phys += 1;
             }
@@ -656,7 +695,7 @@ impl HpbdClient {
     fn on_replies(&self) {
         let inner = &self.inner;
         inner.stats.borrow_mut().receiver_wakeups += 1;
-        inner.engine.metrics().inc("hpbd.receiver_wakeups");
+        inner.ctr_receiver_wakeups.inc();
         while let Some(completion) = inner.recv_cq.poll() {
             assert_eq!(completion.opcode, Opcode::Recv);
             assert_eq!(completion.status, WcStatus::Success, "reply recv failed");
@@ -685,9 +724,11 @@ impl HpbdClient {
         let message: ServerMessage = {
             let conns = inner.conns.borrow();
             let conn = &conns[conn_idx];
-            let mut raw = vec![0u8; wire as usize];
+            let mut raw = inner.wire_scratch.borrow_mut();
+            raw.clear();
+            raw.resize(wire as usize, 0);
             conn.recv_region.read((buf_idx * wire) as usize, &mut raw);
-            let message = ServerMessage::decode(raw.into()).expect("corrupt server message");
+            let message = ServerMessage::decode_slice(&raw).expect("corrupt server message");
             // Re-post the consumed receive buffer.
             conn.qp
                 .post_recv(buf_idx, conn.recv_region.slice(buf_idx * wire, wire))
@@ -754,21 +795,23 @@ impl HpbdClient {
                 inner.stats.borrow_mut().bytes_in += phys.len;
                 let (data, t_data) = match &phys.staging {
                     Staging::Pool(buf) => {
-                        let mut data = vec![0u8; phys.len as usize];
+                        let mut data = self.take_data_buf(phys.len as usize);
                         inner.pool_mr.read(buf.offset as usize, &mut data);
                         let copy = inner.ibnode.memory_model().memcpy_time(phys.len);
                         let (_, t_copy) = inner.ibnode.node().cpu().reserve(t_proc, copy);
-                        inner.engine.tracer().span(
-                            "hpbd",
-                            "unstage_copy",
-                            t_proc.as_nanos(),
-                            t_copy.as_nanos(),
-                            &[("req", phys.req_id), ("bytes", phys.len)],
-                        );
+                        if inner.engine.trace_enabled() {
+                            inner.engine.tracer().span(
+                                "hpbd",
+                                "unstage_copy",
+                                t_proc.as_nanos(),
+                                t_copy.as_nanos(),
+                                &[("req", phys.req_id), ("bytes", phys.len)],
+                            );
+                        }
                         (data, t_copy)
                     }
                     Staging::Ephemeral(mr) => {
-                        let mut data = vec![0u8; phys.len as usize];
+                        let mut data = self.take_data_buf(phys.len as usize);
                         mr.read(0, &mut data);
                         (data, t_proc)
                     }
@@ -782,10 +825,29 @@ impl HpbdClient {
                             .expect("parent alive")
                             .scatter_range(phys.parent_off, &data);
                     }
+                    this.recycle_data_buf(data);
                     this.release_staging(&phys);
                     phys.parent.finish_part(&this.inner.engine);
                 });
             }
+        }
+    }
+
+    /// Pop a recycled swap-in data buffer (or grow a fresh one), sized and
+    /// zeroed to `len`.
+    fn take_data_buf(&self, len: usize) -> Vec<u8> {
+        let mut buf = self.inner.data_pool.borrow_mut().pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0);
+        buf
+    }
+
+    /// Return a swap-in data buffer to the freelist (bounded so an I/O
+    /// burst cannot pin memory forever).
+    fn recycle_data_buf(&self, buf: Vec<u8>) {
+        let mut pool = self.inner.data_pool.borrow_mut();
+        if pool.len() < 64 {
+            pool.push(buf);
         }
     }
 
@@ -979,15 +1041,18 @@ impl HpbdClient {
             );
         }
         for (server_idx, server_offset, parent_off, len) in parts {
-            let mut replicas: Vec<(usize, bool, u64)> = vec![(server_idx, false, server_offset)];
-            if mirror {
+            let primary = (server_idx, false, server_offset);
+            let mirror_replica = if mirror {
                 let buddy = (server_idx + 1) % self.server_count();
                 let buddy_extent = inner.conns.borrow()[buddy].extent_len;
                 // Note: both replicas are staged independently; a real
                 // implementation would share one staged buffer.
-                replicas.push((buddy, true, buddy_extent + server_offset));
-            }
-            for (target, is_mirror, server_offset) in replicas {
+                Some((buddy, true, buddy_extent + server_offset))
+            } else {
+                None
+            };
+            for (target, is_mirror, server_offset) in std::iter::once(primary).chain(mirror_replica)
+            {
                 let req_id = inner.next_req_id.get();
                 inner.next_req_id.set(req_id + 1);
                 let parent = parent.clone();
@@ -998,13 +1063,15 @@ impl HpbdClient {
                             inner.pool.free_bytes() >= len && inner.pool.queued_waiters() == 0;
                         if !had_space {
                             inner.stats.borrow_mut().pool_waits += 1;
-                            inner.engine.metrics().inc("hpbd.pool_waits");
-                            inner.engine.tracer().instant(
-                                "hpbd",
-                                "pool_wait",
-                                inner.engine.now().as_nanos(),
-                                &[("req", req_id), ("bytes", len)],
-                            );
+                            inner.ctr_pool_waits.inc();
+                            if inner.engine.trace_enabled() {
+                                inner.engine.tracer().instant(
+                                    "hpbd",
+                                    "pool_wait",
+                                    inner.engine.now().as_nanos(),
+                                    &[("req", req_id), ("bytes", len)],
+                                );
+                            }
                         }
                         inner.pool.alloc(len, move |pool_buf| {
                             this.stage_part(Phys {
@@ -1057,7 +1124,7 @@ impl HpbdClient {
             IoOp::Write => PageOp::Write,
             IoOp::Read => PageOp::Read,
         };
-        engine.metrics().inc("hpbd.requests");
+        inner.ctr_requests.inc();
         let parts = self.split(req.offset(), req.len());
         if parts.len() > 1 {
             inner.stats.borrow_mut().split_requests += 1;
@@ -1077,6 +1144,10 @@ impl HpbdClient {
             req: RefCell::new(Some(req)),
             remaining: Cell::new(parts.len()),
             error: Cell::new(None),
+            latency_hist: match op {
+                PageOp::Read => inner.hist_swap_in.clone(),
+                PageOp::Write => inner.hist_swap_out.clone(),
+            },
         });
         self.issue_parts(op, parts, parent);
     }

@@ -10,7 +10,7 @@
 //! header fields), validated on receipt: "message signature is used to
 //! validate requests and responses" (paper §4.1).
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 
 /// Magic tag on every HPBD message.
 pub const HPBD_MAGIC: u32 = 0x4850_4244; // "HPBD"
@@ -162,21 +162,25 @@ pub enum ServerMessage {
 impl ServerMessage {
     /// Parse either message kind by its magic.
     pub fn decode(b: Bytes) -> Result<ServerMessage, ProtoError> {
+        ServerMessage::decode_slice(&b)
+    }
+
+    /// Parse from a borrowed buffer — the hot receive path reuses one
+    /// scratch buffer per connection instead of allocating a `Bytes` per
+    /// message.
+    pub fn decode_slice(b: &[u8]) -> Result<ServerMessage, ProtoError> {
         if b.len() < 4 {
             return Err(ProtoError::Truncated);
         }
-        let magic = u32::from_le_bytes(b[0..4].try_into().expect("4 bytes"));
-        match magic {
-            HPBD_MAGIC => Ok(ServerMessage::Reply(PageReply::decode(b)?)),
+        match read_u32(b, 0) {
+            HPBD_MAGIC => Ok(ServerMessage::Reply(PageReply::decode_slice(b)?)),
             NOTICE_MAGIC => {
-                let mut b = b;
                 if b.len() < REPLY_WIRE_SIZE + 4 {
                     return Err(ProtoError::Truncated);
                 }
-                b.advance(4);
-                let offset = b.get_u64_le();
-                let len = b.get_u64_le();
-                let sum = b.get_u32_le();
+                let offset = read_u64(b, 4);
+                let len = read_u64(b, 12);
+                let sum = read_u32(b, 20);
                 let expect = checksum(&[
                     offset as u32,
                     (offset >> 32) as u32,
@@ -193,6 +197,16 @@ impl ServerMessage {
     }
 }
 
+#[inline]
+fn read_u32(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(b[at..at + 4].try_into().expect("4 bytes"))
+}
+
+#[inline]
+fn read_u64(b: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(b[at..at + 8].try_into().expect("8 bytes"))
+}
+
 fn checksum(words: &[u32]) -> u32 {
     words
         .iter()
@@ -202,7 +216,7 @@ fn checksum(words: &[u32]) -> u32 {
 impl PageRequest {
     /// Serialise with magic and checksum.
     pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(REQUEST_WIRE_SIZE);
+        let mut b = BytesMut::with_capacity(REQUEST_WIRE_SIZE + 4);
         b.put_u32_le(HPBD_MAGIC);
         b.put_u64_le(self.req_id);
         b.put_u32_le(self.op.code());
@@ -222,29 +236,30 @@ impl PageRequest {
             self.client_offset as u32,
             (self.client_offset >> 32) as u32,
         ]);
-        // Checksum replaces the magic slot check? No: appended. Wire size
-        // accounts for it below.
-        let mut out = BytesMut::with_capacity(REQUEST_WIRE_SIZE + 4);
-        out.extend_from_slice(&b);
-        out.put_u32_le(sum);
-        out.freeze()
+        b.put_u32_le(sum);
+        b.freeze()
     }
 
     /// Parse and validate.
-    pub fn decode(mut b: Bytes) -> Result<PageRequest, ProtoError> {
+    pub fn decode(b: Bytes) -> Result<PageRequest, ProtoError> {
+        PageRequest::decode_slice(&b)
+    }
+
+    /// Parse and validate from a borrowed buffer (no `Bytes` needed).
+    pub fn decode_slice(b: &[u8]) -> Result<PageRequest, ProtoError> {
         if b.len() < REQUEST_WIRE_SIZE + 4 {
             return Err(ProtoError::Truncated);
         }
-        if b.get_u32_le() != HPBD_MAGIC {
+        if read_u32(b, 0) != HPBD_MAGIC {
             return Err(ProtoError::BadMagic);
         }
-        let req_id = b.get_u64_le();
-        let op_code = b.get_u32_le();
-        let server_offset = b.get_u64_le();
-        let len = b.get_u64_le();
-        let client_rkey = b.get_u32_le();
-        let client_offset = b.get_u64_le();
-        let sum = b.get_u32_le();
+        let req_id = read_u64(b, 4);
+        let op_code = read_u32(b, 12);
+        let server_offset = read_u64(b, 16);
+        let len = read_u64(b, 24);
+        let client_rkey = read_u32(b, 32);
+        let client_offset = read_u64(b, 36);
+        let sum = read_u32(b, 44);
         let expect = checksum(&[
             req_id as u32,
             (req_id >> 32) as u32,
@@ -288,16 +303,21 @@ impl PageReply {
     }
 
     /// Parse and validate.
-    pub fn decode(mut b: Bytes) -> Result<PageReply, ProtoError> {
+    pub fn decode(b: Bytes) -> Result<PageReply, ProtoError> {
+        PageReply::decode_slice(&b)
+    }
+
+    /// Parse and validate from a borrowed buffer (no `Bytes` needed).
+    pub fn decode_slice(b: &[u8]) -> Result<PageReply, ProtoError> {
         if b.len() < REPLY_WIRE_SIZE {
             return Err(ProtoError::Truncated);
         }
-        if b.get_u32_le() != HPBD_MAGIC {
+        if read_u32(b, 0) != HPBD_MAGIC {
             return Err(ProtoError::BadMagic);
         }
-        let req_id = b.get_u64_le();
-        let status_code = b.get_u32_le();
-        let sum = b.get_u32_le();
+        let req_id = read_u64(b, 4);
+        let status_code = read_u32(b, 12);
+        let sum = read_u32(b, 16);
         let expect = checksum(&[req_id as u32, (req_id >> 32) as u32, status_code]);
         if sum != expect {
             return Err(ProtoError::BadChecksum);

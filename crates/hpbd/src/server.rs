@@ -29,6 +29,7 @@ use ibsim::{
     WorkKind, WorkRequest,
 };
 use simcore::{Engine, SimDuration, SimTime};
+use simtrace::LazyCounter;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -87,6 +88,12 @@ struct ServerInner {
     last_activity: Cell<SimTime>,
     crashed: Cell<bool>,
     stats: RefCell<ServerStats>,
+    /// Scratch for decoding one control message (reused per request).
+    wire_scratch: RefCell<Vec<u8>>,
+    /// Freelist of staging-copy data buffers.
+    data_pool: RefCell<Vec<Vec<u8>>>,
+    ctr_wakeups: LazyCounter,
+    ctr_requests: LazyCounter,
 }
 
 /// One HPBD memory server. Clone shares the instance.
@@ -112,6 +119,10 @@ impl HpbdServer {
         let recv_cq = ibnode.create_cq();
         let server = HpbdServer {
             inner: Rc::new(ServerInner {
+                wire_scratch: RefCell::new(Vec::new()),
+                data_pool: RefCell::new(Vec::new()),
+                ctr_wakeups: engine.metrics().lazy_counter("hpbd_server.wakeups"),
+                ctr_requests: engine.metrics().lazy_counter("hpbd_server.requests"),
                 engine,
                 config,
                 ibnode,
@@ -244,13 +255,15 @@ impl HpbdServer {
         if now.since(last).as_nanos() > self.inner.config.server_idle_ns {
             // The server had yielded the CPU; this arrival paid a wakeup.
             self.inner.stats.borrow_mut().wakeups += 1;
-            self.inner.engine.metrics().inc("hpbd_server.wakeups");
-            self.inner.engine.tracer().instant(
-                "hpbd_server",
-                "wakeup",
-                now.as_nanos(),
-                &[("idle_ns", now.since(last).as_nanos())],
-            );
+            self.inner.ctr_wakeups.inc();
+            if self.inner.engine.trace_enabled() {
+                self.inner.engine.tracer().instant(
+                    "hpbd_server",
+                    "wakeup",
+                    now.as_nanos(),
+                    &[("idle_ns", now.since(last).as_nanos())],
+                );
+            }
         }
         self.inner.last_activity.set(now);
     }
@@ -282,9 +295,11 @@ impl HpbdServer {
         let decoded: Result<PageRequest, ProtoError> = {
             let conns = inner.conns.borrow();
             let conn = &conns[conn_idx];
-            let mut raw = vec![0u8; wire as usize];
+            let mut raw = inner.wire_scratch.borrow_mut();
+            raw.clear();
+            raw.resize(wire as usize, 0);
             conn.recv_region.read((buf_idx * wire) as usize, &mut raw);
-            PageRequest::decode(raw.into())
+            PageRequest::decode_slice(&raw)
         };
         // Buffer consumed: re-post it for the next request.
         {
@@ -302,7 +317,7 @@ impl HpbdServer {
             }
         };
         inner.stats.borrow_mut().requests += 1;
-        inner.engine.metrics().inc("hpbd_server.requests");
+        inner.ctr_requests.inc();
         let started = inner.engine.now();
         // CPU cost of parsing + dispatching the request.
         let proc = SimDuration::from_nanos(inner.config.request_proc_ns);
@@ -379,20 +394,23 @@ impl HpbdServer {
             }
             PageOp::Read => {
                 // Swap-in: copy store -> staging, then push with RDMA WRITE.
-                let mut data = vec![0u8; request.len as usize];
+                let mut data = self.take_data_buf(request.len as usize);
                 inner.storage.read_at(request.server_offset, &mut data);
                 let copy = inner.ibnode.memory_model().memcpy_time(request.len);
                 let (_, t_copy) = inner.ibnode.node().cpu().reserve(inner.engine.now(), copy);
-                inner.engine.tracer().span(
-                    "hpbd_server",
-                    "store_to_staging",
-                    inner.engine.now().as_nanos(),
-                    t_copy.as_nanos(),
-                    &[("bytes", request.len)],
-                );
+                if inner.engine.trace_enabled() {
+                    inner.engine.tracer().span(
+                        "hpbd_server",
+                        "store_to_staging",
+                        inner.engine.now().as_nanos(),
+                        t_copy.as_nanos(),
+                        &[("bytes", request.len)],
+                    );
+                }
                 let this = self.clone();
                 inner.engine.schedule_at(t_copy, move || {
                     this.inner.staging_mr.write(staging.offset as usize, &data);
+                    this.recycle_data_buf(data);
                     this.inner.stats.borrow_mut().rdma_writes += 1;
                     this.post_rdma(
                         conn_idx,
@@ -458,20 +476,23 @@ impl HpbdServer {
             self.send_reply(conn, request.req_id, ReplyStatus::TransferError);
             return;
         }
-        let mut data = vec![0u8; request.len as usize];
+        let mut data = self.take_data_buf(request.len as usize);
         inner.staging_mr.read(staging.offset as usize, &mut data);
         let copy = inner.ibnode.memory_model().memcpy_time(request.len);
         let (_, t_copy) = inner.ibnode.node().cpu().reserve(inner.engine.now(), copy);
-        inner.engine.tracer().span(
-            "hpbd_server",
-            "staging_to_store",
-            inner.engine.now().as_nanos(),
-            t_copy.as_nanos(),
-            &[("bytes", request.len)],
-        );
+        if inner.engine.trace_enabled() {
+            inner.engine.tracer().span(
+                "hpbd_server",
+                "staging_to_store",
+                inner.engine.now().as_nanos(),
+                t_copy.as_nanos(),
+                &[("bytes", request.len)],
+            );
+        }
         let this = self.clone();
         inner.engine.schedule_at(t_copy, move || {
             this.inner.storage.write_at(request.server_offset, &data);
+            this.recycle_data_buf(data);
             this.inner.stats.borrow_mut().bytes_in += request.len;
             this.inner.staging_pool.free(staging);
             this.serve_span(&request, started, true);
@@ -504,9 +525,28 @@ impl HpbdServer {
         self.send_reply(conn, request.req_id, ReplyStatus::Ok);
     }
 
+    /// Pop a recycled data buffer (or grow a fresh one), sized to `len`.
+    fn take_data_buf(&self, len: usize) -> Vec<u8> {
+        let mut buf = self.inner.data_pool.borrow_mut().pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0);
+        buf
+    }
+
+    /// Return a data buffer to the freelist (bounded).
+    fn recycle_data_buf(&self, buf: Vec<u8>) {
+        let mut pool = self.inner.data_pool.borrow_mut();
+        if pool.len() < 64 {
+            pool.push(buf);
+        }
+    }
+
     /// Emit the request-arrival -> reply trace span for one served request.
     fn serve_span(&self, request: &PageRequest, started: SimTime, ok: bool) {
         let engine = &self.inner.engine;
+        if !engine.trace_enabled() {
+            return;
+        }
         engine.tracer().span(
             "hpbd_server",
             match request.op {

@@ -9,6 +9,7 @@
 //! its 200 µs idle sleep.
 
 use simcore::{Engine, SimDuration};
+use simtrace::LazyCounter;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
@@ -81,6 +82,7 @@ struct CqInner {
 pub struct CompletionQueue {
     engine: Engine,
     inner: Rc<RefCell<CqInner>>,
+    events_ctr: Rc<LazyCounter>,
 }
 
 impl CompletionQueue {
@@ -88,6 +90,7 @@ impl CompletionQueue {
     /// qualifying completion arrives. Use [`crate::IbNode::create_cq`].
     pub(crate) fn new(engine: Engine, event_latency: SimDuration) -> CompletionQueue {
         CompletionQueue {
+            events_ctr: Rc::new(engine.metrics().lazy_counter("ibsim.cq_events")),
             engine,
             inner: Rc::new(RefCell::new(CqInner {
                 queue: VecDeque::new(),
@@ -159,13 +162,15 @@ impl CompletionQueue {
             }
         };
         if let Some((handler, latency)) = fire {
-            self.engine.metrics().inc("ibsim.cq_events");
-            self.engine.tracer().instant(
-                "ibsim",
-                "cq_event",
-                self.engine.now().as_nanos(),
-                &[("latency_ns", latency.as_nanos())],
-            );
+            self.events_ctr.inc();
+            if self.engine.trace_enabled() {
+                self.engine.tracer().instant(
+                    "ibsim",
+                    "cq_event",
+                    self.engine.now().as_nanos(),
+                    &[("latency_ns", latency.as_nanos())],
+                );
+            }
             self.engine.schedule_in(latency, move || handler());
         }
     }

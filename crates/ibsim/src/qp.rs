@@ -28,6 +28,7 @@ use crate::mr::{MrSlice, RemoteSlice};
 use bytes::Bytes;
 use netmodel::{Node, TransportModel};
 use simcore::{Engine, SimDuration, SimTime};
+use simtrace::LazyCounter;
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::fmt;
@@ -97,6 +98,9 @@ pub(crate) struct QpInner {
     sends_posted: Cell<u64>,
     rdma_reads: Cell<u64>,
     rdma_writes: Cell<u64>,
+    ctr_sends: LazyCounter,
+    ctr_rdma_reads: LazyCounter,
+    ctr_rdma_writes: LazyCounter,
 }
 
 /// One endpoint of an RC connection. Clone freely; clones share state.
@@ -120,6 +124,9 @@ impl QueuePair {
     ) -> QueuePair {
         QueuePair {
             inner: Rc::new(QpInner {
+                ctr_sends: engine.metrics().lazy_counter("ibsim.sends"),
+                ctr_rdma_reads: engine.metrics().lazy_counter("ibsim.rdma_reads"),
+                ctr_rdma_writes: engine.metrics().lazy_counter("ibsim.rdma_writes"),
                 engine,
                 qp_num,
                 node,
@@ -217,11 +224,10 @@ impl QueuePair {
         // Local HCA fetches and processes the WQE.
         let t_hca = inner.hca.process_wqe(t_posted, inner.qp_num);
 
-        let metrics = inner.engine.metrics();
         match wr.kind {
             WorkKind::Send { ref payload } => {
                 inner.sends_posted.set(inner.sends_posted.get() + 1);
-                metrics.inc("ibsim.sends");
+                inner.ctr_sends.inc();
                 self.do_send(peer, wr.wr_id, payload.clone(), wr.solicited, now, t_hca);
             }
             WorkKind::RdmaWrite {
@@ -229,7 +235,7 @@ impl QueuePair {
                 ref remote,
             } => {
                 inner.rdma_writes.set(inner.rdma_writes.get() + 1);
-                metrics.inc("ibsim.rdma_writes");
+                inner.ctr_rdma_writes.inc();
                 self.do_rdma_write(peer, wr.wr_id, local.clone(), *remote, now, t_hca);
             }
             WorkKind::RdmaRead {
@@ -237,7 +243,7 @@ impl QueuePair {
                 ref remote,
             } => {
                 inner.rdma_reads.set(inner.rdma_reads.get() + 1);
-                metrics.inc("ibsim.rdma_reads");
+                inner.ctr_rdma_reads.inc();
                 self.do_rdma_read(peer, wr.wr_id, local.clone(), *remote, now, t_hca);
             }
         }
@@ -265,17 +271,19 @@ impl QueuePair {
                 Opcode::RdmaRead => "rdma_read",
                 Opcode::Recv => "recv",
             };
-            this.engine.tracer().span(
-                "ibsim",
-                name,
-                posted.as_nanos(),
-                this.engine.now().as_nanos(),
-                &[
-                    ("bytes", len),
-                    ("qp", this.qp_num as u64),
-                    ("ok", (status == WcStatus::Success) as u64),
-                ],
-            );
+            if this.engine.trace_enabled() {
+                this.engine.tracer().span(
+                    "ibsim",
+                    name,
+                    posted.as_nanos(),
+                    this.engine.now().as_nanos(),
+                    &[
+                        ("bytes", len),
+                        ("qp", this.qp_num as u64),
+                        ("ok", (status == WcStatus::Success) as u64),
+                    ],
+                );
+            }
             this.send_cq.push(Completion {
                 wr_id,
                 opcode,

@@ -35,6 +35,7 @@ struct ClientInner {
     next_handle: Cell<u64>,
     stats: RefCell<NbdStats>,
     name: String,
+    ctr_requests: simtrace::LazyCounter,
 }
 
 /// The NBD block device. Clone shares the device.
@@ -56,6 +57,7 @@ impl NbdClient {
     ) -> NbdClient {
         NbdClient {
             inner: Rc::new(ClientInner {
+                ctr_requests: engine.metrics().lazy_counter("nbd.requests"),
                 engine,
                 conn,
                 capacity,
@@ -86,7 +88,7 @@ impl NbdClient {
         let handle = inner.next_handle.get();
         inner.next_handle.set(handle + 1);
         let started = inner.engine.now();
-        inner.engine.metrics().inc("nbd.requests");
+        inner.ctr_requests.inc();
 
         let header = NbdRequest {
             cmd: match req.op() {
@@ -111,16 +113,18 @@ impl NbdClient {
                 let this = this.clone();
                 move |ok: bool| {
                     let engine = &this.inner.engine;
-                    engine.tracer().span(
-                        "nbd",
-                        match op {
-                            IoOp::Read => "request_read",
-                            IoOp::Write => "request_write",
-                        },
-                        started.as_nanos(),
-                        engine.now().as_nanos(),
-                        &[("handle", handle), ("bytes", len), ("ok", ok as u64)],
-                    );
+                    if engine.trace_enabled() {
+                        engine.tracer().span(
+                            "nbd",
+                            match op {
+                                IoOp::Read => "request_read",
+                                IoOp::Write => "request_write",
+                            },
+                            started.as_nanos(),
+                            engine.now().as_nanos(),
+                            &[("handle", handle), ("bytes", len), ("ok", ok as u64)],
+                        );
+                    }
                     let us = (engine.now().since(started).as_nanos() / 1_000) as f64;
                     engine.metrics().observe(
                         match op {

@@ -34,11 +34,12 @@
 pub mod engine;
 pub mod resource;
 pub mod rng;
+mod sched;
 pub mod signal;
 pub mod stats;
 pub mod time;
 
-pub use engine::Engine;
+pub use engine::{default_scheduler, set_default_scheduler, Engine, EventId, SchedulerKind};
 pub use resource::{MultiResource, Resource};
 pub use rng::SimRng;
 pub use signal::{Counter, Latch, Signal};

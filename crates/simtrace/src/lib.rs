@@ -31,12 +31,117 @@ pub mod json;
 mod metrics;
 mod session;
 
-pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    Counter, Histogram, HistogramSummary, LazyCounter, MetricsRegistry, MetricsSnapshot,
+};
 pub use session::TraceSession;
 
 use std::cell::{Ref, RefCell};
+use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::{Mutex, OnceLock};
+
+/// Intern a dynamically-built label, returning a `&'static str` usable as a
+/// [`TraceEvent`] component or name.
+///
+/// Event names are `&'static str` so the hot emit path copies a pointer
+/// instead of allocating; labels composed at runtime (per-server names,
+/// per-run labels) go through this table once and reuse the same leaked
+/// allocation on every subsequent call. The table grows with the number of
+/// *distinct* labels, which is tiny and bounded by configuration, not by
+/// event volume.
+pub fn intern(label: &str) -> &'static str {
+    static TABLE: OnceLock<Mutex<HashMap<String, &'static str>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut table = table.lock().expect("intern table poisoned");
+    if let Some(&s) = table.get(label) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(label.to_string().into_boxed_str());
+    table.insert(label.to_string(), leaked);
+    leaked
+}
+
+/// Maximum number of arguments a [`TraceEvent`] carries.
+pub const MAX_ARGS: usize = 6;
+
+/// Inline, fixed-capacity argument list — `(key, value)` pairs stored in the
+/// event itself so recording never heap-allocates. Dereferences to a slice.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct ArgList {
+    len: u8,
+    items: [(&'static str, u64); MAX_ARGS],
+}
+
+impl ArgList {
+    /// An empty argument list.
+    pub const fn new() -> ArgList {
+        ArgList {
+            len: 0,
+            items: [("", 0); MAX_ARGS],
+        }
+    }
+
+    /// Copy up to [`MAX_ARGS`] pairs from `args` (overflow is a bug in the
+    /// instrumentation site, caught in debug builds).
+    pub fn from_slice(args: &[(&'static str, u64)]) -> ArgList {
+        debug_assert!(args.len() <= MAX_ARGS, "too many trace args: {args:?}");
+        let mut list = ArgList::new();
+        for &pair in args.iter().take(MAX_ARGS) {
+            list.items[list.len as usize] = pair;
+            list.len += 1;
+        }
+        list
+    }
+
+    /// The recorded pairs.
+    pub fn as_slice(&self) -> &[(&'static str, u64)] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl Default for ArgList {
+    fn default() -> ArgList {
+        ArgList::new()
+    }
+}
+
+impl std::ops::Deref for ArgList {
+    type Target = [(&'static str, u64)];
+    fn deref(&self) -> &Self::Target {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for ArgList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq<[(&'static str, u64)]> for ArgList {
+    fn eq(&self, other: &[(&'static str, u64)]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<[(&'static str, u64); N]> for ArgList {
+    fn eq(&self, other: &[(&'static str, u64); N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl FromIterator<(&'static str, u64)> for ArgList {
+    fn from_iter<I: IntoIterator<Item = (&'static str, u64)>>(iter: I) -> ArgList {
+        let mut list = ArgList::new();
+        for pair in iter.into_iter().take(MAX_ARGS) {
+            list.items[list.len as usize] = pair;
+            list.len += 1;
+        }
+        list
+    }
+}
 
 /// What a [`TraceEvent`] describes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,8 +167,9 @@ pub struct TraceEvent {
     /// Span or instant.
     pub kind: EventKind,
     /// Numeric arguments (`bytes`, `req`, `server`, …), shown in the
-    /// trace viewer's detail pane. Kept as integers for determinism.
-    pub args: Vec<(&'static str, u64)>,
+    /// trace viewer's detail pane. Kept as integers for determinism and
+    /// stored inline (no per-event allocation).
+    pub args: ArgList,
 }
 
 struct TracerInner {
@@ -88,9 +194,15 @@ impl Tracer {
 
     /// An enabled tracer with an empty event buffer.
     pub fn enabled() -> Tracer {
+        Tracer::from_events(Vec::new())
+    }
+
+    /// An enabled tracer pre-filled with `events` — used to reassemble a
+    /// [`TraceSession`] from event buffers collected on worker threads.
+    pub fn from_events(events: Vec<TraceEvent>) -> Tracer {
         Tracer {
             inner: Some(Rc::new(TracerInner {
-                events: RefCell::new(Vec::new()),
+                events: RefCell::new(events),
             })),
         }
     }
@@ -119,7 +231,7 @@ impl Tracer {
                 kind: EventKind::Span {
                     dur_ns: end_ns.saturating_sub(start_ns),
                 },
-                args: args.to_vec(),
+                args: ArgList::from_slice(args),
             });
         }
     }
@@ -139,7 +251,7 @@ impl Tracer {
                 name,
                 ts_ns,
                 kind: EventKind::Instant,
-                args: args.to_vec(),
+                args: ArgList::from_slice(args),
             });
         }
     }
@@ -203,7 +315,25 @@ mod tests {
         assert_eq!(events[0].name, "send");
         assert_eq!(events[0].kind, EventKind::Span { dur_ns: 20 });
         assert_eq!(events[1].kind, EventKind::Instant);
-        assert_eq!(events[1].args, vec![("batch", 8)]);
+        assert_eq!(events[1].args, [("batch", 8)]);
+    }
+
+    #[test]
+    fn interned_labels_are_pointer_stable() {
+        let name = format!("server-{}", 3);
+        let a = intern(&name);
+        let b = intern("server-3");
+        assert_eq!(a, "server-3");
+        assert!(std::ptr::eq(a, b), "same label must intern to one address");
+    }
+
+    #[test]
+    fn arg_list_truncates_at_capacity() {
+        let many: Vec<(&'static str, u64)> = (0..10).map(|i| ("k", i)).collect();
+        // Debug builds assert; release builds truncate. Build the list via
+        // the iterator path, which always truncates silently.
+        let list: ArgList = many.iter().copied().collect();
+        assert_eq!(list.len(), MAX_ARGS);
     }
 
     #[test]

@@ -5,16 +5,82 @@
 //! Iteration order is the `BTreeMap` key order, so rendered summaries
 //! are byte-identical across runs.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::rc::Rc;
 
+/// A pre-resolved counter handle: incrementing is a `Cell` bump, with no
+/// registry lookup on the hot path. Obtain via
+/// [`MetricsRegistry::counter_handle`]; clones share the same cell.
+#[derive(Clone, Default)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Increment by 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.set(self.0.get() + 1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get() + n);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// A pre-resolved histogram handle: recording pushes straight into the
+/// shared sample vector. Obtain via [`MetricsRegistry::histogram_handle`].
+#[derive(Clone, Default)]
+pub struct Histogram(Rc<RefCell<Vec<f64>>>);
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        self.0.borrow_mut().push(v);
+    }
+}
+
+/// A counter handle that resolves its registry slot on the **first**
+/// increment rather than at construction. Hot emit sites that must not
+/// create a zero-valued entry when they never fire (snapshots only show
+/// counters that incremented at least once) hold one of these.
+pub struct LazyCounter {
+    reg: MetricsRegistry,
+    name: &'static str,
+    slot: RefCell<Option<Counter>>,
+}
+
+impl LazyCounter {
+    /// Increment by 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`; the registry entry is created here on first use.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.slot
+            .borrow_mut()
+            .get_or_insert_with(|| self.reg.counter_handle(self.name))
+            .add(n);
+    }
+}
+
 #[derive(Default)]
 struct Reg {
-    counters: BTreeMap<&'static str, u64>,
+    counters: BTreeMap<&'static str, Counter>,
     gauges: BTreeMap<&'static str, f64>,
-    histograms: BTreeMap<&'static str, Vec<f64>>,
+    histograms: BTreeMap<&'static str, Histogram>,
 }
 
 /// A cheap, cloneable registry of named metrics. Clones share storage.
@@ -38,7 +104,46 @@ impl MetricsRegistry {
     /// Increment a counter by `n`.
     #[inline]
     pub fn add(&self, name: &'static str, n: u64) {
-        *self.inner.borrow_mut().counters.entry(name).or_insert(0) += n;
+        self.inner
+            .borrow_mut()
+            .counters
+            .entry(name)
+            .or_default()
+            .add(n);
+    }
+
+    /// Resolve (creating if absent) a counter once; the returned handle
+    /// increments without any registry lookup. Hot emit sites should hold
+    /// one of these instead of calling [`MetricsRegistry::inc`] per event.
+    pub fn counter_handle(&self, name: &'static str) -> Counter {
+        self.inner
+            .borrow_mut()
+            .counters
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// A counter handle that defers slot creation to its first increment,
+    /// so holding one for a counter that never fires leaves the rendered
+    /// metrics unchanged.
+    pub fn lazy_counter(&self, name: &'static str) -> LazyCounter {
+        LazyCounter {
+            reg: self.clone(),
+            name,
+            slot: RefCell::new(None),
+        }
+    }
+
+    /// Resolve (creating if absent) a histogram once, for lookup-free
+    /// recording on hot paths.
+    pub fn histogram_handle(&self, name: &'static str) -> Histogram {
+        self.inner
+            .borrow_mut()
+            .histograms
+            .entry(name)
+            .or_default()
+            .clone()
     }
 
     /// Set a gauge to `v` (last write wins).
@@ -61,12 +166,16 @@ impl MetricsRegistry {
             .histograms
             .entry(name)
             .or_default()
-            .push(v);
+            .observe(v);
     }
 
     /// Current value of a counter (0 when never incremented).
     pub fn counter(&self, name: &str) -> u64 {
-        self.inner.borrow().counters.get(name).copied().unwrap_or(0)
+        self.inner
+            .borrow()
+            .counters
+            .get(name)
+            .map_or(0, Counter::get)
     }
 
     /// Freeze the current state into an immutable snapshot.
@@ -76,7 +185,7 @@ impl MetricsRegistry {
             counters: reg
                 .counters
                 .iter()
-                .map(|(&k, &v)| (k.to_string(), v))
+                .map(|(&k, v)| (k.to_string(), v.get()))
                 .collect(),
             gauges: reg
                 .gauges
@@ -86,7 +195,7 @@ impl MetricsRegistry {
             histograms: reg
                 .histograms
                 .iter()
-                .map(|(&k, v)| (k.to_string(), HistogramSummary::from_samples(v)))
+                .map(|(&k, v)| (k.to_string(), HistogramSummary::from_samples(&v.0.borrow())))
                 .collect(),
         }
     }
@@ -216,6 +325,34 @@ mod tests {
         assert_eq!(m.counter("a"), 5);
         assert_eq!(m.counter("b"), 1);
         assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn handles_share_the_registry_slot() {
+        let m = MetricsRegistry::new();
+        let c = m.counter_handle("hot");
+        m.inc("hot");
+        c.inc();
+        c.add(3);
+        assert_eq!(m.counter("hot"), 5);
+        assert_eq!(c.get(), 5);
+        let h = m.histogram_handle("lat");
+        h.observe(1.0);
+        m.observe("lat", 2.0);
+        assert_eq!(m.snapshot().histograms["lat"].count, 2);
+    }
+
+    #[test]
+    fn lazy_counter_defers_slot_creation() {
+        let m = MetricsRegistry::new();
+        let c = m.lazy_counter("maybe");
+        assert!(
+            !m.snapshot().counters.contains_key("maybe"),
+            "no entry before the first increment"
+        );
+        c.inc();
+        c.add(2);
+        assert_eq!(m.counter("maybe"), 3);
     }
 
     #[test]

@@ -46,6 +46,19 @@ impl TraceSession {
         tracer
     }
 
+    /// Install a labelled run from pre-collected events. The parallel sweep
+    /// runner snapshots each worker's event buffer ([`Tracer::snapshot`] is
+    /// `Send`-safe data) and reassembles the session in deterministic cell
+    /// order, so the exported file is byte-identical to a sequential run.
+    pub fn push_run(&mut self, label: &str, events: Vec<crate::TraceEvent>) {
+        let tracer = if self.enabled {
+            Tracer::from_events(events)
+        } else {
+            Tracer::disabled()
+        };
+        self.runs.push((label.to_string(), tracer));
+    }
+
     /// Serialise all runs into one Chrome trace JSON document.
     pub fn to_chrome_json(&self) -> String {
         let runs: Vec<(String, Vec<crate::TraceEvent>)> = self

@@ -92,10 +92,16 @@ impl AddressSpace {
 /// A typed array living in paged virtual memory.
 pub struct PagedVec<T: Element> {
     vm: Vm,
+    /// Shared epoch counter, read without borrowing the VM (hot path).
+    epoch: std::rc::Rc<Cell<u64>>,
     asid: u32,
     base_vpn: u64,
     len: usize,
     per_page: usize,
+    /// `log2(per_page)` when `per_page` is a power of two (always, for the
+    /// built-in element types): index math becomes shift/mask instead of
+    /// an integer divide on every access.
+    per_page_shift: Option<u32>,
     page_size: usize,
     // One-page lookaside cache: (vpn, epoch, write-intent honoured).
     cached_vpn: Cell<u64>,
@@ -119,10 +125,14 @@ impl<T: Element> PagedVec<T> {
         let base_vpn = space.alloc_pages(pages);
         PagedVec {
             vm: space.vm().clone(),
+            epoch: space.vm().epoch_handle(),
             asid: space.asid(),
             base_vpn,
             len,
             per_page,
+            per_page_shift: per_page
+                .is_power_of_two()
+                .then(|| per_page.trailing_zeros()),
             page_size,
             cached_vpn: Cell::new(u64::MAX),
             cached_epoch: Cell::new(u64::MAX),
@@ -155,48 +165,64 @@ impl<T: Element> PagedVec<T> {
     #[inline]
     fn locate(&self, index: usize) -> (u64, usize) {
         assert!(index < self.len, "index {index} out of {}", self.len);
-        (
-            self.base_vpn + (index / self.per_page) as u64,
-            (index % self.per_page) * T::SIZE,
-        )
+        match self.per_page_shift {
+            Some(shift) => (
+                self.base_vpn + (index >> shift) as u64,
+                (index & (self.per_page - 1)) * T::SIZE,
+            ),
+            None => (
+                self.base_vpn + (index / self.per_page) as u64,
+                (index % self.per_page) * T::SIZE,
+            ),
+        }
     }
 
+    /// Run `f` against the page's buffer, resolving through the one-page
+    /// lookaside cache. The fast path touches only `Cell`s and the cached
+    /// buffer — no VM borrow, no `Rc` clone — which is what makes
+    /// element-at-a-time workloads over multi-GiB arrays affordable.
     #[inline]
-    fn page(&self, vpn: u64, write: bool) -> Result<IoBuffer, Signal> {
-        // Fast path: same page, same epoch, sufficient access mode.
+    fn with_page<R>(
+        &self,
+        vpn: u64,
+        write: bool,
+        f: impl FnOnce(&IoBuffer) -> R,
+    ) -> Result<R, Signal> {
         if self.cached_vpn.get() == vpn
-            && self.cached_epoch.get() == self.vm.epoch()
+            && self.cached_epoch.get() == self.epoch.get()
             && (!write || self.cached_write.get())
         {
             if let Some(buf) = self.cached_buf.borrow().as_ref() {
-                return Ok(buf.clone());
+                return Ok(f(buf));
             }
         }
         let buf = self.vm.try_page(self.asid, vpn, write)?;
         self.cached_vpn.set(vpn);
-        self.cached_epoch.set(self.vm.epoch());
+        self.cached_epoch.set(self.epoch.get());
         self.cached_write.set(write);
-        *self.cached_buf.borrow_mut() = Some(buf.clone());
-        Ok(buf)
+        let out = f(&buf);
+        *self.cached_buf.borrow_mut() = Some(buf);
+        Ok(out)
     }
 
     /// Read element `index`, or the signal to wait on.
     #[inline]
     pub fn try_get(&self, index: usize) -> Result<T, Signal> {
         let (vpn, off) = self.locate(index);
-        let buf = self.page(vpn, false)?;
-        let b = buf.borrow();
-        Ok(T::load(&b[off..off + T::SIZE]))
+        self.with_page(vpn, false, |buf| {
+            let b = buf.borrow();
+            T::load(&b[off..off + T::SIZE])
+        })
     }
 
     /// Write element `index`, or the signal to wait on.
     #[inline]
     pub fn try_set(&self, index: usize, value: T) -> Result<(), Signal> {
         let (vpn, off) = self.locate(index);
-        let buf = self.page(vpn, true)?;
-        let mut b = buf.borrow_mut();
-        value.store(&mut b[off..off + T::SIZE]);
-        Ok(())
+        self.with_page(vpn, true, |buf| {
+            let mut b = buf.borrow_mut();
+            value.store(&mut b[off..off + T::SIZE]);
+        })
     }
 
     /// Blocking read (runs the engine through any fault).

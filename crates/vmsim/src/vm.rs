@@ -25,7 +25,7 @@ use crate::swap::{PageKey, Slot, SwapManager};
 use blockdev::{Bio, IoBuffer, IoOp, RequestQueue};
 use netmodel::{Calibration, Node};
 use simcore::{Engine, Signal, SimDuration, SimTime};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
@@ -114,8 +114,18 @@ struct VmInner {
     throttle: Option<Throttle>,
     kswapd_active: bool,
     next_asid: u32,
-    epoch: u64,
+    /// Residency-change counter, shared out via [`Vm::epoch_handle`] so
+    /// page-cache consumers can validate without borrowing the VM.
+    epoch: Rc<Cell<u64>>,
     stats: VmStats,
+}
+
+/// Lazily-resolved metric handles for the VM's hot emit sites (one registry
+/// lookup each, on first use).
+struct VmCounters {
+    readahead_hits: simtrace::LazyCounter,
+    throttles: simtrace::LazyCounter,
+    kswapd_batches: simtrace::LazyCounter,
 }
 
 /// The simulated VM subsystem of one node. Clone shares the instance.
@@ -125,6 +135,7 @@ pub struct Vm {
     cal: Rc<Calibration>,
     node: Node,
     inner: Rc<RefCell<VmInner>>,
+    ctrs: Rc<VmCounters>,
 }
 
 impl Vm {
@@ -137,6 +148,11 @@ impl Vm {
         let frames = FramePool::new(config.total_frames, config.page_size as usize);
         let swap = SwapManager::new(config.page_size);
         Vm {
+            ctrs: Rc::new(VmCounters {
+                readahead_hits: engine.metrics().lazy_counter("vmsim.readahead_hits"),
+                throttles: engine.metrics().lazy_counter("vmsim.throttles"),
+                kswapd_batches: engine.metrics().lazy_counter("vmsim.kswapd_batches"),
+            }),
             engine,
             cal,
             node,
@@ -150,7 +166,7 @@ impl Vm {
                 throttle: None,
                 kswapd_active: false,
                 next_asid: 1,
-                epoch: 0,
+                epoch: Rc::new(Cell::new(0)),
                 stats: VmStats::default(),
             })),
         }
@@ -202,7 +218,15 @@ impl Vm {
     /// Counter that bumps on every residency change; callers caching frame
     /// buffers must re-validate when it moves.
     pub fn epoch(&self) -> u64 {
-        self.inner.borrow().epoch
+        self.inner.borrow().epoch.get()
+    }
+
+    /// Shared handle to the epoch counter. Reading through the handle skips
+    /// the `RefCell` borrow of the VM — this sits on the per-element access
+    /// fast path of [`crate::PagedVec`], which validates its one-page cache
+    /// against the epoch on *every* load and store.
+    pub fn epoch_handle(&self) -> Rc<Cell<u64>> {
+        self.inner.borrow().epoch.clone()
     }
 
     /// Snapshot of the activity counters.
@@ -286,7 +310,7 @@ impl Vm {
                     PageState::Reading { signal, major, .. } => {
                         if !*major {
                             // Demand fault absorbed by in-flight readahead.
-                            self.engine.metrics().inc("vmsim.readahead_hits");
+                            self.ctrs.readahead_hits.inc();
                         }
                         Err(signal.clone())
                     }
@@ -330,7 +354,7 @@ impl Vm {
                         if let Some(slot) = slot {
                             inner.swap.free_slot(slot);
                         }
-                        inner.epoch += 1;
+                        inner.epoch.set(inner.epoch.get() + 1);
                     }
                     PageState::Swapped { slot } => inner.swap.free_slot(slot),
                     PageState::Reading { .. } | PageState::Writing { .. } => {
@@ -371,7 +395,7 @@ impl Vm {
             },
         );
         inner.clock.push_back(key);
-        inner.epoch += 1;
+        inner.epoch.set(inner.epoch.get() + 1);
         inner.stats.zero_fills += 1;
         self.maybe_wake_kswapd(inner);
         Ok(inner.frames.buffer(frame))
@@ -483,13 +507,15 @@ impl Vm {
                 major,
             }) => {
                 let now = self.engine.now();
-                self.engine.tracer().span(
-                    "vmsim",
-                    if major { "fault" } else { "readahead" },
-                    started.as_nanos(),
-                    now.as_nanos(),
-                    &[("vpn", key.1), ("dev", slot.dev as u64)],
-                );
+                if self.engine.trace_enabled() {
+                    self.engine.tracer().span(
+                        "vmsim",
+                        if major { "fault" } else { "readahead" },
+                        started.as_nanos(),
+                        now.as_nanos(),
+                        &[("vpn", key.1), ("dev", slot.dev as u64)],
+                    );
+                }
                 if major {
                     self.engine
                         .metrics()
@@ -507,7 +533,7 @@ impl Vm {
                     },
                 );
                 inner.clock.push_back(key);
-                inner.epoch += 1;
+                inner.epoch.set(inner.epoch.get() + 1);
                 signal.set();
                 self.notify_waiters(&mut inner);
             }
@@ -550,7 +576,7 @@ impl Vm {
                     );
                     inner.frames.free(frame);
                 }
-                inner.epoch += 1;
+                inner.epoch.set(inner.epoch.get() + 1);
                 if let Some(t) = &mut inner.throttle {
                     t.remaining = t.remaining.saturating_sub(1);
                     if t.remaining == 0 {
@@ -558,13 +584,15 @@ impl Vm {
                         let started = t.started;
                         let issued = t.issued;
                         inner.throttle = None;
-                        self.engine.tracer().span(
-                            "vmsim",
-                            "reclaim_throttle",
-                            started.as_nanos(),
-                            self.engine.now().as_nanos(),
-                            &[("pageouts", issued as u64)],
-                        );
+                        if self.engine.trace_enabled() {
+                            self.engine.tracer().span(
+                                "vmsim",
+                                "reclaim_throttle",
+                                started.as_nanos(),
+                                self.engine.now().as_nanos(),
+                                &[("pageouts", issued as u64)],
+                            );
+                        }
                     }
                 }
                 self.notify_waiters(&mut inner);
@@ -608,7 +636,7 @@ impl Vm {
             return None;
         }
         inner.stats.throttles += 1;
-        self.engine.metrics().inc("vmsim.throttles");
+        self.ctrs.throttles.inc();
         let signal = Signal::new("reclaim-throttle");
         inner.throttle = Some(Throttle {
             signal: signal.clone(),
@@ -657,13 +685,15 @@ impl Vm {
                 let batch = inner.config.kswapd_batch;
                 let writes = self.reclaim(&mut inner, batch);
                 inner.swap.flush_all();
-                self.engine.metrics().inc("vmsim.kswapd_batches");
-                self.engine.tracer().instant(
-                    "vmsim",
-                    "kswapd_batch",
-                    self.engine.now().as_nanos(),
-                    &[("pageouts", writes as u64)],
-                );
+                self.ctrs.kswapd_batches.inc();
+                if self.engine.trace_enabled() {
+                    self.engine.tracer().instant(
+                        "vmsim",
+                        "kswapd_batch",
+                        self.engine.now().as_nanos(),
+                        &[("pageouts", writes as u64)],
+                    );
+                }
                 true
             }
         };
@@ -712,7 +742,7 @@ impl Vm {
                         },
                     );
                     inner.frames.free(frame);
-                    inner.epoch += 1;
+                    inner.epoch.set(inner.epoch.get() + 1);
                     inner.stats.clean_evictions += 1;
                     self.notify_waiters(inner);
                     progressed += 1;

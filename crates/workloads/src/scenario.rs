@@ -101,6 +101,9 @@ pub struct RunReport {
     /// Metrics registry snapshot at report time (counters, gauges,
     /// latency histograms — see `simtrace`).
     pub metrics: MetricsSnapshot,
+    /// Simulation events executed by the engine over this run (the
+    /// denominator for events/sec in `perfbench`).
+    pub events: u64,
 }
 
 /// A built machine, ready to run workloads.
@@ -258,6 +261,7 @@ impl Scenario {
             write_latency_us,
             hpbd_client: self.hpbd.as_ref().map(|c| c.client.stats()),
             metrics: self.engine.metrics().snapshot(),
+            events: self.engine.events_executed(),
         }
     }
 

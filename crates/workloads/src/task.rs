@@ -89,6 +89,7 @@ impl Scheduler {
     pub fn run(&self, tasks: &mut [&mut dyn Task]) -> Vec<SimTime> {
         assert!(!tasks.is_empty());
         let mut states: Vec<TaskState> = tasks.iter().map(|_| TaskState::Runnable).collect();
+        let mut runnable: Vec<usize> = Vec::with_capacity(states.len());
         loop {
             // Wake tasks whose fault completed.
             for st in states.iter_mut() {
@@ -98,12 +99,14 @@ impl Scheduler {
                     }
                 }
             }
-            let runnable: Vec<usize> = states
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| matches!(s, TaskState::Runnable))
-                .map(|(i, _)| i)
-                .collect();
+            runnable.clear();
+            runnable.extend(
+                states
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| matches!(s, TaskState::Runnable))
+                    .map(|(i, _)| i),
+            );
 
             if runnable.is_empty() {
                 let waits: Vec<Signal> = states
