@@ -52,13 +52,10 @@ fn replay(path: &str, args: &CommonArgs) {
     // HPBD (2 servers).
     {
         let engine = Engine::new();
-        let cluster = hpbd::HpbdCluster::build(
-            &engine,
-            cal.clone(),
-            hpbd::HpbdConfig::default(),
-            2,
-            capacity / 2,
-        );
+        let cluster = hpbd::ClusterBuilder::new()
+            .servers(2)
+            .per_server_capacity(capacity / 2)
+            .build(&engine, cal.clone());
         let report = replay_closed_loop(&engine, Rc::new(cluster.client.clone()), &trace);
         print_row("HPBD-2", &report);
     }

@@ -11,6 +11,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod figr;
 
 use crate::args::CommonArgs;
 use workloads::{Scenario, ScenarioConfig, SwapKind};

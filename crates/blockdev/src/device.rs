@@ -2,6 +2,25 @@
 
 use crate::request::IoRequest;
 
+/// Coarse device liveness, as reported by [`BlockDevice::health`]. Bench
+/// figures and the fault driver use this to address HPBD, NBD, and the
+/// disk baseline uniformly when deciding whether a cell survived its
+/// fault plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceHealth {
+    /// All backing resources are up; requests are being served normally.
+    Healthy,
+    /// The device is still serving but some backing resources are lost —
+    /// e.g. an HPBD cluster running on mirror replicas after a server
+    /// crash. `failed_servers` counts the lost backends.
+    Degraded {
+        /// Number of backing servers currently considered dead.
+        failed_servers: usize,
+    },
+    /// The device can no longer serve I/O; submissions fail immediately.
+    Failed,
+}
+
 /// A block device driver: accepts merged requests asynchronously and
 /// completes them through the request's bio callbacks.
 ///
@@ -19,4 +38,15 @@ pub trait BlockDevice {
     /// stack; completion happens from an engine event, even on error paths,
     /// so callers can rely on callback-after-return ordering.
     fn submit(&self, req: IoRequest);
+
+    /// Stop accepting new work. Requests already in flight complete (or
+    /// fail) normally; requests submitted afterwards fail cleanly. The
+    /// default is a no-op for devices with nothing to tear down.
+    fn shutdown(&self) {}
+
+    /// Current liveness of the device and its backing resources. Devices
+    /// without failure modes report [`DeviceHealth::Healthy`] forever.
+    fn health(&self) -> DeviceHealth {
+        DeviceHealth::Healthy
+    }
 }

@@ -8,8 +8,8 @@
 //! catastrophic for quicksort's scattered faults (Figure 7: 4.5×) and for
 //! two interleaved quicksorts (Figure 9: 36× the local-memory time).
 
-use crate::device::BlockDevice;
-use crate::request::{IoError, IoOp, IoRequest};
+use crate::device::{BlockDevice, DeviceHealth};
+use crate::request::{FaultKind, IoError, IoOp, IoRequest};
 use netmodel::DiskParams;
 use simcore::{Engine, Resource};
 use std::cell::{Cell, RefCell};
@@ -28,6 +28,7 @@ pub struct SimDisk {
     name: String,
     seeks: Cell<u64>,
     sequential_hits: Cell<u64>,
+    shut_down: Cell<bool>,
 }
 
 impl SimDisk {
@@ -48,6 +49,7 @@ impl SimDisk {
             name: name.into(),
             seeks: Cell::new(0),
             sequential_hits: Cell::new(0),
+            shut_down: Cell::new(false),
         }
     }
 
@@ -73,6 +75,12 @@ impl BlockDevice for SimDisk {
 
     fn submit(&self, req: IoRequest) {
         let engine = self.engine.clone();
+        if self.shut_down.get() {
+            engine.schedule_at(engine.now(), move || {
+                req.complete(Err(IoError::Fault(FaultKind::ServerDead)))
+            });
+            return;
+        }
         if req.offset() + req.len() > self.capacity {
             engine.schedule_at(engine.now(), move || req.complete(Err(IoError::OutOfRange)));
             return;
@@ -104,6 +112,18 @@ impl BlockDevice for SimDisk {
                     req.complete(Ok(()));
                 });
             }
+        }
+    }
+
+    fn shutdown(&self) {
+        self.shut_down.set(true);
+    }
+
+    fn health(&self) -> DeviceHealth {
+        if self.shut_down.get() {
+            DeviceHealth::Failed
+        } else {
+            DeviceHealth::Healthy
         }
     }
 }
@@ -216,5 +236,27 @@ mod tests {
         }
         engine.run_until_idle();
         assert_eq!(got.get(), Some(Err(IoError::OutOfRange)));
+    }
+
+    #[test]
+    fn shutdown_fails_new_submissions_cleanly() {
+        let (engine, disk) = setup();
+        assert_eq!(disk.health(), DeviceHealth::Healthy);
+        disk.shutdown();
+        assert_eq!(disk.health(), DeviceHealth::Failed);
+        let got = Rc::new(Cell::new(None));
+        {
+            let got = got.clone();
+            disk.submit(IoRequest::single(Bio::new(
+                IoOp::Read,
+                0,
+                new_buffer(4096),
+                move |r| got.set(Some(r)),
+            )));
+        }
+        // Still asynchronous, even on the failure path.
+        assert!(got.get().is_none());
+        engine.run_until_idle();
+        assert_eq!(got.get(), Some(Err(IoError::Fault(FaultKind::ServerDead))));
     }
 }

@@ -28,10 +28,10 @@ pub mod ramdisk;
 pub mod request;
 pub mod trace;
 
-pub use device::BlockDevice;
+pub use device::{BlockDevice, DeviceHealth};
 pub use disk::SimDisk;
 pub use elevator::Elevator;
 pub use queue::{DispatchRecord, RequestQueue};
 pub use ramdisk::{RamDiskDevice, Storage};
-pub use request::{new_buffer, Bio, IoBuffer, IoError, IoOp, IoRequest, IoResult};
+pub use request::{new_buffer, Bio, FaultKind, IoBuffer, IoError, IoOp, IoRequest, IoResult};
 pub use trace::{ReplayReport, SwapTrace, TraceEvent};

@@ -50,6 +50,12 @@ impl Storage {
         let at = offset as usize;
         bytes[at..at + data.len()].copy_from_slice(data);
     }
+
+    /// Zero the whole store. Models a host crash: the registered chunks
+    /// (and every page they held) are gone; capacity is unchanged.
+    pub fn wipe(&self) {
+        self.bytes.borrow_mut().fill(0);
+    }
 }
 
 /// A local memory-backed block device.
@@ -206,5 +212,16 @@ mod tests {
         assert!(s.in_range(0, 100));
         assert!(!s.in_range(1, 100));
         assert!(!s.in_range(u64::MAX, 2));
+    }
+
+    #[test]
+    fn wipe_zeroes_but_keeps_capacity() {
+        let s = Storage::new(8);
+        s.write_at(0, &[7u8; 8]);
+        s.wipe();
+        assert_eq!(s.capacity(), 8);
+        let mut out = [1u8; 8];
+        s.read_at(0, &mut out);
+        assert_eq!(out, [0u8; 8]);
     }
 }

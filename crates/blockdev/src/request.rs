@@ -22,6 +22,21 @@ pub enum IoOp {
     Write,
 }
 
+/// The specific failure behind an [`IoError::Fault`]: which part of the
+/// remote-paging path gave out. Set by the device drivers when an injected
+/// (or simulated-organic) fault kills a request with no replica to save it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The memory server holding the data crashed (and no replica exists).
+    ServerDead,
+    /// The request timed out with no reply and no replica to fail over to.
+    Timeout,
+    /// The network link failed the transfer (completion-with-error).
+    LinkDown,
+    /// The transport connection was reset (NBD's TCP path).
+    Reset,
+}
+
 /// Why an I/O failed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum IoError {
@@ -29,6 +44,10 @@ pub enum IoError {
     OutOfRange,
     /// The device (or its remote server) reported a failure.
     DeviceError(&'static str),
+    /// A fault (injected or simulated) made the request unservable; the
+    /// cause says which layer failed. Devices must surface this as a
+    /// completion — a fault never strands a request without a callback.
+    Fault(FaultKind),
 }
 
 /// Completion status of a request.

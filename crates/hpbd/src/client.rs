@@ -22,11 +22,11 @@ use crate::pool::{PoolBuf, SimBufferPool};
 use crate::proto::{
     PageOp, PageRequest, ReplyStatus, RevokeNotice, ServerMessage, REPLY_WIRE_SIZE,
 };
-use blockdev::{new_buffer, Bio, BlockDevice, IoError, IoOp, IoRequest};
+use blockdev::{new_buffer, Bio, BlockDevice, DeviceHealth, FaultKind, IoError, IoOp, IoRequest};
 use ibsim::{
     CompletionQueue, IbNode, MemoryRegion, Opcode, QueuePair, WcStatus, WorkKind, WorkRequest,
 };
-use simcore::{Engine, SimDuration, SimTime};
+use simcore::{Engine, EventId, SimDuration, SimTime};
 use simtrace::{Counter, Histogram, LazyCounter};
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -57,6 +57,9 @@ pub struct ClientStats {
     pub mirrored_phys: u64,
     /// Requests that timed out (failover mode only).
     pub timeouts: u64,
+    /// Timed-out or send-failed requests re-issued to the SAME server
+    /// (transient-fault tolerance; bounded by `max_retries`).
+    pub retries: u64,
     /// Requests re-routed to a buddy server's replica region.
     pub failovers: u64,
     /// Revocation notices received (dynamic memory).
@@ -136,6 +139,11 @@ struct Phys {
     /// Mirror copies do not scatter data back on reads and are counted
     /// separately in the stats.
     is_mirror: bool,
+    /// Armed timeout timer, cancelled when the reply lands (so an
+    /// answered request costs no stray wakeup event).
+    timer: Cell<Option<EventId>>,
+    /// Delivery attempts so far; drives the retry backoff.
+    attempts: u32,
 }
 
 struct ServerConn {
@@ -185,6 +193,8 @@ struct ClientInner {
     /// Block requests held back until their chunks finish migrating.
     deferred: RefCell<Vec<IoRequest>>,
     name: String,
+    /// Set by [`BlockDevice::shutdown`]: new submissions fail cleanly.
+    shut_down: Cell<bool>,
     /// Scratch for decoding one reply off a receive buffer (reused — the
     /// receiver burst never allocates per message).
     wire_scratch: RefCell<Vec<u8>>,
@@ -255,6 +265,7 @@ impl HpbdClient {
                 migrating: RefCell::new(HashSet::new()),
                 deferred: RefCell::new(Vec::new()),
                 name: "hpbd0".to_string(),
+                shut_down: Cell::new(false),
                 wire_scratch: RefCell::new(Vec::new()),
                 gather_scratch: RefCell::new(Vec::new()),
                 data_pool: RefCell::new(Vec::new()),
@@ -525,7 +536,7 @@ impl HpbdClient {
                     phys.server_offset = offset;
                 }
                 None => {
-                    self.fail_phys(phys, "hpbd server dead, no replica");
+                    self.fail_phys(phys, IoError::Fault(FaultKind::ServerDead));
                     return;
                 }
             }
@@ -587,13 +598,18 @@ impl HpbdClient {
             })
             .expect("client send queue sized for credits");
         if let Some(timeout_ns) = self.inner.config.request_timeout_ns {
+            // Exponential backoff: each retry of this request waits twice
+            // as long for its answer, capped at 8x the base timeout.
+            let scaled = timeout_ns << phys.attempts.min(3);
             let this = self.clone();
             let req_id = phys.req_id;
-            self.inner
-                .engine
-                .schedule_in(SimDuration::from_nanos(timeout_ns), move || {
+            let timer = self.inner.engine.schedule_cancellable_in(
+                SimDuration::from_nanos(scaled),
+                move || {
                     this.on_timeout(req_id);
-                });
+                },
+            );
+            phys.timer.set(Some(timer));
         }
         self.inner
             .outstanding
@@ -619,12 +635,27 @@ impl HpbdClient {
         Some((buddy, conns[buddy].extent_len + base))
     }
 
-    /// A request timed out: its server is presumed dead; re-route to the
+    /// A request send errored in the fabric (injected link fault, or RNR
+    /// against a crashed server that stopped consuming): the server never
+    /// saw it. Recover through the timeout path right away instead of
+    /// waiting out the timer.
+    fn on_send_failed(&self, req_id: u64) {
+        if self.inner.outstanding.borrow().contains_key(&req_id) {
+            self.on_timeout(req_id);
+        }
+    }
+
+    /// A request timed out (or its send failed): retry with backoff while
+    /// attempts remain, else presume the server dead and re-route to the
     /// replica or fail the I/O.
     fn on_timeout(&self, req_id: u64) {
-        let Some(phys) = self.inner.outstanding.borrow_mut().remove(&req_id) else {
+        let Some(mut phys) = self.inner.outstanding.borrow_mut().remove(&req_id) else {
             return; // answered in time
         };
+        if let Some(timer) = phys.timer.take() {
+            // Still armed when we got here via a send failure.
+            self.inner.engine.cancel(timer);
+        }
         self.inner.stats.borrow_mut().timeouts += 1;
         self.inner.engine.metrics().inc("hpbd.timeouts");
         self.inner.engine.tracer().instant(
@@ -633,13 +664,32 @@ impl HpbdClient {
             self.inner.engine.now().as_nanos(),
             &[("req", req_id), ("server", phys.server_idx as u64)],
         );
+        {
+            // The credit consumed by the lost request never returns via a
+            // reply; restore it so accounting stays consistent.
+            let conns = self.inner.conns.borrow();
+            let conn = &conns[phys.server_idx];
+            conn.credits.set(conn.credits.get() + 1);
+        }
+        if phys.attempts < self.inner.config.max_retries {
+            // Transient-fault tolerance: give the same server another
+            // chance (with a backed-off timeout) before declaring it dead.
+            phys.attempts += 1;
+            self.inner.stats.borrow_mut().retries += 1;
+            self.inner.engine.metrics().inc("hpbd.retries");
+            self.inner.engine.tracer().instant(
+                "hpbd",
+                "retry",
+                self.inner.engine.now().as_nanos(),
+                &[("req", req_id), ("attempt", phys.attempts as u64)],
+            );
+            self.enqueue_send(phys);
+            return;
+        }
         let stranded: Vec<Phys> = {
             let conns = self.inner.conns.borrow();
             let conn = &conns[phys.server_idx];
             conn.dead.set(true);
-            // The credit consumed by the lost request never returns via a
-            // reply; restore it so accounting stays consistent.
-            conn.credits.set(conn.credits.get() + 1);
             // Requests still queued for the dead server will never get
             // credits back: pull them out for re-routing.
             let stranded: Vec<Phys> = conn.queued.borrow_mut().drain(..).collect();
@@ -665,13 +715,13 @@ impl HpbdClient {
                 };
                 self.enqueue_send(reissued);
             }
-            None => self.fail_phys(phys, "hpbd request timed out, no replica"),
+            None => self.fail_phys(phys, IoError::Fault(FaultKind::Timeout)),
         }
     }
 
     /// Complete a physical request as failed.
-    fn fail_phys(&self, phys: Phys, why: &'static str) {
-        phys.parent.error.set(Some(IoError::DeviceError(why)));
+    fn fail_phys(&self, phys: Phys, error: IoError) {
+        phys.parent.error.set(Some(error));
         self.release_staging(&phys);
         let parent = phys.parent.clone();
         let engine = self.inner.engine.clone();
@@ -688,6 +738,32 @@ impl HpbdClient {
             .recv_cq
             .set_event_handler(move || this.on_replies());
         self.inner.recv_cq.req_notify(true);
+
+        // The send CQ is normally drained opportunistically from the reply
+        // burst. Arm it solicited-only so ERROR completions — which always
+        // qualify regardless of the solicited flag — wake the driver at
+        // once; send successes are unsolicited and never trigger it, so a
+        // healthy run schedules no extra events through this path.
+        let this = self.clone();
+        self.inner
+            .send_cq
+            .set_event_handler(move || this.on_send_events());
+        self.inner.send_cq.req_notify(true);
+    }
+
+    /// Send-CQ event: only fires for error completions (see
+    /// `install_receiver`); route them into the recovery path and re-arm.
+    fn on_send_events(&self) {
+        while let Some(c) = self.inner.send_cq.poll() {
+            match c.status {
+                WcStatus::Success => {}
+                WcStatus::RetryExceeded | WcStatus::RnrRetryExceeded => {
+                    self.on_send_failed(c.wr_id);
+                }
+                other => panic!("request send failed: {other:?}"),
+            }
+        }
+        self.inner.send_cq.req_notify(true);
     }
 
     /// The receiver thread body: drain all available replies in one burst,
@@ -706,14 +782,17 @@ impl HpbdClient {
                 .expect("reply from unknown QP");
             self.handle_reply(conn_idx, completion.wr_id);
         }
-        // Drain send-side completions too (they carry no actions, but a
-        // flow-control failure would surface here).
+        // Drain send-side completions too: successes carry no actions, but
+        // a failed request send must enter the recovery path (the server
+        // never saw the message, so no reply will ever come).
         while let Some(c) = inner.send_cq.poll() {
-            assert_eq!(
-                c.status,
-                WcStatus::Success,
-                "request send failed — flow control violated"
-            );
+            match c.status {
+                WcStatus::Success => {}
+                WcStatus::RetryExceeded | WcStatus::RnrRetryExceeded => {
+                    self.on_send_failed(c.wr_id);
+                }
+                other => panic!("request send failed: {other:?}"),
+            }
         }
         inner.recv_cq.req_notify(true);
     }
@@ -742,16 +821,26 @@ impl HpbdClient {
                 return;
             }
         };
+        let phys = {
+            let mut outstanding = inner.outstanding.borrow_mut();
+            // A reply may arrive after its request timed out (and was
+            // re-routed or failed), or from a server the request no longer
+            // targets after a failover reissue. Either way the timeout
+            // path already restored the credit; drop the stale reply.
+            match outstanding.get(&reply.req_id) {
+                Some(p) if p.server_idx == conn_idx => {
+                    outstanding.remove(&reply.req_id).expect("checked")
+                }
+                _ => return,
+            }
+        };
+        if let Some(timer) = phys.timer.take() {
+            inner.engine.cancel(timer);
+        }
         inner.stats.borrow_mut().replies += 1;
         // Receiver-thread CPU cost per reply.
         let proc = SimDuration::from_nanos(inner.config.reply_proc_ns);
         let (_, t_proc) = inner.ibnode.node().cpu().reserve(inner.engine.now(), proc);
-
-        let phys = inner
-            .outstanding
-            .borrow_mut()
-            .remove(&reply.req_id)
-            .expect("reply for unknown request");
 
         // Credit returns; queued requests for this server may now go.
         {
@@ -766,9 +855,12 @@ impl HpbdClient {
         }
 
         if reply.status != ReplyStatus::Ok {
-            phys.parent
-                .error
-                .set(Some(IoError::DeviceError("hpbd server error")));
+            let error = match reply.status {
+                // The server's RDMA to/from our pool failed on the wire.
+                ReplyStatus::TransferError => IoError::Fault(FaultKind::LinkDown),
+                _ => IoError::DeviceError("hpbd server error"),
+            };
+            phys.parent.error.set(Some(error));
             self.release_staging(&phys);
             let parent = phys.parent.clone();
             let engine = inner.engine.clone();
@@ -1084,6 +1176,8 @@ impl HpbdClient {
                                 parent,
                                 parent_off,
                                 is_mirror,
+                                timer: Cell::new(None),
+                                attempts: 0,
                             });
                         });
                     }
@@ -1098,6 +1192,8 @@ impl HpbdClient {
                             parent,
                             parent_off,
                             is_mirror,
+                            timer: Cell::new(None),
+                            attempts: 0,
                         });
                     }
                 }
@@ -1110,6 +1206,12 @@ impl HpbdClient {
     fn do_submit(&self, req: IoRequest, internal: bool) {
         let inner = &self.inner;
         let engine = inner.engine.clone();
+        if inner.shut_down.get() {
+            engine.schedule_at(engine.now(), move || {
+                req.complete(Err(IoError::Fault(FaultKind::ServerDead)))
+            });
+            return;
+        }
         if req.offset() + req.len() > self.capacity() {
             engine.schedule_at(engine.now(), move || req.complete(Err(IoError::OutOfRange)));
             return;
@@ -1168,5 +1270,26 @@ impl BlockDevice for HpbdClient {
 
     fn submit(&self, req: IoRequest) {
         self.do_submit(req, false);
+    }
+
+    fn shutdown(&self) {
+        self.inner.shut_down.set(true);
+    }
+
+    fn health(&self) -> DeviceHealth {
+        if self.inner.shut_down.get() {
+            return DeviceHealth::Failed;
+        }
+        let conns = self.inner.conns.borrow();
+        let failed = conns.iter().filter(|c| c.dead.get()).count();
+        if failed == 0 {
+            DeviceHealth::Healthy
+        } else if failed == conns.len() {
+            DeviceHealth::Failed
+        } else {
+            DeviceHealth::Degraded {
+                failed_servers: failed,
+            }
+        }
     }
 }

@@ -4,13 +4,20 @@
 //! connection exchanges queue-pair information, after which the client
 //! holds an IBA context per minor device — HCA handles, *shared completion
 //! queues*, the registered pool, and a QP per server.
+//!
+//! Deployments are described with [`ClusterBuilder`]: typed setters over
+//! the [`HpbdConfig`] defaults, plus a [`ClusterBuilder::fault_plan`] hook
+//! that arms a deterministic [`simfault::FaultPlan`] against the built
+//! cluster — server crashes/restarts and per-link degradation, loss, and
+//! completion errors, all scheduled on the virtual clock.
 
 use crate::client::HpbdClient;
-use crate::config::HpbdConfig;
+use crate::config::{Distribution, HpbdConfig, StagingMode};
 use crate::server::HpbdServer;
-use ibsim::{Fabric, IbNode};
+use ibsim::{Fabric, IbNode, LinkFaults};
 use netmodel::Calibration;
-use simcore::Engine;
+use simcore::{Engine, SimTime};
+use simfault::{FaultEvent, FaultPlan};
 use std::rc::Rc;
 
 /// A built HPBD deployment.
@@ -21,41 +28,167 @@ pub struct HpbdCluster {
     pub client: HpbdClient,
     /// The memory servers, in extent order.
     pub servers: Vec<HpbdServer>,
+    /// Per-server link fault handles (client↔server connection `i`).
+    /// Empty unless a non-empty fault plan was armed — an unfaulted
+    /// cluster carries no fault state at all.
+    pub links: Vec<LinkFaults>,
 }
 
-impl HpbdCluster {
-    /// Build a cluster: a client node plus `n_servers` memory servers each
-    /// exporting `per_server_capacity` bytes. The swap area is the
+/// Describes an HPBD deployment and builds it: one client, N memory
+/// servers, optional fault plan.
+///
+/// ```
+/// use hpbd::ClusterBuilder;
+/// use netmodel::Calibration;
+/// use simcore::Engine;
+/// use std::rc::Rc;
+///
+/// let engine = Engine::new();
+/// let cal = Rc::new(Calibration::cluster_2005());
+/// let cluster = ClusterBuilder::new()
+///     .servers(4)
+///     .per_server_capacity(8 << 20)
+///     .mirror_writes(true)
+///     .request_timeout_ns(5_000_000)
+///     .build(&engine, cal);
+/// assert_eq!(cluster.servers.len(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ClusterBuilder {
+    config: HpbdConfig,
+    n_servers: usize,
+    per_server_capacity: u64,
+    fault_plan: FaultPlan,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> ClusterBuilder {
+        ClusterBuilder::new()
+    }
+}
+
+impl ClusterBuilder {
+    /// A builder with the paper-default [`HpbdConfig`], two servers of
+    /// 8 MiB each, and no faults.
+    pub fn new() -> ClusterBuilder {
+        ClusterBuilder {
+            config: HpbdConfig::default(),
+            n_servers: 2,
+            per_server_capacity: 8 << 20,
+            fault_plan: FaultPlan::new(),
+        }
+    }
+
+    /// Replace the whole configuration (setters below tweak individual
+    /// fields on top of whatever was set last).
+    pub fn config(mut self, config: HpbdConfig) -> ClusterBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Number of memory servers (extents are attached in order).
+    pub fn servers(mut self, n_servers: usize) -> ClusterBuilder {
+        self.n_servers = n_servers;
+        self
+    }
+
+    /// Exported swap capacity per server, in bytes (page-multiple).
+    pub fn per_server_capacity(mut self, bytes: u64) -> ClusterBuilder {
+        self.per_server_capacity = bytes;
+        self
+    }
+
+    /// Client registered-pool size (paper default 1 MiB).
+    pub fn pool_size(mut self, bytes: u64) -> ClusterBuilder {
+        self.config.pool_size = bytes;
+        self
+    }
+
+    /// Per-server flow-control credit water-mark.
+    pub fn credits(mut self, credits: usize) -> ClusterBuilder {
+        self.config.credits = credits;
+        self
+    }
+
+    /// Swap-area-to-server mapping.
+    pub fn distribution(mut self, distribution: Distribution) -> ClusterBuilder {
+        self.config.distribution = distribution;
+        self
+    }
+
+    /// Data staging strategy.
+    pub fn staging(mut self, staging: StagingMode) -> ClusterBuilder {
+        self.config.staging = staging;
+        self
+    }
+
+    /// Mirror every write to the buddy server's replica region.
+    pub fn mirror_writes(mut self, on: bool) -> ClusterBuilder {
+        self.config.mirror_writes = on;
+        self
+    }
+
+    /// Arm per-request timeouts: a request unanswered after `ns` enters
+    /// the retry/failover path.
+    pub fn request_timeout_ns(mut self, ns: u64) -> ClusterBuilder {
+        self.config.request_timeout_ns = Some(ns);
+        self
+    }
+
+    /// Same-server retries (with exponential backoff) before a timeout
+    /// declares the server dead.
+    pub fn max_retries(mut self, retries: u32) -> ClusterBuilder {
+        self.config.max_retries = retries;
+        self
+    }
+
+    /// Dynamic-memory remapping granularity.
+    pub fn chunk_bytes(mut self, bytes: u64) -> ClusterBuilder {
+        self.config.chunk_bytes = bytes;
+        self
+    }
+
+    /// Spare chunks per server (migration targets for revocation).
+    pub fn spare_chunks(mut self, chunks: usize) -> ClusterBuilder {
+        self.config.spare_chunks = chunks;
+        self
+    }
+
+    /// Attach a deterministic fault plan. An EMPTY plan (the default) arms
+    /// nothing: no link-fault handles, no scheduled events — the built
+    /// cluster is bit-for-bit the unfaulted one.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> ClusterBuilder {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Build the cluster on a fresh fabric. The swap area is the
     /// concatenation of the server extents (blocking distribution).
-    pub fn build(
-        engine: &Engine,
-        cal: Rc<Calibration>,
-        config: HpbdConfig,
-        n_servers: usize,
-        per_server_capacity: u64,
-    ) -> HpbdCluster {
+    pub fn build(self, engine: &Engine, cal: Rc<Calibration>) -> HpbdCluster {
+        let fabric = Fabric::new(engine.clone(), cal);
+        let client_node = fabric.add_node("hpbd-client");
+        self.build_on(&fabric, client_node)
+    }
+
+    /// Build on an existing fabric/client node (lets scenarios share the
+    /// client node with the VM and applications).
+    pub fn build_on(self, fabric: &Fabric, client_node: IbNode) -> HpbdCluster {
+        let ClusterBuilder {
+            config,
+            n_servers,
+            per_server_capacity,
+            fault_plan,
+        } = self;
         assert!(n_servers > 0, "at least one memory server");
         assert!(
             per_server_capacity.is_multiple_of(4096),
             "server capacity must be page-aligned"
         );
-        let fabric = Fabric::new(engine.clone(), cal);
-        let client_node = fabric.add_node("hpbd-client");
-        Self::build_on(&fabric, client_node, config, n_servers, per_server_capacity)
-    }
-
-    /// Build on an existing fabric/client node (lets scenarios share the
-    /// client node with the VM and applications).
-    pub fn build_on(
-        fabric: &Fabric,
-        client_node: IbNode,
-        config: HpbdConfig,
-        n_servers: usize,
-        per_server_capacity: u64,
-    ) -> HpbdCluster {
         let engine = fabric.engine().clone();
-        let client = HpbdClient::new(engine, client_node, config.clone());
+        let client = HpbdClient::new(engine.clone(), client_node, config.clone());
         let mut servers = Vec::with_capacity(n_servers);
+        let mut links = Vec::new();
+        let arm_faults = !fault_plan.is_empty();
         // In mirror mode each server stores its own extent plus the
         // replicas of its predecessor's extent; spare chunks for dynamic
         // memory live after that.
@@ -87,14 +220,71 @@ impl HpbdCluster {
                 depth,
                 config.credits + 2,
             );
+            if arm_faults {
+                // One shared handle per connection, installed on both
+                // directions of the link.
+                let link = LinkFaults::new();
+                qp_c.set_link_faults(link.clone());
+                qp_s.set_link_faults(link.clone());
+                links.push(link);
+            }
             client.attach_server(qp_c, per_server_capacity);
             server.attach_connection(qp_s);
             servers.push(server);
         }
-        HpbdCluster {
+        let cluster = HpbdCluster {
             fabric: fabric.clone(),
             client,
             servers,
+            links,
+        };
+        if arm_faults {
+            schedule_fault_plan(&engine, &cluster, &fault_plan, n_servers);
+        }
+        cluster
+    }
+}
+
+/// Schedule every timed fault of `plan` against the built cluster on the
+/// engine's virtual clock.
+fn schedule_fault_plan(engine: &Engine, cluster: &HpbdCluster, plan: &FaultPlan, n_servers: usize) {
+    if let Some(max) = plan.max_server_index() {
+        assert!(
+            max < n_servers,
+            "fault plan names server {max}, but the cluster has {n_servers} servers"
+        );
+    }
+    for fault in plan.events() {
+        let at = SimTime(fault.at_ns);
+        match fault.event {
+            FaultEvent::ServerCrash { server } => {
+                let s = cluster.servers[server].clone();
+                engine.schedule_at(at, move || s.crash());
+            }
+            FaultEvent::ServerRestart { server } => {
+                let s = cluster.servers[server].clone();
+                engine.schedule_at(at, move || s.restart());
+            }
+            FaultEvent::LinkDegrade {
+                server,
+                added_latency_ns,
+                bandwidth_factor,
+            } => {
+                let link = cluster.links[server].clone();
+                engine.schedule_at(at, move || link.degrade(added_latency_ns, bandwidth_factor));
+            }
+            FaultEvent::MessageLoss { server, count } => {
+                let link = cluster.links[server].clone();
+                engine.schedule_at(at, move || link.drop_next(count));
+            }
+            FaultEvent::CompletionError { server, count } => {
+                let link = cluster.links[server].clone();
+                engine.schedule_at(at, move || link.error_next(count));
+            }
+            // TCP resets target the NBD baseline; a plan shared between
+            // an HPBD and an NBD deployment simply has no HPBD-side
+            // effect for them.
+            FaultEvent::TcpReset => {}
         }
     }
 }
@@ -110,8 +300,10 @@ mod tests {
     fn cluster(n_servers: usize, per_server: u64) -> (Engine, HpbdCluster) {
         let engine = Engine::new();
         let cal = Rc::new(Calibration::cluster_2005());
-        let cluster =
-            HpbdCluster::build(&engine, cal, HpbdConfig::default(), n_servers, per_server);
+        let cluster = ClusterBuilder::new()
+            .servers(n_servers)
+            .per_server_capacity(per_server)
+            .build(&engine, cal);
         (engine, cluster)
     }
 
@@ -218,13 +410,13 @@ mod tests {
 
     #[test]
     fn flow_control_queues_beyond_water_mark() {
-        let config = HpbdConfig {
-            credits: 2,
-            ..HpbdConfig::default()
-        };
         let engine = Engine::new();
         let cal = Rc::new(Calibration::cluster_2005());
-        let cluster = HpbdCluster::build(&engine, cal, config, 1, 8 << 20);
+        let cluster = ClusterBuilder::new()
+            .credits(2)
+            .servers(1)
+            .per_server_capacity(8 << 20)
+            .build(&engine, cal);
         let done = Rc::new(Cell::new(0));
         // 8 concurrent 4K writes with only 2 credits.
         for i in 0..8u64 {
@@ -247,13 +439,13 @@ mod tests {
 
     #[test]
     fn pool_exhaustion_queues_requests() {
-        let config = HpbdConfig {
-            pool_size: 128 * 1024, // one max-size request
-            ..HpbdConfig::default()
-        };
         let engine = Engine::new();
         let cal = Rc::new(Calibration::cluster_2005());
-        let cluster = HpbdCluster::build(&engine, cal, config, 1, 8 << 20);
+        let cluster = ClusterBuilder::new()
+            .pool_size(128 * 1024) // one max-size request
+            .servers(1)
+            .per_server_capacity(8 << 20)
+            .build(&engine, cal);
         let done = Rc::new(Cell::new(0));
         for i in 0..4u64 {
             let done = done.clone();
@@ -328,16 +520,15 @@ mod tests {
 
     #[test]
     fn striped_distribution_fans_requests_across_servers() {
-        use crate::config::Distribution;
-        let config = HpbdConfig {
-            distribution: Distribution::Striped {
-                stripe_bytes: 8 * 4096,
-            },
-            ..HpbdConfig::default()
-        };
         let engine = Engine::new();
         let cal = Rc::new(Calibration::cluster_2005());
-        let cluster = HpbdCluster::build(&engine, cal, config, 4, 2 << 20);
+        let cluster = ClusterBuilder::new()
+            .distribution(Distribution::Striped {
+                stripe_bytes: 8 * 4096,
+            })
+            .servers(4)
+            .per_server_capacity(2 << 20)
+            .build(&engine, cal);
         // One 128K request spans 4 stripes of 32K: all four servers serve.
         write_read_roundtrip(&engine, &cluster.client, 0, 128 * 1024, 0x6B);
         for (i, server) in cluster.servers.iter().enumerate() {
@@ -351,14 +542,13 @@ mod tests {
 
     #[test]
     fn striped_data_integrity_over_many_offsets() {
-        use crate::config::Distribution;
-        let config = HpbdConfig {
-            distribution: Distribution::Striped { stripe_bytes: 4096 },
-            ..HpbdConfig::default()
-        };
         let engine = Engine::new();
         let cal = Rc::new(Calibration::cluster_2005());
-        let cluster = HpbdCluster::build(&engine, cal, config, 3, 2 << 20);
+        let cluster = ClusterBuilder::new()
+            .distribution(Distribution::Striped { stripe_bytes: 4096 })
+            .servers(3)
+            .per_server_capacity(2 << 20)
+            .build(&engine, cal);
         for i in 0..24u64 {
             let buf = new_buffer(4096);
             buf.borrow_mut().fill(i as u8 + 1);
@@ -388,15 +578,14 @@ mod tests {
 
     #[test]
     fn register_on_fly_works_but_costs_more() {
-        use crate::config::StagingMode;
         let run = |staging: StagingMode| {
-            let config = HpbdConfig {
-                staging,
-                ..HpbdConfig::default()
-            };
             let engine = Engine::new();
             let cal = Rc::new(Calibration::cluster_2005());
-            let cluster = HpbdCluster::build(&engine, cal, config, 1, 8 << 20);
+            let cluster = ClusterBuilder::new()
+                .staging(staging)
+                .servers(1)
+                .per_server_capacity(8 << 20)
+                .build(&engine, cal);
             let t0 = engine.now();
             // 16 sequential 64K writes.
             for i in 0..16u64 {
@@ -434,13 +623,13 @@ mod tests {
 
     #[test]
     fn mirrored_writes_survive_primary_data_loss() {
-        let config = HpbdConfig {
-            mirror_writes: true,
-            ..HpbdConfig::default()
-        };
         let engine = Engine::new();
         let cal = Rc::new(Calibration::cluster_2005());
-        let cluster = HpbdCluster::build(&engine, cal, config, 2, 1 << 20);
+        let cluster = ClusterBuilder::new()
+            .mirror_writes(true)
+            .servers(2)
+            .per_server_capacity(1 << 20)
+            .build(&engine, cal);
         write_read_roundtrip(&engine, &cluster.client, 4096, 4096, 0x7C);
         // The replica landed on the buddy server's upper half.
         let s0 = cluster.servers[0].stats();
@@ -455,13 +644,13 @@ mod tests {
 
     #[test]
     fn mirrored_write_completes_only_after_both_replicas() {
-        let config = HpbdConfig {
-            mirror_writes: true,
-            ..HpbdConfig::default()
-        };
         let engine = Engine::new();
         let cal = Rc::new(Calibration::cluster_2005());
-        let cluster = HpbdCluster::build(&engine, cal.clone(), config, 2, 1 << 20);
+        let cluster = ClusterBuilder::new()
+            .mirror_writes(true)
+            .servers(2)
+            .per_server_capacity(1 << 20)
+            .build(&engine, cal.clone());
         let t0 = engine.now();
         let buf = new_buffer(64 * 1024);
         cluster
@@ -474,7 +663,10 @@ mod tests {
 
         // Same write without mirroring.
         let engine2 = Engine::new();
-        let cluster2 = HpbdCluster::build(&engine2, cal, HpbdConfig::default(), 2, 1 << 20);
+        let cluster2 = ClusterBuilder::new()
+            .servers(2)
+            .per_server_capacity(1 << 20)
+            .build(&engine2, cal);
         let buf = new_buffer(64 * 1024);
         cluster2
             .client
@@ -491,14 +683,14 @@ mod tests {
 
     #[test]
     fn failover_reads_replica_after_primary_crash() {
-        let config = HpbdConfig {
-            mirror_writes: true,
-            request_timeout_ns: Some(5_000_000), // 5ms
-            ..HpbdConfig::default()
-        };
         let engine = Engine::new();
         let cal = Rc::new(Calibration::cluster_2005());
-        let cluster = HpbdCluster::build(&engine, cal, config, 2, 1 << 20);
+        let cluster = ClusterBuilder::new()
+            .mirror_writes(true)
+            .request_timeout_ns(5_000_000) // 5ms
+            .servers(2)
+            .per_server_capacity(1 << 20)
+            .build(&engine, cal);
         // Write data (mirrored to both servers).
         let wbuf = new_buffer(8192);
         wbuf.borrow_mut().fill(0x9D);
@@ -530,14 +722,14 @@ mod tests {
 
     #[test]
     fn post_crash_traffic_routes_away_without_new_timeouts() {
-        let config = HpbdConfig {
-            mirror_writes: true,
-            request_timeout_ns: Some(5_000_000),
-            ..HpbdConfig::default()
-        };
         let engine = Engine::new();
         let cal = Rc::new(Calibration::cluster_2005());
-        let cluster = HpbdCluster::build(&engine, cal, config, 2, 1 << 20);
+        let cluster = ClusterBuilder::new()
+            .mirror_writes(true)
+            .request_timeout_ns(5_000_000)
+            .servers(2)
+            .per_server_capacity(1 << 20)
+            .build(&engine, cal);
         cluster.servers[0].crash();
         // First access pays the timeout and marks the server dead...
         let buf = new_buffer(4096);
@@ -584,13 +776,13 @@ mod tests {
 
     #[test]
     fn crash_without_mirroring_fails_the_io() {
-        let config = HpbdConfig {
-            request_timeout_ns: Some(5_000_000),
-            ..HpbdConfig::default()
-        };
         let engine = Engine::new();
         let cal = Rc::new(Calibration::cluster_2005());
-        let cluster = HpbdCluster::build(&engine, cal, config, 2, 1 << 20);
+        let cluster = ClusterBuilder::new()
+            .request_timeout_ns(5_000_000)
+            .servers(2)
+            .per_server_capacity(1 << 20)
+            .build(&engine, cal);
         cluster.servers[0].crash();
         let got = Rc::new(Cell::new(None));
         {
@@ -603,23 +795,23 @@ mod tests {
             )));
         }
         engine.run_until_idle();
-        assert!(
-            matches!(got.get(), Some(Err(blockdev::IoError::DeviceError(_)))),
-            "without a replica the I/O must fail: {:?}",
-            got.get()
+        assert_eq!(
+            got.get(),
+            Some(Err(blockdev::IoError::Fault(blockdev::FaultKind::Timeout))),
+            "without a replica the I/O must fail with the fault surfaced"
         );
     }
 
     #[test]
     fn revocation_migrates_chunks_and_preserves_data() {
-        let config = HpbdConfig {
-            chunk_bytes: 256 * 1024,
-            spare_chunks: 4,
-            ..HpbdConfig::default()
-        };
         let engine = Engine::new();
         let cal = Rc::new(Calibration::cluster_2005());
-        let cluster = HpbdCluster::build(&engine, cal, config, 2, 1 << 20);
+        let cluster = ClusterBuilder::new()
+            .chunk_bytes(256 * 1024)
+            .spare_chunks(4)
+            .servers(2)
+            .per_server_capacity(1 << 20)
+            .build(&engine, cal);
         // Fill server 0's extent with distinct patterns.
         for i in 0..64u64 {
             let buf = new_buffer(4096);
@@ -662,14 +854,14 @@ mod tests {
 
     #[test]
     fn io_during_migration_is_deferred_not_lost() {
-        let config = HpbdConfig {
-            chunk_bytes: 256 * 1024,
-            spare_chunks: 4,
-            ..HpbdConfig::default()
-        };
         let engine = Engine::new();
         let cal = Rc::new(Calibration::cluster_2005());
-        let cluster = HpbdCluster::build(&engine, cal, config, 2, 1 << 20);
+        let cluster = ClusterBuilder::new()
+            .chunk_bytes(256 * 1024)
+            .spare_chunks(4)
+            .servers(2)
+            .per_server_capacity(1 << 20)
+            .build(&engine, cal);
         let buf = new_buffer(4096);
         buf.borrow_mut().fill(0x11);
         cluster
@@ -707,14 +899,14 @@ mod tests {
 
     #[test]
     fn revocation_of_untouched_range_is_cheap() {
-        let config = HpbdConfig {
-            chunk_bytes: 256 * 1024,
-            spare_chunks: 2,
-            ..HpbdConfig::default()
-        };
         let engine = Engine::new();
         let cal = Rc::new(Calibration::cluster_2005());
-        let cluster = HpbdCluster::build(&engine, cal, config, 2, 1 << 20);
+        let cluster = ClusterBuilder::new()
+            .chunk_bytes(256 * 1024)
+            .spare_chunks(2)
+            .servers(2)
+            .per_server_capacity(1 << 20)
+            .build(&engine, cal);
         // Nothing was ever written; revoking still migrates the (zeroed)
         // chunk — and data reads back as zeros.
         cluster.servers[0].revoke(512 * 1024, 256 * 1024);
@@ -729,6 +921,140 @@ mod tests {
         )));
         engine.run_until_idle();
         assert!(buf.borrow().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn empty_fault_plan_installs_no_fault_state() {
+        let (_, cluster) = cluster(2, 1 << 20);
+        assert!(
+            cluster.links.is_empty(),
+            "an unfaulted cluster must carry no link-fault handles"
+        );
+    }
+
+    #[test]
+    fn fault_plan_crash_fails_over_on_schedule() {
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let cluster = ClusterBuilder::new()
+            .mirror_writes(true)
+            .request_timeout_ns(5_000_000)
+            .servers(2)
+            .per_server_capacity(1 << 20)
+            .fault_plan(FaultPlan::new().server_crash(50_000_000, 0))
+            .build(&engine, cal);
+        assert_eq!(cluster.links.len(), 2, "fault handles armed per link");
+        // Mirrored write before the crash instant.
+        let wbuf = new_buffer(4096);
+        wbuf.borrow_mut().fill(0x5A);
+        cluster
+            .client
+            .submit(IoRequest::single(Bio::new(IoOp::Write, 0, wbuf, |r| {
+                r.unwrap()
+            })));
+        // Draining the queue also fires the scheduled crash (virtual time
+        // runs in order: the write at t≈0 completes long before t=50ms).
+        engine.run_until_idle();
+        assert!(cluster.servers[0].is_crashed(), "plan crashed server 0");
+        let rbuf = new_buffer(4096);
+        cluster.client.submit(IoRequest::single(Bio::new(
+            IoOp::Read,
+            0,
+            rbuf.clone(),
+            |r| r.unwrap(),
+        )));
+        engine.run_until_idle();
+        assert!(rbuf.borrow().iter().all(|&b| b == 0x5A));
+        assert!(cluster.client.stats().failovers >= 1);
+        assert_eq!(
+            cluster.client.health(),
+            blockdev::DeviceHealth::Degraded { failed_servers: 1 }
+        );
+    }
+
+    #[test]
+    fn fault_plan_validates_server_indices() {
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ClusterBuilder::new()
+                .servers(2)
+                .per_server_capacity(1 << 20)
+                .fault_plan(FaultPlan::new().server_crash(1_000, 7))
+                .build(&engine, cal);
+        }));
+        assert!(
+            result.is_err(),
+            "plan naming server 7 of 2 must be rejected"
+        );
+    }
+
+    #[test]
+    fn restarted_server_serves_again_with_empty_store() {
+        let (engine, cluster) = cluster(1, 1 << 20);
+        // Store a page, then crash + restart with no traffic in flight
+        // (the client never marks the server dead).
+        write_read_roundtrip(&engine, &cluster.client, 0, 4096, 0x42);
+        cluster.servers[0].crash();
+        engine.advance(simcore::SimDuration::from_millis(1));
+        cluster.servers[0].restart();
+        engine.run_until_idle();
+        assert!(!cluster.servers[0].is_crashed());
+        // The daemon answers again — but the crash dropped its chunks.
+        let rbuf = new_buffer(4096);
+        rbuf.borrow_mut().fill(0xFF);
+        cluster.client.submit(IoRequest::single(Bio::new(
+            IoOp::Read,
+            0,
+            rbuf.clone(),
+            |r| r.unwrap(),
+        )));
+        engine.run_until_idle();
+        assert!(
+            rbuf.borrow().iter().all(|&b| b == 0),
+            "a restarted server starts from an empty store"
+        );
+        // And it stores fresh data fine.
+        write_read_roundtrip(&engine, &cluster.client, 4096, 4096, 0x77);
+    }
+
+    #[test]
+    fn retries_recover_from_brief_unreachability() {
+        // Drop the next 2 requests on the link; with retries configured the
+        // I/O must still complete against the SAME server — no failover,
+        // no mirroring needed.
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let cluster = ClusterBuilder::new()
+            .request_timeout_ns(2_000_000)
+            .max_retries(3)
+            .servers(1)
+            .per_server_capacity(1 << 20)
+            .fault_plan(FaultPlan::new().message_loss(0, 0, 2))
+            .build(&engine, cal);
+        let done = Rc::new(Cell::new(false));
+        {
+            let done = done.clone();
+            let buf = new_buffer(4096);
+            buf.borrow_mut().fill(0x33);
+            cluster
+                .client
+                .submit(IoRequest::single(Bio::new(IoOp::Write, 0, buf, move |r| {
+                    r.unwrap();
+                    done.set(true);
+                })));
+        }
+        engine.run_until_idle();
+        assert!(done.get(), "retry must push the write through");
+        let stats = cluster.client.stats();
+        assert!(stats.retries >= 1, "the dropped sends must be retried");
+        assert_eq!(stats.failovers, 0, "no replica involved");
+        assert_eq!(
+            cluster.client.health(),
+            blockdev::DeviceHealth::Healthy,
+            "retries kept the server alive"
+        );
+        write_read_roundtrip(&engine, &cluster.client, 0, 4096, 0x44);
     }
 
     #[test]

@@ -69,6 +69,12 @@ pub struct HpbdConfig {
     /// the paper's scope ("these issues are out of the scope of this
     /// paper").
     pub request_timeout_ns: Option<u64>,
+    /// How many times a timed-out or link-failed request is retried on the
+    /// SAME server before the server is declared dead, with exponential
+    /// backoff (timeout doubles per attempt, capped at 8x). 0 (default):
+    /// the first timeout declares the server dead, matching the pre-fault
+    /// behaviour. Only meaningful with `request_timeout_ns`.
+    pub max_retries: u32,
 }
 
 impl Default for HpbdConfig {
@@ -86,6 +92,7 @@ impl Default for HpbdConfig {
             chunk_bytes: 1 << 20,
             spare_chunks: 0,
             request_timeout_ns: None,
+            max_retries: 0,
         }
     }
 }

@@ -26,8 +26,10 @@
 //!   swap-out data from the client, RDMA WRITE pushes swap-in data into
 //!   it — paper §4.2.1, Figure 4), staging buffers allowing RDMA/memcpy
 //!   overlap, solicited-event replies, and the 200 µs idle sleep.
-//! * [`cluster`] — wiring: builds a client plus N servers on a fabric, the
-//!   out-of-band QP exchange the paper performs over sockets.
+//! * [`cluster`] — wiring: [`cluster::ClusterBuilder`] builds a client
+//!   plus N servers on a fabric (the out-of-band QP exchange the paper
+//!   performs over sockets) and arms an optional deterministic
+//!   [`simfault::FaultPlan`] against the deployment.
 
 pub mod client;
 pub mod cluster;
@@ -37,7 +39,7 @@ pub mod proto;
 pub mod server;
 
 pub use client::{ClientStats, HpbdClient};
-pub use cluster::HpbdCluster;
+pub use cluster::{ClusterBuilder, HpbdCluster};
 pub use config::HpbdConfig;
 pub use pool::{PoolAllocator, SharedBufferPool, SimBufferPool};
 pub use server::{HpbdServer, ServerStats};

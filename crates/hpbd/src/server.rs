@@ -84,6 +84,9 @@ struct ServerInner {
     conns: RefCell<Vec<Conn>>,
     qp_to_conn: RefCell<HashMap<u32, usize>>,
     pending: RefCell<HashMap<u64, PendingRdma>>,
+    /// Receive buffers consumed while crashed (never re-posted by the dead
+    /// daemon); a restart re-posts them. `(conn, wr_id)` pairs.
+    lost_recvs: RefCell<Vec<(usize, u64)>>,
     next_token: Cell<u64>,
     last_activity: Cell<SimTime>,
     crashed: Cell<bool>,
@@ -134,6 +137,7 @@ impl HpbdServer {
                 conns: RefCell::new(Vec::new()),
                 qp_to_conn: RefCell::new(HashMap::new()),
                 pending: RefCell::new(HashMap::new()),
+                lost_recvs: RefCell::new(Vec::new()),
                 next_token: Cell::new(1),
                 last_activity: Cell::new(SimTime::ZERO),
                 crashed: Cell::new(false),
@@ -201,10 +205,99 @@ impl HpbdServer {
     /// Failure injection: the server process dies. Every request from now
     /// on is silently dropped (a dead daemon sends nothing); in-flight
     /// RDMA data may still land, but no acknowledgement follows. The
-    /// client's timeout/failover machinery (when configured) is what keeps
-    /// the swap device alive.
+    /// stored chunks are GONE — the process's memory is reclaimed by its
+    /// host — so a later [`HpbdServer::restart`] comes back empty, exactly
+    /// why the client must mirror writes to survive a crash. The client's
+    /// timeout/failover machinery (when configured) is what keeps the swap
+    /// device alive.
     pub fn crash(&self) {
-        self.inner.crashed.set(true);
+        if self.inner.crashed.replace(true) {
+            return;
+        }
+        // The exported page store evaporates with the process.
+        self.inner.storage.wipe();
+        // In-flight RDMA state machines die with the daemon. Their staging
+        // buffers return to the pool wholesale (the restart would rebuild
+        // the pool; freeing models that without a pool reset). Late wire
+        // completions for these tokens are dropped in finish_pull/push.
+        let pending: Vec<PendingRdma> = {
+            let mut map = self.inner.pending.borrow_mut();
+            map.drain().map(|(_, p)| p).collect()
+        };
+        for p in pending {
+            self.inner.staging_pool.free(p.staging);
+        }
+        if self.inner.engine.trace_enabled() {
+            self.inner.engine.tracer().instant(
+                "hpbd_server",
+                "crash",
+                self.inner.engine.now().as_nanos(),
+                &[],
+            );
+        }
+    }
+
+    /// Failure injection: the crashed daemon comes back up. The staging
+    /// pool is re-registered (same CPU cost as boot), receive buffers the
+    /// dead process consumed are re-posted, and service resumes — with an
+    /// EMPTY store: pages swapped out before the crash are only
+    /// recoverable from a mirror replica.
+    pub fn restart(&self) {
+        if !self.inner.crashed.get() {
+            return;
+        }
+        let inner = &self.inner;
+        // Drain anything that queued on the CQs while the daemon was down,
+        // remembering which receives were consumed.
+        self.reap_while_crashed();
+        inner.send_cq.drain();
+        // Boot cost: the staging pool must be pinned and registered again.
+        let reg = inner
+            .ibnode
+            .memory_model()
+            .calibration()
+            .registration_time(inner.config.server_staging_size);
+        inner.ibnode.node().cpu().reserve(inner.engine.now(), reg);
+        // Receives consumed by the dead process go back on the QPs.
+        let wire = (REQUEST_WIRE_SIZE + 4) as u64;
+        let lost: Vec<(usize, u64)> = inner.lost_recvs.borrow_mut().drain(..).collect();
+        {
+            let conns = inner.conns.borrow();
+            for (conn_idx, buf_idx) in lost {
+                let conn = &conns[conn_idx];
+                conn.qp
+                    .post_recv(buf_idx, conn.recv_region.slice(buf_idx * wire, wire))
+                    .expect("re-posting receives at restart");
+            }
+        }
+        inner.crashed.set(false);
+        inner.last_activity.set(inner.engine.now());
+        inner.recv_cq.req_notify(true);
+        if inner.engine.trace_enabled() {
+            inner.engine.tracer().instant(
+                "hpbd_server",
+                "restart",
+                inner.engine.now().as_nanos(),
+                &[],
+            );
+        }
+    }
+
+    /// Record the recv completions a dead daemon would have consumed, so a
+    /// restart can re-post their buffers.
+    fn reap_while_crashed(&self) {
+        for completion in self.inner.recv_cq.drain() {
+            let conn_idx = *self
+                .inner
+                .qp_to_conn
+                .borrow()
+                .get(&completion.qp_num)
+                .expect("completion from unknown QP");
+            self.inner
+                .lost_recvs
+                .borrow_mut()
+                .push((conn_idx, completion.wr_id));
+        }
     }
 
     /// Whether the server has been crashed by failure injection.
@@ -270,8 +363,9 @@ impl HpbdServer {
 
     fn on_recv_event(&self) {
         if self.inner.crashed.get() {
-            // Dead daemon: drain and drop everything silently.
-            self.inner.recv_cq.drain();
+            // Dead daemon: drop everything silently, but remember which
+            // receive buffers were consumed so a restart can re-post them.
+            self.reap_while_crashed();
             return;
         }
         self.note_activity();
@@ -362,6 +456,11 @@ impl HpbdServer {
         started: SimTime,
     ) {
         let inner = &self.inner;
+        if inner.crashed.get() {
+            // The daemon died while this request waited for staging.
+            inner.staging_pool.free(staging);
+            return;
+        }
         let token = inner.next_token.get();
         inner.next_token.set(token + 1);
         inner.pending.borrow_mut().insert(
@@ -409,6 +508,12 @@ impl HpbdServer {
                 }
                 let this = self.clone();
                 inner.engine.schedule_at(t_copy, move || {
+                    if this.inner.crashed.get() {
+                        // Crash landed mid-copy; the staging buffer is in
+                        // `pending`, which the crash already reclaimed.
+                        this.recycle_data_buf(data);
+                        return;
+                    }
                     this.inner.staging_mr.write(staging.offset as usize, &data);
                     this.recycle_data_buf(data);
                     this.inner.stats.borrow_mut().rdma_writes += 1;
@@ -445,8 +550,9 @@ impl HpbdServer {
         while let Some(completion) = self.inner.send_cq.poll() {
             match completion.opcode {
                 Opcode::Send => {
-                    // A reply left the node; nothing further to do.
-                    assert_eq!(completion.status, WcStatus::Success, "reply send failed");
+                    // A reply left the node; nothing further to do. An
+                    // injected link fault may have errored it — the client's
+                    // timeout machinery recovers, not us.
                 }
                 Opcode::RdmaRead => self.finish_pull(completion.wr_id, completion.status),
                 Opcode::RdmaWrite => self.finish_push(completion.wr_id, completion.status),
@@ -460,16 +566,15 @@ impl HpbdServer {
     /// store (overlapping any other in-flight RDMA), then acknowledge.
     fn finish_pull(&self, token: u64, status: WcStatus) {
         let inner = &self.inner;
-        let PendingRdma {
+        let Some(PendingRdma {
             request,
             staging,
             conn,
             started,
-        } = inner
-            .pending
-            .borrow_mut()
-            .remove(&token)
-            .expect("completion for unknown RDMA token");
+        }) = inner.pending.borrow_mut().remove(&token)
+        else {
+            return; // state dropped by a crash between post and completion
+        };
         if status != WcStatus::Success {
             inner.staging_pool.free(staging);
             self.serve_span(&request, started, false);
@@ -491,6 +596,13 @@ impl HpbdServer {
         }
         let this = self.clone();
         inner.engine.schedule_at(t_copy, move || {
+            if this.inner.crashed.get() {
+                // Crash landed mid-copy; this request already left
+                // `pending`, so its staging buffer is ours to return.
+                this.recycle_data_buf(data);
+                this.inner.staging_pool.free(staging);
+                return;
+            }
             this.inner.storage.write_at(request.server_offset, &data);
             this.recycle_data_buf(data);
             this.inner.stats.borrow_mut().bytes_in += request.len;
@@ -504,16 +616,15 @@ impl HpbdServer {
     /// acknowledge and release staging.
     fn finish_push(&self, token: u64, status: WcStatus) {
         let inner = &self.inner;
-        let PendingRdma {
+        let Some(PendingRdma {
             request,
             staging,
             conn,
             started,
-        } = inner
-            .pending
-            .borrow_mut()
-            .remove(&token)
-            .expect("completion for unknown RDMA token");
+        }) = inner.pending.borrow_mut().remove(&token)
+        else {
+            return; // state dropped by a crash between post and completion
+        };
         inner.staging_pool.free(staging);
         if status != WcStatus::Success {
             self.serve_span(&request, started, false);
@@ -564,6 +675,9 @@ impl HpbdServer {
     }
 
     fn send_reply(&self, conn_idx: usize, req_id: u64, status: ReplyStatus) {
+        if self.inner.crashed.get() {
+            return; // a dead daemon sends nothing
+        }
         let reply = PageReply { req_id, status };
         let conns = self.inner.conns.borrow();
         conns[conn_idx]

@@ -42,6 +42,9 @@ pub enum WcStatus {
     RnrRetryExceeded,
     /// Incoming message larger than the posted receive buffer.
     LocalLengthError,
+    /// Transport retries exhausted — the link failed the work request.
+    /// Produced by injected completion errors ([`crate::LinkFaults`]).
+    RetryExceeded,
 }
 
 /// A completion-queue entry.

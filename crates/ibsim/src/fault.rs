@@ -1,0 +1,199 @@
+//! Link-level fault state for injected failures.
+//!
+//! A [`LinkFaults`] handle carries the *current* fault condition of one
+//! client↔server connection: added propagation latency, a bandwidth
+//! multiplier, and one-shot counters for message drops and
+//! completion-with-error injection. The same handle is installed on **both**
+//! queue pairs of a connection (see [`crate::QueuePair::set_link_faults`]),
+//! so degradation is symmetric and drop/error budgets are shared across
+//! directions, matching a single flaky cable rather than two.
+//!
+//! Fault plans (the `simfault` crate) mutate these handles from scheduled
+//! engine events; the QP engine consults them on its hot path. A QP with no
+//! handle installed — the default — performs **zero** extra arithmetic, so
+//! runs without fault plans are byte-identical to builds that predate this
+//! module.
+
+use simcore::SimDuration;
+use std::cell::Cell;
+use std::rc::Rc;
+
+struct LinkFaultsInner {
+    added_latency_ns: Cell<u64>,
+    bandwidth_factor: Cell<f64>,
+    drop_next: Cell<u32>,
+    error_next: Cell<u32>,
+    dropped: Cell<u64>,
+    errored: Cell<u64>,
+}
+
+/// Shared, interiorly-mutable fault state for one link. Clone freely;
+/// clones share state.
+#[derive(Clone)]
+pub struct LinkFaults {
+    inner: Rc<LinkFaultsInner>,
+}
+
+impl LinkFaults {
+    /// A healthy link: no added latency, full bandwidth, nothing queued to
+    /// drop or fail.
+    pub fn new() -> LinkFaults {
+        LinkFaults {
+            inner: Rc::new(LinkFaultsInner {
+                added_latency_ns: Cell::new(0),
+                bandwidth_factor: Cell::new(1.0),
+                drop_next: Cell::new(0),
+                error_next: Cell::new(0),
+                dropped: Cell::new(0),
+                errored: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Degrade the link: every transfer gains `added_latency_ns` of one-way
+    /// propagation and bandwidth is multiplied by `bandwidth_factor`.
+    /// Calling with `(0, 1.0)` restores the link to healthy.
+    ///
+    /// # Panics
+    /// Panics if `bandwidth_factor` is not in `(0.0, 1.0]`.
+    pub fn degrade(&self, added_latency_ns: u64, bandwidth_factor: f64) {
+        assert!(
+            bandwidth_factor > 0.0 && bandwidth_factor <= 1.0,
+            "bandwidth_factor must be in (0.0, 1.0]"
+        );
+        self.inner.added_latency_ns.set(added_latency_ns);
+        self.inner.bandwidth_factor.set(bandwidth_factor);
+    }
+
+    /// Arrange for the next `n` messages on the link to vanish in flight
+    /// (no delivery, no completion — recovery must come from timeouts).
+    pub fn drop_next(&self, n: u32) {
+        let inner = &self.inner;
+        inner.drop_next.set(inner.drop_next.get().saturating_add(n));
+    }
+
+    /// Arrange for the next `n` send-side work requests to complete with
+    /// [`crate::WcStatus::RetryExceeded`] instead of transferring.
+    pub fn error_next(&self, n: u32) {
+        let inner = &self.inner;
+        inner
+            .error_next
+            .set(inner.error_next.get().saturating_add(n));
+    }
+
+    /// Messages dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.get()
+    }
+
+    /// Work requests failed with an injected completion error so far.
+    pub fn errored(&self) -> u64 {
+        self.inner.errored.get()
+    }
+
+    /// Current added one-way latency in nanoseconds.
+    pub fn added_latency_ns(&self) -> u64 {
+        self.inner.added_latency_ns.get()
+    }
+
+    /// Current bandwidth multiplier.
+    pub fn bandwidth_factor(&self) -> f64 {
+        self.inner.bandwidth_factor.get()
+    }
+
+    /// Consume one pending drop, if any. Counts it when taken.
+    pub(crate) fn take_drop(&self) -> bool {
+        let pending = self.inner.drop_next.get();
+        if pending == 0 {
+            return false;
+        }
+        self.inner.drop_next.set(pending - 1);
+        self.inner.dropped.set(self.inner.dropped.get() + 1);
+        true
+    }
+
+    /// Consume one pending completion error, if any. Counts it when taken.
+    pub(crate) fn take_error(&self) -> bool {
+        let pending = self.inner.error_next.get();
+        if pending == 0 {
+            return false;
+        }
+        self.inner.error_next.set(pending - 1);
+        self.inner.errored.set(self.inner.errored.get() + 1);
+        true
+    }
+
+    /// Extra one-way propagation to add to every transfer. Zero when
+    /// undegraded, so adding it is the identity.
+    pub(crate) fn extra_latency(&self) -> SimDuration {
+        SimDuration::from_nanos(self.inner.added_latency_ns.get())
+    }
+
+    /// Stretch a serialisation time by the bandwidth cut. Returns the input
+    /// unchanged (no float arithmetic at all) at full bandwidth, keeping
+    /// undegraded timings bit-identical.
+    pub(crate) fn stretch(&self, wire: SimDuration) -> SimDuration {
+        let factor = self.inner.bandwidth_factor.get();
+        if factor == 1.0 {
+            return wire;
+        }
+        SimDuration::from_nanos((wire.as_nanos() as f64 / factor).round() as u64)
+    }
+}
+
+impl Default for LinkFaults {
+    fn default() -> LinkFaults {
+        LinkFaults::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_link_is_identity() {
+        let f = LinkFaults::new();
+        assert_eq!(f.extra_latency(), SimDuration::from_nanos(0));
+        let w = SimDuration::from_nanos(12_345);
+        assert_eq!(f.stretch(w), w);
+        assert!(!f.take_drop());
+        assert!(!f.take_error());
+    }
+
+    #[test]
+    fn degrade_stretches_and_delays() {
+        let f = LinkFaults::new();
+        f.degrade(5_000, 0.5);
+        assert_eq!(f.extra_latency(), SimDuration::from_nanos(5_000));
+        assert_eq!(
+            f.stretch(SimDuration::from_nanos(1_000)),
+            SimDuration::from_nanos(2_000)
+        );
+        // Restoring to (0, 1.0) heals the link.
+        f.degrade(0, 1.0);
+        let w = SimDuration::from_nanos(777);
+        assert_eq!(f.stretch(w), w);
+    }
+
+    #[test]
+    fn drop_and_error_budgets_are_one_shot() {
+        let f = LinkFaults::new();
+        f.drop_next(2);
+        assert!(f.take_drop());
+        assert!(f.take_drop());
+        assert!(!f.take_drop());
+        assert_eq!(f.dropped(), 2);
+
+        f.error_next(1);
+        assert!(f.take_error());
+        assert!(!f.take_error());
+        assert_eq!(f.errored(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth_factor")]
+    fn degrade_validates_factor() {
+        LinkFaults::new().degrade(0, 1.5);
+    }
+}

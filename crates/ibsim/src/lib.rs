@@ -34,12 +34,14 @@
 
 pub mod cq;
 pub mod fabric;
+pub mod fault;
 pub mod hca;
 pub mod mr;
 pub mod qp;
 
 pub use cq::{Completion, CompletionQueue, Opcode, WcStatus};
 pub use fabric::{Fabric, IbNode};
+pub use fault::LinkFaults;
 pub use hca::Hca;
 pub use mr::{MemoryRegion, MrSlice, RemoteSlice};
 pub use qp::{PostError, QueuePair, WorkKind, WorkRequest};

@@ -23,6 +23,7 @@
 //! bytes move at the simulated placement instants.
 
 use crate::cq::{Completion, CompletionQueue, Opcode, WcStatus};
+use crate::fault::LinkFaults;
 use crate::hca::Hca;
 use crate::mr::{MrSlice, RemoteSlice};
 use bytes::Bytes;
@@ -98,6 +99,9 @@ pub(crate) struct QpInner {
     sends_posted: Cell<u64>,
     rdma_reads: Cell<u64>,
     rdma_writes: Cell<u64>,
+    /// Injected link faults; `None` (the default) keeps the hot path free
+    /// of any fault arithmetic so unfaulted runs stay bit-identical.
+    faults: RefCell<Option<LinkFaults>>,
     ctr_sends: LazyCounter,
     ctr_rdma_reads: LazyCounter,
     ctr_rdma_writes: LazyCounter,
@@ -142,6 +146,7 @@ impl QueuePair {
                 sends_posted: Cell::new(0),
                 rdma_reads: Cell::new(0),
                 rdma_writes: Cell::new(0),
+                faults: RefCell::new(None),
             }),
         }
     }
@@ -191,6 +196,40 @@ impl QueuePair {
         )
     }
 
+    /// Install a shared fault handle for this QP's link. Fault plans set
+    /// the *same* handle on both ends of a connection so degradation is
+    /// symmetric and drop/error budgets are shared.
+    pub fn set_link_faults(&self, faults: LinkFaults) {
+        *self.inner.faults.borrow_mut() = Some(faults);
+    }
+
+    /// The installed fault handle, if any.
+    pub fn link_faults(&self) -> Option<LinkFaults> {
+        self.inner.faults.borrow().clone()
+    }
+
+    /// One-way propagation, including any injected link latency.
+    fn eff_prop(&self) -> SimDuration {
+        let p = self.inner.model.propagation();
+        match self.inner.faults.borrow().as_ref() {
+            Some(f) => p + f.extra_latency(),
+            None => p,
+        }
+    }
+
+    /// Apply any injected bandwidth cut to a serialisation time.
+    fn eff_stretch(&self, wire: SimDuration) -> SimDuration {
+        match self.inner.faults.borrow().as_ref() {
+            Some(f) => f.stretch(wire),
+            None => wire,
+        }
+    }
+
+    /// Serialisation time for `len` bytes, including any bandwidth cut.
+    fn eff_wire(&self, len: u64) -> SimDuration {
+        self.eff_stretch(self.inner.model.wire_time(len))
+    }
+
     /// Post a receive buffer (`VAPI_post_rr`). Consumed FIFO by incoming
     /// sends.
     pub fn post_recv(&self, wr_id: u64, buffer: MrSlice) -> Result<(), PostError> {
@@ -223,6 +262,24 @@ impl QueuePair {
         let (_, t_posted) = inner.node.cpu().reserve(now, post);
         // Local HCA fetches and processes the WQE.
         let t_hca = inner.hca.process_wqe(t_posted, inner.qp_num);
+
+        // Injected completion-with-error: the transport gives up on this
+        // work request without any wire traffic — the caller sees a
+        // RetryExceeded completion, exactly like exhausted RC retries.
+        let injected_error = inner
+            .faults
+            .borrow()
+            .as_ref()
+            .is_some_and(|f| f.take_error());
+        if injected_error {
+            let opcode = match wr.kind {
+                WorkKind::Send { .. } => Opcode::Send,
+                WorkKind::RdmaWrite { .. } => Opcode::RdmaWrite,
+                WorkKind::RdmaRead { .. } => Opcode::RdmaRead,
+            };
+            self.complete_send(now, t_hca, wr.wr_id, opcode, WcStatus::RetryExceeded, 0);
+            return Ok(());
+        }
 
         match wr.kind {
             WorkKind::Send { ref payload } => {
@@ -299,8 +356,8 @@ impl QueuePair {
     /// Returns the instant the last byte lands at the peer.
     fn wire_transfer(&self, peer: &QpInner, start: SimTime, len: u64) -> SimTime {
         let inner = &self.inner;
-        let wire = inner.model.wire_time(len);
-        let prop = inner.model.propagation();
+        let wire = self.eff_wire(len);
+        let prop = self.eff_prop();
         let (_, tx_end) = inner.node.tx().reserve(start, wire);
         // Cut-through: the head of the message reaches the peer α after it
         // left; the rx port is busy while the bits stream in.
@@ -321,6 +378,27 @@ impl QueuePair {
     ) {
         let inner = self.inner.clone();
         let len = payload.len() as u64;
+
+        // Injected message loss: the bits leave the sender's tx port and
+        // then vanish in the fabric — no delivery, no completion. Only the
+        // send-queue slot is quietly released once serialisation ends, so
+        // losses don't permanently shrink the send queue.
+        let dropped = inner
+            .faults
+            .borrow()
+            .as_ref()
+            .is_some_and(|f| f.take_drop());
+        if dropped {
+            let wire = self.eff_wire(len);
+            let (_, tx_end) = inner.node.tx().reserve(t_hca, wire);
+            let this = self.inner.clone();
+            inner.engine.schedule_at(tx_end, move || {
+                this.outstanding_send
+                    .set(this.outstanding_send.get().saturating_sub(1));
+            });
+            return;
+        }
+
         let delivered = self.wire_transfer(&peer, t_hca, len);
 
         // Delivery at the peer: consume a receive, place the payload. The
@@ -330,7 +408,7 @@ impl QueuePair {
         let peer2 = peer.clone();
         inner.engine.schedule_at(delivered, move || {
             let t_placed = peer2.hca.process_wqe(peer2.engine.now(), peer2.qp_num);
-            let ack = t_placed + this.inner.model.propagation();
+            let ack = t_placed + this.eff_prop();
             let entry = peer2.recv_queue.borrow_mut().pop_front();
             match entry {
                 None => {
@@ -400,7 +478,7 @@ impl QueuePair {
         let this = self.clone();
         inner.engine.schedule_at(placed, move || {
             let t_done = peer.hca.process_wqe(peer.engine.now(), peer.qp_num);
-            let prop = this.inner.model.propagation();
+            let prop = this.eff_prop();
             match peer.hca.lookup_rkey(remote.rkey) {
                 Some(region) if region.contains(remote.offset, len) => {
                     let peer2 = peer.clone();
@@ -456,7 +534,7 @@ impl QueuePair {
             return;
         }
         let len = local.len;
-        let prop = inner.model.propagation();
+        let prop = self.eff_prop();
         // The read REQUEST is a small control packet: one propagation.
         let t_req_arrives = t_hca + prop;
         let this = self.clone();
@@ -473,8 +551,9 @@ impl QueuePair {
                         .model
                         .bytes_per_ns
                         .min(peer.hca.params().rdma_read_bytes_per_ns);
-                    let wire =
-                        simcore::SimDuration::from_nanos((len as f64 / read_bw).round() as u64);
+                    let wire = this.eff_stretch(simcore::SimDuration::from_nanos(
+                        (len as f64 / read_bw).round() as u64,
+                    ));
                     let (_, tx_end) = peer.node.tx().reserve(t_srv, wire);
                     let rx_earliest = (tx_end + prop).saturating_minus(wire);
                     let (_, rx_end) = this.inner.node.rx().reserve(rx_earliest, wire);

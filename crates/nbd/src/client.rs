@@ -6,7 +6,7 @@
 //! paper contrasts with HPBD's asynchronous design (§6.2).
 
 use crate::proto::{NbdCmd, NbdReply, NbdRequest, REPLY_SIZE};
-use blockdev::{BlockDevice, IoError, IoOp, IoRequest};
+use blockdev::{BlockDevice, DeviceHealth, FaultKind, IoError, IoOp, IoRequest};
 use bytes::Bytes;
 use netmodel::{Calibration, Node, Transport};
 use simcore::Engine;
@@ -31,7 +31,16 @@ struct ClientInner {
     conn: TcpConn,
     capacity: u64,
     queue: RefCell<VecDeque<IoRequest>>,
+    /// The single blocking-mode request currently on the wire. Held here
+    /// (not moved into the recv continuation) so a connection reset can
+    /// fail it: tcpsim drops pending continuations on reset, and a request
+    /// captured by one would vanish without ever completing.
+    inflight: RefCell<Option<IoRequest>>,
     busy: Cell<bool>,
+    /// Set on TCP reset or shutdown; the device stops serving for good
+    /// (Linux 2.4 NBD has no reconnect path — the paper's baseline simply
+    /// loses its device when the connection dies).
+    failed: Cell<bool>,
     next_handle: Cell<u64>,
     stats: RefCell<NbdStats>,
     name: String,
@@ -55,19 +64,24 @@ impl NbdClient {
         capacity: u64,
         transport: Transport,
     ) -> NbdClient {
-        NbdClient {
+        let client = NbdClient {
             inner: Rc::new(ClientInner {
                 ctr_requests: engine.metrics().lazy_counter("nbd.requests"),
                 engine,
                 conn,
                 capacity,
                 queue: RefCell::new(VecDeque::new()),
+                inflight: RefCell::new(None),
                 busy: Cell::new(false),
+                failed: Cell::new(false),
                 next_handle: Cell::new(1),
                 stats: RefCell::new(NbdStats::default()),
                 name: format!("nbd0-{}", transport.label()),
             }),
-        }
+        };
+        let this = client.clone();
+        client.inner.conn.set_reset_handler(move || this.on_reset());
+        client
     }
 
     /// Statistics snapshot.
@@ -78,7 +92,7 @@ impl NbdClient {
     /// Start the next queued request if the single in-flight slot is free.
     fn pump(&self) {
         let inner = &self.inner;
-        if inner.busy.get() {
+        if inner.busy.get() || inner.failed.get() {
             return;
         }
         let Some(req) = inner.queue.borrow_mut().pop_front() else {
@@ -104,10 +118,12 @@ impl NbdClient {
             inner.conn.send(Bytes::from(req.gather()));
         }
 
-        // Block on the reply header, then (for reads) the payload.
-        let this = self.clone();
         let op = req.op();
         let len = req.len();
+        *inner.inflight.borrow_mut() = Some(req);
+
+        // Block on the reply header, then (for reads) the payload.
+        let this = self.clone();
         inner.conn.recv(REPLY_SIZE, move |raw| {
             let span_done = {
                 let this = this.clone();
@@ -139,30 +155,34 @@ impl NbdClient {
             assert_eq!(reply.handle, handle, "NBD reply out of order");
             if reply.error != 0 {
                 span_done(false);
-                this.finish(req, Err(IoError::DeviceError("nbd server error")));
+                this.finish(Err(IoError::DeviceError("nbd server error")));
                 return;
             }
-            match req.op() {
+            match op {
                 IoOp::Write => {
-                    this.inner.stats.borrow_mut().bytes_out += req.len();
+                    this.inner.stats.borrow_mut().bytes_out += len;
                     span_done(true);
-                    this.finish(req, Ok(()));
+                    this.finish(Ok(()));
                 }
                 IoOp::Read => {
                     let this2 = this.clone();
-                    let payload = req.len() as usize;
-                    this.inner.conn.recv(payload, move |data| {
-                        req.scatter(&data);
+                    this.inner.conn.recv(len as usize, move |data| {
+                        if let Some(req) = this2.inner.inflight.borrow().as_ref() {
+                            req.scatter(&data);
+                        }
                         this2.inner.stats.borrow_mut().bytes_in += data.len() as u64;
                         span_done(true);
-                        this2.finish(req_done(req), Ok(()));
+                        this2.finish(Ok(()));
                     });
                 }
             }
         });
     }
 
-    fn finish(&self, req: IoRequest, result: Result<(), IoError>) {
+    fn finish(&self, result: Result<(), IoError>) {
+        let Some(req) = self.inner.inflight.borrow_mut().take() else {
+            return; // a reset already failed this request
+        };
         self.inner.stats.borrow_mut().requests += 1;
         req.complete(result);
         self.inner.busy.set(false);
@@ -172,12 +192,34 @@ impl NbdClient {
             .engine
             .schedule_at(self.inner.engine.now(), move || this.pump());
     }
-}
 
-/// Identity helper: the read closure above needs to move `req` into two
-/// stages; this keeps the intent explicit.
-fn req_done(req: IoRequest) -> IoRequest {
-    req
+    /// The connection died under us. Fail the in-flight request and
+    /// everything queued behind it with [`FaultKind::Reset`], and refuse
+    /// all future submissions: the paper-era NBD driver has no reconnect.
+    /// Runs from the event loop (tcpsim defers the handler), so completing
+    /// requests directly preserves callback-after-return ordering.
+    fn on_reset(&self) {
+        let inner = &self.inner;
+        if inner.failed.replace(true) {
+            return;
+        }
+        inner.engine.metrics().inc("nbd.resets");
+        if inner.engine.trace_enabled() {
+            inner
+                .engine
+                .tracer()
+                .instant("nbd", "reset", inner.engine.now().as_nanos(), &[]);
+        }
+        let inflight = inner.inflight.borrow_mut().take();
+        if let Some(req) = inflight {
+            req.complete(Err(IoError::Fault(FaultKind::Reset)));
+        }
+        inner.busy.set(false);
+        let queued: Vec<IoRequest> = inner.queue.borrow_mut().drain(..).collect();
+        for req in queued {
+            req.complete(Err(IoError::Fault(FaultKind::Reset)));
+        }
+    }
 }
 
 impl BlockDevice for NbdClient {
@@ -191,6 +233,13 @@ impl BlockDevice for NbdClient {
 
     fn submit(&self, req: IoRequest) {
         let inner = &self.inner;
+        if inner.failed.get() {
+            let engine = inner.engine.clone();
+            engine.schedule_at(engine.now(), move || {
+                req.complete(Err(IoError::Fault(FaultKind::Reset)))
+            });
+            return;
+        }
         if req.offset() + req.len() > inner.capacity {
             let engine = inner.engine.clone();
             engine.schedule_at(engine.now(), move || req.complete(Err(IoError::OutOfRange)));
@@ -198,5 +247,17 @@ impl BlockDevice for NbdClient {
         }
         inner.queue.borrow_mut().push_back(req);
         self.pump();
+    }
+
+    fn shutdown(&self) {
+        self.inner.failed.set(true);
+    }
+
+    fn health(&self) -> DeviceHealth {
+        if self.inner.failed.get() || self.inner.conn.is_reset() {
+            DeviceHealth::Failed
+        } else {
+            DeviceHealth::Healthy
+        }
     }
 }

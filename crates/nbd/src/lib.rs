@@ -29,7 +29,8 @@ pub use client::NbdClient;
 pub use server::NbdServer;
 
 use netmodel::{Calibration, Node, Transport, TransportModel};
-use simcore::Engine;
+use simcore::{Engine, SimTime};
+use simfault::{FaultEvent, FaultPlan};
 use std::rc::Rc;
 
 /// Build a connected NBD client/server pair over `transport`. The server
@@ -42,6 +43,29 @@ pub fn build_pair(
     client_node: &Node,
     capacity: u64,
 ) -> NbdClient {
+    build_pair_with_faults(
+        engine,
+        cal,
+        transport,
+        client_node,
+        capacity,
+        &FaultPlan::new(),
+    )
+}
+
+/// [`build_pair`], arming a deterministic [`FaultPlan`] against the TCP
+/// connection. Only [`FaultEvent::TcpReset`] entries apply to NBD; the
+/// server/link-targeted InfiniBand faults are ignored, so one plan can be
+/// shared between an HPBD cell and its NBD baseline. An empty plan
+/// schedules nothing — the run is byte-identical to [`build_pair`].
+pub fn build_pair_with_faults(
+    engine: &Engine,
+    cal: Rc<Calibration>,
+    transport: Transport,
+    client_node: &Node,
+    capacity: u64,
+    plan: &FaultPlan,
+) -> NbdClient {
     let model: Rc<TransportModel> = Rc::new(match transport {
         Transport::IbRdma => cal.ib.clone(),
         Transport::IpoIb => cal.ipoib.clone(),
@@ -51,6 +75,12 @@ pub fn build_pair(
     let (conn_c, conn_s) = tcpsim::connect(engine, model, client_node, &server_node);
     let server = NbdServer::new(engine.clone(), cal.clone(), server_node, capacity);
     server.serve(conn_s);
+    for fault in plan.events() {
+        if let FaultEvent::TcpReset = fault.event {
+            let conn = conn_c.clone();
+            engine.schedule_at(SimTime(fault.at_ns), move || conn.reset());
+        }
+    }
     NbdClient::new(
         engine.clone(),
         cal,
@@ -236,6 +266,80 @@ mod tests {
         assert_eq!(s.requests, 2);
         assert_eq!(s.bytes_out, 8192);
         assert_eq!(s.bytes_in, 4096);
+    }
+
+    #[test]
+    fn tcp_reset_fails_inflight_and_queued_cleanly() {
+        use blockdev::{DeviceHealth, FaultKind, IoError};
+        let engine = Engine::new();
+        let cal = Rc::new(Calibration::cluster_2005());
+        let node = Node::new("client", 0, 2);
+        // Reset the connection at t=0: it fires from the event loop while
+        // the first request is on the wire.
+        let plan = simfault::FaultPlan::new().tcp_reset(0);
+        let dev = build_pair_with_faults(&engine, cal, Transport::GigE, &node, 8 << 20, &plan);
+        assert_eq!(dev.health(), DeviceHealth::Healthy);
+        let results: Vec<_> = (0..3u64)
+            .map(|i| {
+                let got = Rc::new(Cell::new(None));
+                let sink = got.clone();
+                dev.submit(IoRequest::single(Bio::new(
+                    IoOp::Write,
+                    i * 4096,
+                    new_buffer(4096),
+                    move |r| sink.set(Some(r)),
+                )));
+                got
+            })
+            .collect();
+        engine.run_until_idle();
+        // Every request failed cleanly — no hang, no lost completion.
+        for (i, got) in results.iter().enumerate() {
+            assert_eq!(
+                got.get(),
+                Some(Err(IoError::Fault(FaultKind::Reset))),
+                "request {i} should fail with Reset"
+            );
+        }
+        assert_eq!(dev.health(), DeviceHealth::Failed);
+
+        // Submissions after the reset also fail cleanly, from the event loop.
+        let got = Rc::new(Cell::new(None));
+        let sink = got.clone();
+        dev.submit(IoRequest::single(Bio::new(
+            IoOp::Read,
+            0,
+            new_buffer(4096),
+            move |r| sink.set(Some(r)),
+        )));
+        assert_eq!(got.get(), None, "completion must not run on submit's stack");
+        engine.run_until_idle();
+        assert_eq!(got.get(), Some(Err(IoError::Fault(FaultKind::Reset))));
+    }
+
+    #[test]
+    fn shutdown_stops_new_submissions() {
+        use blockdev::{DeviceHealth, FaultKind, IoError};
+        let (engine, dev) = pair(Transport::IpoIb);
+        dev.submit(IoRequest::single(Bio::new(
+            IoOp::Write,
+            0,
+            new_buffer(4096),
+            |r| r.unwrap(),
+        )));
+        engine.run_until_idle();
+        dev.shutdown();
+        assert_eq!(dev.health(), DeviceHealth::Failed);
+        let got = Rc::new(Cell::new(None));
+        let sink = got.clone();
+        dev.submit(IoRequest::single(Bio::new(
+            IoOp::Read,
+            0,
+            new_buffer(4096),
+            move |r| sink.set(Some(r)),
+        )));
+        engine.run_until_idle();
+        assert_eq!(got.get(), Some(Err(IoError::Fault(FaultKind::Reset))));
     }
 
     #[test]

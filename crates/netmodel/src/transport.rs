@@ -106,6 +106,25 @@ impl TransportModel {
     pub fn effective_bandwidth(&self, len: u64) -> f64 {
         len as f64 / self.one_way_latency(len).as_nanos() as f64
     }
+
+    /// A copy of this model describing a degraded link: `added_latency_ns`
+    /// extra one-way latency and bandwidth multiplied by `bandwidth_factor`.
+    /// Fault plans use this to model cable/switch trouble without touching
+    /// the calibrated baseline.
+    ///
+    /// # Panics
+    /// Panics if `bandwidth_factor` is not in `(0.0, 1.0]`.
+    pub fn degraded(&self, added_latency_ns: u64, bandwidth_factor: f64) -> TransportModel {
+        assert!(
+            bandwidth_factor > 0.0 && bandwidth_factor <= 1.0,
+            "bandwidth_factor must be in (0.0, 1.0]"
+        );
+        TransportModel {
+            base_latency_ns: self.base_latency_ns + added_latency_ns,
+            bytes_per_ns: self.bytes_per_ns * bandwidth_factor,
+            ..*self
+        }
+    }
 }
 
 #[cfg(test)]
@@ -172,5 +191,23 @@ mod tests {
         let bw = c.ib.effective_bandwidth(1 << 20);
         assert!(bw < c.ib.bytes_per_ns);
         assert!(bw > c.ib.bytes_per_ns * 0.9, "1MB should amortise latency");
+    }
+
+    #[test]
+    fn degraded_link_is_slower() {
+        let c = Calibration::cluster_2005();
+        let bad = c.ib.degraded(10_000, 0.25);
+        assert_eq!(bad.base_latency_ns, c.ib.base_latency_ns + 10_000);
+        assert!(bad.wire_time(1 << 20) > c.ib.wire_time(1 << 20));
+        // The identity degradation changes nothing.
+        let same = c.ib.degraded(0, 1.0);
+        assert_eq!(same.base_latency_ns, c.ib.base_latency_ns);
+        assert_eq!(same.wire_time(1 << 20), c.ib.wire_time(1 << 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth_factor")]
+    fn degraded_validates_factor() {
+        let _ = Calibration::cluster_2005().ib.degraded(0, 2.0);
     }
 }

@@ -28,6 +28,7 @@ use std::fmt;
 use std::rc::{Rc, Weak};
 
 type RecvCallback = Box<dyn FnOnce(Bytes)>;
+type ResetHandler = Box<dyn Fn()>;
 
 struct ConnInner {
     engine: Engine,
@@ -41,6 +42,12 @@ struct ConnInner {
     last_delivery: Cell<SimTime>,
     bytes_sent: Cell<u64>,
     bytes_received: Cell<u64>,
+    /// Connection torn down (RST seen). Sends are discarded, buffered bytes
+    /// are gone, and pending reads never fire.
+    reset: Cell<bool>,
+    /// Invoked (from the event loop) when the connection is reset, so
+    /// protocol layers can fail their in-flight work instead of stalling.
+    reset_handler: RefCell<Option<Rc<ResetHandler>>>,
 }
 
 /// One endpoint of a connected simulated TCP stream.
@@ -68,6 +75,8 @@ pub fn connect(
             last_delivery: Cell::new(SimTime::ZERO),
             bytes_sent: Cell::new(0),
             bytes_received: Cell::new(0),
+            reset: Cell::new(false),
+            reset_handler: RefCell::new(None),
         })
     };
     let ia = mk(a);
@@ -108,6 +117,11 @@ impl TcpConn {
     /// stack processing; the bytes become readable at the peer afterwards.
     pub fn send(&self, data: Bytes) {
         let inner = &self.inner;
+        if inner.reset.get() {
+            // Writing to a reset socket: the bytes go nowhere. The protocol
+            // layer learns of the reset through its reset handler.
+            return;
+        }
         let peer = inner
             .peer
             .borrow()
@@ -145,6 +159,10 @@ impl TcpConn {
 
         let peer2 = peer.clone();
         inner.engine.schedule_at(t_deliver, move || {
+            if peer2.reset.get() {
+                // Connection died while the bytes were in flight.
+                return;
+            }
             peer2.bytes_received.set(peer2.bytes_received.get() + len);
             peer2.rx_buf.borrow_mut().extend_from_slice(&data);
             drain_pending(&peer2);
@@ -152,9 +170,14 @@ impl TcpConn {
     }
 
     /// Invoke `cb` with exactly `n` bytes once they are available.
-    /// Continuations are served FIFO, preserving stream order.
+    /// Continuations are served FIFO, preserving stream order. On a reset
+    /// connection the continuation is dropped without firing (the reset
+    /// handler is the error path).
     pub fn recv(&self, n: usize, cb: impl FnOnce(Bytes) + 'static) {
         assert!(n > 0, "zero-byte recv");
+        if self.inner.reset.get() {
+            return;
+        }
         self.inner.pending.borrow_mut().push_back((n, Box::new(cb)));
         // Serve immediately-satisfiable reads from the event loop, not the
         // caller's stack.
@@ -162,6 +185,41 @@ impl TcpConn {
         self.inner
             .engine
             .schedule_at(self.inner.engine.now(), move || drain_pending(&inner));
+    }
+
+    /// True once the connection has been reset.
+    pub fn is_reset(&self) -> bool {
+        self.inner.reset.get()
+    }
+
+    /// Register a handler invoked (from the event loop) when the connection
+    /// is reset. One handler per endpoint; later registrations replace it.
+    pub fn set_reset_handler(&self, handler: impl Fn() + 'static) {
+        *self.inner.reset_handler.borrow_mut() = Some(Rc::new(Box::new(handler)));
+    }
+
+    /// Reset the connection (RST): both endpoints stop sending and
+    /// receiving, buffered and in-flight bytes are discarded, pending read
+    /// continuations are dropped, and each endpoint's reset handler fires
+    /// from the event loop at the current virtual instant.
+    pub fn reset(&self) {
+        let ends = [Some(self.inner.clone()), self.inner.peer.borrow().upgrade()];
+        for end in ends.into_iter().flatten() {
+            if end.reset.replace(true) {
+                continue; // already reset
+            }
+            {
+                // The shimmed BytesMut has no `clear`; drain via split_to.
+                let mut buf = end.rx_buf.borrow_mut();
+                let len = buf.len();
+                let _ = buf.split_to(len);
+            }
+            end.pending.borrow_mut().clear();
+            let handler = end.reset_handler.borrow().clone();
+            if let Some(handler) = handler {
+                end.engine.schedule_at(end.engine.now(), move || handler());
+            }
+        }
     }
 }
 
@@ -361,5 +419,58 @@ mod tests {
     fn zero_recv_rejected() {
         let (_engine, _ca, cb) = setup(|c| &c.gige);
         cb.recv(0, |_| {});
+    }
+
+    #[test]
+    fn reset_fires_both_handlers_and_drops_pending_reads() {
+        let (engine, ca, cb) = setup(|c| &c.gige);
+        let fired = Rc::new(Cell::new(0u32));
+        for conn in [&ca, &cb] {
+            let fired = fired.clone();
+            conn.set_reset_handler(move || fired.set(fired.get() + 1));
+        }
+        let read_fired = Rc::new(Cell::new(false));
+        {
+            let read_fired = read_fired.clone();
+            cb.recv(4, move |_| read_fired.set(true));
+        }
+        engine.run_until_idle();
+        ca.reset();
+        assert!(ca.is_reset() && cb.is_reset());
+        // Handler runs from the event loop, not the reset() call stack.
+        assert_eq!(fired.get(), 0);
+        engine.run_until_idle();
+        assert_eq!(fired.get(), 2);
+        // The pending read never fires; sends after reset go nowhere.
+        ca.send(Bytes::from_static(b"dead"));
+        engine.run_until_idle();
+        assert!(!read_fired.get());
+        assert_eq!(cb.available(), 0);
+    }
+
+    #[test]
+    fn bytes_in_flight_at_reset_are_discarded() {
+        let (engine, ca, cb) = setup(|c| &c.gige);
+        ca.send(Bytes::from_static(b"in-flight"));
+        // Reset before the delivery event runs.
+        ca.reset();
+        engine.run_until_idle();
+        assert_eq!(cb.available(), 0);
+        assert_eq!(cb.bytes_received(), 0);
+    }
+
+    #[test]
+    fn reset_is_idempotent() {
+        let (engine, ca, cb) = setup(|c| &c.ipoib);
+        let fired = Rc::new(Cell::new(0u32));
+        {
+            let fired = fired.clone();
+            cb.set_reset_handler(move || fired.set(fired.get() + 1));
+        }
+        ca.reset();
+        cb.reset();
+        ca.reset();
+        engine.run_until_idle();
+        assert_eq!(fired.get(), 1, "handler fires once per connection death");
     }
 }

@@ -14,10 +14,11 @@ use crate::qsort::QsortTask;
 use crate::task::Scheduler;
 use crate::testswap::TestswapTask;
 use blockdev::{DispatchRecord, RequestQueue, SimDisk};
-use hpbd::{HpbdCluster, HpbdConfig};
+use hpbd::{ClusterBuilder, HpbdCluster, HpbdConfig};
 use ibsim::Fabric;
 use netmodel::{Calibration, Node, Transport};
 use simcore::{Engine, MetricsSnapshot, SimDuration, Tracer};
+use simfault::FaultPlan;
 use std::cell::RefCell;
 use std::rc::Rc;
 use vmsim::{AddressSpace, Vm, VmConfig, VmStats};
@@ -61,6 +62,11 @@ pub struct ScenarioConfig {
     /// Hand out per-run tracers from one [`simcore::TraceSession`] to
     /// collect several configurations into a single Chrome trace.
     pub tracer: Option<Tracer>,
+    /// Deterministic fault plan armed against the swap back-end (HPBD
+    /// servers/links, or the NBD TCP connection). An empty plan — the
+    /// default — installs nothing: the run is byte-identical to one built
+    /// before fault injection existed.
+    pub fault_plan: FaultPlan,
 }
 
 impl ScenarioConfig {
@@ -73,6 +79,7 @@ impl ScenarioConfig {
             hpbd: HpbdConfig::default(),
             readahead_pages: None,
             tracer: None,
+            fault_plan: FaultPlan::new(),
         }
     }
 }
@@ -153,13 +160,12 @@ impl Scenario {
                 let client_ibnode = fabric.add_node("hpbd-client");
                 let node = client_ibnode.node().clone();
                 let per_server = (config.swap_capacity / *servers as u64 / 4096).max(1) * 4096;
-                let cluster = HpbdCluster::build_on(
-                    &fabric,
-                    client_ibnode,
-                    config.hpbd.clone(),
-                    *servers,
-                    per_server,
-                );
+                let cluster = ClusterBuilder::new()
+                    .config(config.hpbd.clone())
+                    .servers(*servers)
+                    .per_server_capacity(per_server)
+                    .fault_plan(config.fault_plan.clone())
+                    .build_on(&fabric, client_ibnode);
                 let queue = Rc::new(RequestQueue::new(
                     engine.clone(),
                     cal.clone(),
@@ -171,12 +177,13 @@ impl Scenario {
             }
             SwapKind::Nbd { transport } => {
                 let node = Node::new("client", 0, 2);
-                let dev = nbd::build_pair(
+                let dev = nbd::build_pair_with_faults(
                     &engine,
                     cal.clone(),
                     *transport,
                     &node,
                     config.swap_capacity,
+                    &config.fault_plan,
                 );
                 let queue = Rc::new(RequestQueue::new(
                     engine.clone(),

@@ -11,7 +11,7 @@
 //! application never notices beyond a brief stall.
 
 use hpbd_suite::blockdev::{new_buffer, Bio, BlockDevice, IoOp, IoRequest};
-use hpbd_suite::hpbd::{HpbdCluster, HpbdConfig};
+use hpbd_suite::hpbd::{ClusterBuilder, HpbdConfig};
 use hpbd_suite::netmodel::Calibration;
 use hpbd_suite::simcore::Engine;
 use std::rc::Rc;
@@ -24,7 +24,11 @@ fn main() {
         spare_chunks: 8,
         ..HpbdConfig::default()
     };
-    let cluster = HpbdCluster::build(&engine, cal, config, 3, 4 << 20);
+    let cluster = ClusterBuilder::new()
+        .config(config)
+        .servers(3)
+        .per_server_capacity(4 << 20)
+        .build(&engine, cal);
     println!("3 memory servers x 4 MiB, 8 spare chunks of 256 KiB each\n");
 
     // The application stores data across server 0's extent.

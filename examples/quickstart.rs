@@ -11,7 +11,7 @@
 //! for full paging scenarios).
 
 use hpbd_suite::blockdev::{new_buffer, Bio, BlockDevice, IoOp, IoRequest};
-use hpbd_suite::hpbd::{HpbdCluster, HpbdConfig};
+use hpbd_suite::hpbd::ClusterBuilder;
 use hpbd_suite::netmodel::Calibration;
 use hpbd_suite::simcore::Engine;
 use std::cell::Cell;
@@ -23,7 +23,10 @@ fn main() {
     let cal = Rc::new(Calibration::cluster_2005());
 
     // 2. An HPBD deployment: client node + 2 memory servers x 8 MiB.
-    let cluster = HpbdCluster::build(&engine, cal, HpbdConfig::default(), 2, 8 << 20);
+    let cluster = ClusterBuilder::new()
+        .servers(2)
+        .per_server_capacity(8 << 20)
+        .build(&engine, cal);
     let device = &cluster.client;
     println!(
         "device `{}`: {} MiB across {} memory servers",

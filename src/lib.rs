@@ -10,6 +10,7 @@ pub use ibsim;
 pub use nbd;
 pub use netmodel;
 pub use simcore;
+pub use simfault;
 pub use simtrace;
 pub use tcpsim;
 pub use vmsim;

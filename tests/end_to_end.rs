@@ -2,7 +2,7 @@
 //! down to simulated RDMA, exercised through the public API.
 
 use hpbd_suite::blockdev::{new_buffer, Bio, BlockDevice, IoOp, IoRequest};
-use hpbd_suite::hpbd::{HpbdCluster, HpbdConfig};
+use hpbd_suite::hpbd::ClusterBuilder;
 use hpbd_suite::netmodel::{Calibration, Transport};
 use hpbd_suite::simcore::Engine;
 use hpbd_suite::vmsim::{AddressSpace, PagedVec};
@@ -99,7 +99,10 @@ fn different_seeds_differ_in_detail_but_not_shape() {
 fn hpbd_device_handles_interleaved_read_write_bursts() {
     let engine = Engine::new();
     let cal = Rc::new(Calibration::cluster_2005());
-    let cluster = HpbdCluster::build(&engine, cal, HpbdConfig::default(), 3, 4 * MB);
+    let cluster = ClusterBuilder::new()
+        .servers(3)
+        .per_server_capacity(4 * MB)
+        .build(&engine, cal);
     let dev = &cluster.client;
     let done = Rc::new(Cell::new(0u32));
     // Interleave 128 writes and reads across the whole device.

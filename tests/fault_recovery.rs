@@ -1,0 +1,198 @@
+//! Fault-injection integration tests: the recovery subsystem exercised
+//! through the public API, plus the zero-cost guarantee — an empty fault
+//! plan must leave every observable of a run byte-identical.
+
+use hpbd_suite::blockdev::{
+    new_buffer, Bio, BlockDevice, DeviceHealth, FaultKind, IoError, IoOp, IoRequest,
+};
+use hpbd_suite::hpbd::ClusterBuilder;
+use hpbd_suite::netmodel::Calibration;
+use hpbd_suite::simcore::{Engine, SimDuration, Tracer};
+use hpbd_suite::simfault::FaultPlan;
+use hpbd_suite::workloads::{Scenario, ScenarioConfig, SwapKind};
+use std::cell::Cell;
+use std::rc::Rc;
+
+const MB: u64 = 1 << 20;
+const PAGE: u64 = 4096;
+
+/// Deterministic page fill derived from the page index.
+fn pattern(page: u64) -> u8 {
+    (page.wrapping_mul(2654435761) >> 16) as u8 | 1
+}
+
+fn checksum(buf: &[u8]) -> u64 {
+    // FNV-1a, good enough to catch torn or stale pages.
+    buf.iter().fold(0xcbf29ce484222325u64, |h, &b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
+}
+
+/// Kill a server while a stream of swap-outs is in flight; every page must
+/// still read back with the checksum it was written with, served from the
+/// mirror replicas.
+#[test]
+fn killing_a_server_mid_swap_preserves_every_checksum() {
+    let engine = Engine::new();
+    let cal = Rc::new(Calibration::cluster_2005());
+    let cluster = ClusterBuilder::new()
+        .servers(4)
+        .per_server_capacity(2 * MB)
+        .mirror_writes(true)
+        .request_timeout_ns(2_000_000)
+        .max_retries(1)
+        // The write stream below starts at t=0; 50µs in, server 0 dies
+        // with requests on the wire.
+        .fault_plan(FaultPlan::new().server_crash(50_000, 0))
+        .build(&engine, cal);
+    let dev = &cluster.client;
+    let pages = (dev.capacity() / PAGE).min(512);
+
+    let mut expected = Vec::with_capacity(pages as usize);
+    let write_failures = Rc::new(Cell::new(0u32));
+    for p in 0..pages {
+        let buf = new_buffer(PAGE as usize);
+        buf.borrow_mut().fill(pattern(p));
+        expected.push(checksum(&buf.borrow()));
+        let failures = write_failures.clone();
+        dev.submit(IoRequest::single(Bio::new(
+            IoOp::Write,
+            p * PAGE,
+            buf,
+            move |r| {
+                if r.is_err() {
+                    failures.set(failures.get() + 1);
+                }
+            },
+        )));
+    }
+    engine.run_until_idle();
+    assert_eq!(
+        write_failures.get(),
+        0,
+        "mirrored writes must survive the crash"
+    );
+    assert!(cluster.servers[0].is_crashed(), "the fault plan fired");
+    assert_eq!(dev.health(), DeviceHealth::Degraded { failed_servers: 1 });
+
+    // Read everything back and verify the checksums.
+    let bufs: Vec<_> = (0..pages)
+        .map(|p| {
+            let buf = new_buffer(PAGE as usize);
+            dev.submit(IoRequest::single(Bio::new(
+                IoOp::Read,
+                p * PAGE,
+                buf.clone(),
+                |r| r.unwrap(),
+            )));
+            buf
+        })
+        .collect();
+    engine.run_until_idle();
+    for (p, buf) in bufs.iter().enumerate() {
+        assert_eq!(
+            checksum(&buf.borrow()),
+            expected[p],
+            "page {p} corrupted by the crash/failover path"
+        );
+    }
+    let stats = dev.stats();
+    assert!(
+        stats.failovers > 0,
+        "reads of the dead server's extent must have failed over: {stats:?}"
+    );
+}
+
+/// The same crash without mirroring: the affected I/O must fail cleanly
+/// with a typed fault — never hang, never complete with wrong data.
+#[test]
+fn killing_a_server_without_mirroring_fails_cleanly() {
+    let engine = Engine::new();
+    let cal = Rc::new(Calibration::cluster_2005());
+    let cluster = ClusterBuilder::new()
+        .servers(2)
+        .per_server_capacity(2 * MB)
+        .request_timeout_ns(1_000_000)
+        .fault_plan(FaultPlan::new().server_crash(10_000_000, 0))
+        .build(&engine, cal);
+    let dev = cluster.client.clone();
+    // Let the crash fire, then touch the dead extent.
+    engine.advance(SimDuration::from_nanos(20_000_000));
+    let got = Rc::new(Cell::new(None));
+    let sink = got.clone();
+    dev.submit(IoRequest::single(Bio::new(
+        IoOp::Read,
+        0,
+        new_buffer(PAGE as usize),
+        move |r| sink.set(Some(r)),
+    )));
+    engine.run_until_idle();
+    match got.get() {
+        Some(Err(IoError::Fault(FaultKind::Timeout | FaultKind::ServerDead))) => {}
+        other => panic!("expected a typed fault, got {other:?}"),
+    }
+}
+
+/// The zero-cost guarantee of the fault subsystem: a run configured with an
+/// explicitly-empty `FaultPlan` is byte-identical — virtual time, event
+/// count, full metrics rendering, and the entire trace buffer — to a run
+/// that never mentions fault plans at all.
+#[test]
+fn empty_fault_plan_is_byte_identical_to_no_fault_plan() {
+    let run = |explicit_empty_plan: bool| {
+        let mut config = ScenarioConfig::new(2 * MB, 16 * MB, SwapKind::Hpbd { servers: 2 });
+        if explicit_empty_plan {
+            config.fault_plan = FaultPlan::new();
+        }
+        let tracer = Tracer::enabled();
+        config.tracer = Some(tracer.clone());
+        let scenario = Scenario::build(&config);
+        let report = scenario.run_qsort(512 * 1024, 1234);
+        (
+            report.elapsed,
+            report.events,
+            report.metrics.render_text(),
+            tracer.snapshot(),
+        )
+    };
+    let baseline = run(false);
+    let explicit = run(true);
+    assert_eq!(baseline.0, explicit.0, "virtual time must match");
+    assert_eq!(baseline.1, explicit.1, "event count must match");
+    assert_eq!(baseline.2, explicit.2, "metrics rendering must match");
+    assert_eq!(
+        baseline.3, explicit.3,
+        "trace buffers must be byte-identical"
+    );
+}
+
+/// Counter-test for the differential above: a *non-empty* plan must leave
+/// visible fingerprints (the fault fires, recovery counters move), proving
+/// the differential test would catch an armed plan leaking into the
+/// baseline.
+#[test]
+fn non_empty_fault_plan_changes_the_run() {
+    let run = |faulty: bool| {
+        let mut config = ScenarioConfig::new(2 * MB, 16 * MB, SwapKind::Hpbd { servers: 2 });
+        config.hpbd.mirror_writes = true;
+        config.hpbd.request_timeout_ns = Some(2_000_000);
+        if faulty {
+            config.fault_plan = FaultPlan::new().server_crash(5_000_000, 0);
+        }
+        let scenario = Scenario::build(&config);
+        let report = scenario.run_qsort(512 * 1024, 1234);
+        let stats = report.hpbd_client.clone().unwrap();
+        (report.elapsed, stats.failovers + stats.timeouts)
+    };
+    let (healthy_elapsed, healthy_faults) = run(false);
+    let (faulty_elapsed, faulty_faults) = run(true);
+    assert_eq!(healthy_faults, 0);
+    assert!(
+        faulty_faults > 0,
+        "the crash must force timeouts or failovers"
+    );
+    assert_ne!(
+        healthy_elapsed, faulty_elapsed,
+        "losing a server must shift the virtual timeline"
+    );
+}
