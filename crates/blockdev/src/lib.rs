@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # blockdev — the block I/O layer of the simulated kernel
 //!

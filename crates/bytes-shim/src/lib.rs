@@ -7,6 +7,7 @@
 //! resolves the `bytes` dependency to this path crate. Only the API
 //! surface actually exercised by the suite is provided; semantics match
 //! the real crate for that subset.
+#![forbid(unsafe_code)]
 
 use std::fmt;
 use std::ops::{Deref, RangeBounds};

@@ -66,18 +66,58 @@ pub enum ProtoError {
 /// A page request: client → server control message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PageRequest {
+    req_id: u64,
+    op: PageOp,
+    server_offset: u64,
+    len: u64,
+    client_rkey: u32,
+    client_offset: u64,
+}
+
+impl PageRequest {
+    /// Build a request. Fields are sealed so every instance that reaches
+    /// the wire went through this constructor or a checksum-validated
+    /// decode.
+    pub fn new(
+        req_id: u64,
+        op: PageOp,
+        server_offset: u64,
+        len: u64,
+        client_rkey: u32,
+        client_offset: u64,
+    ) -> PageRequest {
+        PageRequest { req_id, op, server_offset, len, client_rkey, client_offset }
+    }
+
     /// Client-chosen request id, echoed in the reply.
-    pub req_id: u64,
+    pub fn req_id(&self) -> u64 {
+        self.req_id
+    }
+
     /// Operation.
-    pub op: PageOp,
+    pub fn op(&self) -> PageOp {
+        self.op
+    }
+
     /// Byte offset inside the server's swap area.
-    pub server_offset: u64,
+    pub fn server_offset(&self) -> u64 {
+        self.server_offset
+    }
+
     /// Transfer length in bytes.
-    pub len: u64,
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
     /// rkey of the client's registered pool region.
-    pub client_rkey: u32,
+    pub fn client_rkey(&self) -> u32 {
+        self.client_rkey
+    }
+
     /// Offset of the staged data inside the client pool region.
-    pub client_offset: u64,
+    pub fn client_offset(&self) -> u64 {
+        self.client_offset
+    }
 }
 
 /// Completion status carried by a reply.
@@ -113,10 +153,25 @@ impl ReplyStatus {
 /// Acknowledgement: server → client.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PageReply {
+    req_id: u64,
+    status: ReplyStatus,
+}
+
+impl PageReply {
+    /// Build a reply.
+    pub fn new(req_id: u64, status: ReplyStatus) -> PageReply {
+        PageReply { req_id, status }
+    }
+
     /// Echoed request id.
-    pub req_id: u64,
+    pub fn req_id(&self) -> u64 {
+        self.req_id
+    }
+
     /// Outcome.
-    pub status: ReplyStatus,
+    pub fn status(&self) -> ReplyStatus {
+        self.status
+    }
 }
 
 /// Server-initiated notice: the server is reclaiming part of its exported
@@ -125,13 +180,26 @@ pub struct PageReply {
 /// stored in `[offset, offset + len)` elsewhere and stop using the range.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RevokeNotice {
-    /// Start of the reclaimed range, server-relative.
-    pub offset: u64,
-    /// Length of the reclaimed range.
-    pub len: u64,
+    offset: u64,
+    len: u64,
 }
 
 impl RevokeNotice {
+    /// Build a notice for the reclaimed range `[offset, offset + len)`.
+    pub fn new(offset: u64, len: u64) -> RevokeNotice {
+        RevokeNotice { offset, len }
+    }
+
+    /// Start of the reclaimed range, server-relative.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Length of the reclaimed range.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
     /// Serialise: same 24-byte wire size as a [`PageReply`], so notices
     /// fit the client's pre-posted reply buffers.
     pub fn encode(&self) -> Bytes {
@@ -172,15 +240,15 @@ impl ServerMessage {
         if b.len() < 4 {
             return Err(ProtoError::Truncated);
         }
-        match read_u32(b, 0) {
+        match read_u32(b, 0)? {
             HPBD_MAGIC => Ok(ServerMessage::Reply(PageReply::decode_slice(b)?)),
             NOTICE_MAGIC => {
                 if b.len() < REPLY_WIRE_SIZE + 4 {
                     return Err(ProtoError::Truncated);
                 }
-                let offset = read_u64(b, 4);
-                let len = read_u64(b, 12);
-                let sum = read_u32(b, 20);
+                let offset = read_u64(b, 4)?;
+                let len = read_u64(b, 12)?;
+                let sum = read_u32(b, 20)?;
                 let expect = checksum(&[
                     offset as u32,
                     (offset >> 32) as u32,
@@ -198,13 +266,23 @@ impl ServerMessage {
 }
 
 #[inline]
-fn read_u32(b: &[u8], at: usize) -> u32 {
-    u32::from_le_bytes(b[at..at + 4].try_into().expect("4 bytes"))
+fn read_u32(b: &[u8], at: usize) -> Result<u32, ProtoError> {
+    let Some(s) = b.get(at..at + 4) else {
+        return Err(ProtoError::Truncated);
+    };
+    let mut a = [0u8; 4];
+    a.copy_from_slice(s);
+    Ok(u32::from_le_bytes(a))
 }
 
 #[inline]
-fn read_u64(b: &[u8], at: usize) -> u64 {
-    u64::from_le_bytes(b[at..at + 8].try_into().expect("8 bytes"))
+fn read_u64(b: &[u8], at: usize) -> Result<u64, ProtoError> {
+    let Some(s) = b.get(at..at + 8) else {
+        return Err(ProtoError::Truncated);
+    };
+    let mut a = [0u8; 8];
+    a.copy_from_slice(s);
+    Ok(u64::from_le_bytes(a))
 }
 
 fn checksum(words: &[u32]) -> u32 {
@@ -250,16 +328,16 @@ impl PageRequest {
         if b.len() < REQUEST_WIRE_SIZE + 4 {
             return Err(ProtoError::Truncated);
         }
-        if read_u32(b, 0) != HPBD_MAGIC {
+        if read_u32(b, 0)? != HPBD_MAGIC {
             return Err(ProtoError::BadMagic);
         }
-        let req_id = read_u64(b, 4);
-        let op_code = read_u32(b, 12);
-        let server_offset = read_u64(b, 16);
-        let len = read_u64(b, 24);
-        let client_rkey = read_u32(b, 32);
-        let client_offset = read_u64(b, 36);
-        let sum = read_u32(b, 44);
+        let req_id = read_u64(b, 4)?;
+        let op_code = read_u32(b, 12)?;
+        let server_offset = read_u64(b, 16)?;
+        let len = read_u64(b, 24)?;
+        let client_rkey = read_u32(b, 32)?;
+        let client_offset = read_u64(b, 36)?;
+        let sum = read_u32(b, 44)?;
         let expect = checksum(&[
             req_id as u32,
             (req_id >> 32) as u32,
@@ -312,12 +390,12 @@ impl PageReply {
         if b.len() < REPLY_WIRE_SIZE {
             return Err(ProtoError::Truncated);
         }
-        if read_u32(b, 0) != HPBD_MAGIC {
+        if read_u32(b, 0)? != HPBD_MAGIC {
             return Err(ProtoError::BadMagic);
         }
-        let req_id = read_u64(b, 4);
-        let status_code = read_u32(b, 12);
-        let sum = read_u32(b, 16);
+        let req_id = read_u64(b, 4)?;
+        let status_code = read_u32(b, 12)?;
+        let sum = read_u32(b, 16)?;
         let expect = checksum(&[req_id as u32, (req_id >> 32) as u32, status_code]);
         if sum != expect {
             return Err(ProtoError::BadChecksum);

@@ -31,7 +31,7 @@ use ibsim::{
 use simcore::{Engine, SimDuration, SimTime};
 use simtrace::LazyCounter;
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Per-request state while its RDMA is in flight.
@@ -82,8 +82,8 @@ struct ServerInner {
     send_cq: CompletionQueue,
     recv_cq: CompletionQueue,
     conns: RefCell<Vec<Conn>>,
-    qp_to_conn: RefCell<HashMap<u32, usize>>,
-    pending: RefCell<HashMap<u64, PendingRdma>>,
+    qp_to_conn: RefCell<BTreeMap<u32, usize>>,
+    pending: RefCell<BTreeMap<u64, PendingRdma>>,
     /// Receive buffers consumed while crashed (never re-posted by the dead
     /// daemon); a restart re-posts them. `(conn, wr_id)` pairs.
     lost_recvs: RefCell<Vec<(usize, u64)>>,
@@ -135,8 +135,8 @@ impl HpbdServer {
                 send_cq,
                 recv_cq,
                 conns: RefCell::new(Vec::new()),
-                qp_to_conn: RefCell::new(HashMap::new()),
-                pending: RefCell::new(HashMap::new()),
+                qp_to_conn: RefCell::new(BTreeMap::new()),
+                pending: RefCell::new(BTreeMap::new()),
                 lost_recvs: RefCell::new(Vec::new()),
                 next_token: Cell::new(1),
                 last_activity: Cell::new(SimTime::ZERO),
@@ -187,18 +187,19 @@ impl HpbdServer {
             "revoking a range outside the store"
         );
         inner.stats.borrow_mut().revokes_sent += 1;
-        let notice = RevokeNotice { offset, len };
+        let notice = RevokeNotice::new(offset, len);
         let conns = inner.conns.borrow();
         for conn in conns.iter() {
-            conn.qp
-                .post_send(WorkRequest {
-                    wr_id: u64::MAX, // notices carry no request id
-                    kind: WorkKind::Send {
-                        payload: notice.encode(),
-                    },
-                    solicited: true,
-                })
-                .expect("notice send");
+            // Best-effort: a notice squeezed out by a full send queue is
+            // re-issued by the next reclaim pass, so a failed post is
+            // dropped rather than treated as fatal.
+            let _ = conn.qp.post_send(WorkRequest {
+                wr_id: u64::MAX, // notices carry no request id
+                kind: WorkKind::Send {
+                    payload: notice.encode(),
+                },
+                solicited: true,
+            });
         }
     }
 
@@ -222,7 +223,7 @@ impl HpbdServer {
         // completions for these tokens are dropped in finish_pull/push.
         let pending: Vec<PendingRdma> = {
             let mut map = self.inner.pending.borrow_mut();
-            map.drain().map(|(_, p)| p).collect()
+            std::mem::take(&mut *map).into_values().collect()
         };
         for p in pending {
             self.inner.staging_pool.free(p.staging);
@@ -267,6 +268,7 @@ impl HpbdServer {
                 let conn = &conns[conn_idx];
                 conn.qp
                     .post_recv(buf_idx, conn.recv_region.slice(buf_idx * wire, wire))
+                    // simlint: allow(I001): restart re-posts only buffers the crash drained, so the fixed-size receive queue cannot overflow
                     .expect("re-posting receives at restart");
             }
         }
@@ -287,12 +289,18 @@ impl HpbdServer {
     /// restart can re-post their buffers.
     fn reap_while_crashed(&self) {
         for completion in self.inner.recv_cq.drain() {
-            let conn_idx = *self
+            let Some(conn_idx) = self
                 .inner
                 .qp_to_conn
                 .borrow()
                 .get(&completion.qp_num)
-                .expect("completion from unknown QP");
+                .copied()
+            else {
+                // A completion from a QP no connection claims: count it
+                // and drop rather than poison the restart bookkeeping.
+                self.inner.stats.borrow_mut().bad_messages += 1;
+                continue;
+            };
             self.inner
                 .lost_recvs
                 .borrow_mut()
@@ -318,6 +326,7 @@ impl HpbdServer {
             .register((credits as u64 * wire) as usize);
         for i in 0..credits {
             qp.post_recv(i as u64, recv_region.slice(i as u64 * wire, wire))
+                // simlint: allow(I001): connection setup posts into an empty receive queue sized for exactly these buffers
                 .expect("pre-posting control receives");
         }
         let idx = inner.conns.borrow().len();
@@ -372,12 +381,19 @@ impl HpbdServer {
         while let Some(completion) = self.inner.recv_cq.poll() {
             assert_eq!(completion.opcode, Opcode::Recv);
             assert_eq!(completion.status, WcStatus::Success, "control recv failed");
-            let conn_idx = *self
+            let Some(conn_idx) = self
                 .inner
                 .qp_to_conn
                 .borrow()
                 .get(&completion.qp_num)
-                .expect("completion from unknown QP");
+                .copied()
+            else {
+                // Unroutable completion (e.g. a connection torn down by
+                // fault injection): count and drop, per the signature
+                // validation discipline of paper §4.1.
+                self.inner.stats.borrow_mut().bad_messages += 1;
+                continue;
+            };
             self.handle_request(conn_idx, completion.wr_id);
         }
         self.inner.recv_cq.req_notify(true);
@@ -401,6 +417,7 @@ impl HpbdServer {
             let conn = &conns[conn_idx];
             conn.qp
                 .post_recv(buf_idx, conn.recv_region.slice(buf_idx * wire, wire))
+                // simlint: allow(I001): re-posting the buffer just consumed cannot overflow the fixed-size receive queue
                 .expect("re-posting control receive");
         }
         let request = match decoded {
@@ -420,7 +437,7 @@ impl HpbdServer {
         if !self.validate(&request) {
             let this = self.clone();
             inner.engine.schedule_at(t_proc, move || {
-                this.send_reply(conn_idx, request.req_id, ReplyStatus::OutOfRange);
+                this.send_reply(conn_idx, request.req_id(), ReplyStatus::OutOfRange);
             });
             return;
         }
@@ -432,9 +449,9 @@ impl HpbdServer {
     }
 
     fn validate(&self, r: &PageRequest) -> bool {
-        r.len > 0
-            && r.len <= self.inner.config.server_staging_size
-            && self.inner.storage.in_range(r.server_offset, r.len)
+        r.len() > 0
+            && r.len() <= self.inner.config.server_staging_size
+            && self.inner.storage.in_range(r.server_offset(), r.len())
     }
 
     /// Dispatch a validated request: allocate staging, then drive the
@@ -443,7 +460,7 @@ impl HpbdServer {
         let this = self.clone();
         // Staging allocation may wait for in-flight requests to release
         // buffers (the staging pool is its own wait queue).
-        self.inner.staging_pool.alloc(request.len, move |staging| {
+        self.inner.staging_pool.alloc(request.len(), move |staging| {
             this.serve_with_staging(conn_idx, request, staging, started);
         });
     }
@@ -473,12 +490,12 @@ impl HpbdServer {
             },
         );
         let remote = RemoteSlice {
-            rkey: request.client_rkey,
-            offset: request.client_offset,
-            len: request.len,
+            rkey: request.client_rkey(),
+            offset: request.client_offset(),
+            len: request.len(),
         };
-        let local = inner.staging_mr.slice(staging.offset, request.len);
-        match request.op {
+        let local = inner.staging_mr.slice(staging.offset, request.len());
+        match request.op() {
             PageOp::Write => {
                 // Swap-out: pull the page data from the client.
                 inner.stats.borrow_mut().rdma_reads += 1;
@@ -493,9 +510,9 @@ impl HpbdServer {
             }
             PageOp::Read => {
                 // Swap-in: copy store -> staging, then push with RDMA WRITE.
-                let mut data = self.take_data_buf(request.len as usize);
-                inner.storage.read_at(request.server_offset, &mut data);
-                let copy = inner.ibnode.memory_model().memcpy_time(request.len);
+                let mut data = self.take_data_buf(request.len() as usize);
+                inner.storage.read_at(request.server_offset(), &mut data);
+                let copy = inner.ibnode.memory_model().memcpy_time(request.len());
                 let (_, t_copy) = inner.ibnode.node().cpu().reserve(inner.engine.now(), copy);
                 if inner.engine.trace_enabled() {
                     inner.engine.tracer().span(
@@ -503,7 +520,7 @@ impl HpbdServer {
                         "store_to_staging",
                         inner.engine.now().as_nanos(),
                         t_copy.as_nanos(),
-                        &[("bytes", request.len)],
+                        &[("bytes", request.len())],
                     );
                 }
                 let this = self.clone();
@@ -522,7 +539,7 @@ impl HpbdServer {
                         WorkRequest {
                             wr_id: token,
                             kind: WorkKind::RdmaWrite {
-                                local: this.inner.staging_mr.slice(staging.offset, request.len),
+                                local: this.inner.staging_mr.slice(staging.offset, request.len()),
                                 remote,
                             },
                             solicited: false,
@@ -534,11 +551,21 @@ impl HpbdServer {
     }
 
     fn post_rdma(&self, conn_idx: usize, wr: WorkRequest) {
-        let conns = self.inner.conns.borrow();
-        conns[conn_idx]
-            .qp
-            .post_send(wr)
-            .expect("server send queue sized for outstanding RDMA");
+        let token = wr.wr_id;
+        let posted = {
+            let conns = self.inner.conns.borrow();
+            conns[conn_idx].qp.post_send(wr)
+        };
+        if posted.is_err() {
+            // Send-queue overflow: fail the request instead of wedging it.
+            // Its staging returns to the pool and the client gets a typed
+            // TransferError to drive its own retry machinery.
+            let dropped = self.inner.pending.borrow_mut().remove(&token);
+            if let Some(p) = dropped {
+                self.inner.staging_pool.free(p.staging);
+                self.send_reply(p.conn, p.request.req_id(), ReplyStatus::TransferError);
+            }
+        }
     }
 
     fn on_send_event(&self) {
@@ -578,12 +605,12 @@ impl HpbdServer {
         if status != WcStatus::Success {
             inner.staging_pool.free(staging);
             self.serve_span(&request, started, false);
-            self.send_reply(conn, request.req_id, ReplyStatus::TransferError);
+            self.send_reply(conn, request.req_id(), ReplyStatus::TransferError);
             return;
         }
-        let mut data = self.take_data_buf(request.len as usize);
+        let mut data = self.take_data_buf(request.len() as usize);
         inner.staging_mr.read(staging.offset as usize, &mut data);
-        let copy = inner.ibnode.memory_model().memcpy_time(request.len);
+        let copy = inner.ibnode.memory_model().memcpy_time(request.len());
         let (_, t_copy) = inner.ibnode.node().cpu().reserve(inner.engine.now(), copy);
         if inner.engine.trace_enabled() {
             inner.engine.tracer().span(
@@ -591,7 +618,7 @@ impl HpbdServer {
                 "staging_to_store",
                 inner.engine.now().as_nanos(),
                 t_copy.as_nanos(),
-                &[("bytes", request.len)],
+                &[("bytes", request.len())],
             );
         }
         let this = self.clone();
@@ -603,12 +630,12 @@ impl HpbdServer {
                 this.inner.staging_pool.free(staging);
                 return;
             }
-            this.inner.storage.write_at(request.server_offset, &data);
+            this.inner.storage.write_at(request.server_offset(), &data);
             this.recycle_data_buf(data);
-            this.inner.stats.borrow_mut().bytes_in += request.len;
+            this.inner.stats.borrow_mut().bytes_in += request.len();
             this.inner.staging_pool.free(staging);
             this.serve_span(&request, started, true);
-            this.send_reply(conn, request.req_id, ReplyStatus::Ok);
+            this.send_reply(conn, request.req_id(), ReplyStatus::Ok);
         });
     }
 
@@ -628,12 +655,12 @@ impl HpbdServer {
         inner.staging_pool.free(staging);
         if status != WcStatus::Success {
             self.serve_span(&request, started, false);
-            self.send_reply(conn, request.req_id, ReplyStatus::TransferError);
+            self.send_reply(conn, request.req_id(), ReplyStatus::TransferError);
             return;
         }
-        inner.stats.borrow_mut().bytes_out += request.len;
+        inner.stats.borrow_mut().bytes_out += request.len();
         self.serve_span(&request, started, true);
-        self.send_reply(conn, request.req_id, ReplyStatus::Ok);
+        self.send_reply(conn, request.req_id(), ReplyStatus::Ok);
     }
 
     /// Pop a recycled data buffer (or grow a fresh one), sized to `len`.
@@ -660,15 +687,15 @@ impl HpbdServer {
         }
         engine.tracer().span(
             "hpbd_server",
-            match request.op {
+            match request.op() {
                 PageOp::Write => "serve_write",
                 PageOp::Read => "serve_read",
             },
             started.as_nanos(),
             engine.now().as_nanos(),
             &[
-                ("req", request.req_id),
-                ("bytes", request.len),
+                ("req", request.req_id()),
+                ("bytes", request.len()),
                 ("ok", ok as u64),
             ],
         );
@@ -678,20 +705,20 @@ impl HpbdServer {
         if self.inner.crashed.get() {
             return; // a dead daemon sends nothing
         }
-        let reply = PageReply { req_id, status };
+        let reply = PageReply::new(req_id, status);
         let conns = self.inner.conns.borrow();
-        conns[conn_idx]
-            .qp
-            .post_send(WorkRequest {
-                wr_id: req_id,
-                kind: WorkKind::Send {
-                    payload: reply.encode(),
-                },
-                // Solicited so the client's sleeping receiver thread wakes
-                // (paper §5: the server sets the solicitation control field
-                // of the send descriptor).
-                solicited: true,
-            })
-            .expect("reply send");
+        // Best-effort: a reply squeezed out by a full send queue is
+        // indistinguishable from a lost ack, and the client's timeout
+        // machinery already recovers from that.
+        let _ = conns[conn_idx].qp.post_send(WorkRequest {
+            wr_id: req_id,
+            kind: WorkKind::Send {
+                payload: reply.encode(),
+            },
+            // Solicited so the client's sleeping receiver thread wakes
+            // (paper §5: the server sets the solicitation control field
+            // of the send descriptor).
+            solicited: true,
+        });
     }
 }

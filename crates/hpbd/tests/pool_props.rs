@@ -1,0 +1,120 @@
+//! Property tests for the first-fit staging-pool allocator (paper §3.2):
+//! live allocations never overlap, freeing everything reclaims every byte
+//! into a single extent, and merge-on-free coalesces adjacent neighbours.
+
+use hpbd::pool::{PoolAllocator, PoolBuf};
+use simcore::SimRng;
+
+const POOL_SIZE: u64 = 1 << 20;
+
+fn for_cases(cases: u64, mut f: impl FnMut(u64, &mut SimRng)) {
+    for case in 0..cases {
+        let mut rng = SimRng::new(0x9E37_79B9_7F4A_7C15 ^ (case * 0x100_0000_01B3));
+        f(case, &mut rng);
+    }
+}
+
+fn assert_no_overlap(live: &[PoolBuf]) {
+    let mut spans: Vec<(u64, u64)> = live.iter().map(|b| (b.offset, b.len)).collect();
+    spans.sort();
+    for w in spans.windows(2) {
+        let (a_off, a_len) = w[0];
+        let (b_off, _) = w[1];
+        assert!(
+            a_off + a_len <= b_off,
+            "live allocations overlap: [{a_off}, {}) and [{b_off}, ..)",
+            a_off + a_len
+        );
+    }
+    for &(off, len) in &spans {
+        assert!(off + len <= POOL_SIZE, "allocation past pool end");
+    }
+}
+
+#[test]
+fn live_allocations_never_overlap() {
+    for_cases(128, |_case, rng| {
+        let mut pool = PoolAllocator::new(POOL_SIZE);
+        let mut live: Vec<PoolBuf> = Vec::new();
+        for _ in 0..256 {
+            if !live.is_empty() && rng.below(3) == 0 {
+                let victim = rng.below(live.len() as u64) as usize;
+                pool.free(live.swap_remove(victim));
+            } else {
+                let len = 1 + rng.below(POOL_SIZE / 16);
+                if let Some(buf) = pool.alloc(len) {
+                    assert_eq!(buf.len, len);
+                    live.push(buf);
+                }
+            }
+            assert_no_overlap(&live);
+            pool.check_invariants();
+            let live_bytes: u64 = live.iter().map(|b| b.len).sum();
+            assert_eq!(pool.free_bytes(), POOL_SIZE - live_bytes);
+        }
+    });
+}
+
+#[test]
+fn free_all_reclaims_every_byte() {
+    for_cases(128, |case, rng| {
+        let mut pool = PoolAllocator::new(POOL_SIZE);
+        let mut live: Vec<PoolBuf> = Vec::new();
+        while let Some(buf) = pool.alloc(1 + rng.below(POOL_SIZE / 8)) {
+            live.push(buf);
+            if pool.free_bytes() == 0 {
+                break;
+            }
+        }
+        assert!(!live.is_empty(), "case {case}: nothing allocated");
+        // Free in a random order: full-byte reclamation must not depend on
+        // the release sequence.
+        rng.shuffle(&mut live);
+        for buf in live.drain(..) {
+            pool.free(buf);
+            pool.check_invariants();
+        }
+        assert_eq!(pool.free_bytes(), POOL_SIZE);
+        // Coalescing must leave exactly one extent spanning the pool:
+        // a full-size allocation succeeds again.
+        assert_eq!(pool.fragments(), 1, "case {case}: free list not coalesced");
+        let whole = pool.alloc(POOL_SIZE).expect("whole-pool alloc after free-all");
+        assert_eq!((whole.offset, whole.len), (0, POOL_SIZE));
+    });
+}
+
+#[test]
+fn merge_on_free_coalesces_neighbours() {
+    // Carve the pool into equal slots, then free a middle slot's
+    // neighbours around it in both orders: each free must merge with the
+    // hole next to it instead of leaving three fragments.
+    let slot = POOL_SIZE / 8;
+    for order in 0..2 {
+        let mut pool = PoolAllocator::new(POOL_SIZE);
+        let bufs: Vec<PoolBuf> = (0..8).map(|_| pool.alloc(slot).expect("carve")).collect();
+        // All allocated: zero free extents.
+        assert_eq!(pool.free_bytes(), 0);
+        let (a, b, c) = (bufs[2], bufs[3], bufs[4]);
+        if order == 0 {
+            // left hole, then middle: middle merges into left.
+            pool.free(a);
+            assert_eq!(pool.fragments(), 1);
+            pool.free(b);
+            assert_eq!(pool.fragments(), 1, "free did not merge with left hole");
+            pool.free(c);
+            assert_eq!(pool.fragments(), 1, "free did not merge with right hole");
+        } else {
+            // right hole, then middle, then left: merges on both sides.
+            pool.free(c);
+            assert_eq!(pool.fragments(), 1);
+            pool.free(a);
+            assert_eq!(pool.fragments(), 2);
+            pool.free(b);
+            assert_eq!(pool.fragments(), 1, "free did not bridge both holes");
+        }
+        pool.check_invariants();
+        // The merged hole is allocatable as one span of 3 slots.
+        let merged = pool.alloc(3 * slot).expect("merged span alloc");
+        assert_eq!(merged.offset, 2 * slot);
+    }
+}

@@ -151,17 +151,17 @@ impl CompletionQueue {
         let fire = {
             let mut inner = self.inner.borrow_mut();
             let qualifies = inner.armed
-                && inner.handler.is_some()
                 && (!inner.solicited_only
                     || completion.solicited
                     || completion.status != WcStatus::Success);
             inner.queue.push_back(completion);
-            if qualifies {
-                inner.armed = false;
-                inner.delivered_events += 1;
-                Some((inner.handler.clone().expect("checked"), inner.event_latency))
-            } else {
-                None
+            match inner.handler.clone() {
+                Some(handler) if qualifies => {
+                    inner.armed = false;
+                    inner.delivered_events += 1;
+                    Some((handler, inner.event_latency))
+                }
+                _ => None,
             }
         };
         if let Some((handler, latency)) = fire {

@@ -15,13 +15,13 @@ use crate::mr::MemoryRegion;
 use netmodel::HcaParams;
 use simcore::{MetricsRegistry, Resource, SimDuration, SimTime};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
 struct HcaInner {
     params: HcaParams,
-    regions: HashMap<u32, MemoryRegion>,
+    regions: BTreeMap<u32, MemoryRegion>,
     next_key: u32,
     /// LRU of recently-used QP numbers, most recent at the back.
     qp_lru: Vec<u32>,
@@ -47,7 +47,7 @@ impl Hca {
             proc: Resource::new("hca-proc"),
             inner: Rc::new(RefCell::new(HcaInner {
                 params,
-                regions: HashMap::new(),
+                regions: BTreeMap::new(),
                 next_key: 1,
                 qp_lru: Vec::new(),
                 connected_qps: 0,

@@ -104,15 +104,15 @@ impl NbdClient {
         let started = inner.engine.now();
         inner.ctr_requests.inc();
 
-        let header = NbdRequest {
-            cmd: match req.op() {
+        let header = NbdRequest::new(
+            match req.op() {
                 IoOp::Read => NbdCmd::Read,
                 IoOp::Write => NbdCmd::Write,
             },
             handle,
-            offset: req.offset(),
-            len: req.len() as u32,
-        };
+            req.offset(),
+            req.len() as u32,
+        );
         inner.conn.send(header.encode());
         if req.op() == IoOp::Write {
             inner.conn.send(Bytes::from(req.gather()));
@@ -151,9 +151,18 @@ impl NbdClient {
                     );
                 }
             };
-            let reply = NbdReply::decode(raw);
-            assert_eq!(reply.handle, handle, "NBD reply out of order");
-            if reply.error != 0 {
+            let reply = match NbdReply::decode(raw) {
+                Ok(reply) => reply,
+                Err(_) => {
+                    // Stream corruption: the device cannot trust anything
+                    // that follows, so fail the request.
+                    span_done(false);
+                    this.finish(Err(IoError::DeviceError("corrupt NBD reply")));
+                    return;
+                }
+            };
+            assert_eq!(reply.handle(), handle, "NBD reply out of order");
+            if reply.error() != 0 {
                 span_done(false);
                 this.finish(Err(IoError::DeviceError("nbd server error")));
                 return;

@@ -2,6 +2,8 @@
 //!
 //! Requests are a fixed 28-byte header, with write payloads inline in the
 //! stream; replies are a fixed 16-byte header, with read payloads inline.
+//! Decoding is total: corruption surfaces as a typed [`NbdProtoError`],
+//! never a panic — the driver decides whether the stream is recoverable.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -15,6 +17,34 @@ pub const REQUEST_SIZE: usize = 28;
 /// Encoded reply header size.
 pub const REPLY_SIZE: usize = 16;
 
+/// A wire-decode failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NbdProtoError {
+    /// The buffer is not the fixed header size.
+    ShortHeader {
+        /// Bytes required.
+        expected: usize,
+        /// Bytes present.
+        got: usize,
+    },
+    /// The magic word did not match.
+    BadMagic(u32),
+    /// The command field held an unknown value.
+    UnknownCommand(u32),
+}
+
+impl std::fmt::Display for NbdProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NbdProtoError::ShortHeader { expected, got } => {
+                write!(f, "short NBD header: expected {expected} bytes, got {got}")
+            }
+            NbdProtoError::BadMagic(m) => write!(f, "bad NBD magic {m:#010x}"),
+            NbdProtoError::UnknownCommand(c) => write!(f, "unknown NBD command {c}"),
+        }
+    }
+}
+
 /// NBD command type.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum NbdCmd {
@@ -24,20 +54,42 @@ pub enum NbdCmd {
     Write,
 }
 
-/// A request header.
+/// A request header. Fields are sealed so every instance on the wire went
+/// through [`NbdRequest::new`] or a checked decode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NbdRequest {
-    /// Command.
-    pub cmd: NbdCmd,
-    /// Client handle echoed in the reply.
-    pub handle: u64,
-    /// Byte offset on the device.
-    pub offset: u64,
-    /// Transfer length.
-    pub len: u32,
+    cmd: NbdCmd,
+    handle: u64,
+    offset: u64,
+    len: u32,
 }
 
 impl NbdRequest {
+    /// Build a request header.
+    pub fn new(cmd: NbdCmd, handle: u64, offset: u64, len: u32) -> NbdRequest {
+        NbdRequest { cmd, handle, offset, len }
+    }
+
+    /// Command.
+    pub fn cmd(&self) -> NbdCmd {
+        self.cmd
+    }
+
+    /// Client handle echoed in the reply.
+    pub fn handle(&self) -> u64 {
+        self.handle
+    }
+
+    /// Byte offset on the device.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Transfer length.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
     /// Serialise the header.
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(REQUEST_SIZE);
@@ -52,35 +104,52 @@ impl NbdRequest {
         b.freeze()
     }
 
-    /// Parse a header; panics on bad magic (stream corruption is fatal for
-    /// a kernel block driver).
-    pub fn decode(mut b: Bytes) -> NbdRequest {
-        assert_eq!(b.len(), REQUEST_SIZE, "short NBD request");
-        assert_eq!(b.get_u32_le(), REQUEST_MAGIC, "bad NBD request magic");
+    /// Parse a header.
+    pub fn decode(mut b: Bytes) -> Result<NbdRequest, NbdProtoError> {
+        if b.len() != REQUEST_SIZE {
+            return Err(NbdProtoError::ShortHeader { expected: REQUEST_SIZE, got: b.len() });
+        }
+        let magic = b.get_u32_le();
+        if magic != REQUEST_MAGIC {
+            return Err(NbdProtoError::BadMagic(magic));
+        }
         let cmd = match b.get_u32_le() {
             0 => NbdCmd::Read,
             1 => NbdCmd::Write,
-            other => panic!("unknown NBD command {other}"),
+            other => return Err(NbdProtoError::UnknownCommand(other)),
         };
-        NbdRequest {
+        Ok(NbdRequest {
             cmd,
             handle: b.get_u64_le(),
             offset: b.get_u64_le(),
             len: b.get_u32_le(),
-        }
+        })
     }
 }
 
 /// A reply header.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NbdReply {
-    /// Echoed handle.
-    pub handle: u64,
-    /// 0 = success; non-zero = errno-style failure.
-    pub error: u32,
+    handle: u64,
+    error: u32,
 }
 
 impl NbdReply {
+    /// Build a reply header (`error` 0 = success, non-zero = errno-style).
+    pub fn new(handle: u64, error: u32) -> NbdReply {
+        NbdReply { handle, error }
+    }
+
+    /// Echoed handle.
+    pub fn handle(&self) -> u64 {
+        self.handle
+    }
+
+    /// 0 = success; non-zero = errno-style failure.
+    pub fn error(&self) -> u32 {
+        self.error
+    }
+
     /// Serialise the header.
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(REPLY_SIZE);
@@ -90,13 +159,18 @@ impl NbdReply {
         b.freeze()
     }
 
-    /// Parse a header; panics on bad magic.
-    pub fn decode(mut b: Bytes) -> NbdReply {
-        assert_eq!(b.len(), REPLY_SIZE, "short NBD reply");
-        assert_eq!(b.get_u32_le(), REPLY_MAGIC, "bad NBD reply magic");
+    /// Parse a header.
+    pub fn decode(mut b: Bytes) -> Result<NbdReply, NbdProtoError> {
+        if b.len() != REPLY_SIZE {
+            return Err(NbdProtoError::ShortHeader { expected: REPLY_SIZE, got: b.len() });
+        }
+        let magic = b.get_u32_le();
+        if magic != REPLY_MAGIC {
+            return Err(NbdProtoError::BadMagic(magic));
+        }
         let error = b.get_u32_le();
         let handle = b.get_u64_le();
-        NbdReply { handle, error }
+        Ok(NbdReply { handle, error })
     }
 }
 
@@ -106,36 +180,52 @@ mod tests {
 
     #[test]
     fn request_roundtrip() {
-        let r = NbdRequest {
-            cmd: NbdCmd::Write,
-            handle: 0xFEED_BEEF,
-            offset: 12345678,
-            len: 131072,
-        };
-        assert_eq!(NbdRequest::decode(r.encode()), r);
+        let r = NbdRequest::new(NbdCmd::Write, 0xFEED_BEEF, 12345678, 131072);
+        assert_eq!(NbdRequest::decode(r.encode()).unwrap(), r);
     }
 
     #[test]
     fn reply_roundtrip() {
-        let r = NbdReply {
-            handle: 77,
-            error: 5,
-        };
-        assert_eq!(NbdReply::decode(r.encode()), r);
+        let r = NbdReply::new(77, 5);
+        assert_eq!(NbdReply::decode(r.encode()).unwrap(), r);
     }
 
     #[test]
-    #[should_panic(expected = "bad NBD request magic")]
-    fn corrupt_magic_panics() {
-        let mut raw = NbdRequest {
-            cmd: NbdCmd::Read,
-            handle: 0,
-            offset: 0,
-            len: 0,
-        }
-        .encode()
-        .to_vec();
+    fn corrupt_magic_is_typed() {
+        let mut raw = NbdRequest::new(NbdCmd::Read, 0, 0, 0).encode().to_vec();
         raw[0] ^= 0xFF;
-        NbdRequest::decode(Bytes::from(raw));
+        let got = NbdRequest::decode(Bytes::from(raw));
+        assert!(matches!(got, Err(NbdProtoError::BadMagic(_))), "{got:?}");
+    }
+
+    #[test]
+    fn short_buffer_is_typed() {
+        let raw = NbdRequest::new(NbdCmd::Read, 0, 0, 0).encode().slice(..10);
+        assert_eq!(
+            NbdRequest::decode(raw),
+            Err(NbdProtoError::ShortHeader { expected: REQUEST_SIZE, got: 10 })
+        );
+    }
+
+    #[test]
+    fn unknown_command_is_typed() {
+        let mut raw = NbdRequest::new(NbdCmd::Read, 9, 8, 7).encode().to_vec();
+        raw[4] = 0x2A; // command field, little-endian
+        assert_eq!(
+            NbdRequest::decode(Bytes::from(raw)),
+            Err(NbdProtoError::UnknownCommand(42))
+        );
+    }
+
+    #[test]
+    fn reply_short_and_magic_errors() {
+        let good = NbdReply::new(1, 0).encode();
+        assert!(NbdReply::decode(good.slice(..4)).is_err());
+        let mut raw = good.to_vec();
+        raw[3] ^= 0x80;
+        assert!(matches!(
+            NbdReply::decode(Bytes::from(raw)),
+            Err(NbdProtoError::BadMagic(_))
+        ));
     }
 }

@@ -67,21 +67,25 @@ impl NbdServer {
         let this = self.clone();
         let conn2 = conn.clone();
         conn.recv(REQUEST_SIZE, move |raw| {
-            let request = NbdRequest::decode(raw);
-            this.dispatch(conn2, request);
+            match NbdRequest::decode(raw) {
+                // A corrupt header means the stream framing is lost; stop
+                // serving this connection rather than misread payloads.
+                Ok(request) => this.dispatch(conn2, request),
+                Err(_) => {}
+            }
         });
     }
 
     fn dispatch(&self, conn: TcpConn, request: NbdRequest) {
         let inner = &self.inner;
         inner.stats.borrow_mut().requests += 1;
-        let ok = inner.storage.in_range(request.offset, request.len as u64);
-        match request.cmd {
+        let ok = inner.storage.in_range(request.offset(), request.len() as u64);
+        match request.cmd() {
             NbdCmd::Write => {
                 // Payload follows the header on the stream.
                 let this = self.clone();
                 let conn2 = conn.clone();
-                conn.recv(request.len as usize, move |data| {
+                conn.recv(request.len() as usize, move |data| {
                     let reply = if ok {
                         // memcpy payload -> store, charged to the server CPU.
                         let copy = this.inner.cal.memcpy_time(data.len() as u64);
@@ -89,23 +93,17 @@ impl NbdServer {
                         let this2 = this.clone();
                         let conn3 = conn2.clone();
                         this.inner.engine.schedule_at(t, move || {
-                            this2.inner.storage.write_at(request.offset, &data);
+                            this2.inner.storage.write_at(request.offset(), &data);
                             this2.inner.stats.borrow_mut().bytes_in += data.len() as u64;
                             conn3.send(
-                                NbdReply {
-                                    handle: request.handle,
-                                    error: 0,
-                                }
+                                NbdReply::new(request.handle(), 0)
                                 .encode(),
                             );
                             this2.await_request(conn3.clone());
                         });
                         return;
                     } else {
-                        NbdReply {
-                            handle: request.handle,
-                            error: 5, // EIO-style
-                        }
+                        NbdReply::new(request.handle(), 5) // EIO-style
                     };
                     conn2.send(reply.encode());
                     this.await_request(conn2.clone());
@@ -114,27 +112,21 @@ impl NbdServer {
             NbdCmd::Read => {
                 if !ok {
                     conn.send(
-                        NbdReply {
-                            handle: request.handle,
-                            error: 5,
-                        }
+                        NbdReply::new(request.handle(), 5)
                         .encode(),
                     );
                     self.await_request(conn);
                     return;
                 }
-                let mut data = vec![0u8; request.len as usize];
-                inner.storage.read_at(request.offset, &mut data);
-                let copy = inner.cal.memcpy_time(request.len as u64);
+                let mut data = vec![0u8; request.len() as usize];
+                inner.storage.read_at(request.offset(), &mut data);
+                let copy = inner.cal.memcpy_time(request.len() as u64);
                 let (_, t) = inner.node.cpu().reserve(inner.engine.now(), copy);
                 let this = self.clone();
                 inner.engine.schedule_at(t, move || {
                     this.inner.stats.borrow_mut().bytes_out += data.len() as u64;
                     conn.send(
-                        NbdReply {
-                            handle: request.handle,
-                            error: 0,
-                        }
+                        NbdReply::new(request.handle(), 0)
                         .encode(),
                     );
                     conn.send(Bytes::from(data));

@@ -387,7 +387,7 @@ pub(crate) struct ReferenceHeap {
     /// Actions of still-pending events, keyed by seq. Cancel removes the
     /// entry (dropping the closure immediately, matching the wheel); the
     /// heap entry becomes a tombstone skimmed off lazily.
-    actions: std::collections::HashMap<u64, Action>,
+    actions: std::collections::BTreeMap<u64, Action>,
 }
 
 struct Scheduled {
@@ -417,7 +417,7 @@ impl ReferenceHeap {
     pub(crate) fn new() -> ReferenceHeap {
         ReferenceHeap {
             heap: BinaryHeap::new(),
-            actions: std::collections::HashMap::new(),
+            actions: std::collections::BTreeMap::new(),
         }
     }
 

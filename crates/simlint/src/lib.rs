@@ -1,0 +1,42 @@
+//! simlint — the workspace determinism & invariant analysis pass.
+//!
+//! A dependency-free static analyzer for the HPBD suite. It lexes every
+//! `.rs` file with a small hand-rolled lexer and runs token-pattern rules
+//! that protect the properties the differential tests rely on: no wall
+//! clocks, no hash-order iteration feeding traces or scheduling, typed
+//! errors on protocol paths, guarded trace emits, no `unsafe`, and no
+//! resurrected pre-builder APIs. See DESIGN.md §12 for the rule catalog
+//! and the waiver format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod selftest;
+pub mod walk;
+
+use config::Config;
+use report::Report;
+use rules::{check_file, FileCtx};
+use std::path::Path;
+
+/// Lint every file under the configured roots of `workspace`.
+pub fn lint_workspace(workspace: &Path, config: &Config) -> std::io::Result<Report> {
+    let files = walk::collect(workspace, &config.roots, &config.exclude);
+    let mut findings = Vec::new();
+    for rel in files {
+        let src = std::fs::read_to_string(workspace.join(&rel))?;
+        let mut ctx = FileCtx::new(&rel, &src);
+        findings.extend(check_file(&mut ctx, config, None));
+    }
+    Ok(Report::new(findings))
+}
+
+/// Lint a single file (repo-relative `rel` controls rule scoping).
+pub fn lint_source(rel: &str, src: &str, config: &Config) -> Report {
+    let mut ctx = FileCtx::new(rel, src);
+    Report::new(check_file(&mut ctx, config, None))
+}

@@ -1,0 +1,768 @@
+//! The rule set and the token-pattern engine that drives it.
+//!
+//! Three families, mirroring the determinism contract the differentials
+//! depend on (DESIGN.md §12):
+//!
+//! * **D-rules** — determinism: no wall-clock time sources, no
+//!   iteration-order-sensitive containers in simulation crates, no ambient
+//!   randomness, no OS threads outside the bench fan-out.
+//! * **I-rules** — invariants: no `unwrap()`/`expect()` on protocol paths,
+//!   every tracer emit guarded by `trace_enabled()`, `forbid(unsafe_code)`
+//!   in every crate root.
+//! * **A-rules** — API hygiene: no resurrected pre-builder cluster API, no
+//!   public fields on wire structs.
+//!
+//! Waivers are inline comments with a mandatory justification:
+//! `// simlint: allow(I001): completion invariants keep the parent alive`.
+//! A waiver covers its own line and the next line that carries code. The
+//! meta-rules W000 (missing justification) and W001 (unused waiver) police
+//! the waivers themselves and cannot be waived.
+
+use crate::config::{Config, RulePolicy};
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One diagnostic.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule id, e.g. `D001`.
+    pub rule: &'static str,
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human message.
+    pub message: String,
+    /// Waiver justification when the finding is covered by an allow
+    /// comment (waived findings never fail the run).
+    pub waived: Option<String>,
+    /// Demoted to a warning by config (`severity = "warn"`).
+    pub warning: bool,
+}
+
+/// Static description of a rule, for `--list-rules` and the self-test.
+pub struct RuleInfo {
+    /// Rule id.
+    pub id: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// Every rule the engine knows, in report order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo { id: "D001", summary: "no wall-clock time sources (std::time::{Instant,SystemTime})" },
+    RuleInfo { id: "D002", summary: "no HashMap/HashSet in determinism-scoped code (iteration order feeds traces/scheduling)" },
+    RuleInfo { id: "D003", summary: "no ambient randomness (thread_rng/from_entropy/OsRng) — use seeded SimRng" },
+    RuleInfo { id: "D004", summary: "no std::thread spawn/scope outside the bench runner" },
+    RuleInfo { id: "I001", summary: "no unwrap()/expect() on protocol paths — surface typed IoError/ProtoError" },
+    RuleInfo { id: "I002", summary: "tracer emit sites must be guarded by trace_enabled()" },
+    RuleInfo { id: "I003", summary: "crate roots must carry #![forbid(unsafe_code)]" },
+    RuleInfo { id: "A001", summary: "no HpbdCluster::build/build_on remnants — use ClusterBuilder" },
+    RuleInfo { id: "A002", summary: "no pub fields on wire/protocol structs" },
+    RuleInfo { id: "W000", summary: "waiver without a justification" },
+    RuleInfo { id: "W001", summary: "waiver that matched no finding (stale)" },
+];
+
+/// An inline waiver comment.
+#[derive(Debug)]
+struct Waiver {
+    rule: String,
+    line: u32,
+    /// First line after `line` that carries code (second covered line).
+    next_code_line: u32,
+    justification: String,
+    used: bool,
+}
+
+/// Lexed file plus the derived per-token context rules need.
+pub struct FileCtx {
+    /// Repo-relative path with forward slashes.
+    pub rel: String,
+    toks: Vec<Tok>,
+    /// Indices of non-comment tokens.
+    code: Vec<usize>,
+    /// Per-token: inside `#[cfg(test)]` / `#[test]` items or a `tests/`
+    /// file.
+    in_test: Vec<bool>,
+    waivers: Vec<Waiver>,
+}
+
+impl FileCtx {
+    /// Lex and annotate one file.
+    pub fn new(rel: &str, src: &str) -> FileCtx {
+        let toks = lex(src);
+        let code: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        let mut ctx = FileCtx {
+            rel: rel.replace('\\', "/"),
+            in_test: vec![false; toks.len()],
+            waivers: Vec::new(),
+            toks,
+            code,
+        };
+        ctx.mark_test_regions();
+        if ctx.path_is_test_file() {
+            ctx.in_test.iter_mut().for_each(|f| *f = true);
+        }
+        ctx.collect_waivers();
+        ctx
+    }
+
+    fn path_is_test_file(&self) -> bool {
+        self.rel.split('/').any(|seg| seg == "tests")
+    }
+
+    /// Token (not code-index) accessor.
+    fn tok(&self, code_idx: usize) -> &Tok {
+        &self.toks[self.code[code_idx]]
+    }
+
+    fn ident_at(&self, code_idx: usize, name: &str) -> bool {
+        code_idx < self.code.len() && self.tok(code_idx).is_ident(name)
+    }
+
+    fn punct_at(&self, code_idx: usize, c: char) -> bool {
+        code_idx < self.code.len() && self.tok(code_idx).is_punct(c)
+    }
+
+    /// `a :: b` path-segment test: ident `a` at k, `::`, ident `b`.
+    fn path2(&self, k: usize, a: &str, b: &str) -> bool {
+        self.ident_at(k, a) && self.punct_at(k + 1, ':') && self.punct_at(k + 2, ':') && self.ident_at(k + 3, b)
+    }
+
+    fn in_test_at(&self, code_idx: usize) -> bool {
+        self.in_test[self.code[code_idx]]
+    }
+
+    /// Mark the bodies of `#[cfg(test)]` / `#[test]` items.
+    fn mark_test_regions(&mut self) {
+        let mut k = 0usize;
+        while k < self.code.len() {
+            if self.is_test_attr(k) {
+                // Skip this and any further attributes.
+                let mut j = k;
+                while self.punct_at(j, '#') {
+                    j = self.skip_attr(j);
+                }
+                // Find the item body: `{ ... }` before any `;`.
+                let mut body = None;
+                let mut scan = j;
+                while scan < self.code.len() {
+                    let t = self.tok(scan);
+                    if t.is_punct(';') {
+                        break;
+                    }
+                    if t.is_punct('{') {
+                        body = Some(scan);
+                        break;
+                    }
+                    scan += 1;
+                }
+                if let Some(open) = body {
+                    let close = self.matching_brace(open);
+                    let (lo, hi) = (self.code[open], self.code[close.min(self.code.len() - 1)]);
+                    for flag in &mut self.in_test[lo..=hi] {
+                        *flag = true;
+                    }
+                    k = close + 1;
+                    continue;
+                }
+                k = scan + 1;
+                continue;
+            }
+            k += 1;
+        }
+    }
+
+    /// Does an attribute starting at code index k (`#`) mean test code?
+    fn is_test_attr(&self, k: usize) -> bool {
+        if !(self.punct_at(k, '#') && self.punct_at(k + 1, '[')) {
+            return false;
+        }
+        let end = self.skip_attr(k);
+        // `#[test]`
+        if self.ident_at(k + 2, "test") && self.punct_at(k + 3, ']') {
+            return true;
+        }
+        // `#[cfg(...test...)]`
+        if self.ident_at(k + 2, "cfg") {
+            for j in k + 3..end {
+                if self.ident_at(j, "test") {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Given code index of `#`, return the code index just past the
+    /// closing `]`.
+    fn skip_attr(&self, k: usize) -> usize {
+        let mut j = k + 1;
+        if !self.punct_at(j, '[') {
+            return k + 1;
+        }
+        let mut depth = 0i32;
+        while j < self.code.len() {
+            let t = self.tok(j);
+            if t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Code index of the `}` matching the `{` at `open`.
+    fn matching_brace(&self, open: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = open;
+        while j < self.code.len() {
+            let t = self.tok(j);
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            j += 1;
+        }
+        self.code.len().saturating_sub(1)
+    }
+
+    fn collect_waivers(&mut self) {
+        let mut found: Vec<(String, u32, String)> = Vec::new();
+        for t in &self.toks {
+            if !t.is_comment() {
+                continue;
+            }
+            // A waiver must be the whole comment: `// simlint: allow(...)`.
+            // (Prose that merely mentions the syntax does not count.)
+            let body = t
+                .text
+                .trim_start_matches('/')
+                .trim_start_matches(['*', '!'])
+                .trim_start();
+            let Some(rest) = body.strip_prefix("simlint:") else {
+                continue;
+            };
+            let rest = rest.trim_start();
+            let Some(rest) = rest.strip_prefix("allow(") else {
+                continue;
+            };
+            let Some(close) = rest.find(')') else {
+                continue;
+            };
+            let rule = rest[..close].trim().to_string();
+            let after = rest[close + 1..].trim_start();
+            let justification = after
+                .strip_prefix(':')
+                .map(|j| j.trim().trim_end_matches("*/").trim().to_string())
+                .unwrap_or_default();
+            found.push((rule, t.line, justification));
+        }
+        for (rule, line, justification) in found {
+            let next_code_line = self
+                .code
+                .iter()
+                .map(|&i| self.toks[i].line)
+                .find(|&l| l > line)
+                .unwrap_or(line);
+            self.waivers.push(Waiver {
+                rule,
+                line,
+                next_code_line,
+                justification,
+                used: false,
+            });
+        }
+    }
+
+    /// Try to waive a finding; returns the justification if covered.
+    fn try_waive(&mut self, rule: &str, line: u32) -> Option<String> {
+        for w in &mut self.waivers {
+            if w.rule == rule
+                && !w.justification.is_empty()
+                && (w.line == line || w.next_code_line == line)
+            {
+                w.used = true;
+                return Some(w.justification.clone());
+            }
+        }
+        None
+    }
+}
+
+/// Is `rel` under any of the given repo-relative prefixes?
+fn under_any(rel: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| {
+        let p = p.trim_end_matches('/');
+        rel == p || rel.starts_with(&format!("{p}/"))
+    })
+}
+
+/// Does the rule apply to this file at all, given its policy?
+fn rule_applies(rel: &str, policy: &RulePolicy) -> bool {
+    if policy.enabled == Some(false) {
+        return false;
+    }
+    if under_any(rel, &policy.allow) {
+        return false;
+    }
+    if !policy.paths.is_empty() && !under_any(rel, &policy.paths) {
+        return false;
+    }
+    true
+}
+
+/// Crate-root check: `src/lib.rs` at the workspace root or in a crate.
+fn is_crate_root(rel: &str) -> bool {
+    let segs: Vec<&str> = rel.split('/').collect();
+    matches!(segs.as_slice(), ["src", "lib.rs"])
+        || matches!(segs.as_slice(), ["crates", _, "src", "lib.rs"])
+}
+
+/// Run every enabled rule over one file. `only` restricts to a single rule
+/// id (used by the self-test); pass `None` for all.
+pub fn check_file(ctx: &mut FileCtx, config: &Config, only: Option<&str>) -> Vec<Finding> {
+    let mut out: Vec<Finding> = Vec::new();
+    let enabled = |id: &str| only.map(|o| o == id).unwrap_or(true);
+    let rel = ctx.rel.clone();
+
+    let mut push = |ctx: &mut FileCtx, id: &'static str, line: u32, message: String| {
+        let policy = config.rule(id);
+        let waived = ctx.try_waive(id, line);
+        out.push(Finding {
+            rule: id,
+            path: rel.clone(),
+            line,
+            message,
+            waived,
+            warning: policy.warn,
+        });
+    };
+
+    // ---- token-pattern rules ------------------------------------------------
+    for id in ["D001", "D002", "D003", "D004", "I001", "A001"] {
+        if !enabled(id) || !rule_applies(&ctx.rel, &config.rule(id)) {
+            continue;
+        }
+        let skip_tests = matches!(id, "D002" | "D004" | "I001");
+        let n = ctx.code.len();
+        for k in 0..n {
+            if skip_tests && ctx.in_test_at(k) {
+                continue;
+            }
+            let line = ctx.tok(k).line;
+            match id {
+                "D001" => {
+                    // std::time::{Instant,SystemTime} — direct path or
+                    // brace-group import.
+                    if ctx.path2(k, "std", "time") && ctx.punct_at(k + 4, ':') && ctx.punct_at(k + 5, ':') {
+                        if ctx.ident_at(k + 6, "Instant") || ctx.ident_at(k + 6, "SystemTime") {
+                            let name = ctx.tok(k + 6).text.clone();
+                            push(ctx, "D001", line, format!("wall-clock time source `std::time::{name}` breaks run determinism (virtual SimTime only)"));
+                        } else if ctx.punct_at(k + 6, '{') {
+                            let close = ctx.matching_brace(k + 6);
+                            for j in k + 7..close {
+                                if ctx.ident_at(j, "Instant") || ctx.ident_at(j, "SystemTime") {
+                                    let name = ctx.tok(j).text.clone();
+                                    let l = ctx.tok(j).line;
+                                    push(ctx, "D001", l, format!("wall-clock time source `std::time::{name}` breaks run determinism (virtual SimTime only)"));
+                                }
+                            }
+                        }
+                    }
+                    // Instant::now() / SystemTime::now() after an import.
+                    if (ctx.ident_at(k, "Instant") || ctx.ident_at(k, "SystemTime"))
+                        && ctx.punct_at(k + 1, ':')
+                        && ctx.punct_at(k + 2, ':')
+                        && ctx.ident_at(k + 3, "now")
+                        && !(k >= 2 && ctx.punct_at(k - 1, ':') && ctx.punct_at(k - 2, ':'))
+                    {
+                        let name = ctx.tok(k).text.clone();
+                        push(ctx, "D001", line, format!("wall-clock call `{name}::now()` breaks run determinism (use Engine::now)"));
+                    }
+                }
+                "D002" => {
+                    if ctx.ident_at(k, "HashMap") || ctx.ident_at(k, "HashSet") {
+                        let name = ctx.tok(k).text.clone();
+                        push(ctx, "D002", line, format!("`{name}` iteration order is nondeterministic and this crate feeds trace emission/scheduling — use BTreeMap/BTreeSet or a Vec"));
+                    }
+                }
+                "D003" => {
+                    for bad in ["thread_rng", "from_entropy", "OsRng"] {
+                        if ctx.ident_at(k, bad) {
+                            push(ctx, "D003", line, format!("ambient randomness `{bad}` breaks seeded reproducibility — use simcore::SimRng"));
+                        }
+                    }
+                }
+                "D004" => {
+                    if ctx.ident_at(k, "thread")
+                        && ctx.punct_at(k + 1, ':')
+                        && ctx.punct_at(k + 2, ':')
+                        && (ctx.ident_at(k + 3, "spawn") || ctx.ident_at(k + 3, "scope"))
+                    {
+                        let what = ctx.tok(k + 3).text.clone();
+                        push(ctx, "D004", line, format!("`thread::{what}` outside bench::runner — simulation code is single-threaded by contract"));
+                    }
+                }
+                "I001" => {
+                    if k >= 1
+                        && ctx.punct_at(k - 1, '.')
+                        && (ctx.ident_at(k, "unwrap") || ctx.ident_at(k, "expect"))
+                        && ctx.punct_at(k + 1, '(')
+                    {
+                        let what = ctx.tok(k).text.clone();
+                        push(ctx, "I001", line, format!("`.{what}()` on a protocol path — convert to a typed ProtoError/IoError (or waive with a justification)"));
+                    }
+                }
+                "A001" => {
+                    if ctx.ident_at(k, "HpbdCluster")
+                        && ctx.punct_at(k + 1, ':')
+                        && ctx.punct_at(k + 2, ':')
+                        && (ctx.ident_at(k + 3, "build") || ctx.ident_at(k + 3, "build_on"))
+                    {
+                        let what = ctx.tok(k + 3).text.clone();
+                        push(ctx, "A001", line, format!("`HpbdCluster::{what}` is the removed positional API — use ClusterBuilder"));
+                    }
+                }
+                _ => unreachable!("pattern rule list"),
+            }
+        }
+    }
+
+    // ---- I002: guarded tracer emits ----------------------------------------
+    if enabled("I002") && rule_applies(&ctx.rel, &config.rule("I002")) {
+        let findings = check_emit_guards(ctx);
+        for (line, message) in findings {
+            push(ctx, "I002", line, message);
+        }
+    }
+
+    // ---- I003: forbid(unsafe_code) in crate roots ---------------------------
+    if enabled("I003") && rule_applies(&ctx.rel, &config.rule("I003")) && is_crate_root(&ctx.rel) {
+        let mut found = false;
+        for k in 0..ctx.code.len() {
+            if ctx.punct_at(k, '#')
+                && ctx.punct_at(k + 1, '!')
+                && ctx.punct_at(k + 2, '[')
+                && ctx.ident_at(k + 3, "forbid")
+                && ctx.punct_at(k + 4, '(')
+                && ctx.ident_at(k + 5, "unsafe_code")
+            {
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            push(ctx, "I003", 1, "crate root lacks `#![forbid(unsafe_code)]`".to_string());
+        }
+    }
+
+    // ---- A002: pub fields on wire structs -----------------------------------
+    if enabled("A002") && rule_applies(&ctx.rel, &config.rule("A002")) {
+        let findings = check_pub_fields(ctx);
+        for (line, message) in findings {
+            push(ctx, "A002", line, message);
+        }
+    }
+
+    // ---- W000 / W001: waiver police -----------------------------------------
+    if only.is_none() || only == Some("W000") || only == Some("W001") {
+        let mut meta: Vec<(&'static str, u32, String)> = Vec::new();
+        for w in &ctx.waivers {
+            if w.justification.is_empty() && (only.is_none() || only == Some("W000")) {
+                meta.push((
+                    "W000",
+                    w.line,
+                    format!("waiver for {} carries no justification — write `// simlint: allow({}): <why>`", w.rule, w.rule),
+                ));
+            } else if !w.justification.is_empty()
+                && !w.used
+                && only.is_none()
+            {
+                meta.push((
+                    "W001",
+                    w.line,
+                    format!("waiver for {} matched no finding — remove the stale allow", w.rule),
+                ));
+            }
+        }
+        for (id, line, message) in meta {
+            // Waiver meta-findings are themselves unwaivable.
+            let policy = config.rule(id);
+            out.push(Finding {
+                rule: id,
+                path: rel.clone(),
+                line,
+                message,
+                waived: None,
+                warning: policy.warn,
+            });
+        }
+    }
+
+    // Deduplicate (a token can match two patterns of the same rule).
+    out.sort_by(|a, b| (a.rule, a.line, &a.message).cmp(&(b.rule, b.line, &b.message)));
+    out.dedup_by(|a, b| {
+        a.rule == b.rule && a.line == b.line && a.path == b.path && a.message == b.message
+    });
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Scope-tracking walk for I002: every `tracer().<emit>(...)` must be
+/// lexically inside an `if` whose condition mentions `trace_enabled`, or
+/// after an early-return guard (`if !...trace_enabled() { return; }`) in
+/// the same function.
+fn check_emit_guards(ctx: &FileCtx) -> Vec<(u32, String)> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Kind {
+        Block,
+        If { cond_has_guard: bool },
+        Fn,
+    }
+    struct Scope {
+        guarded: bool,
+        kind: Kind,
+        saw_return: bool,
+    }
+    let mut out = Vec::new();
+    let mut stack: Vec<Scope> = vec![Scope { guarded: false, kind: Kind::Block, saw_return: false }];
+    let mut pending: Option<Kind> = None;
+    let n = ctx.code.len();
+    for k in 0..n {
+        let t = ctx.tok(k);
+        if t.is_ident("if") {
+            // Scan the condition up to the body `{` at paren depth 0.
+            let mut has_guard = false;
+            let mut depth = 0i32;
+            let mut j = k + 1;
+            while j < n {
+                let c = ctx.tok(j);
+                if c.is_punct('(') || c.is_punct('[') {
+                    depth += 1;
+                } else if c.is_punct(')') || c.is_punct(']') {
+                    depth -= 1;
+                } else if c.is_punct('{') && depth == 0 {
+                    break;
+                } else if c.is_ident("trace_enabled") {
+                    has_guard = true;
+                }
+                j += 1;
+            }
+            pending = Some(Kind::If { cond_has_guard: has_guard });
+        } else if t.is_ident("fn") {
+            pending = Some(Kind::Fn);
+        } else if t.is_ident("return") {
+            if let Some(top) = stack.last_mut() {
+                top.saw_return = true;
+            }
+        } else if t.is_punct('{') {
+            let kind = pending.take().unwrap_or(Kind::Block);
+            let parent_guarded = stack.last().map(|s| s.guarded).unwrap_or(false);
+            let guarded = match kind {
+                Kind::Fn => false,
+                Kind::If { cond_has_guard } => parent_guarded || cond_has_guard,
+                Kind::Block => parent_guarded,
+            };
+            stack.push(Scope { guarded, kind, saw_return: false });
+        } else if t.is_punct('}') {
+            if stack.len() > 1 {
+                let done = stack.pop().expect("non-empty scope stack");
+                if let Kind::If { cond_has_guard: true } = done.kind {
+                    if done.saw_return {
+                        // `if !trace_enabled() { return; }`: the rest of the
+                        // enclosing scope runs only when tracing is on.
+                        if let Some(top) = stack.last_mut() {
+                            top.guarded = true;
+                        }
+                    }
+                }
+            }
+        } else if t.is_ident("tracer")
+            && ctx.punct_at(k + 1, '(')
+            && ctx.punct_at(k + 2, ')')
+            && ctx.punct_at(k + 3, '.')
+            && k + 4 < n
+            && ctx.tok(k + 4).kind == TokKind::Ident
+            && ctx.punct_at(k + 5, '(')
+            && !(k >= 1 && ctx.punct_at(k - 1, ':'))
+            && !(k >= 1 && ctx.tok(k - 1).is_ident("fn"))
+        {
+            if ctx.in_test_at(k) {
+                continue;
+            }
+            let guarded = stack.last().map(|s| s.guarded).unwrap_or(false);
+            if !guarded {
+                let method = ctx.tok(k + 4).text.clone();
+                out.push((
+                    t.line,
+                    format!("tracer().{method}(...) emit is not guarded by trace_enabled() — hot paths must skip argument marshalling when tracing is off"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// A002 walk: `pub` fields inside `struct Name { ... }` / `struct Name(...)`
+/// bodies.
+fn check_pub_fields(ctx: &FileCtx) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    let n = ctx.code.len();
+    let mut k = 0usize;
+    while k < n {
+        if ctx.ident_at(k, "struct") && k + 1 < n && ctx.tok(k + 1).kind == TokKind::Ident {
+            let name = ctx.tok(k + 1).text.clone();
+            // Find the body opener, stopping at `;` (unit struct).
+            let mut j = k + 2;
+            let mut body: Option<(usize, char)> = None;
+            while j < n {
+                let t = ctx.tok(j);
+                if t.is_punct(';') {
+                    break;
+                }
+                if t.is_punct('{') {
+                    body = Some((j, '}'));
+                    break;
+                }
+                if t.is_punct('(') {
+                    body = Some((j, ')'));
+                    break;
+                }
+                j += 1;
+            }
+            if let Some((open, close_ch)) = body {
+                let open_ch = if close_ch == '}' { '{' } else { '(' };
+                let mut depth = 0i32;
+                let mut m = open;
+                while m < n {
+                    let t = ctx.tok(m);
+                    if t.is_punct(open_ch) {
+                        depth += 1;
+                    } else if t.is_punct(close_ch) {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if depth == 1 && t.is_ident("pub") {
+                        out.push((
+                            t.line,
+                            format!("wire struct `{name}` exposes a pub field — keep wire layouts sealed behind constructors/accessors so checksummed invariants hold"),
+                        ));
+                    }
+                    m += 1;
+                }
+                k = m + 1;
+                continue;
+            }
+        }
+        k += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str, only: &str) -> Vec<Finding> {
+        let mut ctx = FileCtx::new(rel, src);
+        check_file(&mut ctx, &Config::builtin(), Some(only))
+    }
+
+    #[test]
+    fn d001_catches_paths_imports_and_now() {
+        let f = run("crates/x/src/a.rs", "use std::time::Instant;\n", "D001");
+        assert_eq!(f.len(), 1);
+        let f = run("crates/x/src/a.rs", "use std::time::{Duration, SystemTime};\n", "D001");
+        assert_eq!(f.len(), 1);
+        let f = run("crates/x/src/a.rs", "let t = Instant::now();\n", "D001");
+        assert_eq!(f.len(), 1);
+        // EventKind::Instant is not a time source.
+        let f = run("crates/x/src/a.rs", "match k { EventKind::Instant => 1 }\n", "D001");
+        assert!(f.is_empty());
+        // Duration alone is fine.
+        let f = run("crates/x/src/a.rs", "use std::time::Duration;\n", "D001");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn i001_skips_test_modules_and_unwrap_or() {
+        let src = "fn f() { x.unwrap(); y.unwrap_or(0); }\n#[cfg(test)]\nmod tests { fn g() { z.unwrap(); } }\n";
+        let f = run("crates/x/src/a.rs", src, "I001");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn i002_guard_forms() {
+        let guarded = "fn f(&self) { if self.engine.trace_enabled() { self.engine.tracer().instant(\"a\", \"b\", 0, &[]); } }";
+        assert!(run("crates/x/src/a.rs", guarded, "I002").is_empty());
+        let early = "fn f(&self) { if !engine.trace_enabled() { return; } engine.tracer().span(\"a\", \"b\", 0, 1, &[]); }";
+        assert!(run("crates/x/src/a.rs", early, "I002").is_empty());
+        let naked = "fn f(&self) { engine.tracer().instant(\"a\", \"b\", 0, &[]); }";
+        assert_eq!(run("crates/x/src/a.rs", naked, "I002").len(), 1);
+        // The guard does not leak across fn boundaries.
+        let leak = "fn f() { if trace_enabled() { } }\nfn g() { engine.tracer().instant(\"a\", \"b\", 0, &[]); }";
+        assert_eq!(run("crates/x/src/a.rs", leak, "I002").len(), 1);
+    }
+
+    #[test]
+    fn i003_requires_forbid_in_crate_roots() {
+        assert_eq!(run("crates/x/src/lib.rs", "//! docs\n", "I003").len(), 1);
+        assert!(run("crates/x/src/lib.rs", "#![forbid(unsafe_code)]\n", "I003").is_empty());
+        // Non-roots are exempt.
+        assert!(run("crates/x/src/other.rs", "//! docs\n", "I003").is_empty());
+    }
+
+    #[test]
+    fn a002_pub_fields_and_waivers() {
+        let src = "pub struct Wire { pub a: u32, b: u64 }\n";
+        let f = run("crates/x/src/proto.rs", src, "A002");
+        assert_eq!(f.len(), 1);
+        let waived = "pub struct Wire {\n    // simlint: allow(A002): stats snapshot, not a wire layout\n    pub a: u32,\n}\n";
+        let f = run("crates/x/src/proto.rs", waived, "A002");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].waived.is_some());
+    }
+
+    #[test]
+    fn w000_flags_missing_justification() {
+        let src = "// simlint: allow(I001)\nfn f() { x.unwrap(); }\n";
+        let mut ctx = FileCtx::new("crates/x/src/a.rs", src);
+        let f = check_file(&mut ctx, &Config::builtin(), None);
+        assert!(f.iter().any(|f| f.rule == "W000"));
+        // ...and the unjustified waiver does not actually waive.
+        assert!(f.iter().any(|f| f.rule == "I001" && f.waived.is_none()));
+    }
+
+    #[test]
+    fn w001_flags_stale_waivers() {
+        let src = "// simlint: allow(I001): nothing here needs it\nfn f() { ok(); }\n";
+        let mut ctx = FileCtx::new("crates/x/src/a.rs", src);
+        let f = check_file(&mut ctx, &Config::builtin(), None);
+        assert!(f.iter().any(|f| f.rule == "W001"));
+    }
+
+    #[test]
+    fn trailing_same_line_waiver() {
+        let src = "fn f() { x.unwrap(); } // simlint: allow(I001): boot-time invariant\n";
+        let mut ctx = FileCtx::new("crates/x/src/a.rs", src);
+        let f = check_file(&mut ctx, &Config::builtin(), Some("I001"));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].waived.is_some());
+    }
+}

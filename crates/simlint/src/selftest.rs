@@ -1,0 +1,267 @@
+//! `simlint --self-test`: runs the lexer plus every rule against embedded
+//! positive/negative fixture snippets, so the analyzer checks itself
+//! before it is trusted to gate CI. Each fixture is a (virtual path,
+//! source) pair fed through the exact production pipeline.
+
+use crate::config::Config;
+use crate::rules::{check_file, FileCtx, RULES};
+use std::collections::BTreeSet;
+
+struct Fixture {
+    rule: &'static str,
+    name: &'static str,
+    path: &'static str,
+    src: &'static str,
+    /// Expected finding count for `rule` on this snippet.
+    expect: usize,
+}
+
+const FIXTURES: &[Fixture] = &[
+    // ---- D001 ----
+    Fixture {
+        rule: "D001",
+        name: "instant-import",
+        path: "crates/x/src/a.rs",
+        src: "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n",
+        expect: 2,
+    },
+    Fixture {
+        rule: "D001",
+        name: "group-import",
+        path: "crates/x/src/a.rs",
+        src: "use std::time::{Duration, SystemTime};\n",
+        expect: 1,
+    },
+    Fixture {
+        rule: "D001",
+        name: "duration-and-eventkind-clean",
+        path: "crates/x/src/a.rs",
+        src: "use std::time::Duration;\nfn f(k: EventKind) -> bool { matches!(k, EventKind::Instant) }\n",
+        expect: 0,
+    },
+    // ---- D002 ----
+    Fixture {
+        rule: "D002",
+        name: "hashmap-field",
+        path: "crates/x/src/a.rs",
+        src: "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }\n",
+        expect: 2,
+    },
+    Fixture {
+        rule: "D002",
+        name: "btreemap-clean-and-tests-exempt",
+        path: "crates/x/src/a.rs",
+        src: "use std::collections::BTreeMap;\n#[cfg(test)]\nmod tests { use std::collections::HashSet; }\n",
+        expect: 0,
+    },
+    // ---- D003 ----
+    Fixture {
+        rule: "D003",
+        name: "thread-rng",
+        path: "crates/x/src/a.rs",
+        src: "fn f() { let mut r = rand::thread_rng(); }\n",
+        expect: 1,
+    },
+    Fixture {
+        rule: "D003",
+        name: "simrng-clean",
+        path: "crates/x/src/a.rs",
+        src: "fn f() { let mut r = SimRng::new(42); }\n",
+        expect: 0,
+    },
+    // ---- D004 ----
+    Fixture {
+        rule: "D004",
+        name: "thread-spawn",
+        path: "crates/x/src/a.rs",
+        src: "fn f() { std::thread::spawn(|| {}); }\n",
+        expect: 1,
+    },
+    Fixture {
+        rule: "D004",
+        name: "spawn-in-tests-exempt",
+        path: "crates/x/src/a.rs",
+        src: "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { std::thread::scope(|s| {}); }\n}\n",
+        expect: 0,
+    },
+    // ---- I001 ----
+    Fixture {
+        rule: "I001",
+        name: "unwrap-and-expect",
+        path: "crates/hpbd/src/client.rs",
+        src: "fn f(x: Option<u32>) -> u32 { x.unwrap() + x.expect(\"set\") }\n",
+        expect: 2,
+    },
+    Fixture {
+        rule: "I001",
+        name: "unwrap-or-clean",
+        path: "crates/hpbd/src/client.rs",
+        src: "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) + x.unwrap_or_default() }\n",
+        expect: 0,
+    },
+    Fixture {
+        rule: "I001",
+        name: "string-literal-clean",
+        path: "crates/hpbd/src/client.rs",
+        src: "const HELP: &str = \"call .unwrap() at your peril\";\n",
+        expect: 0,
+    },
+    // ---- I002 ----
+    Fixture {
+        rule: "I002",
+        name: "naked-emit",
+        path: "crates/x/src/a.rs",
+        src: "fn f(e: &Engine) { e.tracer().instant(\"cat\", \"name\", 0, &[]); }\n",
+        expect: 1,
+    },
+    Fixture {
+        rule: "I002",
+        name: "if-guarded",
+        path: "crates/x/src/a.rs",
+        src: "fn f(e: &Engine) { if e.trace_enabled() { e.tracer().instant(\"cat\", \"name\", 0, &[]); } }\n",
+        expect: 0,
+    },
+    Fixture {
+        rule: "I002",
+        name: "early-return-guarded",
+        path: "crates/x/src/a.rs",
+        src: "fn f(e: &Engine) {\n    if !e.trace_enabled() { return; }\n    e.tracer().span(\"cat\", \"name\", 0, 1, &[]);\n}\n",
+        expect: 0,
+    },
+    Fixture {
+        rule: "I002",
+        name: "guard-does-not-leak-across-fns",
+        path: "crates/x/src/a.rs",
+        src: "fn f(e: &Engine) { if e.trace_enabled() {} }\nfn g(e: &Engine) { e.tracer().instant(\"c\", \"n\", 0, &[]); }\n",
+        expect: 1,
+    },
+    // ---- I003 ----
+    Fixture {
+        rule: "I003",
+        name: "missing-forbid",
+        path: "crates/x/src/lib.rs",
+        src: "//! A crate.\npub mod a;\n",
+        expect: 1,
+    },
+    Fixture {
+        rule: "I003",
+        name: "forbid-present",
+        path: "crates/x/src/lib.rs",
+        src: "//! A crate.\n#![forbid(unsafe_code)]\npub mod a;\n",
+        expect: 0,
+    },
+    // ---- A001 ----
+    Fixture {
+        rule: "A001",
+        name: "build-remnant",
+        path: "crates/x/src/a.rs",
+        src: "fn f() { let c = HpbdCluster::build(4, 16); }\n",
+        expect: 1,
+    },
+    Fixture {
+        rule: "A001",
+        name: "builder-clean",
+        path: "crates/x/src/a.rs",
+        src: "fn f() { let c = ClusterBuilder::new().servers(4).run(); }\n",
+        expect: 0,
+    },
+    // ---- A002 ----
+    Fixture {
+        rule: "A002",
+        name: "pub-wire-field",
+        path: "crates/hpbd/src/proto.rs",
+        src: "pub struct PageRequest { pub req_id: u64, len: u32 }\n",
+        expect: 1,
+    },
+    Fixture {
+        rule: "A002",
+        name: "sealed-struct-clean",
+        path: "crates/hpbd/src/proto.rs",
+        src: "pub struct PageRequest { req_id: u64, len: u32 }\nimpl PageRequest { pub fn req_id(&self) -> u64 { self.req_id } }\n",
+        expect: 0,
+    },
+    // ---- W000 ----
+    Fixture {
+        rule: "W000",
+        name: "missing-justification",
+        path: "crates/x/src/a.rs",
+        src: "// simlint: allow(I001)\nfn f(x: Option<u32>) { x.unwrap(); }\n",
+        expect: 1,
+    },
+    Fixture {
+        rule: "W000",
+        name: "justified-clean",
+        path: "crates/x/src/a.rs",
+        src: "// simlint: allow(I001): init-time invariant, cannot fail\nfn f(x: Option<u32>) { x.unwrap(); }\n",
+        expect: 0,
+    },
+];
+
+/// Run the embedded fixtures; returns (passed, failed, distinct rule ids
+/// exercised) and prints one line per fixture.
+pub fn run() -> (usize, usize, usize) {
+    let config = Config::builtin();
+    let mut passed = 0usize;
+    let mut failed = 0usize;
+    let mut rules_seen: BTreeSet<&'static str> = BTreeSet::new();
+    for fx in FIXTURES {
+        let mut ctx = FileCtx::new(fx.path, fx.src);
+        let findings = check_file(&mut ctx, &config, Some(fx.rule));
+        let got = findings.iter().filter(|f| f.rule == fx.rule).count();
+        let ok = got == fx.expect;
+        if ok {
+            passed += 1;
+            rules_seen.insert(fx.rule);
+        } else {
+            failed += 1;
+        }
+        println!(
+            "self-test {} {}/{}: expected {} finding(s), got {}",
+            if ok { "ok  " } else { "FAIL" },
+            fx.rule,
+            fx.name,
+            fx.expect,
+            got
+        );
+    }
+    // W001 exercises the full (un-restricted) pipeline, so run it directly.
+    {
+        let mut ctx = FileCtx::new(
+            "crates/x/src/a.rs",
+            "// simlint: allow(D003): nothing random here\nfn f() { ok(); }\n",
+        );
+        let findings = check_file(&mut ctx, &config, None);
+        let got = findings.iter().filter(|f| f.rule == "W001").count();
+        let ok = got == 1;
+        if ok {
+            passed += 1;
+            rules_seen.insert("W001");
+        } else {
+            failed += 1;
+        }
+        println!(
+            "self-test {} W001/stale-waiver: expected 1 finding(s), got {}",
+            if ok { "ok  " } else { "FAIL" },
+            got
+        );
+    }
+    let known: BTreeSet<&str> = RULES.iter().map(|r| r.id).collect();
+    for r in &rules_seen {
+        debug_assert!(known.contains(r), "fixture references unknown rule {r}");
+    }
+    println!(
+        "self-test: {passed} passed, {failed} failed, {} distinct rules exercised",
+        rules_seen.len()
+    );
+    (passed, failed, rules_seen.len())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_fixtures_pass() {
+        let (_, failed, rules) = super::run();
+        assert_eq!(failed, 0);
+        assert!(rules >= 6, "only {rules} rules exercised");
+    }
+}

@@ -1,0 +1,71 @@
+//! Workspace file discovery: every `.rs` file under the configured roots,
+//! in sorted order so diagnostics (and the JSON report) are byte-stable
+//! across runs and machines.
+
+use std::path::{Path, PathBuf};
+
+/// Collect repo-relative paths of all `.rs` files under `roots`, skipping
+/// `target/` build output and any configured `exclude` prefixes.
+pub fn collect(workspace: &Path, roots: &[String], exclude: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    for root in roots {
+        let dir = workspace.join(root);
+        if dir.is_dir() {
+            walk_dir(workspace, &dir, exclude, &mut out);
+        } else if dir.is_file() && root.ends_with(".rs") {
+            out.push(root.replace('\\', "/"));
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn walk_dir(workspace: &Path, dir: &Path, exclude: &[String], out: &mut Vec<String>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        let rel = match path.strip_prefix(workspace) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => continue,
+        };
+        if exclude.iter().any(|e| {
+            let e = e.trim_end_matches('/');
+            rel == e || rel.starts_with(&format!("{e}/"))
+        }) {
+            continue;
+        }
+        if path.is_dir() {
+            walk_dir(workspace, &path, exclude, out);
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_sorted_and_skips_excludes() {
+        let base = std::env::temp_dir().join("simlint-walk-test");
+        let _ = std::fs::remove_dir_all(&base);
+        for p in ["a/src", "a/target/debug", "b/src"] {
+            std::fs::create_dir_all(base.join(p)).unwrap();
+        }
+        for f in ["a/src/lib.rs", "a/target/debug/gen.rs", "b/src/lib.rs", "b/src/zz.rs"] {
+            std::fs::write(base.join(f), "// x\n").unwrap();
+        }
+        let got = collect(&base, &["a".into(), "b".into()], &["b/src/zz.rs".into()]);
+        assert_eq!(got, ["a/src/lib.rs", "b/src/lib.rs"]);
+        let _ = std::fs::remove_dir_all(&base);
+    }
+}

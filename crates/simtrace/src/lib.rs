@@ -23,6 +23,7 @@
 //! [`simcore::Engine`]-held tracer is reachable from every layer.
 //!
 //! [`simcore::Engine`]: ../simcore/struct.Engine.html
+#![forbid(unsafe_code)]
 
 #![warn(missing_docs)]
 
@@ -37,7 +38,7 @@ pub use metrics::{
 pub use session::TraceSession;
 
 use std::cell::{Ref, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 use std::sync::{Mutex, OnceLock};
@@ -52,8 +53,8 @@ use std::sync::{Mutex, OnceLock};
 /// *distinct* labels, which is tiny and bounded by configuration, not by
 /// event volume.
 pub fn intern(label: &str) -> &'static str {
-    static TABLE: OnceLock<Mutex<HashMap<String, &'static str>>> = OnceLock::new();
-    let table = TABLE.get_or_init(|| Mutex::new(HashMap::new()));
+    static TABLE: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(BTreeMap::new()));
     let mut table = table.lock().expect("intern table poisoned");
     if let Some(&s) = table.get(label) {
         return s;

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # tcpsim — simulated kernel TCP sockets over the modeled fabrics
 //!
@@ -122,11 +123,11 @@ impl TcpConn {
             // layer learns of the reset through its reset handler.
             return;
         }
-        let peer = inner
-            .peer
-            .borrow()
-            .upgrade()
-            .expect("peer endpoint dropped");
+        let Some(peer) = inner.peer.borrow().upgrade() else {
+            // The peer endpoint was dropped (its node is gone): the bytes
+            // vanish on the wire, exactly like a send into a dead host.
+            return;
+        };
         let len = data.len() as u64;
         inner.bytes_sent.set(inner.bytes_sent.get() + len);
         let now = inner.engine.now();
@@ -235,7 +236,9 @@ fn drain_pending(inner: &Rc<ConnInner>) {
         if !ready {
             return;
         }
-        let (n, cb) = inner.pending.borrow_mut().pop_front().expect("checked");
+        let Some((n, cb)) = inner.pending.borrow_mut().pop_front() else {
+            return;
+        };
         let chunk = inner.rx_buf.borrow_mut().split_to(n).freeze();
         cb(chunk);
     }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # vmsim — the Linux 2.4-style virtual memory and swap subsystem
 //!

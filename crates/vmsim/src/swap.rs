@@ -8,11 +8,11 @@
 //! Figure 6, and what makes disk swap partially sequential for testswap.
 
 use blockdev::RequestQueue;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// A page-sized slot on a swap device.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Slot {
     /// Swap device id (index into the manager's device table).
     pub dev: u32,
@@ -36,7 +36,7 @@ pub struct SwapManager {
     page_size: u64,
     devices: Vec<SwapDevice>,
     /// Reverse map slot → owning page, for readahead neighbour lookup.
-    rmap: HashMap<Slot, PageKey>,
+    rmap: BTreeMap<Slot, PageKey>,
 }
 
 impl SwapManager {
@@ -45,7 +45,7 @@ impl SwapManager {
         SwapManager {
             page_size,
             devices: Vec::new(),
-            rmap: HashMap::new(),
+            rmap: BTreeMap::new(),
         }
     }
 

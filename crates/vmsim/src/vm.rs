@@ -26,7 +26,7 @@ use blockdev::{Bio, IoBuffer, IoOp, RequestQueue};
 use netmodel::{Calibration, Node};
 use simcore::{Engine, Signal, SimDuration, SimTime};
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 /// Free frames the swap-in readahead may not consume.
@@ -104,7 +104,7 @@ struct Throttle {
 struct VmInner {
     config: VmConfig,
     frames: FramePool,
-    table: HashMap<PageKey, PageEntry>,
+    table: BTreeMap<PageKey, PageEntry>,
     clock: VecDeque<PageKey>,
     swap: SwapManager,
     /// Signals to fire whenever forward progress happens (frame freed or
@@ -159,7 +159,7 @@ impl Vm {
             inner: Rc::new(RefCell::new(VmInner {
                 config,
                 frames,
-                table: HashMap::new(),
+                table: BTreeMap::new(),
                 clock: VecDeque::new(),
                 swap,
                 waiters: Vec::new(),
@@ -243,8 +243,8 @@ impl Vm {
     pub fn check_invariants(&self) {
         let inner = self.inner.borrow();
         let mut frames_used = 0usize;
-        let mut seen_frames = std::collections::HashSet::new();
-        let mut seen_slots = std::collections::HashSet::new();
+        let mut seen_frames = std::collections::BTreeSet::new();
+        let mut seen_slots = std::collections::BTreeSet::new();
         for (key, entry) in &inner.table {
             let (frame, slot) = match entry.state {
                 PageState::Resident { frame, slot, .. } => (Some(frame), slot),
