@@ -32,8 +32,14 @@ fn main() {
                 r.label.clone(),
                 r.elapsed_secs,
                 format!(
-                    "{recovery} timeouts={} retries={} failovers={} clean_failures={}",
-                    r.timeouts, r.retries, r.failovers, r.clean_failures
+                    "{recovery} timeouts={} retries={} failovers={} clean_failures={} \
+                     stale_drops={} migration_retries={}",
+                    r.timeouts,
+                    r.retries,
+                    r.failovers,
+                    r.clean_failures,
+                    r.stale_drops,
+                    r.migration_retries
                 ),
             )
         })

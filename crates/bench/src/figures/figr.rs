@@ -93,6 +93,12 @@ pub struct FigRRow {
     pub clean_failures: u64,
     /// Requests completed OK before the fault (probe cell diagnostics).
     pub ok_requests: u64,
+    /// Stale write reissues fenced off by server-side versioning (HPBD
+    /// cells; always zero for NBD).
+    pub stale_drops: u64,
+    /// Chunk migrations re-enqueued after a failed read/write leg (HPBD
+    /// cells; always zero for NBD).
+    pub migration_retries: u64,
     /// Completed swap bytes per time bin over the run.
     pub timeline: Vec<ThroughputSample>,
 }
@@ -201,6 +207,8 @@ fn run_hpbd_cell(
         failovers: stats.failovers,
         clean_failures: 0,
         ok_requests: stats.requests,
+        stale_drops: stats.stale_drops,
+        migration_retries: stats.migration_retries,
         timeline: timeline_from_spans(&events, "blockdev", elapsed_ns),
     }
 }
@@ -243,6 +251,8 @@ fn run_nbd_scenario_cell(
         failovers: 0,
         clean_failures: 0,
         ok_requests: report.requests,
+        stale_drops: 0,
+        migration_retries: 0,
         timeline: timeline_from_spans(&events, "blockdev", elapsed_ns),
     }
 }
@@ -301,6 +311,8 @@ fn run_nbd_reset_cell(label: &str, capacity: u64, fault_at_ns: u64, _args: &Comm
         failovers: 0,
         clean_failures: clean.get(),
         ok_requests: ok.get(),
+        stale_drops: 0,
+        migration_retries: 0,
         timeline: timeline_from_spans(&events, "nbd", elapsed_ns.max(1)),
     }
 }

@@ -71,6 +71,18 @@ pub struct ClientStats {
     pub migrations: u64,
     /// Block requests deferred behind an in-progress migration.
     pub deferred_requests: u64,
+    /// Writes a server fenced off as stale (a newer version already
+    /// covered every page); completed as success since the superseding
+    /// write is the state the device must converge to.
+    pub stale_drops: u64,
+    /// Mirror replicas dropped because their home server was dead: the
+    /// buddy's replica region belongs to a *different* extent, so
+    /// re-routing there would alias two device pages onto one slot. The
+    /// write keeps its primary copy and runs with degraded redundancy.
+    pub mirror_drops: u64,
+    /// Migration transfers re-enqueued after a failed read or write
+    /// completion (the chunk stays deferred until a retry succeeds).
+    pub migration_retries: u64,
 }
 
 /// Parent bookkeeping for a (possibly split) block request.
@@ -137,6 +149,10 @@ struct Phys {
     server_idx: usize,
     server_offset: u64,
     len: u64,
+    /// Write-fencing stamp (0 for reads). Retries and failover reissues
+    /// keep the stamp they were born with: a reissue is the SAME logical
+    /// write, and must lose to any newer write that overtook it.
+    version: u64,
     staging: Staging,
     parent: Rc<Parent>,
     parent_off: u64,
@@ -186,6 +202,12 @@ struct ClientInner {
     qp_to_conn: RefCell<BTreeMap<u32, usize>>,
     outstanding: RefCell<BTreeMap<u64, Phys>>,
     next_req_id: Cell<u64>,
+    /// Write-fencing version source: one fresh stamp per block-layer
+    /// write, shared by every physical part (primary and mirror replica)
+    /// of that write. Monotonic, so later writes always win the fence.
+    next_version: Cell<u64>,
+    /// Failed-migration retry counts per chunk (cleared on success).
+    migration_attempts: RefCell<BTreeMap<usize, u32>>,
     capacity: Cell<u64>,
     stats: RefCell<ClientStats>,
     /// Device-chunk → server-location mapping, sorted by `device_base`.
@@ -262,6 +284,8 @@ impl HpbdClient {
                 qp_to_conn: RefCell::new(BTreeMap::new()),
                 outstanding: RefCell::new(BTreeMap::new()),
                 next_req_id: Cell::new(1),
+                next_version: Cell::new(1),
+                migration_attempts: RefCell::new(BTreeMap::new()),
                 capacity: Cell::new(0),
                 stats: RefCell::new(ClientStats::default()),
                 chunk_map: RefCell::new(Vec::new()),
@@ -529,6 +553,10 @@ impl HpbdClient {
         // A server known to be dead gets no traffic: re-target the buddy's
         // replica region up front (requires mirroring).
         if self.inner.conns.borrow()[phys.server_idx].dead.get() {
+            if phys.is_mirror {
+                self.drop_mirror(phys);
+                return;
+            }
             match self.failover_target(&phys) {
                 Some((buddy, offset)) => {
                     self.inner.stats.borrow_mut().failovers += 1;
@@ -587,6 +615,7 @@ impl HpbdClient {
             phys.len,
             client_rkey,
             client_offset,
+            phys.version,
         );
         {
             let mut stats = self.inner.stats.borrow_mut();
@@ -721,6 +750,10 @@ impl HpbdClient {
         for queued in stranded {
             self.enqueue_send(queued);
         }
+        if phys.is_mirror {
+            self.drop_mirror(phys);
+            return;
+        }
         match self.failover_target(&phys) {
             Some((buddy, offset)) => {
                 self.inner.stats.borrow_mut().failovers += 1;
@@ -742,6 +775,32 @@ impl HpbdClient {
             }
             None => self.fail_phys(phys, IoError::Fault(FaultKind::Timeout)),
         }
+    }
+
+    /// A mirror replica has nowhere safe to go: its home server is dead,
+    /// and the buddy's replica region is a *different* extent's replica
+    /// namespace — re-routing there would alias two device pages onto one
+    /// slot and corrupt whichever loses the race. Drop the copy instead:
+    /// the write keeps its primary, and the device runs with degraded
+    /// redundancy until the server returns.
+    fn drop_mirror(&self, phys: Phys) {
+        debug_assert!(phys.is_mirror);
+        self.inner.stats.borrow_mut().mirror_drops += 1;
+        self.inner.engine.metrics().inc("hpbd.mirror_drops");
+        if self.inner.engine.trace_enabled() {
+            self.inner.engine.tracer().instant(
+                "hpbd",
+                "mirror_dropped",
+                self.inner.engine.now().as_nanos(),
+                &[("req", phys.req_id), ("server", phys.server_idx as u64)],
+            );
+        }
+        self.release_staging(&phys);
+        let parent = phys.parent.clone();
+        let engine = self.inner.engine.clone();
+        self.inner
+            .engine
+            .schedule_at(self.inner.engine.now(), move || parent.finish_part(&engine));
     }
 
     /// Complete a physical request as failed.
@@ -800,12 +859,7 @@ impl HpbdClient {
         while let Some(completion) = inner.recv_cq.poll() {
             assert_eq!(completion.opcode, Opcode::Recv);
             assert_eq!(completion.status, WcStatus::Success, "reply recv failed");
-            let Some(conn_idx) = inner
-                .qp_to_conn
-                .borrow()
-                .get(&completion.qp_num)
-                .copied()
-            else {
+            let Some(conn_idx) = inner.qp_to_conn.borrow().get(&completion.qp_num).copied() else {
                 // A reply from a QP no connection claims (e.g. torn down
                 // by fault injection): count it and drop.
                 inner.stats.borrow_mut().bad_messages += 1;
@@ -899,6 +953,35 @@ impl HpbdClient {
             }
         }
 
+        if reply.status() == ReplyStatus::StaleWrite {
+            // The server fenced this write: a newer version already covers
+            // every page it touched. From the block layer's point of view
+            // that is success — the superseding write is the state the
+            // device must converge to, and applying this one could only
+            // have undone it. Typical sources: a timed-out write whose
+            // original delivery landed late, or a failover reissue racing
+            // its own mirror copy.
+            debug_assert_eq!(phys.op, PageOp::Write);
+            debug_assert_eq!(reply.version(), phys.version);
+            inner.stats.borrow_mut().stale_drops += 1;
+            inner.engine.metrics().inc("hpbd.stale_drops");
+            if inner.engine.trace_enabled() {
+                inner.engine.tracer().instant(
+                    "hpbd",
+                    "stale_write_dropped",
+                    inner.engine.now().as_nanos(),
+                    &[("req", phys.req_id), ("version", phys.version)],
+                );
+            }
+            self.release_staging(&phys);
+            let parent = phys.parent.clone();
+            let engine = inner.engine.clone();
+            inner
+                .engine
+                .schedule_at(t_proc, move || parent.finish_part(&engine));
+            return;
+        }
+
         if reply.status() != ReplyStatus::Ok {
             let error = match reply.status() {
                 // The server's RDMA to/from our pool failed on the wire.
@@ -917,6 +1000,7 @@ impl HpbdClient {
 
         match phys.op {
             PageOp::Write => {
+                debug_assert_eq!(reply.version(), phys.version);
                 inner.stats.borrow_mut().bytes_out += phys.len;
                 self.release_staging(&phys);
                 let parent = phys.parent.clone();
@@ -1081,14 +1165,50 @@ impl HpbdClient {
         self.migrate_chunk(chunk_idx);
     }
 
+    /// A migration transfer failed (typically because a server died
+    /// mid-move): re-enqueue the whole migration after a short delay. The
+    /// chunk stays in `migrating`, so application I/O keeps deferring
+    /// instead of racing a half-moved chunk. Bounded: when every attempt
+    /// fails there is no recoverable copy of the data anywhere, and
+    /// continuing silently would lose pages.
+    fn retry_migration(&self, chunk_idx: usize) {
+        const MAX_MIGRATION_ATTEMPTS: u32 = 10;
+        let attempts = {
+            let mut map = self.inner.migration_attempts.borrow_mut();
+            let n = map.entry(chunk_idx).or_insert(0);
+            *n += 1;
+            *n
+        };
+        assert!(
+            attempts <= MAX_MIGRATION_ATTEMPTS,
+            "migration of chunk {chunk_idx} failed {attempts} times — no recoverable copy left"
+        );
+        self.inner.stats.borrow_mut().migration_retries += 1;
+        self.inner.engine.metrics().inc("hpbd.migration_retries");
+        if self.inner.engine.trace_enabled() {
+            self.inner.engine.tracer().instant(
+                "hpbd",
+                "migration_retry",
+                self.inner.engine.now().as_nanos(),
+                &[("chunk", chunk_idx as u64), ("attempt", attempts as u64)],
+            );
+        }
+        let this = self.clone();
+        self.inner
+            .engine
+            .schedule_in(SimDuration::from_micros(200), move || {
+                this.migrate_when_quiesced(chunk_idx)
+            });
+    }
+
     /// Move one chunk: read its data from the old home through the normal
     /// request path, repoint the map at a spare chunk, write the data to
     /// the new home, then release deferred I/O.
     fn migrate_chunk(&self, chunk_idx: usize) {
-        let (device_base, len, old_server) = {
+        let (device_base, len, old_server, old_offset) = {
             let map = self.inner.chunk_map.borrow();
             let c = map[chunk_idx];
-            (c.device_base, c.len, c.server)
+            (c.device_base, c.len, c.server, c.server_offset)
         };
         // Pick a spare on any *other* live server (round-robin by fill).
         let target = {
@@ -1121,8 +1241,14 @@ impl HpbdClient {
             device_base,
             read_buf,
             move |result| {
-                // simlint: allow(I001): migration has no failure recovery yet (ROADMAP open item); surfacing it here keeps the gap loud
-                result.expect("migration read");
+                if result.is_err() {
+                    // The source (and any replica) could not produce the
+                    // data right now. Nothing has been repointed yet:
+                    // return the spare and re-enqueue the migration.
+                    this.inner.spares.borrow_mut()[new_server].push(new_offset);
+                    this.retry_migration(chunk_idx);
+                    return;
+                }
                 // Repoint the chunk, then write the data to the new home.
                 {
                     let mut map = this.inner.chunk_map.borrow_mut();
@@ -1135,8 +1261,28 @@ impl HpbdClient {
                     device_base,
                     buf.clone(),
                     move |result| {
-                        // simlint: allow(I001): migration has no failure recovery yet (ROADMAP open item); surfacing it here keeps the gap loud
-                        result.expect("migration write");
+                        if result.is_err() {
+                            // The new home failed the write: point the
+                            // chunk back at its source (whose data is
+                            // still intact — reclaims are advisory until
+                            // the move completes), return the spare, and
+                            // re-enqueue the migration. The dead-marking
+                            // done by the failed write steers the next
+                            // attempt to a different target.
+                            {
+                                let mut map = this2.inner.chunk_map.borrow_mut();
+                                map[chunk_idx].server = old_server;
+                                map[chunk_idx].server_offset = old_offset;
+                            }
+                            this2.inner.spares.borrow_mut()[new_server].push(new_offset);
+                            this2.retry_migration(chunk_idx);
+                            return;
+                        }
+                        this2
+                            .inner
+                            .migration_attempts
+                            .borrow_mut()
+                            .remove(&chunk_idx);
                         this2.inner.migrating.borrow_mut().remove(&chunk_idx);
                         this2.inner.stats.borrow_mut().migrations += 1;
                         this2.inner.engine.metrics().inc("hpbd.migrations");
@@ -1163,8 +1309,15 @@ impl HpbdClient {
         }
     }
 
-    /// Stage and send the physical parts of one block request.
-    fn issue_parts(&self, op: PageOp, parts: Vec<(usize, u64, u64, u64)>, parent: Rc<Parent>) {
+    /// Stage and send the physical parts of one block request. `version`
+    /// is the write-fencing stamp shared by every part (0 for reads).
+    fn issue_parts(
+        &self,
+        op: PageOp,
+        version: u64,
+        parts: Vec<(usize, u64, u64, u64)>,
+        parent: Rc<Parent>,
+    ) {
         let inner = &self.inner;
         // Mirrored writes double the physical parts (one per replica).
         // Replicas live in the upper half of the buddy server's store (the
@@ -1224,6 +1377,7 @@ impl HpbdClient {
                                 server_idx: target,
                                 server_offset,
                                 len,
+                                version,
                                 staging: Staging::Pool(pool_buf),
                                 parent,
                                 parent_off,
@@ -1240,6 +1394,7 @@ impl HpbdClient {
                             server_idx: target,
                             server_offset,
                             len,
+                            version,
                             staging: Staging::Ephemeral(inner.ibnode.hca().register(len as usize)),
                             parent,
                             parent_off,
@@ -1278,6 +1433,18 @@ impl HpbdClient {
             IoOp::Write => PageOp::Write,
             IoOp::Read => PageOp::Read,
         };
+        // Stamp every write with a fresh fence version at SUBMISSION time:
+        // the block layer serialises same-page writes (a page is rewritten
+        // only after its previous write completed), so submission order is
+        // the order the fence must enforce.
+        let version = match op {
+            PageOp::Write => {
+                let v = inner.next_version.get();
+                inner.next_version.set(v + 1);
+                v
+            }
+            PageOp::Read => 0,
+        };
         inner.ctr_requests.inc();
         let parts = self.split(req.offset(), req.len());
         if parts.len() > 1 {
@@ -1305,7 +1472,7 @@ impl HpbdClient {
                 PageOp::Write => inner.hist_swap_out.clone(),
             },
         });
-        self.issue_parts(op, parts, parent);
+        self.issue_parts(op, version, parts, parent);
     }
 
     fn submit_internal(&self, req: IoRequest) {

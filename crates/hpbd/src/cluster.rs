@@ -281,6 +281,18 @@ fn schedule_fault_plan(engine: &Engine, cluster: &HpbdCluster, plan: &FaultPlan,
                 let link = cluster.links[server].clone();
                 engine.schedule_at(at, move || link.error_next(count));
             }
+            FaultEvent::MessageDelay {
+                server,
+                count,
+                delay_ns,
+            } => {
+                let link = cluster.links[server].clone();
+                engine.schedule_at(at, move || link.delay_next(count, delay_ns));
+            }
+            FaultEvent::MessageDuplicate { server, count } => {
+                let link = cluster.links[server].clone();
+                engine.schedule_at(at, move || link.duplicate_next(count));
+            }
             // TCP resets target the NBD baseline; a plan shared between
             // an HPBD and an NBD deployment simply has no HPBD-side
             // effect for them.

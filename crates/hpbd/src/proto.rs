@@ -19,9 +19,11 @@ pub const HPBD_MAGIC: u32 = 0x4850_4244; // "HPBD"
 pub const NOTICE_MAGIC: u32 = 0x4850_4E54; // "HPNT"
 
 /// Encoded size of a [`PageRequest`].
-pub const REQUEST_WIRE_SIZE: usize = 44;
+pub const REQUEST_WIRE_SIZE: usize = 52;
 /// Encoded size of a [`PageReply`].
-pub const REPLY_WIRE_SIZE: usize = 20;
+pub const REPLY_WIRE_SIZE: usize = 28;
+/// Encoded size of a [`RevokeNotice`] (including its checksum).
+pub const NOTICE_WIRE_SIZE: usize = 24;
 
 /// Operation requested of the memory server.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -72,6 +74,7 @@ pub struct PageRequest {
     len: u64,
     client_rkey: u32,
     client_offset: u64,
+    version: u64,
 }
 
 impl PageRequest {
@@ -85,8 +88,17 @@ impl PageRequest {
         len: u64,
         client_rkey: u32,
         client_offset: u64,
+        version: u64,
     ) -> PageRequest {
-        PageRequest { req_id, op, server_offset, len, client_rkey, client_offset }
+        PageRequest {
+            req_id,
+            op,
+            server_offset,
+            len,
+            client_rkey,
+            client_offset,
+            version,
+        }
     }
 
     /// Client-chosen request id, echoed in the reply.
@@ -109,6 +121,11 @@ impl PageRequest {
         self.len
     }
 
+    /// Whether the request transfers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
     /// rkey of the client's registered pool region.
     pub fn client_rkey(&self) -> u32 {
         self.client_rkey
@@ -117,6 +134,14 @@ impl PageRequest {
     /// Offset of the staged data inside the client pool region.
     pub fn client_offset(&self) -> u64 {
         self.client_offset
+    }
+
+    /// Write-fencing version. Monotonically increasing per client write;
+    /// retries, failover reissues, and mirror replicas of the same logical
+    /// write all carry the same stamp, so a server can drop any copy that
+    /// would undo a newer write to the same block. Reads carry 0.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 }
 
@@ -129,6 +154,11 @@ pub enum ReplyStatus {
     OutOfRange,
     /// RDMA transfer failed.
     TransferError,
+    /// Write fenced off: every page it covers already holds data from an
+    /// equal-or-newer version, so the server dropped it without applying.
+    /// The client treats this as success — the superseding write is the
+    /// state the block device must converge to.
+    StaleWrite,
 }
 
 impl ReplyStatus {
@@ -137,6 +167,7 @@ impl ReplyStatus {
             ReplyStatus::Ok => 0,
             ReplyStatus::OutOfRange => 1,
             ReplyStatus::TransferError => 2,
+            ReplyStatus::StaleWrite => 3,
         }
     }
 
@@ -145,6 +176,7 @@ impl ReplyStatus {
             0 => Ok(ReplyStatus::Ok),
             1 => Ok(ReplyStatus::OutOfRange),
             2 => Ok(ReplyStatus::TransferError),
+            3 => Ok(ReplyStatus::StaleWrite),
             _ => Err(ProtoError::BadField("status")),
         }
     }
@@ -155,12 +187,17 @@ impl ReplyStatus {
 pub struct PageReply {
     req_id: u64,
     status: ReplyStatus,
+    version: u64,
 }
 
 impl PageReply {
     /// Build a reply.
-    pub fn new(req_id: u64, status: ReplyStatus) -> PageReply {
-        PageReply { req_id, status }
+    pub fn new(req_id: u64, status: ReplyStatus, version: u64) -> PageReply {
+        PageReply {
+            req_id,
+            status,
+            version,
+        }
     }
 
     /// Echoed request id.
@@ -171,6 +208,12 @@ impl PageReply {
     /// Outcome.
     pub fn status(&self) -> ReplyStatus {
         self.status
+    }
+
+    /// Echoed write-fencing version (0 for reads), so the client can
+    /// cross-check that the completion belongs to the stamp it issued.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 }
 
@@ -200,10 +243,15 @@ impl RevokeNotice {
         self.len
     }
 
-    /// Serialise: same 24-byte wire size as a [`PageReply`], so notices
-    /// fit the client's pre-posted reply buffers.
+    /// Whether the reclaimed range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Serialise: 24 bytes, smaller than a [`PageReply`]'s wire size, so
+    /// notices fit the client's pre-posted reply buffers.
     pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(REPLY_WIRE_SIZE + 4);
+        let mut b = BytesMut::with_capacity(NOTICE_WIRE_SIZE);
         b.put_u32_le(NOTICE_MAGIC);
         b.put_u64_le(self.offset);
         b.put_u64_le(self.len);
@@ -243,7 +291,7 @@ impl ServerMessage {
         match read_u32(b, 0)? {
             HPBD_MAGIC => Ok(ServerMessage::Reply(PageReply::decode_slice(b)?)),
             NOTICE_MAGIC => {
-                if b.len() < REPLY_WIRE_SIZE + 4 {
+                if b.len() < NOTICE_WIRE_SIZE {
                     return Err(ProtoError::Truncated);
                 }
                 let offset = read_u64(b, 4)?;
@@ -302,6 +350,7 @@ impl PageRequest {
         b.put_u64_le(self.len);
         b.put_u32_le(self.client_rkey);
         b.put_u64_le(self.client_offset);
+        b.put_u64_le(self.version);
         let sum = checksum(&[
             self.req_id as u32,
             (self.req_id >> 32) as u32,
@@ -313,6 +362,8 @@ impl PageRequest {
             self.client_rkey,
             self.client_offset as u32,
             (self.client_offset >> 32) as u32,
+            self.version as u32,
+            (self.version >> 32) as u32,
         ]);
         b.put_u32_le(sum);
         b.freeze()
@@ -337,7 +388,8 @@ impl PageRequest {
         let len = read_u64(b, 24)?;
         let client_rkey = read_u32(b, 32)?;
         let client_offset = read_u64(b, 36)?;
-        let sum = read_u32(b, 44)?;
+        let version = read_u64(b, 44)?;
+        let sum = read_u32(b, 52)?;
         let expect = checksum(&[
             req_id as u32,
             (req_id >> 32) as u32,
@@ -349,6 +401,8 @@ impl PageRequest {
             client_rkey,
             client_offset as u32,
             (client_offset >> 32) as u32,
+            version as u32,
+            (version >> 32) as u32,
         ]);
         if sum != expect {
             return Err(ProtoError::BadChecksum);
@@ -360,6 +414,7 @@ impl PageRequest {
             len,
             client_rkey,
             client_offset,
+            version,
         })
     }
 }
@@ -367,14 +422,17 @@ impl PageRequest {
 impl PageReply {
     /// Serialise with magic and checksum.
     pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(REPLY_WIRE_SIZE + 4);
+        let mut b = BytesMut::with_capacity(REPLY_WIRE_SIZE);
         b.put_u32_le(HPBD_MAGIC);
         b.put_u64_le(self.req_id);
         b.put_u32_le(self.status.code());
+        b.put_u64_le(self.version);
         let sum = checksum(&[
             self.req_id as u32,
             (self.req_id >> 32) as u32,
             self.status.code(),
+            self.version as u32,
+            (self.version >> 32) as u32,
         ]);
         b.put_u32_le(sum);
         b.freeze()
@@ -395,14 +453,22 @@ impl PageReply {
         }
         let req_id = read_u64(b, 4)?;
         let status_code = read_u32(b, 12)?;
-        let sum = read_u32(b, 16)?;
-        let expect = checksum(&[req_id as u32, (req_id >> 32) as u32, status_code]);
+        let version = read_u64(b, 16)?;
+        let sum = read_u32(b, 24)?;
+        let expect = checksum(&[
+            req_id as u32,
+            (req_id >> 32) as u32,
+            status_code,
+            version as u32,
+            (version >> 32) as u32,
+        ]);
         if sum != expect {
             return Err(ProtoError::BadChecksum);
         }
         Ok(PageReply {
             req_id,
             status: ReplyStatus::from_code(status_code)?,
+            version,
         })
     }
 }
@@ -419,6 +485,7 @@ mod tests {
             len: 128 * 1024,
             client_rkey: 42,
             client_offset: 4096,
+            version: 0x0102_0304_0506_0708,
         }
     }
 
@@ -434,8 +501,13 @@ mod tests {
             ReplyStatus::Ok,
             ReplyStatus::OutOfRange,
             ReplyStatus::TransferError,
+            ReplyStatus::StaleWrite,
         ] {
-            let r = PageReply { req_id: 99, status };
+            let r = PageReply {
+                req_id: 99,
+                status,
+                version: 17,
+            };
             assert_eq!(PageReply::decode(r.encode()).unwrap(), r);
         }
     }
@@ -472,6 +544,7 @@ mod tests {
         let mut raw = PageReply {
             req_id: 1,
             status: ReplyStatus::Ok,
+            version: 5,
         }
         .encode()
         .to_vec();
@@ -480,5 +553,139 @@ mod tests {
             PageReply::decode(Bytes::from(raw)),
             Err(ProtoError::BadChecksum)
         );
+    }
+
+    #[test]
+    fn reply_checksum_catches_version_tamper() {
+        let mut raw = PageReply {
+            req_id: 1,
+            status: ReplyStatus::Ok,
+            version: 5,
+        }
+        .encode()
+        .to_vec();
+        raw[16] = 9; // version low byte: 5 -> 9
+        assert_eq!(
+            PageReply::decode(Bytes::from(raw)),
+            Err(ProtoError::BadChecksum)
+        );
+    }
+
+    // ---- deterministic property loops over the versioned wire format ----
+
+    use simcore::SimRng;
+
+    fn for_cases(cases: u64, mut f: impl FnMut(&mut SimRng)) {
+        for case in 0..cases {
+            let mut rng = SimRng::new(0xC0FF_EE00_5EED ^ (case * 0x100_0000_01B3));
+            f(&mut rng);
+        }
+    }
+
+    fn random_request(rng: &mut SimRng) -> PageRequest {
+        PageRequest {
+            req_id: rng.next_u64(),
+            op: if rng.below(2) == 0 {
+                PageOp::Write
+            } else {
+                PageOp::Read
+            },
+            server_offset: rng.next_u64(),
+            len: rng.next_u64(),
+            client_rkey: rng.next_u32(),
+            client_offset: rng.next_u64(),
+            version: rng.next_u64(),
+        }
+    }
+
+    fn random_reply(rng: &mut SimRng) -> PageReply {
+        let status = match rng.below(4) {
+            0 => ReplyStatus::Ok,
+            1 => ReplyStatus::OutOfRange,
+            2 => ReplyStatus::TransferError,
+            _ => ReplyStatus::StaleWrite,
+        };
+        PageReply {
+            req_id: rng.next_u64(),
+            status,
+            version: rng.next_u64(),
+        }
+    }
+
+    #[test]
+    fn prop_request_roundtrip_preserves_version() {
+        for_cases(512, |rng| {
+            let r = random_request(rng);
+            let back = PageRequest::decode(r.encode()).unwrap();
+            assert_eq!(back, r);
+            assert_eq!(back.version(), r.version);
+        });
+    }
+
+    #[test]
+    fn prop_reply_roundtrip_preserves_version() {
+        for_cases(512, |rng| {
+            let r = random_reply(rng);
+            let back = PageReply::decode(r.encode()).unwrap();
+            assert_eq!(back, r);
+            assert_eq!(back.version(), r.version);
+        });
+    }
+
+    #[test]
+    fn prop_truncated_inputs_error_and_never_panic() {
+        for_cases(256, |rng| {
+            let req = random_request(rng).encode();
+            let rep = random_reply(rng).encode();
+            let notice = RevokeNotice::new(rng.next_u64(), rng.next_u64()).encode();
+            for cut in 0..req.len() {
+                assert_eq!(
+                    PageRequest::decode_slice(&req[..cut]),
+                    Err(ProtoError::Truncated)
+                );
+            }
+            for cut in 0..rep.len() {
+                assert_eq!(
+                    PageReply::decode_slice(&rep[..cut]),
+                    Err(ProtoError::Truncated)
+                );
+            }
+            for cut in 0..notice.len() {
+                // Truncated notices must error; a cut below the 4-byte magic
+                // cannot even be classified, which is still `Truncated`.
+                assert_eq!(
+                    ServerMessage::decode_slice(&notice[..cut]),
+                    Err(ProtoError::Truncated)
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn prop_single_byte_corruption_is_rejected_not_applied() {
+        for_cases(128, |rng| {
+            let r = random_request(rng);
+            let mut raw = r.encode().to_vec();
+            let at = rng.below(raw.len() as u64) as usize;
+            let bit = 1u8 << rng.below(8);
+            raw[at] ^= bit;
+            // A flipped bit may hit the magic, a field, or the checksum;
+            // in every case decode must fail rather than yield `r`.
+            match PageRequest::decode_slice(&raw) {
+                Err(_) => {}
+                Ok(decoded) => assert_ne!(decoded, r, "corruption accepted"),
+            }
+        });
+    }
+
+    #[test]
+    fn prop_random_garbage_never_panics() {
+        for_cases(256, |rng| {
+            let len = rng.below(2 * (REQUEST_WIRE_SIZE as u64 + 4)) as usize;
+            let raw: Vec<u8> = (0..len).map(|_| rng.next_u32() as u8).collect();
+            let _ = PageRequest::decode_slice(&raw);
+            let _ = PageReply::decode_slice(&raw);
+            let _ = ServerMessage::decode_slice(&raw);
+        });
     }
 }

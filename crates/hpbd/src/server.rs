@@ -70,6 +70,22 @@ pub struct ServerStats {
     pub bad_messages: u64,
     /// Revocation notices sent (dynamic memory).
     pub revokes_sent: u64,
+    /// Writes fenced off (every covered page already held an
+    /// equal-or-newer version) and acknowledged with `StaleWrite`
+    /// instead of being applied.
+    pub stale_writes: u64,
+}
+
+/// Write-fencing granularity: versions are tracked per 4 KiB page, the
+/// swap unit the client stamps.
+const VERSION_PAGE: u64 = 4096;
+
+/// The store pages a request's byte range touches.
+fn page_range(r: &PageRequest) -> std::ops::RangeInclusive<u64> {
+    // `validate` guarantees len > 0.
+    let first = r.server_offset() / VERSION_PAGE;
+    let last = (r.server_offset() + r.len() - 1) / VERSION_PAGE;
+    first..=last
 }
 
 struct ServerInner {
@@ -84,6 +100,11 @@ struct ServerInner {
     conns: RefCell<Vec<Conn>>,
     qp_to_conn: RefCell<BTreeMap<u32, usize>>,
     pending: RefCell<BTreeMap<u64, PendingRdma>>,
+    /// Write fence: highest version applied per store page. A write whose
+    /// version is not newer than what a page holds is dropped for that
+    /// page — stale retries, failover reissues, and duplicate deliveries
+    /// can never undo newer data. (BTreeMap for deterministic iteration.)
+    versions: RefCell<BTreeMap<u64, u64>>,
     /// Receive buffers consumed while crashed (never re-posted by the dead
     /// daemon); a restart re-posts them. `(conn, wr_id)` pairs.
     lost_recvs: RefCell<Vec<(usize, u64)>>,
@@ -137,6 +158,7 @@ impl HpbdServer {
                 conns: RefCell::new(Vec::new()),
                 qp_to_conn: RefCell::new(BTreeMap::new()),
                 pending: RefCell::new(BTreeMap::new()),
+                versions: RefCell::new(BTreeMap::new()),
                 lost_recvs: RefCell::new(Vec::new()),
                 next_token: Cell::new(1),
                 last_activity: Cell::new(SimTime::ZERO),
@@ -215,8 +237,11 @@ impl HpbdServer {
         if self.inner.crashed.replace(true) {
             return;
         }
-        // The exported page store evaporates with the process.
+        // The exported page store evaporates with the process — and with
+        // it the write fence: a restarted server starts from version 0,
+        // matching its empty store.
         self.inner.storage.wipe();
+        self.inner.versions.borrow_mut().clear();
         // In-flight RDMA state machines die with the daemon. Their staging
         // buffers return to the pool wholesale (the restart would rebuild
         // the pool; freeing models that without a pool reset). Late wire
@@ -437,7 +462,12 @@ impl HpbdServer {
         if !self.validate(&request) {
             let this = self.clone();
             inner.engine.schedule_at(t_proc, move || {
-                this.send_reply(conn_idx, request.req_id(), ReplyStatus::OutOfRange);
+                this.send_reply(
+                    conn_idx,
+                    request.req_id(),
+                    ReplyStatus::OutOfRange,
+                    request.version(),
+                );
             });
             return;
         }
@@ -449,20 +479,53 @@ impl HpbdServer {
     }
 
     fn validate(&self, r: &PageRequest) -> bool {
-        r.len() > 0
+        !r.is_empty()
             && r.len() <= self.inner.config.server_staging_size
             && self.inner.storage.in_range(r.server_offset(), r.len())
+    }
+
+    /// Fencing check: true when every page the write covers already holds
+    /// data from an equal-or-newer version, so applying it could only
+    /// undo newer data (or redundantly rewrite identical data).
+    fn write_fully_stale(&self, r: &PageRequest) -> bool {
+        if r.op() != PageOp::Write || r.version() == 0 {
+            return false;
+        }
+        let versions = self.inner.versions.borrow();
+        page_range(r).all(|p| versions.get(&p).is_some_and(|&v| v >= r.version()))
+    }
+
+    /// A write lost the fence race: acknowledge with `StaleWrite` so the
+    /// client can retire it, without touching the store (and, when caught
+    /// before the pull, without spending any RDMA).
+    fn drop_stale(&self, conn_idx: usize, request: &PageRequest, started: SimTime) {
+        self.inner.stats.borrow_mut().stale_writes += 1;
+        self.serve_span(request, started, true);
+        self.send_reply(
+            conn_idx,
+            request.req_id(),
+            ReplyStatus::StaleWrite,
+            request.version(),
+        );
     }
 
     /// Dispatch a validated request: allocate staging, then drive the
     /// server-initiated RDMA state machine.
     fn serve(&self, conn_idx: usize, request: PageRequest, started: SimTime) {
+        if self.write_fully_stale(&request) {
+            // Fenced before staging: a newer write already covers every
+            // page; skip the staging wait and the RDMA pull entirely.
+            self.drop_stale(conn_idx, &request, started);
+            return;
+        }
         let this = self.clone();
         // Staging allocation may wait for in-flight requests to release
         // buffers (the staging pool is its own wait queue).
-        self.inner.staging_pool.alloc(request.len(), move |staging| {
-            this.serve_with_staging(conn_idx, request, staging, started);
-        });
+        self.inner
+            .staging_pool
+            .alloc(request.len(), move |staging| {
+                this.serve_with_staging(conn_idx, request, staging, started);
+            });
     }
 
     fn serve_with_staging(
@@ -476,6 +539,13 @@ impl HpbdServer {
         if inner.crashed.get() {
             // The daemon died while this request waited for staging.
             inner.staging_pool.free(staging);
+            return;
+        }
+        if self.write_fully_stale(&request) {
+            // A newer write to every covered page landed while this one
+            // waited for staging; fence it off before spending RDMA.
+            inner.staging_pool.free(staging);
+            self.drop_stale(conn_idx, &request, started);
             return;
         }
         let token = inner.next_token.get();
@@ -563,7 +633,12 @@ impl HpbdServer {
             let dropped = self.inner.pending.borrow_mut().remove(&token);
             if let Some(p) = dropped {
                 self.inner.staging_pool.free(p.staging);
-                self.send_reply(p.conn, p.request.req_id(), ReplyStatus::TransferError);
+                self.send_reply(
+                    p.conn,
+                    p.request.req_id(),
+                    ReplyStatus::TransferError,
+                    p.request.version(),
+                );
             }
         }
     }
@@ -605,7 +680,12 @@ impl HpbdServer {
         if status != WcStatus::Success {
             inner.staging_pool.free(staging);
             self.serve_span(&request, started, false);
-            self.send_reply(conn, request.req_id(), ReplyStatus::TransferError);
+            self.send_reply(
+                conn,
+                request.req_id(),
+                ReplyStatus::TransferError,
+                request.version(),
+            );
             return;
         }
         let mut data = self.take_data_buf(request.len() as usize);
@@ -630,13 +710,53 @@ impl HpbdServer {
                 this.inner.staging_pool.free(staging);
                 return;
             }
-            this.inner.storage.write_at(request.server_offset(), &data);
+            // The apply-time fence: the authoritative check. A newer write
+            // may have been applied while this pull was on the wire, so
+            // each page is re-checked at the moment it would be written.
+            let applied = this.apply_versioned(&request, &data);
             this.recycle_data_buf(data);
-            this.inner.stats.borrow_mut().bytes_in += request.len();
             this.inner.staging_pool.free(staging);
-            this.serve_span(&request, started, true);
-            this.send_reply(conn, request.req_id(), ReplyStatus::Ok);
+            if applied {
+                this.inner.stats.borrow_mut().bytes_in += request.len();
+                this.serve_span(&request, started, true);
+                this.send_reply(conn, request.req_id(), ReplyStatus::Ok, request.version());
+            } else {
+                this.drop_stale(conn, &request, started);
+            }
         });
+    }
+
+    /// Apply pulled swap-out data page-by-page under the write fence: a
+    /// page is written only when the incoming version is newer than the
+    /// version it holds. Returns whether any page was applied.
+    fn apply_versioned(&self, request: &PageRequest, data: &[u8]) -> bool {
+        let inner = &self.inner;
+        if request.version() == 0 {
+            // Unversioned write (a client that opted out of fencing):
+            // apply wholesale, as before versioning existed.
+            inner.storage.write_at(request.server_offset(), data);
+            return true;
+        }
+        let mut versions = inner.versions.borrow_mut();
+        let mut applied_any = false;
+        for page in page_range(request) {
+            let stored = versions.get(&page).copied().unwrap_or(0);
+            if stored >= request.version() {
+                continue;
+            }
+            // Intersect the page with the request's byte range (the first
+            // and last pages may be partially covered).
+            let page_start = page * VERSION_PAGE;
+            let start = request.server_offset().max(page_start);
+            let end = (request.server_offset() + request.len()).min(page_start + VERSION_PAGE);
+            let src = (start - request.server_offset()) as usize;
+            inner
+                .storage
+                .write_at(start, &data[src..src + (end - start) as usize]);
+            versions.insert(page, request.version());
+            applied_any = true;
+        }
+        applied_any
     }
 
     /// RDMA WRITE done: the swap-in data is placed in the client;
@@ -655,12 +775,17 @@ impl HpbdServer {
         inner.staging_pool.free(staging);
         if status != WcStatus::Success {
             self.serve_span(&request, started, false);
-            self.send_reply(conn, request.req_id(), ReplyStatus::TransferError);
+            self.send_reply(
+                conn,
+                request.req_id(),
+                ReplyStatus::TransferError,
+                request.version(),
+            );
             return;
         }
         inner.stats.borrow_mut().bytes_out += request.len();
         self.serve_span(&request, started, true);
-        self.send_reply(conn, request.req_id(), ReplyStatus::Ok);
+        self.send_reply(conn, request.req_id(), ReplyStatus::Ok, request.version());
     }
 
     /// Pop a recycled data buffer (or grow a fresh one), sized to `len`.
@@ -701,11 +826,11 @@ impl HpbdServer {
         );
     }
 
-    fn send_reply(&self, conn_idx: usize, req_id: u64, status: ReplyStatus) {
+    fn send_reply(&self, conn_idx: usize, req_id: u64, status: ReplyStatus, version: u64) {
         if self.inner.crashed.get() {
             return; // a dead daemon sends nothing
         }
-        let reply = PageReply::new(req_id, status);
+        let reply = PageReply::new(req_id, status, version);
         let conns = self.inner.conns.borrow();
         // Best-effort: a reply squeezed out by a full send queue is
         // indistinguishable from a lost ack, and the client's timeout

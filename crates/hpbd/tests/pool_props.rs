@@ -78,7 +78,9 @@ fn free_all_reclaims_every_byte() {
         // Coalescing must leave exactly one extent spanning the pool:
         // a full-size allocation succeeds again.
         assert_eq!(pool.fragments(), 1, "case {case}: free list not coalesced");
-        let whole = pool.alloc(POOL_SIZE).expect("whole-pool alloc after free-all");
+        let whole = pool
+            .alloc(POOL_SIZE)
+            .expect("whole-pool alloc after free-all");
         assert_eq!((whole.offset, whole.len), (0, POOL_SIZE));
     });
 }

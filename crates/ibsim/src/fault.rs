@@ -23,8 +23,13 @@ struct LinkFaultsInner {
     bandwidth_factor: Cell<f64>,
     drop_next: Cell<u32>,
     error_next: Cell<u32>,
+    delay_next: Cell<u32>,
+    delay_ns: Cell<u64>,
+    dup_next: Cell<u32>,
     dropped: Cell<u64>,
     errored: Cell<u64>,
+    delayed: Cell<u64>,
+    duplicated: Cell<u64>,
 }
 
 /// Shared, interiorly-mutable fault state for one link. Clone freely;
@@ -44,8 +49,13 @@ impl LinkFaults {
                 bandwidth_factor: Cell::new(1.0),
                 drop_next: Cell::new(0),
                 error_next: Cell::new(0),
+                delay_next: Cell::new(0),
+                delay_ns: Cell::new(0),
+                dup_next: Cell::new(0),
                 dropped: Cell::new(0),
                 errored: Cell::new(0),
+                delayed: Cell::new(0),
+                duplicated: Cell::new(0),
             }),
         }
     }
@@ -81,9 +91,50 @@ impl LinkFaults {
             .set(inner.error_next.get().saturating_add(n));
     }
 
+    /// Arrange for the next `n` deliveries on the link to arrive
+    /// `delay_ns` late. The send still completes successfully (the ack
+    /// follows the late arrival); only the in-flight time stretches, so a
+    /// delayed request can land after the timeout that gave up on it —
+    /// the reordering that write fencing exists for.
+    pub fn delay_next(&self, n: u32, delay_ns: u64) {
+        let inner = &self.inner;
+        inner
+            .delay_next
+            .set(inner.delay_next.get().saturating_add(n));
+        inner.delay_ns.set(delay_ns);
+    }
+
+    /// Arrange for the next `n` messages on the link to be delivered
+    /// twice: the ghost copy consumes a posted receive at the destination
+    /// while the sender sees a single completion.
+    pub fn duplicate_next(&self, n: u32) {
+        let inner = &self.inner;
+        inner.dup_next.set(inner.dup_next.get().saturating_add(n));
+    }
+
+    /// Remaining armed delay + duplication budget not yet consumed by
+    /// traffic. Test harnesses assert this has drained before phases that
+    /// must not race a late or ghost delivery.
+    pub fn pending_delay_dup(&self) -> u32 {
+        self.inner
+            .delay_next
+            .get()
+            .saturating_add(self.inner.dup_next.get())
+    }
+
     /// Messages dropped so far.
     pub fn dropped(&self) -> u64 {
         self.inner.dropped.get()
+    }
+
+    /// Deliveries delayed so far.
+    pub fn delayed(&self) -> u64 {
+        self.inner.delayed.get()
+    }
+
+    /// Messages delivered twice so far.
+    pub fn duplicated(&self) -> u64 {
+        self.inner.duplicated.get()
     }
 
     /// Work requests failed with an injected completion error so far.
@@ -109,6 +160,28 @@ impl LinkFaults {
         }
         self.inner.drop_next.set(pending - 1);
         self.inner.dropped.set(self.inner.dropped.get() + 1);
+        true
+    }
+
+    /// Consume one pending delivery delay, if any. Counts it when taken.
+    pub(crate) fn take_delay(&self) -> Option<SimDuration> {
+        let pending = self.inner.delay_next.get();
+        if pending == 0 {
+            return None;
+        }
+        self.inner.delay_next.set(pending - 1);
+        self.inner.delayed.set(self.inner.delayed.get() + 1);
+        Some(SimDuration::from_nanos(self.inner.delay_ns.get()))
+    }
+
+    /// Consume one pending duplication, if any. Counts it when taken.
+    pub(crate) fn take_dup(&self) -> bool {
+        let pending = self.inner.dup_next.get();
+        if pending == 0 {
+            return false;
+        }
+        self.inner.dup_next.set(pending - 1);
+        self.inner.duplicated.set(self.inner.duplicated.get() + 1);
         true
     }
 
@@ -189,6 +262,23 @@ mod tests {
         assert!(f.take_error());
         assert!(!f.take_error());
         assert_eq!(f.errored(), 1);
+    }
+
+    #[test]
+    fn delay_and_dup_budgets_are_one_shot() {
+        let f = LinkFaults::new();
+        assert!(f.take_delay().is_none());
+        f.delay_next(2, 7_500);
+        assert_eq!(f.take_delay(), Some(SimDuration::from_nanos(7_500)));
+        assert_eq!(f.take_delay(), Some(SimDuration::from_nanos(7_500)));
+        assert!(f.take_delay().is_none());
+        assert_eq!(f.delayed(), 2);
+
+        assert!(!f.take_dup());
+        f.duplicate_next(1);
+        assert!(f.take_dup());
+        assert!(!f.take_dup());
+        assert_eq!(f.duplicated(), 1);
     }
 
     #[test]

@@ -399,7 +399,25 @@ impl QueuePair {
             return;
         }
 
-        let delivered = self.wire_transfer(&peer, t_hca, len);
+        // Injected delivery delay / duplication. A delay stretches only the
+        // in-flight time, so the message can land after the timeout that
+        // gave up on it; a duplicate schedules a second, ghost delivery of
+        // the same bytes. Both consume their budget per message.
+        let (extra_delay, duplicated) = match inner.faults.borrow().as_ref() {
+            Some(f) => (f.take_delay(), f.take_dup()),
+            None => (None, false),
+        };
+
+        let mut delivered = self.wire_transfer(&peer, t_hca, len);
+        if let Some(d) = extra_delay {
+            delivered += d;
+        }
+
+        let dup_payload = if duplicated {
+            Some(payload.clone())
+        } else {
+            None
+        };
 
         // Delivery at the peer: consume a receive, place the payload. The
         // local send completion fires only after the RC ack confirms the
@@ -445,6 +463,39 @@ impl QueuePair {
                 }
             }
         });
+
+        if let Some(ghost) = dup_payload {
+            // Fabric-level ghost copy: it consumes a posted receive at the
+            // destination and places the same payload, but the sender sees
+            // only the one completion from the real copy above. Scheduled
+            // after the real delivery at the same instant (engine FIFO), so
+            // the real copy consumes the first receive. With no receive
+            // posted the ghost vanishes silently — RNR reporting belongs to
+            // the real copy alone.
+            inner.engine.schedule_at(delivered, move || {
+                let t_placed = peer.hca.process_wqe(peer.engine.now(), peer.qp_num);
+                let entry = peer.recv_queue.borrow_mut().pop_front();
+                if let Some((recv_wr_id, slice)) = entry {
+                    let status = if len > slice.len {
+                        WcStatus::LocalLengthError
+                    } else {
+                        slice.mr.write(slice.offset as usize, &ghost);
+                        WcStatus::Success
+                    };
+                    let peer2 = peer.clone();
+                    peer.engine.schedule_at(t_placed, move || {
+                        peer2.recv_cq.push(Completion {
+                            wr_id: recv_wr_id,
+                            opcode: Opcode::Recv,
+                            status,
+                            byte_len: len,
+                            qp_num: peer2.qp_num,
+                            solicited,
+                        });
+                    });
+                }
+            });
+        }
     }
 
     #[allow(clippy::too_many_arguments)]

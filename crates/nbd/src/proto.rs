@@ -67,7 +67,12 @@ pub struct NbdRequest {
 impl NbdRequest {
     /// Build a request header.
     pub fn new(cmd: NbdCmd, handle: u64, offset: u64, len: u32) -> NbdRequest {
-        NbdRequest { cmd, handle, offset, len }
+        NbdRequest {
+            cmd,
+            handle,
+            offset,
+            len,
+        }
     }
 
     /// Command.
@@ -90,6 +95,11 @@ impl NbdRequest {
         self.len
     }
 
+    /// Whether the request transfers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
     /// Serialise the header.
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(REQUEST_SIZE);
@@ -107,7 +117,10 @@ impl NbdRequest {
     /// Parse a header.
     pub fn decode(mut b: Bytes) -> Result<NbdRequest, NbdProtoError> {
         if b.len() != REQUEST_SIZE {
-            return Err(NbdProtoError::ShortHeader { expected: REQUEST_SIZE, got: b.len() });
+            return Err(NbdProtoError::ShortHeader {
+                expected: REQUEST_SIZE,
+                got: b.len(),
+            });
         }
         let magic = b.get_u32_le();
         if magic != REQUEST_MAGIC {
@@ -162,7 +175,10 @@ impl NbdReply {
     /// Parse a header.
     pub fn decode(mut b: Bytes) -> Result<NbdReply, NbdProtoError> {
         if b.len() != REPLY_SIZE {
-            return Err(NbdProtoError::ShortHeader { expected: REPLY_SIZE, got: b.len() });
+            return Err(NbdProtoError::ShortHeader {
+                expected: REPLY_SIZE,
+                got: b.len(),
+            });
         }
         let magic = b.get_u32_le();
         if magic != REPLY_MAGIC {
@@ -203,7 +219,10 @@ mod tests {
         let raw = NbdRequest::new(NbdCmd::Read, 0, 0, 0).encode().slice(..10);
         assert_eq!(
             NbdRequest::decode(raw),
-            Err(NbdProtoError::ShortHeader { expected: REQUEST_SIZE, got: 10 })
+            Err(NbdProtoError::ShortHeader {
+                expected: REQUEST_SIZE,
+                got: 10
+            })
         );
     }
 

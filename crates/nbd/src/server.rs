@@ -67,11 +67,10 @@ impl NbdServer {
         let this = self.clone();
         let conn2 = conn.clone();
         conn.recv(REQUEST_SIZE, move |raw| {
-            match NbdRequest::decode(raw) {
-                // A corrupt header means the stream framing is lost; stop
-                // serving this connection rather than misread payloads.
-                Ok(request) => this.dispatch(conn2, request),
-                Err(_) => {}
+            // A corrupt header means the stream framing is lost; stop
+            // serving this connection rather than misread payloads.
+            if let Ok(request) = NbdRequest::decode(raw) {
+                this.dispatch(conn2, request);
             }
         });
     }
@@ -79,7 +78,9 @@ impl NbdServer {
     fn dispatch(&self, conn: TcpConn, request: NbdRequest) {
         let inner = &self.inner;
         inner.stats.borrow_mut().requests += 1;
-        let ok = inner.storage.in_range(request.offset(), request.len() as u64);
+        let ok = inner
+            .storage
+            .in_range(request.offset(), request.len() as u64);
         match request.cmd() {
             NbdCmd::Write => {
                 // Payload follows the header on the stream.
@@ -95,10 +96,7 @@ impl NbdServer {
                         this.inner.engine.schedule_at(t, move || {
                             this2.inner.storage.write_at(request.offset(), &data);
                             this2.inner.stats.borrow_mut().bytes_in += data.len() as u64;
-                            conn3.send(
-                                NbdReply::new(request.handle(), 0)
-                                .encode(),
-                            );
+                            conn3.send(NbdReply::new(request.handle(), 0).encode());
                             this2.await_request(conn3.clone());
                         });
                         return;
@@ -111,10 +109,7 @@ impl NbdServer {
             }
             NbdCmd::Read => {
                 if !ok {
-                    conn.send(
-                        NbdReply::new(request.handle(), 5)
-                        .encode(),
-                    );
+                    conn.send(NbdReply::new(request.handle(), 5).encode());
                     self.await_request(conn);
                     return;
                 }
@@ -125,10 +120,7 @@ impl NbdServer {
                 let this = self.clone();
                 inner.engine.schedule_at(t, move || {
                     this.inner.stats.borrow_mut().bytes_out += data.len() as u64;
-                    conn.send(
-                        NbdReply::new(request.handle(), 0)
-                        .encode(),
-                    );
+                    conn.send(NbdReply::new(request.handle(), 0).encode());
                     conn.send(Bytes::from(data));
                     this.await_request(conn.clone());
                 });

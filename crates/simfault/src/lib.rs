@@ -69,6 +69,29 @@ pub enum FaultEvent {
         /// How many work requests to fail.
         count: u32,
     },
+    /// Hold the next `count` messages on the client↔server link (both
+    /// directions) in flight for an extra `delay_ns` before delivery. The
+    /// send still completes successfully (the RC ack follows the late
+    /// arrival); only the in-flight time stretches — the classic reorder
+    /// generator: a delayed request can outlive the timeout that gave up
+    /// on it and land after the retry that replaced it.
+    MessageDelay {
+        /// Index of the server whose link delays messages.
+        server: usize,
+        /// How many deliveries to delay.
+        count: u32,
+        /// Extra in-flight time per delayed message, in nanoseconds.
+        delay_ns: u64,
+    },
+    /// Deliver the next `count` messages on the client↔server link twice
+    /// (a fabric-level ghost copy). The duplicate consumes a posted
+    /// receive at the destination; the sender sees a single completion.
+    MessageDuplicate {
+        /// Index of the server whose link duplicates messages.
+        server: usize,
+        /// How many deliveries to duplicate.
+        count: u32,
+    },
     /// Reset the TCP connection of the NBD baseline: both endpoints see
     /// the reset, buffered bytes are discarded, and pending reads fail.
     TcpReset,
@@ -177,6 +200,25 @@ impl FaultPlan {
         self.with(at_ns, FaultEvent::CompletionError { server, count })
     }
 
+    /// Delay the next `count` deliveries on `server`'s link by `delay_ns`
+    /// each, starting at `at_ns`.
+    pub fn message_delay(self, at_ns: u64, server: usize, count: u32, delay_ns: u64) -> FaultPlan {
+        self.with(
+            at_ns,
+            FaultEvent::MessageDelay {
+                server,
+                count,
+                delay_ns,
+            },
+        )
+    }
+
+    /// Deliver the next `count` messages on `server`'s link twice,
+    /// starting at `at_ns`.
+    pub fn message_duplicate(self, at_ns: u64, server: usize, count: u32) -> FaultPlan {
+        self.with(at_ns, FaultEvent::MessageDuplicate { server, count })
+    }
+
     /// Reset the NBD baseline's TCP connection at `at_ns`.
     pub fn tcp_reset(self, at_ns: u64) -> FaultPlan {
         self.with(at_ns, FaultEvent::TcpReset)
@@ -200,7 +242,9 @@ impl FaultPlan {
                 | FaultEvent::ServerRestart { server }
                 | FaultEvent::LinkDegrade { server, .. }
                 | FaultEvent::MessageLoss { server, .. }
-                | FaultEvent::CompletionError { server, .. } => Some(server),
+                | FaultEvent::CompletionError { server, .. }
+                | FaultEvent::MessageDelay { server, .. }
+                | FaultEvent::MessageDuplicate { server, .. } => Some(server),
                 FaultEvent::TcpReset => None,
             })
             .max()
@@ -262,6 +306,30 @@ mod tests {
         assert_eq!(plan.max_server_index(), None);
         let plan = plan.server_restart(9, 7).link_degrade(1, 3, 10, 0.25);
         assert_eq!(plan.max_server_index(), Some(7));
+    }
+
+    #[test]
+    fn delay_and_duplicate_are_server_targeted() {
+        let plan = FaultPlan::new()
+            .message_delay(10, 4, 2, 1_000_000)
+            .message_duplicate(20, 6, 1);
+        assert_eq!(plan.max_server_index(), Some(6));
+        let evs = plan.events();
+        assert!(matches!(
+            evs[0].event,
+            FaultEvent::MessageDelay {
+                server: 4,
+                count: 2,
+                delay_ns: 1_000_000
+            }
+        ));
+        assert!(matches!(
+            evs[1].event,
+            FaultEvent::MessageDuplicate {
+                server: 6,
+                count: 1
+            }
+        ));
     }
 
     #[test]

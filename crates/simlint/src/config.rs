@@ -95,8 +95,8 @@ impl Config {
             } else {
                 value_text = &value_buf;
             }
-            let value = parse_value(value_text)
-                .map_err(|e| format!("simlint.toml:{}: {e}", n + 1))?;
+            let value =
+                parse_value(value_text).map_err(|e| format!("simlint.toml:{}: {e}", n + 1))?;
             config.apply(&section, &key, value, n + 1)?;
         }
         Ok(config)

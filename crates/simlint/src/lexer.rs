@@ -273,10 +273,7 @@ pub fn lex(src: &str) -> Vec<Tok> {
                 i += 1;
             }
             // A fractional part, but not the `0..n` range syntax.
-            if i + 1 < chars.len()
-                && chars[i] == '.'
-                && chars[i + 1].is_ascii_digit()
-            {
+            if i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
                 i += 1;
                 while i < chars.len() && is_ident_continue(chars[i]) {
                     i += 1;
@@ -366,7 +363,10 @@ mod tests {
 
     #[test]
     fn nested_block_comments() {
-        assert_eq!(idents("/* a /* unwrap() */ still comment */ real"), ["real"]);
+        assert_eq!(
+            idents("/* a /* unwrap() */ still comment */ real"),
+            ["real"]
+        );
     }
 
     #[test]
@@ -397,6 +397,9 @@ mod tests {
 
     #[test]
     fn byte_strings_and_range_numbers() {
-        assert_eq!(idents(r#"for i in 0..10 { eat(b"unwrap()") }"#), ["for", "i", "in", "eat"]);
+        assert_eq!(
+            idents(r#"for i in 0..10 { eat(b"unwrap()") }"#),
+            ["for", "i", "in", "eat"]
+        );
     }
 }

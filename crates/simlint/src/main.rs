@@ -59,9 +59,11 @@ fn parse_args() -> Result<Args, String> {
             "--self-test" => args.self_test = true,
             "--list-rules" => args.list_rules = true,
             "--help" | "-h" => {
-                return Err("usage: simlint --workspace | --path DIR | --self-test | --list-rules \
+                return Err(
+                    "usage: simlint --workspace | --path DIR | --self-test | --list-rules \
                             [--config FILE] [--json FILE] [--deny-warnings] [--verbose]"
-                    .to_string())
+                        .to_string(),
+                )
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
@@ -131,13 +133,10 @@ fn main() -> ExitCode {
         args.paths[0].clone()
     };
 
-    let config_path = args
-        .config
-        .clone()
-        .or_else(|| {
-            let p = root.join("simlint.toml");
-            p.is_file().then_some(p)
-        });
+    let config_path = args.config.clone().or_else(|| {
+        let p = root.join("simlint.toml");
+        p.is_file().then_some(p)
+    });
     let config = match config_path {
         Some(p) => match std::fs::read_to_string(&p) {
             Ok(text) => match Config::parse(&text) {

@@ -130,7 +130,10 @@ impl FileCtx {
 
     /// `a :: b` path-segment test: ident `a` at k, `::`, ident `b`.
     fn path2(&self, k: usize, a: &str, b: &str) -> bool {
-        self.ident_at(k, a) && self.punct_at(k + 1, ':') && self.punct_at(k + 2, ':') && self.ident_at(k + 3, b)
+        self.ident_at(k, a)
+            && self.punct_at(k + 1, ':')
+            && self.punct_at(k + 2, ':')
+            && self.ident_at(k + 3, b)
     }
 
     fn in_test_at(&self, code_idx: usize) -> bool {
@@ -368,7 +371,10 @@ pub fn check_file(ctx: &mut FileCtx, config: &Config, only: Option<&str>) -> Vec
                 "D001" => {
                     // std::time::{Instant,SystemTime} — direct path or
                     // brace-group import.
-                    if ctx.path2(k, "std", "time") && ctx.punct_at(k + 4, ':') && ctx.punct_at(k + 5, ':') {
+                    if ctx.path2(k, "std", "time")
+                        && ctx.punct_at(k + 4, ':')
+                        && ctx.punct_at(k + 5, ':')
+                    {
                         if ctx.ident_at(k + 6, "Instant") || ctx.ident_at(k + 6, "SystemTime") {
                             let name = ctx.tok(k + 6).text.clone();
                             push(ctx, "D001", line, format!("wall-clock time source `std::time::{name}` breaks run determinism (virtual SimTime only)"));
@@ -466,7 +472,12 @@ pub fn check_file(ctx: &mut FileCtx, config: &Config, only: Option<&str>) -> Vec
             }
         }
         if !found {
-            push(ctx, "I003", 1, "crate root lacks `#![forbid(unsafe_code)]`".to_string());
+            push(
+                ctx,
+                "I003",
+                1,
+                "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+            );
         }
     }
 
@@ -488,14 +499,14 @@ pub fn check_file(ctx: &mut FileCtx, config: &Config, only: Option<&str>) -> Vec
                     w.line,
                     format!("waiver for {} carries no justification — write `// simlint: allow({}): <why>`", w.rule, w.rule),
                 ));
-            } else if !w.justification.is_empty()
-                && !w.used
-                && only.is_none()
-            {
+            } else if !w.justification.is_empty() && !w.used && only.is_none() {
                 meta.push((
                     "W001",
                     w.line,
-                    format!("waiver for {} matched no finding — remove the stale allow", w.rule),
+                    format!(
+                        "waiver for {} matched no finding — remove the stale allow",
+                        w.rule
+                    ),
                 ));
             }
         }
@@ -523,9 +534,10 @@ pub fn check_file(ctx: &mut FileCtx, config: &Config, only: Option<&str>) -> Vec
 }
 
 /// Scope-tracking walk for I002: every `tracer().<emit>(...)` must be
-/// lexically inside an `if` whose condition mentions `trace_enabled`, or
-/// after an early-return guard (`if !...trace_enabled() { return; }`) in
-/// the same function.
+/// lexically inside an `if` whose condition mentions `trace_enabled` (or a
+/// local bound from it, e.g. `let on = e.trace_enabled(); if on { .. }`),
+/// or after an early-return guard (`if !...trace_enabled() { return; }`)
+/// in the same function.
 fn check_emit_guards(ctx: &FileCtx) -> Vec<(u32, String)> {
     #[derive(Clone, Copy, PartialEq)]
     enum Kind {
@@ -537,9 +549,31 @@ fn check_emit_guards(ctx: &FileCtx) -> Vec<(u32, String)> {
         guarded: bool,
         kind: Kind,
         saw_return: bool,
+        /// `let` bindings in this scope whose initialiser mentions
+        /// `trace_enabled` (or another guard variable): naming one in an
+        /// `if` condition counts as a guard.
+        guard_vars: Vec<String>,
+    }
+    /// Is `name` a guard variable visible here? Bindings are function-local:
+    /// the walk stops after the innermost `fn` scope.
+    fn is_guard_var(stack: &[Scope], name: &str) -> bool {
+        for scope in stack.iter().rev() {
+            if scope.guard_vars.iter().any(|v| v == name) {
+                return true;
+            }
+            if matches!(scope.kind, Kind::Fn) {
+                break;
+            }
+        }
+        false
     }
     let mut out = Vec::new();
-    let mut stack: Vec<Scope> = vec![Scope { guarded: false, kind: Kind::Block, saw_return: false }];
+    let mut stack: Vec<Scope> = vec![Scope {
+        guarded: false,
+        kind: Kind::Block,
+        saw_return: false,
+        guard_vars: Vec::new(),
+    }];
     let mut pending: Option<Kind> = None;
     let n = ctx.code.len();
     for k in 0..n {
@@ -557,14 +591,56 @@ fn check_emit_guards(ctx: &FileCtx) -> Vec<(u32, String)> {
                     depth -= 1;
                 } else if c.is_punct('{') && depth == 0 {
                     break;
-                } else if c.is_ident("trace_enabled") {
+                } else if c.is_ident("trace_enabled")
+                    || (c.kind == TokKind::Ident && is_guard_var(&stack, &c.text))
+                {
                     has_guard = true;
                 }
                 j += 1;
             }
-            pending = Some(Kind::If { cond_has_guard: has_guard });
+            pending = Some(Kind::If {
+                cond_has_guard: has_guard,
+            });
         } else if t.is_ident("fn") {
             pending = Some(Kind::Fn);
+        } else if t.is_ident("let") {
+            // `let [mut] name [: ty] = <init>;` — record `name` as a guard
+            // variable when the initialiser mentions trace_enabled (or an
+            // existing guard variable). Pattern bindings (`let Some(x)`)
+            // are skipped: the next token after the name must be `=`/`:`.
+            let mut j = k + 1;
+            if j < n && ctx.tok(j).is_ident("mut") {
+                j += 1;
+            }
+            if j < n
+                && ctx.tok(j).kind == TokKind::Ident
+                && (ctx.punct_at(j + 1, '=') || ctx.punct_at(j + 1, ':'))
+            {
+                let name = ctx.tok(j).text.clone();
+                let mut depth = 0i32;
+                let mut m = j + 1;
+                let mut from_guard = false;
+                while m < n {
+                    let c = ctx.tok(m);
+                    if c.is_punct('(') || c.is_punct('[') || c.is_punct('{') {
+                        depth += 1;
+                    } else if c.is_punct(')') || c.is_punct(']') || c.is_punct('}') {
+                        depth -= 1;
+                    } else if c.is_punct(';') && depth == 0 {
+                        break;
+                    } else if c.is_ident("trace_enabled")
+                        || (c.kind == TokKind::Ident && is_guard_var(&stack, &c.text))
+                    {
+                        from_guard = true;
+                    }
+                    m += 1;
+                }
+                if from_guard {
+                    if let Some(top) = stack.last_mut() {
+                        top.guard_vars.push(name);
+                    }
+                }
+            }
         } else if t.is_ident("return") {
             if let Some(top) = stack.last_mut() {
                 top.saw_return = true;
@@ -577,11 +653,19 @@ fn check_emit_guards(ctx: &FileCtx) -> Vec<(u32, String)> {
                 Kind::If { cond_has_guard } => parent_guarded || cond_has_guard,
                 Kind::Block => parent_guarded,
             };
-            stack.push(Scope { guarded, kind, saw_return: false });
+            stack.push(Scope {
+                guarded,
+                kind,
+                saw_return: false,
+                guard_vars: Vec::new(),
+            });
         } else if t.is_punct('}') {
             if stack.len() > 1 {
                 let done = stack.pop().expect("non-empty scope stack");
-                if let Kind::If { cond_has_guard: true } = done.kind {
+                if let Kind::If {
+                    cond_has_guard: true,
+                } = done.kind
+                {
                     if done.saw_return {
                         // `if !trace_enabled() { return; }`: the rest of the
                         // enclosing scope runs only when tracing is on.
@@ -687,12 +771,20 @@ mod tests {
     fn d001_catches_paths_imports_and_now() {
         let f = run("crates/x/src/a.rs", "use std::time::Instant;\n", "D001");
         assert_eq!(f.len(), 1);
-        let f = run("crates/x/src/a.rs", "use std::time::{Duration, SystemTime};\n", "D001");
+        let f = run(
+            "crates/x/src/a.rs",
+            "use std::time::{Duration, SystemTime};\n",
+            "D001",
+        );
         assert_eq!(f.len(), 1);
         let f = run("crates/x/src/a.rs", "let t = Instant::now();\n", "D001");
         assert_eq!(f.len(), 1);
         // EventKind::Instant is not a time source.
-        let f = run("crates/x/src/a.rs", "match k { EventKind::Instant => 1 }\n", "D001");
+        let f = run(
+            "crates/x/src/a.rs",
+            "match k { EventKind::Instant => 1 }\n",
+            "D001",
+        );
         assert!(f.is_empty());
         // Duration alone is fine.
         let f = run("crates/x/src/a.rs", "use std::time::Duration;\n", "D001");
@@ -718,6 +810,28 @@ mod tests {
         // The guard does not leak across fn boundaries.
         let leak = "fn f() { if trace_enabled() { } }\nfn g() { engine.tracer().instant(\"a\", \"b\", 0, &[]); }";
         assert_eq!(run("crates/x/src/a.rs", leak, "I002").len(), 1);
+    }
+
+    #[test]
+    fn i002_guard_variables() {
+        // A local bound from trace_enabled() carries the guard.
+        let var = "fn f() { let on = engine.trace_enabled(); if on { engine.tracer().instant(\"a\", \"b\", 0, &[]); } }";
+        assert!(run("crates/x/src/a.rs", var, "I002").is_empty());
+        // Early-return through the variable guards the rest of the fn.
+        let early = "fn f() { let on = e.trace_enabled(); if !on { return; } e.tracer().span(\"a\", \"b\", 0, 1, &[]); }";
+        assert!(run("crates/x/src/a.rs", early, "I002").is_empty());
+        // Aliasing propagates: a guard var copied into another binding.
+        let alias = "fn f() { let on = e.trace_enabled(); let go = on; if go { e.tracer().instant(\"a\", \"b\", 0, &[]); } }";
+        assert!(run("crates/x/src/a.rs", alias, "I002").is_empty());
+        // An unrelated boolean does NOT guard.
+        let unrelated = "fn f() { let other = e.ready(); if other { e.tracer().instant(\"a\", \"b\", 0, &[]); } }";
+        assert_eq!(run("crates/x/src/a.rs", unrelated, "I002").len(), 1);
+        // Guard variables are function-local.
+        let cross = "fn f() { let on = e.trace_enabled(); }\nfn g(on: bool) { if on { e.tracer().instant(\"a\", \"b\", 0, &[]); } }";
+        assert_eq!(run("crates/x/src/a.rs", cross, "I002").len(), 1);
+        // `let mut` and a type annotation still register the binding.
+        let muts = "fn f() { let mut on: bool = e.trace_enabled(); if on { e.tracer().instant(\"a\", \"b\", 0, &[]); } }";
+        assert!(run("crates/x/src/a.rs", muts, "I002").is_empty());
     }
 
     #[test]

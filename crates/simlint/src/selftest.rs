@@ -135,6 +135,27 @@ const FIXTURES: &[Fixture] = &[
         src: "fn f(e: &Engine) { if e.trace_enabled() {} }\nfn g(e: &Engine) { e.tracer().instant(\"c\", \"n\", 0, &[]); }\n",
         expect: 1,
     },
+    Fixture {
+        rule: "I002",
+        name: "guard-variable",
+        path: "crates/x/src/a.rs",
+        src: "fn f(e: &Engine) {\n    let on = e.trace_enabled();\n    if on { e.tracer().instant(\"cat\", \"name\", 0, &[]); }\n}\n",
+        expect: 0,
+    },
+    Fixture {
+        rule: "I002",
+        name: "guard-variable-early-return",
+        path: "crates/x/src/a.rs",
+        src: "fn f(e: &Engine) {\n    let on = e.trace_enabled();\n    if !on { return; }\n    e.tracer().span(\"cat\", \"name\", 0, 1, &[]);\n}\n",
+        expect: 0,
+    },
+    Fixture {
+        rule: "I002",
+        name: "unrelated-variable-is-no-guard",
+        path: "crates/x/src/a.rs",
+        src: "fn f(e: &Engine) {\n    let other = e.ready();\n    if other { e.tracer().instant(\"cat\", \"name\", 0, &[]); }\n}\n",
+        expect: 1,
+    },
     // ---- I003 ----
     Fixture {
         rule: "I003",

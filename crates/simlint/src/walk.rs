@@ -61,7 +61,12 @@ mod tests {
         for p in ["a/src", "a/target/debug", "b/src"] {
             std::fs::create_dir_all(base.join(p)).unwrap();
         }
-        for f in ["a/src/lib.rs", "a/target/debug/gen.rs", "b/src/lib.rs", "b/src/zz.rs"] {
+        for f in [
+            "a/src/lib.rs",
+            "a/target/debug/gen.rs",
+            "b/src/lib.rs",
+            "b/src/zz.rs",
+        ] {
             std::fs::write(base.join(f), "// x\n").unwrap();
         }
         let got = collect(&base, &["a".into(), "b".into()], &["b/src/zz.rs".into()]);

@@ -5,9 +5,9 @@
 use simlint::config::Config;
 use simlint::lint_workspace;
 use std::collections::BTreeSet;
-use std::path::PathBuf;
+use std::path::Path;
 
-fn write(base: &PathBuf, rel: &str, src: &str) {
+fn write(base: &Path, rel: &str, src: &str) {
     let path = base.join(rel);
     std::fs::create_dir_all(path.parent().unwrap()).unwrap();
     std::fs::write(path, src).unwrap();

@@ -24,7 +24,6 @@
 //!
 //! [`simcore::Engine`]: ../simcore/struct.Engine.html
 #![forbid(unsafe_code)]
-
 #![warn(missing_docs)]
 
 pub mod chrome;

@@ -166,6 +166,200 @@ fn empty_fault_plan_is_byte_identical_to_no_fault_plan() {
     );
 }
 
+// -- swap-consistency oracle ---------------------------------------------
+
+/// Fill byte for `page` as written by generation `gen` (never zero, and
+/// distinct across nearby generations, so stale data is detectable).
+fn gen_fill(page: u64, gen: u64) -> u8 {
+    (page
+        .wrapping_mul(2654435761)
+        .wrapping_add(gen.wrapping_mul(0x9E37_79B9))
+        >> 16) as u8
+        | 1
+}
+
+/// The swap-consistency oracle: a shadow model records the last
+/// *acknowledged* write per page; after the fault plan has run its course,
+/// every completed read must return exactly that data — not an older
+/// generation, not a neighbouring page's fill, not zeros.
+///
+/// Writes are issued in generations. Generation `g+1` is submitted only
+/// after every write of generation `g` has acked, which keeps "last acked
+/// write per page" well-defined even while timeouts, failover reissues,
+/// delayed deliveries, and duplicated messages reorder the apply stream
+/// underneath. Delay/duplicate budgets are armed early so they drain
+/// against write traffic (a ghost RDMA push from a duplicated *read* could
+/// land in a recycled staging span — see DESIGN.md §13) and are asserted
+/// consumed before the read-back phase.
+fn run_consistency_oracle(name: &str, plan: FaultPlan) -> hpbd_suite::hpbd::ClientStats {
+    const GENS: u64 = 6;
+    let engine = Engine::new();
+    let cal = Rc::new(Calibration::cluster_2005());
+    let cluster = ClusterBuilder::new()
+        .servers(4)
+        .per_server_capacity(2 * MB)
+        .mirror_writes(true)
+        .request_timeout_ns(2_000_000)
+        .max_retries(1)
+        .fault_plan(plan)
+        .build(&engine, cal);
+    let dev = &cluster.client;
+    // Stride slot i to device page i*stride so the slots span every
+    // server's extent — faults armed on any link see real traffic.
+    let total_pages = dev.capacity() / PAGE;
+    let slots = total_pages.min(384);
+    let stride = (total_pages / slots).max(1);
+    let page_of = |slot: u64| slot * stride;
+
+    // Shadow model: shadow[i] = fill byte of the last acked write to the
+    // page of slot i.
+    let mut shadow = vec![0u8; slots as usize];
+    let write_failures = Rc::new(Cell::new(0u32));
+    for gen in 0..GENS {
+        let mut submitted = Vec::new();
+        for p in 0..slots {
+            // Generation 0 writes every page; later generations rewrite a
+            // deterministic ~3/4 subset so page histories diverge.
+            if gen > 0 && (p.wrapping_mul(31).wrapping_add(gen * 17)) % 4 == 0 {
+                continue;
+            }
+            let fill = gen_fill(p, gen);
+            let buf = new_buffer(PAGE as usize);
+            buf.borrow_mut().fill(fill);
+            let failures = write_failures.clone();
+            dev.submit(IoRequest::single(Bio::new(
+                IoOp::Write,
+                page_of(p) * PAGE,
+                buf,
+                move |r| {
+                    if r.is_err() {
+                        failures.set(failures.get() + 1);
+                    }
+                },
+            )));
+            submitted.push((p, fill));
+        }
+        // Barrier: generation g fully acked before g+1 starts.
+        engine.run_until_idle();
+        assert_eq!(
+            write_failures.get(),
+            0,
+            "[{name}] gen {gen}: mirrored writes must survive the plan"
+        );
+        for (p, fill) in submitted {
+            shadow[p as usize] = fill;
+        }
+    }
+
+    // Every delay/duplicate budget must have drained against the write
+    // phases above; a leftover ghost could race the read-back staging.
+    for (i, link) in cluster.links.iter().enumerate() {
+        assert_eq!(
+            link.pending_delay_dup(),
+            0,
+            "[{name}] link {i} still has armed delay/dup budget at read-back"
+        );
+    }
+
+    let bufs: Vec<_> = (0..slots)
+        .map(|p| {
+            let buf = new_buffer(PAGE as usize);
+            dev.submit(IoRequest::single(Bio::new(
+                IoOp::Read,
+                page_of(p) * PAGE,
+                buf.clone(),
+                |r| r.unwrap(),
+            )));
+            buf
+        })
+        .collect();
+    engine.run_until_idle();
+    for (p, buf) in bufs.iter().enumerate() {
+        let want = shadow[p];
+        let buf = buf.borrow();
+        assert!(
+            buf.iter().all(|&b| b == want),
+            "[{name}] page {p}: read {:#04x}… but last acked write was {want:#04x}",
+            buf[0],
+        );
+    }
+    dev.stats()
+}
+
+#[test]
+fn oracle_survives_server_crash() {
+    let stats = run_consistency_oracle("crash", FaultPlan::new().server_crash(50_000, 0));
+    assert!(stats.failovers > 0, "crash must force failovers: {stats:?}");
+}
+
+#[test]
+fn oracle_survives_crash_then_restart() {
+    // The restarted server comes back EMPTY. The restart lands after the
+    // client's retry/dead-marking window (~6 ms: 2 ms timeout + backed-off
+    // 4 ms retry), so the client has written the server off and keeps
+    // serving its extent from the replicas, never from the amnesiac store.
+    // A restart *inside* the window is unrecoverable without server
+    // epochs — the client would re-trust a store that silently lost
+    // acked data (DESIGN.md §13 documents the limitation).
+    let stats = run_consistency_oracle(
+        "crash+restart",
+        FaultPlan::new()
+            .server_crash(50_000, 0)
+            .server_restart(20_000_000, 0),
+    );
+    assert!(stats.failovers > 0, "crash must force failovers: {stats:?}");
+}
+
+#[test]
+fn oracle_survives_message_loss() {
+    let stats = run_consistency_oracle("loss", FaultPlan::new().message_loss(30_000, 2, 4));
+    assert!(
+        stats.timeouts > 0,
+        "losses must surface as timeouts: {stats:?}"
+    );
+}
+
+#[test]
+fn oracle_survives_delayed_deliveries() {
+    // 5 ms delay > 2 ms timeout: the original delivery outlives the retry
+    // that replaced it and lands behind it — the reorder write fencing
+    // exists for.
+    let stats = run_consistency_oracle(
+        "delay",
+        FaultPlan::new().message_delay(30_000, 2, 4, 5_000_000),
+    );
+    assert!(
+        stats.timeouts > 0,
+        "delays must surface as timeouts: {stats:?}"
+    );
+}
+
+#[test]
+fn oracle_survives_duplicated_deliveries() {
+    run_consistency_oracle(
+        "duplicate",
+        FaultPlan::new().message_duplicate(30_000, 3, 3),
+    );
+}
+
+#[test]
+fn oracle_survives_combined_fault_plan() {
+    // Faults never touch server 1 (the crashed server's failover buddy),
+    // so the replica path stays reachable and no write fails cleanly.
+    let stats = run_consistency_oracle(
+        "combined",
+        FaultPlan::new()
+            .server_crash(50_000, 0)
+            .message_loss(30_000, 2, 2)
+            .message_delay(40_000, 2, 2, 5_000_000)
+            .message_duplicate(35_000, 3, 2),
+    );
+    assert!(
+        stats.failovers > 0 && stats.timeouts > 0,
+        "combined plan must exercise recovery: {stats:?}"
+    );
+}
+
 /// Counter-test for the differential above: a *non-empty* plan must leave
 /// visible fingerprints (the fault fires, recovery counters move), proving
 /// the differential test would catch an armed plan leaking into the

@@ -158,6 +158,7 @@ fn hpbd_request_roundtrip() {
             1 + rng.below(1 << 20),
             rng.next_u32(),
             rng.next_u64(),
+            rng.next_u64(),
         );
         assert_eq!(PageRequest::decode(req.encode()), Ok(req));
     });
@@ -173,9 +174,10 @@ fn hpbd_request_detects_any_single_byte_corruption() {
         4096,
         9,
         8192,
+        31,
     );
     // Exhaustive: every bit of every signed header byte past the magic.
-    for flip_byte in 4usize..44 {
+    for flip_byte in 4usize..hpbd_suite::hpbd::proto::REQUEST_WIRE_SIZE {
         for flip_bit in 0u8..8 {
             let mut raw = req.encode().to_vec();
             raw[flip_byte] ^= 1 << flip_bit;
