@@ -14,6 +14,10 @@ pub struct CommonArgs {
     pub trace: Option<PathBuf>,
     /// Print per-configuration metrics summaries (`--metrics`).
     pub metrics: bool,
+    /// Record per-request lifecycle phases into the flight recorder
+    /// (`--lifecycle`). Off by default: attribution marks cost wall time,
+    /// so timed comparisons stay unchanged unless asked for.
+    pub lifecycle: bool,
     /// Worker threads for figure sweeps (`--threads N`, 0 = one per
     /// core). Results are assembled in cell order, so the output is
     /// byte-identical at any thread count; the default of 1 runs inline.
@@ -27,6 +31,7 @@ impl Default for CommonArgs {
             seed: 42,
             trace: None,
             metrics: false,
+            lifecycle: false,
             threads: 1,
         }
     }
@@ -62,17 +67,23 @@ impl CommonArgs {
                 "--metrics" => {
                     out.metrics = true;
                 }
+                "--lifecycle" => {
+                    out.lifecycle = true;
+                }
                 "--threads" => {
                     out.threads = take("--threads") as usize;
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--scale N] [--seed N] [--trace PATH] [--metrics] [--threads N]"
+                        "usage: [--scale N] [--seed N] [--trace PATH] [--metrics] [--lifecycle] [--threads N]"
                     );
                     eprintln!("  --scale N    divide the paper's sizes by N (default 16)");
                     eprintln!("  --seed N     workload RNG seed (default 42)");
                     eprintln!("  --trace PATH write a Chrome trace-event JSON (load in Perfetto)");
                     eprintln!("  --metrics    print per-configuration metrics summaries");
+                    eprintln!(
+                        "  --lifecycle  record per-request phase attribution (flight recorder)"
+                    );
                     eprintln!("  --threads N  sweep worker threads (0 = one per core, default 1)");
                     std::process::exit(0);
                 }

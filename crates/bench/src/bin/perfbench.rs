@@ -15,6 +15,13 @@
 //! JSON report (`BENCH_core.json` at the repo root is the tracked
 //! baseline); `--baseline` compares per-figure events/sec against a prior
 //! report and **exits 1 on a >20 % regression**.
+//!
+//! The v2 report also carries, per figure, the p99 swap-in latency of its
+//! primary HPBD cell (virtual-clock µs, from the always-on metrics
+//! histograms — the timed runs themselves never enable lifecycle
+//! tracing), and a phase-attribution summary from one separate small
+//! lifecycle-enabled fig9 pass. The baseline gate reads only the
+//! events/sec fields, so v1 baselines keep working.
 
 use bench::figures::{fig10, fig5, fig9};
 use bench::{CommonArgs, Runner};
@@ -34,6 +41,9 @@ struct FigureResult {
     name: &'static str,
     wall_s: f64,
     events: u64,
+    /// p99 swap-in latency (virtual µs) of the figure's primary HPBD
+    /// cell; 0 when the figure has no swap histogram.
+    swap_p99_us: f64,
 }
 
 impl FigureResult {
@@ -85,43 +95,65 @@ fn main() {
     let runner = Runner::with_threads(common.threads);
 
     let mut results: Vec<FigureResult> = Vec::new();
-    let mut measure = |name: &'static str, f: &dyn Fn() -> u64| {
+    let mut measure = |name: &'static str, f: &dyn Fn() -> (u64, f64)| {
         let start = Instant::now();
-        let events = f();
+        let (events, swap_p99_us) = f();
         let wall_s = start.elapsed().as_secs_f64();
         let r = FigureResult {
             name,
             wall_s,
             events,
+            swap_p99_us,
         };
         println!(
-            "{:>6}  wall {:8.3} s  events {:>12}  {:>12.0} events/s",
+            "{:>6}  wall {:8.3} s  events {:>12}  {:>12.0} events/s  swap p99 {:>8.1} us",
             r.name,
             r.wall_s,
             r.events,
-            r.events_per_sec()
+            r.events_per_sec(),
+            r.swap_p99_us
         );
         results.push(r);
     };
 
-    measure("fig5", &|| {
-        fig5::run_parallel(&common, &mut TraceSession::disabled(), &runner)
+    // Swap-in latency where the workload faults pages back in; fig5's
+    // testswap streams writes and never swaps in, so fall back to the
+    // swap-out histogram rather than reporting an empty 0.
+    let swap_p99 = |report: &workloads::RunReport| -> f64 {
+        ["hpbd.swap_in_latency_us", "hpbd.swap_out_latency_us"]
             .iter()
-            .map(|r| r.events)
-            .sum()
+            .filter_map(|name| report.metrics.histograms.get(*name))
+            .find(|h| h.count > 0)
+            .map_or(0.0, |h| h.p99)
+    };
+    measure("fig5", &|| {
+        let runs = fig5::run_parallel(&common, &mut TraceSession::disabled(), &runner);
+        let p99 = runs
+            .iter()
+            .find(|r| r.label == "HPBD")
+            .map_or(0.0, &swap_p99);
+        (runs.iter().map(|r| r.events).sum(), p99)
     });
     measure("fig9", &|| {
-        fig9::run_parallel(&common, &mut TraceSession::disabled(), &runner)
+        let runs = fig9::run_parallel(&common, &mut TraceSession::disabled(), &runner);
+        let p99 = runs
             .iter()
-            .map(|p| p.report.events)
-            .sum()
+            .find(|p| p.label == "HPBD-50%")
+            .map_or(0.0, |p| swap_p99(&p.report));
+        (runs.iter().map(|p| p.report.events).sum(), p99)
     });
     measure("fig10", &|| {
-        fig10::run_parallel(&common, &mut TraceSession::disabled(), &runner)
+        let runs = fig10::run_parallel(&common, &mut TraceSession::disabled(), &runner);
+        let p99 = runs
             .iter()
-            .map(|p| p.report.events)
-            .sum()
+            .find(|p| p.servers == 1)
+            .map_or(0.0, |p| swap_p99(&p.report));
+        (runs.iter().map(|p| p.report.events).sum(), p99)
     });
+
+    // Phase attribution comes from one separate, small, lifecycle-enabled
+    // fig9 pass so the timed runs above stay untouched by tracing cost.
+    let attribution = attribution_pass(&common, &runner);
 
     let total_wall: f64 = results.iter().map(|r| r.wall_s).sum();
     let total_events: u64 = results.iter().map(|r| r.events).sum();
@@ -143,6 +175,7 @@ fn main() {
         total_wall,
         total_events,
         rss,
+        &attribution,
     );
     if let Some(path) = &out {
         if let Err(e) = std::fs::write(path, &report) {
@@ -169,6 +202,52 @@ fn main() {
     }
 }
 
+/// One small lifecycle-enabled fig9 pass (scale >= 256 so it costs well
+/// under a second), rendered as the report's `attribution` JSON object:
+/// the HPBD-50% cell's per-phase p50/p99 and time share, its e2e p99,
+/// and the phase-sum oracle counts.
+fn attribution_pass(common: &CommonArgs, runner: &Runner) -> String {
+    let mut small = common.clone();
+    small.scale = small.scale.max(256);
+    small.lifecycle = true;
+    let runs = fig9::run_parallel(&small, &mut TraceSession::disabled(), runner);
+    let dev = runs
+        .iter()
+        .find(|p| p.label == "HPBD-50%")
+        .and_then(|p| p.report.lifecycle.as_ref())
+        .and_then(|s| s.devices.first());
+    let Some(dev) = dev else {
+        return "null".to_string();
+    };
+    let e2e_total: u64 = dev.e2e_samples.iter().sum();
+    let mut s = String::from("{");
+    s.push_str(&format!(
+        "\"figure\": \"fig9\", \"cell\": \"HPBD-50%\", \"scale\": {}, \"requests\": {}, \"sum_mismatches\": {}, ",
+        small.scale, dev.total, dev.sum_mismatches
+    ));
+    s.push_str(&format!(
+        "\"e2e_p99_ns\": {}, \"phases\": [",
+        dev.e2e_percentile(99.0)
+    ));
+    for (i, phase) in simtrace::Phase::ALL.iter().enumerate() {
+        let share = if e2e_total > 0 {
+            dev.phase_total_ns(*phase) as f64 * 100.0 / e2e_total as f64
+        } else {
+            0.0
+        };
+        s.push_str(&format!(
+            "{}{{\"name\": \"{}\", \"p50_ns\": {}, \"p99_ns\": {}, \"share_pct\": {:.2}}}",
+            if i > 0 { ", " } else { "" },
+            simtrace::Phase::NAMES[i],
+            dev.phase_percentile(*phase, 50.0),
+            dev.phase_percentile(*phase, 99.0),
+            share
+        ));
+    }
+    s.push_str("]}");
+    s
+}
+
 /// Peak resident set size in kB from `/proc/self/status`, or 0 when the
 /// platform does not expose it.
 fn peak_rss_kb() -> u64 {
@@ -183,6 +262,7 @@ fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     common: &CommonArgs,
     smoke: bool,
@@ -191,10 +271,11 @@ fn render_json(
     total_wall: f64,
     total_events: u64,
     rss_kb: u64,
+    attribution: &str,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"hpbd-perfbench-v1\",\n");
+    s.push_str("  \"schema\": \"hpbd-perfbench-v2\",\n");
     s.push_str(&format!("  \"smoke\": {smoke},\n"));
     s.push_str(&format!("  \"scale\": {},\n", common.scale));
     s.push_str(&format!("  \"seed\": {},\n", common.seed));
@@ -202,11 +283,12 @@ fn render_json(
     s.push_str("  \"figures\": [\n");
     for (i, r) in results.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}}}{}\n",
+            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}, \"swap_in_p99_us\": {:.1}}}{}\n",
             r.name,
             r.wall_s,
             r.events,
             r.events_per_sec(),
+            r.swap_p99_us,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -219,6 +301,7 @@ fn render_json(
     s.push_str(&format!(
         "  \"total\": {{\"wall_s\": {total_wall:.3}, \"events\": {total_events}, \"events_per_sec\": {total_eps:.0}}},\n"
     ));
+    s.push_str(&format!("  \"attribution\": {attribution},\n"));
     s.push_str(&format!("  \"peak_rss_kb\": {rss_kb}\n"));
     s.push_str("}\n");
     s

@@ -63,6 +63,7 @@ pub fn run_parallel(
             Tracer::disabled()
         };
         config.tracer = Some(tracer.clone());
+        config.record_lifecycle = args.lifecycle;
         let scenario = Scenario::build(&config);
         let report = scenario.run_qsort(elements, args.seed);
         let ctx_reloads = scenario

@@ -41,6 +41,7 @@ pub fn run_parallel(
             Tracer::disabled()
         };
         config.tracer = Some(tracer.clone());
+        config.record_lifecycle = args.lifecycle;
         let scenario = Scenario::build(&config);
         let mut report = scenario.run_testswap(elements);
         report.label = label;

@@ -80,6 +80,7 @@ pub fn run_parallel(
             Tracer::disabled()
         };
         config.tracer = Some(tracer.clone());
+        config.record_lifecycle = args.lifecycle;
         let scenario = Scenario::build(&config);
         let (a, b, report) = scenario.run_qsort_pair(elements, args.seed);
         let to_s = |d: SimDuration| d.as_secs_f64();

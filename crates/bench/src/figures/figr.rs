@@ -101,6 +101,9 @@ pub struct FigRRow {
     pub migration_retries: u64,
     /// Completed swap bytes per time bin over the run.
     pub timeline: Vec<ThroughputSample>,
+    /// Flight-recorder snapshot (only when the run was built with
+    /// `--lifecycle`; the probe cell never records one).
+    pub lifecycle: Option<simcore::FlightSummary>,
 }
 
 /// The full figure: four rows plus the fault instant shared by the two
@@ -167,6 +170,7 @@ fn run_hpbd_cell(
     let mut config = hpbd_config(local_mem, total_swap);
     let tracer = Tracer::enabled();
     config.tracer = Some(tracer.clone());
+    config.record_lifecycle = args.lifecycle;
     if let Some(at) = crash_at_ns {
         config.fault_plan = FaultPlan::new().server_crash(at, 0);
     }
@@ -210,6 +214,7 @@ fn run_hpbd_cell(
         stale_drops: stats.stale_drops,
         migration_retries: stats.migration_retries,
         timeline: timeline_from_spans(&events, "blockdev", elapsed_ns),
+        lifecycle: report.lifecycle.clone(),
     }
 }
 
@@ -229,6 +234,7 @@ fn run_nbd_scenario_cell(
     );
     let tracer = Tracer::enabled();
     config.tracer = Some(tracer.clone());
+    config.record_lifecycle = args.lifecycle;
     let scenario = Scenario::build(&config);
     let (_, _, report) = scenario.run_qsort_pair(elements, args.seed);
     let events = tracer.snapshot();
@@ -254,6 +260,7 @@ fn run_nbd_scenario_cell(
         stale_drops: 0,
         migration_retries: 0,
         timeline: timeline_from_spans(&events, "blockdev", elapsed_ns),
+        lifecycle: report.lifecycle.clone(),
     }
 }
 
@@ -314,6 +321,7 @@ fn run_nbd_reset_cell(label: &str, capacity: u64, fault_at_ns: u64, _args: &Comm
         stale_drops: 0,
         migration_retries: 0,
         timeline: timeline_from_spans(&events, "nbd", elapsed_ns.max(1)),
+        lifecycle: None,
     }
 }
 

@@ -219,7 +219,25 @@ impl RequestQueue {
             let op = req.op();
             let bytes = req.len();
             let bios = req.bio_count() as u64;
-            let req = req.on_complete(move |_| {
+            // Stamp the span context at the dispatch boundary: from here the
+            // device stack appends phase marks, and the completion hook below
+            // folds them — so [submit, end] is exactly the latency the
+            // blockdev histograms record for the same request.
+            let mut req = req;
+            let lifecycle = if engine.lifecycle_enabled() {
+                engine.lifecycle().begin(
+                    simtrace::intern(device.name()),
+                    op == IoOp::Write,
+                    bytes,
+                    dispatched.as_nanos(),
+                )
+            } else {
+                None
+            };
+            if let Some(ctx) = &lifecycle {
+                req.set_lifecycle(ctx.clone());
+            }
+            let req = req.on_complete(move |result| {
                 let us = engine2.now().since(dispatched).as_micros_f64();
                 stats.borrow_mut().record(us);
                 let (name, hist) = match op {
@@ -235,6 +253,9 @@ impl RequestQueue {
                         engine2.now().as_nanos(),
                         &[("bytes", bytes), ("bios", bios)],
                     );
+                }
+                if let Some(ctx) = &lifecycle {
+                    ctx.end(engine2.now().as_nanos(), result.is_ok());
                 }
             });
             device.submit(req)

@@ -120,6 +120,7 @@ pub struct IoRequest {
     len: u64,
     bios: Vec<Bio>,
     hooks: Vec<CompletionHook>,
+    lifecycle: Option<Rc<simtrace::RequestCtx>>,
 }
 
 impl IoRequest {
@@ -145,6 +146,7 @@ impl IoRequest {
             len: cursor - offset,
             bios,
             hooks: Vec::new(),
+            lifecycle: None,
         }
     }
 
@@ -269,6 +271,17 @@ impl IoRequest {
     pub fn on_complete(mut self, hook: impl FnOnce(IoResult) + 'static) -> IoRequest {
         self.hooks.push(Box::new(hook));
         self
+    }
+
+    /// Attach a lifecycle span context; device drivers below the queue
+    /// read it back via [`IoRequest::lifecycle`] to append phase marks.
+    pub fn set_lifecycle(&mut self, ctx: Rc<simtrace::RequestCtx>) {
+        self.lifecycle = Some(ctx);
+    }
+
+    /// The lifecycle span context stamped at dispatch, if tracing is on.
+    pub fn lifecycle(&self) -> Option<&Rc<simtrace::RequestCtx>> {
+        self.lifecycle.as_ref()
     }
 
     /// Complete the request: every bio callback fires with `result`, then

@@ -27,7 +27,7 @@ use ibsim::{
     CompletionQueue, IbNode, MemoryRegion, Opcode, QueuePair, WcStatus, WorkKind, WorkRequest,
 };
 use simcore::{Engine, EventId, SimDuration, SimTime};
-use simtrace::{Counter, Histogram, LazyCounter};
+use simtrace::{intern, Counter, Histogram, LazyCounter, MarkKind, RequestCtx};
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
@@ -83,6 +83,22 @@ pub struct ClientStats {
     /// Migration transfers re-enqueued after a failed read or write
     /// completion (the chunk stays deferred until a retry succeeds).
     pub migration_retries: u64,
+    /// Control messages exchanged with the servers: requests posted plus
+    /// replies/notices decoded. The per-page ratio (messages / pages
+    /// swapped) is the overhead the ROADMAP's batching item attacks.
+    pub messages: u64,
+}
+
+impl ClientStats {
+    /// Control messages per 4 KiB page swapped (0 when nothing moved).
+    pub fn messages_per_page(&self) -> f64 {
+        let pages = (self.bytes_in + self.bytes_out) / 4096;
+        if pages == 0 {
+            0.0
+        } else {
+            self.messages as f64 / pages as f64
+        }
+    }
 }
 
 /// Parent bookkeeping for a (possibly split) block request.
@@ -98,6 +114,10 @@ struct Parent {
     parts: Cell<usize>,
     /// Pre-resolved swap-in/out latency histogram for this op.
     latency_hist: Histogram,
+    /// Lifecycle span context stamped at block-queue dispatch; the parts
+    /// append phase marks through it. `None` when lifecycle tracing is off
+    /// or the request bypassed the queue (migration traffic).
+    ctx: Option<Rc<RequestCtx>>,
 }
 
 impl Parent {
@@ -164,12 +184,22 @@ struct Phys {
     timer: Cell<Option<EventId>>,
     /// Delivery attempts so far; drives the retry backoff.
     attempts: u32,
+    /// Lifecycle part index within the parent context (0 when off).
+    part: u16,
+    /// Lifecycle attempt counter: bumped on retries AND failover
+    /// reissues, so each delivery attempt gets a distinct mark key
+    /// (unlike `attempts`, which failover deliberately does not bump —
+    /// the reissue keeps its backoff budget).
+    trace_attempt: u16,
 }
 
 struct ServerConn {
     qp: QueuePair,
     credits: Cell<usize>,
     queued: RefCell<VecDeque<Phys>>,
+    /// High-water mark of the credit-stall queue, published as the
+    /// per-server queue-depth gauge at stats time (never on the hot path).
+    peak_queued: Cell<usize>,
     recv_region: MemoryRegion,
     extent_len: u64,
     /// Marked on the first request timeout; all traffic re-routes to the
@@ -240,6 +270,7 @@ struct ClientInner {
     ctr_phys_requests: LazyCounter,
     ctr_pool_waits: LazyCounter,
     ctr_receiver_wakeups: LazyCounter,
+    ctr_messages: LazyCounter,
 }
 
 /// The HPBD block device. Clone shares the device instance.
@@ -304,6 +335,7 @@ impl HpbdClient {
                 ctr_phys_requests: metrics.lazy_counter("hpbd.phys_requests"),
                 ctr_pool_waits: metrics.lazy_counter("hpbd.pool_waits"),
                 ctr_receiver_wakeups: metrics.lazy_counter("hpbd.receiver_wakeups"),
+                ctr_messages: metrics.lazy_counter("hpbd.messages"),
             }),
         };
         client.install_receiver();
@@ -326,9 +358,21 @@ impl HpbdClient {
         self.inner.conns.borrow().len()
     }
 
-    /// Statistics snapshot.
+    /// Statistics snapshot. Also publishes the derived gauges
+    /// (`hpbd.messages_per_page`, per-server peak queue depth) so they
+    /// appear in metric snapshots taken afterwards — peaks are tracked in
+    /// cells on the hot path and only hit the registry here.
     pub fn stats(&self) -> ClientStats {
-        self.inner.stats.borrow().clone()
+        let stats = self.inner.stats.borrow().clone();
+        let metrics = self.inner.engine.metrics();
+        metrics.set_gauge("hpbd.messages_per_page", stats.messages_per_page());
+        for (i, conn) in self.inner.conns.borrow().iter().enumerate() {
+            metrics.set_gauge(
+                intern(&format!("hpbd.server{i}.peak_queue_depth")),
+                conn.peak_queued.get() as f64,
+            );
+        }
+        stats
     }
 
     /// Attach a server whose extent covers the next `extent_len` bytes of
@@ -355,6 +399,7 @@ impl HpbdClient {
             qp,
             credits: Cell::new(credits),
             queued: RefCell::new(VecDeque::new()),
+            peak_queued: Cell::new(0),
             recv_region,
             extent_len,
             dead: Cell::new(false),
@@ -569,6 +614,12 @@ impl HpbdClient {
                             &[("req", phys.req_id), ("buddy", buddy as u64)],
                         );
                     }
+                    // A pre-post re-route (the part never reached the dead
+                    // server) counts as a failover but not a doomed attempt:
+                    // its wait so far stays attributed to Queue.
+                    if let Some(ctx) = &phys.parent.ctx {
+                        ctx.note_failover();
+                    }
                     phys.server_idx = buddy;
                     phys.server_offset = offset;
                 }
@@ -596,7 +647,10 @@ impl HpbdClient {
                     ],
                 );
             }
-            conn.queued.borrow_mut().push_back(phys);
+            let mut queued = conn.queued.borrow_mut();
+            queued.push_back(phys);
+            conn.peak_queued
+                .set(conn.peak_queued.get().max(queued.len()));
             return;
         }
         conn.credits.set(conn.credits.get() - 1);
@@ -620,10 +674,26 @@ impl HpbdClient {
         {
             let mut stats = self.inner.stats.borrow_mut();
             stats.phys_requests += 1;
+            stats.messages += 1;
             self.inner.ctr_phys_requests.inc();
+            self.inner.ctr_messages.inc();
             if phys.is_mirror {
                 stats.mirrored_phys += 1;
             }
+        }
+        if let Some(ctx) = &phys.parent.ctx {
+            ctx.mark(
+                phys.part,
+                phys.trace_attempt,
+                MarkKind::Posted,
+                self.inner.engine.now().as_nanos(),
+            );
+            self.inner.engine.lifecycle().register_phys(
+                phys.req_id,
+                ctx,
+                phys.part,
+                phys.trace_attempt,
+            );
         }
         let posted = conn.qp.post_send(WorkRequest {
             wr_id: phys.req_id,
@@ -714,6 +784,17 @@ impl HpbdClient {
                 &[("req", req_id), ("server", phys.server_idx as u64)],
             );
         }
+        if let Some(ctx) = &phys.parent.ctx {
+            // Dooms the attempt: the fold relabels its whole lifetime (and
+            // the gap until the next attempt is queued) to RetryOverhead.
+            ctx.mark(
+                phys.part,
+                phys.trace_attempt,
+                MarkKind::TimedOut,
+                self.inner.engine.now().as_nanos(),
+            );
+            self.inner.engine.lifecycle().unregister_phys(req_id);
+        }
         {
             // The credit consumed by the lost request never returns via a
             // reply; restore it so accounting stays consistent.
@@ -725,6 +806,7 @@ impl HpbdClient {
             // Transient-fault tolerance: give the same server another
             // chance (with a backed-off timeout) before declaring it dead.
             phys.attempts += 1;
+            phys.trace_attempt += 1;
             self.inner.stats.borrow_mut().retries += 1;
             self.inner.engine.metrics().inc("hpbd.retries");
             if self.inner.engine.trace_enabled() {
@@ -733,6 +815,15 @@ impl HpbdClient {
                     "retry",
                     self.inner.engine.now().as_nanos(),
                     &[("req", req_id), ("attempt", phys.attempts as u64)],
+                );
+            }
+            if let Some(ctx) = &phys.parent.ctx {
+                ctx.note_retry();
+                ctx.mark(
+                    phys.part,
+                    phys.trace_attempt,
+                    MarkKind::Queued,
+                    self.inner.engine.now().as_nanos(),
                 );
             }
             self.enqueue_send(phys);
@@ -769,8 +860,18 @@ impl HpbdClient {
                 let reissued = Phys {
                     server_idx: buddy,
                     server_offset: offset,
+                    trace_attempt: phys.trace_attempt + 1,
                     ..phys
                 };
+                if let Some(ctx) = &reissued.parent.ctx {
+                    ctx.note_failover();
+                    ctx.mark(
+                        reissued.part,
+                        reissued.trace_attempt,
+                        MarkKind::Queued,
+                        self.inner.engine.now().as_nanos(),
+                    );
+                }
                 self.enqueue_send(reissued);
             }
             None => self.fail_phys(phys, IoError::Fault(FaultKind::Timeout)),
@@ -796,22 +897,32 @@ impl HpbdClient {
             );
         }
         self.release_staging(&phys);
-        let parent = phys.parent.clone();
-        let engine = self.inner.engine.clone();
-        self.inner
-            .engine
-            .schedule_at(self.inner.engine.now(), move || parent.finish_part(&engine));
+        self.finish_part_at(&phys, self.inner.engine.now());
     }
 
     /// Complete a physical request as failed.
     fn fail_phys(&self, phys: Phys, error: IoError) {
         phys.parent.error.set(Some(error));
         self.release_staging(&phys);
+        if phys.parent.ctx.is_some() {
+            self.inner.engine.lifecycle().unregister_phys(phys.req_id);
+        }
+        self.finish_part_at(&phys, self.inner.engine.now());
+    }
+
+    /// Schedule the part's parent completion at `at`, appending the
+    /// lifecycle `Done` mark at that instant (inside the event, so the
+    /// context's mark log stays in execution order).
+    fn finish_part_at(&self, phys: &Phys, at: SimTime) {
         let parent = phys.parent.clone();
         let engine = self.inner.engine.clone();
-        self.inner
-            .engine
-            .schedule_at(self.inner.engine.now(), move || parent.finish_part(&engine));
+        let (part, attempt) = (phys.part, phys.trace_attempt);
+        self.inner.engine.schedule_at(at, move || {
+            if let Some(ctx) = &parent.ctx {
+                ctx.mark(part, attempt, MarkKind::Done, engine.now().as_nanos());
+            }
+            parent.finish_part(&engine);
+        });
     }
 
     // -- receiver path --------------------------------------------------------
@@ -909,6 +1020,11 @@ impl HpbdClient {
                 return;
             }
         };
+        {
+            let mut stats = inner.stats.borrow_mut();
+            stats.messages += 1;
+            inner.ctr_messages.inc();
+        }
         let reply = match message {
             ServerMessage::Reply(reply) => reply,
             ServerMessage::Revoke(notice) => {
@@ -937,6 +1053,15 @@ impl HpbdClient {
             inner.engine.cancel(timer);
         }
         inner.stats.borrow_mut().replies += 1;
+        if let Some(ctx) = &phys.parent.ctx {
+            ctx.mark(
+                phys.part,
+                phys.trace_attempt,
+                MarkKind::ReplyReceived,
+                inner.engine.now().as_nanos(),
+            );
+            inner.engine.lifecycle().unregister_phys(phys.req_id);
+        }
         // Receiver-thread CPU cost per reply.
         let proc = SimDuration::from_nanos(inner.config.reply_proc_ns);
         let (_, t_proc) = inner.ibnode.node().cpu().reserve(inner.engine.now(), proc);
@@ -974,11 +1099,7 @@ impl HpbdClient {
                 );
             }
             self.release_staging(&phys);
-            let parent = phys.parent.clone();
-            let engine = inner.engine.clone();
-            inner
-                .engine
-                .schedule_at(t_proc, move || parent.finish_part(&engine));
+            self.finish_part_at(&phys, t_proc);
             return;
         }
 
@@ -990,11 +1111,7 @@ impl HpbdClient {
             };
             phys.parent.error.set(Some(error));
             self.release_staging(&phys);
-            let parent = phys.parent.clone();
-            let engine = inner.engine.clone();
-            inner
-                .engine
-                .schedule_at(t_proc, move || parent.finish_part(&engine));
+            self.finish_part_at(&phys, t_proc);
             return;
         }
 
@@ -1003,11 +1120,7 @@ impl HpbdClient {
                 debug_assert_eq!(reply.version(), phys.version);
                 inner.stats.borrow_mut().bytes_out += phys.len;
                 self.release_staging(&phys);
-                let parent = phys.parent.clone();
-                let engine = inner.engine.clone();
-                inner
-                    .engine
-                    .schedule_at(t_proc, move || parent.finish_part(&engine));
+                self.finish_part_at(&phys, t_proc);
             }
             PageOp::Read => {
                 // Swap-in data was RDMA-WRITTEN into the staging buffer;
@@ -1049,6 +1162,14 @@ impl HpbdClient {
                     }
                     this.recycle_data_buf(data);
                     this.release_staging(&phys);
+                    if let Some(ctx) = &phys.parent.ctx {
+                        ctx.mark(
+                            phys.part,
+                            phys.trace_attempt,
+                            MarkKind::Done,
+                            this.inner.engine.now().as_nanos(),
+                        );
+                    }
                     phys.parent.finish_part(&this.inner.engine);
                 });
             }
@@ -1353,6 +1474,16 @@ impl HpbdClient {
                 let req_id = inner.next_req_id.get();
                 inner.next_req_id.set(req_id + 1);
                 let parent = parent.clone();
+                // Part created: from here until it posts (pool wait, credit
+                // stall) its time is Queue.
+                let part = match &parent.ctx {
+                    Some(ctx) => {
+                        let p = ctx.alloc_part();
+                        ctx.mark(p, 0, MarkKind::Queued, inner.engine.now().as_nanos());
+                        p
+                    }
+                    None => 0,
+                };
                 match inner.config.staging {
                     StagingMode::CopyToPool => {
                         let this = self.clone();
@@ -1384,6 +1515,8 @@ impl HpbdClient {
                                 is_mirror,
                                 timer: Cell::new(None),
                                 attempts: 0,
+                                part,
+                                trace_attempt: 0,
                             });
                         });
                     }
@@ -1401,6 +1534,8 @@ impl HpbdClient {
                             is_mirror,
                             timer: Cell::new(None),
                             attempts: 0,
+                            part,
+                            trace_attempt: 0,
                         });
                     }
                 }
@@ -1459,6 +1594,7 @@ impl HpbdClient {
                 );
             }
         }
+        let ctx = req.lifecycle().cloned();
         let parent = Rc::new(Parent {
             started: engine.now(),
             op,
@@ -1471,6 +1607,7 @@ impl HpbdClient {
                 PageOp::Read => inner.hist_swap_in.clone(),
                 PageOp::Write => inner.hist_swap_out.clone(),
             },
+            ctx,
         });
         self.issue_parts(op, version, parts, parent);
     }

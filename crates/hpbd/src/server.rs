@@ -29,7 +29,7 @@ use ibsim::{
     WorkKind, WorkRequest,
 };
 use simcore::{Engine, SimDuration, SimTime};
-use simtrace::LazyCounter;
+use simtrace::{intern, LazyCounter, MarkKind};
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -112,6 +112,10 @@ struct ServerInner {
     last_activity: Cell<SimTime>,
     crashed: Cell<bool>,
     stats: RefCell<ServerStats>,
+    name: String,
+    /// High-water mark of concurrently pending RDMA operations, published
+    /// as a per-server gauge at stats time (never on the hot path).
+    peak_pending: Cell<usize>,
     /// Scratch for decoding one control message (reused per request).
     wire_scratch: RefCell<Vec<u8>>,
     /// Freelist of staging-copy data buffers.
@@ -164,6 +168,8 @@ impl HpbdServer {
                 last_activity: Cell::new(SimTime::ZERO),
                 crashed: Cell::new(false),
                 stats: RefCell::new(ServerStats::default()),
+                name: name.to_string(),
+                peak_pending: Cell::new(0),
             }),
         };
         server.install_handlers();
@@ -190,8 +196,17 @@ impl HpbdServer {
         self.inner.storage.capacity()
     }
 
-    /// Statistics snapshot.
+    /// Statistics snapshot. Also publishes the peak pending-RDMA depth
+    /// gauge (tracked in a cell on the hot path, registry-touched only
+    /// here).
     pub fn stats(&self) -> ServerStats {
+        self.inner.engine.metrics().set_gauge(
+            intern(&format!(
+                "hpbd_server.{}.peak_pending_rdma",
+                self.inner.name
+            )),
+            self.inner.peak_pending.get() as f64,
+        );
         self.inner.stats.borrow().clone()
     }
 
@@ -455,6 +470,16 @@ impl HpbdServer {
         inner.stats.borrow_mut().requests += 1;
         inner.ctr_requests.inc();
         let started = inner.engine.now();
+        if inner.engine.lifecycle_enabled() {
+            // Route the mark back to the client-side span context by the
+            // physical request id; unknown ids (e.g. the context completed
+            // after a timeout) are a silent no-op.
+            inner.engine.lifecycle().mark_phys(
+                request.req_id(),
+                MarkKind::ServerReceived,
+                started.as_nanos(),
+            );
+        }
         // CPU cost of parsing + dispatching the request.
         let proc = SimDuration::from_nanos(inner.config.request_proc_ns);
         let (_, t_proc) = inner.ibnode.node().cpu().reserve(started, proc);
@@ -550,15 +575,21 @@ impl HpbdServer {
         }
         let token = inner.next_token.get();
         inner.next_token.set(token + 1);
-        inner.pending.borrow_mut().insert(
-            token,
-            PendingRdma {
-                request,
-                staging,
-                conn: conn_idx,
-                started,
-            },
-        );
+        {
+            let mut pending = inner.pending.borrow_mut();
+            pending.insert(
+                token,
+                PendingRdma {
+                    request,
+                    staging,
+                    conn: conn_idx,
+                    started,
+                },
+            );
+            inner
+                .peak_pending
+                .set(inner.peak_pending.get().max(pending.len()));
+        }
         let remote = RemoteSlice {
             rkey: request.client_rkey(),
             offset: request.client_offset(),
@@ -569,6 +600,13 @@ impl HpbdServer {
             PageOp::Write => {
                 // Swap-out: pull the page data from the client.
                 inner.stats.borrow_mut().rdma_reads += 1;
+                if inner.engine.lifecycle_enabled() {
+                    inner.engine.lifecycle().mark_phys(
+                        request.req_id(),
+                        MarkKind::RdmaPosted,
+                        inner.engine.now().as_nanos(),
+                    );
+                }
                 self.post_rdma(
                     conn_idx,
                     WorkRequest {
@@ -604,6 +642,13 @@ impl HpbdServer {
                     this.inner.staging_mr.write(staging.offset as usize, &data);
                     this.recycle_data_buf(data);
                     this.inner.stats.borrow_mut().rdma_writes += 1;
+                    if this.inner.engine.lifecycle_enabled() {
+                        this.inner.engine.lifecycle().mark_phys(
+                            request.req_id(),
+                            MarkKind::RdmaPosted,
+                            this.inner.engine.now().as_nanos(),
+                        );
+                    }
                     this.post_rdma(
                         conn_idx,
                         WorkRequest {
@@ -677,6 +722,13 @@ impl HpbdServer {
         else {
             return; // state dropped by a crash between post and completion
         };
+        if inner.engine.lifecycle_enabled() {
+            inner.engine.lifecycle().mark_phys(
+                request.req_id(),
+                MarkKind::RdmaDone,
+                inner.engine.now().as_nanos(),
+            );
+        }
         if status != WcStatus::Success {
             inner.staging_pool.free(staging);
             self.serve_span(&request, started, false);
@@ -772,6 +824,13 @@ impl HpbdServer {
         else {
             return; // state dropped by a crash between post and completion
         };
+        if inner.engine.lifecycle_enabled() {
+            inner.engine.lifecycle().mark_phys(
+                request.req_id(),
+                MarkKind::RdmaDone,
+                inner.engine.now().as_nanos(),
+            );
+        }
         inner.staging_pool.free(staging);
         if status != WcStatus::Success {
             self.serve_span(&request, started, false);
@@ -829,6 +888,13 @@ impl HpbdServer {
     fn send_reply(&self, conn_idx: usize, req_id: u64, status: ReplyStatus, version: u64) {
         if self.inner.crashed.get() {
             return; // a dead daemon sends nothing
+        }
+        if self.inner.engine.lifecycle_enabled() {
+            self.inner.engine.lifecycle().mark_phys(
+                req_id,
+                MarkKind::ReplyPosted,
+                self.inner.engine.now().as_nanos(),
+            );
         }
         let reply = PageReply::new(req_id, status, version);
         let conns = self.inner.conns.borrow();

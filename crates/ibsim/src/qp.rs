@@ -341,6 +341,19 @@ impl QueuePair {
                     ],
                 );
             }
+            if opcode == Opcode::Send
+                && status == WcStatus::Success
+                && this.engine.lifecycle_enabled()
+            {
+                // The send completed: the message has left the wire. Only
+                // `Send` wr_ids share the request-id namespace the lifecycle
+                // registry keys on (RDMA wr_ids are server-local tokens).
+                this.engine.lifecycle().mark_phys(
+                    wr_id,
+                    simtrace::MarkKind::WireTx,
+                    this.engine.now().as_nanos(),
+                );
+            }
             this.send_cq.push(Completion {
                 wr_id,
                 opcode,

@@ -36,6 +36,9 @@ struct ClientInner {
     /// fail it: tcpsim drops pending continuations on reset, and a request
     /// captured by one would vanish without ever completing.
     inflight: RefCell<Option<IoRequest>>,
+    /// Lifecycle part index of the in-flight request (one at a time, so a
+    /// plain cell is enough).
+    inflight_part: Cell<u16>,
     busy: Cell<bool>,
     /// Set on TCP reset or shutdown; the device stops serving for good
     /// (Linux 2.4 NBD has no reconnect path — the paper's baseline simply
@@ -72,6 +75,7 @@ impl NbdClient {
                 capacity,
                 queue: RefCell::new(VecDeque::new()),
                 inflight: RefCell::new(None),
+                inflight_part: Cell::new(0),
                 busy: Cell::new(false),
                 failed: Cell::new(false),
                 next_handle: Cell::new(1),
@@ -103,6 +107,13 @@ impl NbdClient {
         inner.next_handle.set(handle + 1);
         let started = inner.engine.now();
         inner.ctr_requests.inc();
+        if let Some(ctx) = req.lifecycle() {
+            // One attempt, one part: time before here is queue wait, the
+            // stretch from Posted to ReplyReceived is the blocking transfer.
+            let part = ctx.alloc_part();
+            inner.inflight_part.set(part);
+            ctx.mark(part, 0, simtrace::MarkKind::Posted, started.as_nanos());
+        }
 
         let header = NbdRequest::new(
             match req.op() {
@@ -193,6 +204,12 @@ impl NbdClient {
             return; // a reset already failed this request
         };
         self.inner.stats.borrow_mut().requests += 1;
+        if let Some(ctx) = req.lifecycle() {
+            let part = self.inner.inflight_part.get();
+            let now = self.inner.engine.now().as_nanos();
+            ctx.mark(part, 0, simtrace::MarkKind::ReplyReceived, now);
+            ctx.mark(part, 0, simtrace::MarkKind::Done, now);
+        }
         req.complete(result);
         self.inner.busy.set(false);
         // Next request, from the event loop.

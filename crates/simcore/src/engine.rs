@@ -28,7 +28,7 @@
 use crate::sched::{EventQueue, ReferenceHeap, TimingWheel};
 use crate::signal::Signal;
 use crate::time::{SimDuration, SimTime};
-use simtrace::{MetricsRegistry, Tracer};
+use simtrace::{LifecycleHub, MetricsRegistry, Tracer};
 use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::rc::Rc;
@@ -77,6 +77,7 @@ struct Inner {
     max_pending: usize,
     tracer: Tracer,
     metrics: MetricsRegistry,
+    lifecycle: LifecycleHub,
 }
 
 /// Handle to the shared discrete-event queue. Clone freely; all clones refer
@@ -115,6 +116,7 @@ impl Engine {
                 max_pending: 0,
                 tracer: Tracer::disabled(),
                 metrics: MetricsRegistry::new(),
+                lifecycle: LifecycleHub::disabled(),
             })),
         }
     }
@@ -169,6 +171,27 @@ impl Engine {
     /// building the stack so all layers share one buffer.
     pub fn set_tracer(&self, tracer: Tracer) {
         self.inner.borrow_mut().tracer = tracer;
+    }
+
+    /// The request-lifecycle hub shared by every component on this engine.
+    /// Disabled (no-op) by default; cheap to clone (an `Option<Rc>`).
+    pub fn lifecycle(&self) -> LifecycleHub {
+        self.inner.borrow().lifecycle.clone()
+    }
+
+    /// Whether the installed lifecycle hub records anything. Hot
+    /// attribution sites guard on this before marshalling mark arguments,
+    /// mirroring [`Engine::trace_enabled`].
+    #[inline]
+    pub fn lifecycle_enabled(&self) -> bool {
+        self.inner.borrow().lifecycle.is_enabled()
+    }
+
+    /// Install a lifecycle hub: requests dispatched afterwards get span
+    /// contexts and land in the hub's flight recorders. Install before
+    /// building the stack, alongside [`Engine::set_tracer`].
+    pub fn set_lifecycle(&self, hub: LifecycleHub) {
+        self.inner.borrow_mut().lifecycle = hub;
     }
 
     /// The metrics registry shared by every component on this engine.

@@ -44,6 +44,8 @@ pub use engine::{default_scheduler, set_default_scheduler, Engine, EventId, Sche
 pub use resource::{MultiResource, Resource};
 pub use rng::SimRng;
 pub use signal::{Counter, Latch, Signal};
-pub use simtrace::{MetricsRegistry, MetricsSnapshot, TraceSession, Tracer};
+pub use simtrace::{
+    FlightSummary, LifecycleHub, MetricsRegistry, MetricsSnapshot, TraceSession, Tracer,
+};
 pub use stats::{Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};

@@ -28,9 +28,14 @@
 
 pub mod chrome;
 pub mod json;
+pub mod lifecycle;
 mod metrics;
 mod session;
 
+pub use lifecycle::{
+    DeviceFlight, FlightRecorder, FlightSummary, LifecycleHub, MarkKind, Phase, RequestCtx,
+    RequestRecord, NUM_PHASES,
+};
 pub use metrics::{
     Counter, Histogram, HistogramSummary, LazyCounter, MetricsRegistry, MetricsSnapshot,
 };

@@ -397,6 +397,9 @@ impl Vm {
         inner.clock.push_back(key);
         inner.epoch.set(inner.epoch.get() + 1);
         inner.stats.zero_fills += 1;
+        if self.engine.lifecycle_enabled() {
+            self.engine.lifecycle().note_fault(false);
+        }
         self.maybe_wake_kswapd(inner);
         Ok(inner.frames.buffer(frame))
     }
@@ -415,6 +418,9 @@ impl Vm {
         };
         inner.stats.major_faults += 1;
         inner.stats.swap_ins += 1;
+        if self.engine.lifecycle_enabled() {
+            self.engine.lifecycle().note_fault(true);
+        }
         // Kernel fault-path cost.
         let cost = SimDuration::from_nanos(self.cal.compute.fault_ns);
         self.node.cpu().reserve(self.engine.now(), cost);

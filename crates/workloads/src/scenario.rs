@@ -17,7 +17,7 @@ use blockdev::{DispatchRecord, RequestQueue, SimDisk};
 use hpbd::{ClusterBuilder, HpbdCluster, HpbdConfig};
 use ibsim::Fabric;
 use netmodel::{Calibration, Node, Transport};
-use simcore::{Engine, MetricsSnapshot, SimDuration, Tracer};
+use simcore::{Engine, FlightSummary, LifecycleHub, MetricsSnapshot, SimDuration, Tracer};
 use simfault::FaultPlan;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -67,6 +67,10 @@ pub struct ScenarioConfig {
     /// default — installs nothing: the run is byte-identical to one built
     /// before fault injection existed.
     pub fault_plan: FaultPlan,
+    /// Record per-request lifecycle phases into a flight recorder (off by
+    /// default: the hot-path marks cost time, so benchmarked runs keep it
+    /// disabled and attribution runs are separate passes).
+    pub record_lifecycle: bool,
 }
 
 impl ScenarioConfig {
@@ -80,6 +84,7 @@ impl ScenarioConfig {
             readahead_pages: None,
             tracer: None,
             fault_plan: FaultPlan::new(),
+            record_lifecycle: false,
         }
     }
 }
@@ -111,6 +116,10 @@ pub struct RunReport {
     /// Simulation events executed by the engine over this run (the
     /// denominator for events/sec in `perfbench`).
     pub events: u64,
+    /// Flight-recorder snapshot: per-device phase attribution over every
+    /// completed swap request. None unless the scenario was built with
+    /// [`ScenarioConfig::record_lifecycle`] set.
+    pub lifecycle: Option<FlightSummary>,
 }
 
 /// A built machine, ready to run workloads.
@@ -143,6 +152,9 @@ impl Scenario {
         let engine = Engine::new();
         if let Some(tracer) = &config.tracer {
             engine.set_tracer(tracer.clone());
+        }
+        if config.record_lifecycle {
+            engine.set_lifecycle(LifecycleHub::enabled());
         }
         let mut vm_config = VmConfig::for_memory(config.local_mem);
         if let Some(ra) = config.readahead_pages {
@@ -269,6 +281,11 @@ impl Scenario {
             hpbd_client: self.hpbd.as_ref().map(|c| c.client.stats()),
             metrics: self.engine.metrics().snapshot(),
             events: self.engine.events_executed(),
+            lifecycle: if self.engine.lifecycle_enabled() {
+                Some(self.engine.lifecycle().summary())
+            } else {
+                None
+            },
         }
     }
 
