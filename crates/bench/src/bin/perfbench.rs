@@ -20,8 +20,14 @@
 //! primary HPBD cell (virtual-clock µs, from the always-on metrics
 //! histograms — the timed runs themselves never enable lifecycle
 //! tracing), and a phase-attribution summary from one separate small
-//! lifecycle-enabled fig9 pass. The baseline gate reads only the
-//! events/sec fields, so v1 baselines keep working.
+//! lifecycle-enabled fig9 pass.
+//!
+//! The v3 report adds, per figure, the primary HPBD cell's
+//! `messages_per_page` (request messages sent per 4 KiB page moved — the
+//! wire-efficiency metric the hot-path batching layer optimises). The
+//! baseline gate also fails when that ratio grows more than 20 % over a
+//! baseline that carries the field; v1/v2 baselines (no such field) gate
+//! on events/sec only, so they keep working.
 
 use bench::figures::{fig10, fig5, fig9};
 use bench::{CommonArgs, Runner};
@@ -44,6 +50,10 @@ struct FigureResult {
     /// p99 swap-in latency (virtual µs) of the figure's primary HPBD
     /// cell; 0 when the figure has no swap histogram.
     swap_p99_us: f64,
+    /// Request messages per 4 KiB page moved by the figure's primary HPBD
+    /// cell; 0 when the figure has no HPBD cell. Deterministic (virtual
+    /// clock), so the baseline gate holds it to the same 20 % tolerance.
+    msgs_per_page: f64,
 }
 
 impl FigureResult {
@@ -95,23 +105,25 @@ fn main() {
     let runner = Runner::with_threads(common.threads);
 
     let mut results: Vec<FigureResult> = Vec::new();
-    let mut measure = |name: &'static str, f: &dyn Fn() -> (u64, f64)| {
+    let mut measure = |name: &'static str, f: &dyn Fn() -> (u64, f64, f64)| {
         let start = Instant::now();
-        let (events, swap_p99_us) = f();
+        let (events, swap_p99_us, msgs_per_page) = f();
         let wall_s = start.elapsed().as_secs_f64();
         let r = FigureResult {
             name,
             wall_s,
             events,
             swap_p99_us,
+            msgs_per_page,
         };
         println!(
-            "{:>6}  wall {:8.3} s  events {:>12}  {:>12.0} events/s  swap p99 {:>8.1} us",
+            "{:>6}  wall {:8.3} s  events {:>12}  {:>12.0} events/s  swap p99 {:>8.1} us  msgs/page {:>6.3}",
             r.name,
             r.wall_s,
             r.events,
             r.events_per_sec(),
-            r.swap_p99_us
+            r.swap_p99_us,
+            r.msgs_per_page
         );
         results.push(r);
     };
@@ -126,29 +138,34 @@ fn main() {
             .find(|h| h.count > 0)
             .map_or(0.0, |h| h.p99)
     };
+    let msgs_page = |report: &workloads::RunReport| -> f64 {
+        report
+            .metrics
+            .gauges
+            .get("hpbd.messages_per_page")
+            .copied()
+            .unwrap_or(0.0)
+    };
     measure("fig5", &|| {
         let runs = fig5::run_parallel(&common, &mut TraceSession::disabled(), &runner);
-        let p99 = runs
-            .iter()
-            .find(|r| r.label == "HPBD")
-            .map_or(0.0, &swap_p99);
-        (runs.iter().map(|r| r.events).sum(), p99)
+        let hpbd = runs.iter().find(|r| r.label == "HPBD");
+        let p99 = hpbd.map_or(0.0, &swap_p99);
+        let mpp = hpbd.map_or(0.0, &msgs_page);
+        (runs.iter().map(|r| r.events).sum(), p99, mpp)
     });
     measure("fig9", &|| {
         let runs = fig9::run_parallel(&common, &mut TraceSession::disabled(), &runner);
-        let p99 = runs
-            .iter()
-            .find(|p| p.label == "HPBD-50%")
-            .map_or(0.0, |p| swap_p99(&p.report));
-        (runs.iter().map(|p| p.report.events).sum(), p99)
+        let hpbd = runs.iter().find(|p| p.label == "HPBD-50%");
+        let p99 = hpbd.map_or(0.0, |p| swap_p99(&p.report));
+        let mpp = hpbd.map_or(0.0, |p| msgs_page(&p.report));
+        (runs.iter().map(|p| p.report.events).sum(), p99, mpp)
     });
     measure("fig10", &|| {
         let runs = fig10::run_parallel(&common, &mut TraceSession::disabled(), &runner);
-        let p99 = runs
-            .iter()
-            .find(|p| p.servers == 1)
-            .map_or(0.0, |p| swap_p99(&p.report));
-        (runs.iter().map(|p| p.report.events).sum(), p99)
+        let hpbd = runs.iter().find(|p| p.servers == 1);
+        let p99 = hpbd.map_or(0.0, |p| swap_p99(&p.report));
+        let mpp = hpbd.map_or(0.0, |p| msgs_page(&p.report));
+        (runs.iter().map(|p| p.report.events).sum(), p99, mpp)
     });
 
     // Phase attribution comes from one separate, small, lifecycle-enabled
@@ -275,7 +292,7 @@ fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"hpbd-perfbench-v2\",\n");
+    s.push_str("  \"schema\": \"hpbd-perfbench-v3\",\n");
     s.push_str(&format!("  \"smoke\": {smoke},\n"));
     s.push_str(&format!("  \"scale\": {},\n", common.scale));
     s.push_str(&format!("  \"seed\": {},\n", common.seed));
@@ -283,12 +300,13 @@ fn render_json(
     s.push_str("  \"figures\": [\n");
     for (i, r) in results.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}, \"swap_in_p99_us\": {:.1}}}{}\n",
+            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}, \"swap_in_p99_us\": {:.1}, \"messages_per_page\": {:.4}}}{}\n",
             r.name,
             r.wall_s,
             r.events,
             r.events_per_sec(),
             r.swap_p99_us,
+            r.msgs_per_page,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -338,16 +356,17 @@ fn check_baseline(path: &PathBuf, results: &[FigureResult]) -> Result<Vec<String
             path.display()
         )]);
     };
-    let base_eps = |name: &str| -> Option<f64> {
+    let base_field = |name: &str, field: &str| -> Option<f64> {
         figures.iter().find_map(|f| {
             let o = f.as_object()?;
             if o.get("name")?.as_string()? == name {
-                o.get("events_per_sec")?.as_f64()
+                o.get(field)?.as_f64()
             } else {
                 None
             }
         })
     };
+    let base_eps = |name: &str| base_field(name, "events_per_sec");
 
     let base_total_eps = doc
         .as_object()
@@ -401,6 +420,31 @@ fn check_baseline(path: &PathBuf, results: &[FigureResult]) -> Result<Vec<String
             r.events_per_sec(),
             base,
         );
+        // Wire efficiency: messages per page moved must not grow. The
+        // metric is virtual-clock deterministic, so it gates regardless of
+        // wall time; v1/v2 baselines have no field and skip the check.
+        if let Some(base_mpp) = base_field(r.name, "messages_per_page") {
+            if base_mpp > 0.0 && r.msgs_per_page > 0.0 {
+                let ratio = r.msgs_per_page / base_mpp;
+                lines.push(format!(
+                    "{}: {:.4} msgs/page vs baseline {:.4} ({:+.1}%)",
+                    r.name,
+                    r.msgs_per_page,
+                    base_mpp,
+                    (ratio - 1.0) * 100.0
+                ));
+                if ratio > 1.0 + REGRESSION_TOLERANCE {
+                    regressions.push(format!(
+                        "{}: messages per page grew {:.1}% over baseline ({:.4} vs {:.4}, tolerance {:.0}%)",
+                        r.name,
+                        (ratio - 1.0) * 100.0,
+                        r.msgs_per_page,
+                        base_mpp,
+                        REGRESSION_TOLERANCE * 100.0
+                    ));
+                }
+            }
+        }
     }
     let total_wall: f64 = results.iter().map(|r| r.wall_s).sum();
     let total_events: u64 = results.iter().map(|r| r.events).sum();

@@ -64,6 +64,10 @@ pub fn run_parallel(
         };
         config.tracer = Some(tracer.clone());
         config.record_lifecycle = args.lifecycle;
+        // Same merged-message batching as fig9's HPBD cells (window 0 =
+        // same-tick coalescing, see fig9).
+        config.hpbd.batching = true;
+        config.hpbd.merge_window_ns = 0;
         let scenario = Scenario::build(&config);
         let report = scenario.run_qsort(elements, args.seed);
         let ctx_reloads = scenario

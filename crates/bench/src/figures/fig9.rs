@@ -81,6 +81,12 @@ pub fn run_parallel(
         };
         config.tracer = Some(tracer.clone());
         config.record_lifecycle = args.lifecycle;
+        // Hot-path batching: coalesce same-tick extents per server into
+        // merged scatter-gather messages. Window 0 (same virtual instant)
+        // tuned on this cell: positive windows delay demand faults and
+        // measure worse on both swap p99 and host events/sec.
+        config.hpbd.batching = true;
+        config.hpbd.merge_window_ns = 0;
         let scenario = Scenario::build(&config);
         let (a, b, report) = scenario.run_qsort_pair(elements, args.seed);
         let to_s = |d: SimDuration| d.as_secs_f64();

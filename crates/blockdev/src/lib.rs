@@ -32,7 +32,7 @@ pub mod trace;
 pub use device::{BlockDevice, DeviceHealth};
 pub use disk::SimDisk;
 pub use elevator::Elevator;
-pub use queue::{DispatchRecord, RequestQueue};
+pub use queue::{DispatchRecord, RequestQueue, DEFAULT_FLUSH_BACKSTOP, MAX_REQUEST_BYTES};
 pub use ramdisk::{RamDiskDevice, Storage};
 pub use request::{new_buffer, Bio, FaultKind, IoBuffer, IoError, IoOp, IoRequest, IoResult};
 pub use trace::{ReplayReport, SwapTrace, TraceEvent};

@@ -20,6 +20,11 @@ use std::rc::Rc;
 /// Maximum merged request size (Linux 2.4: 128 KiB).
 pub const MAX_REQUEST_BYTES: u64 = 128 * 1024;
 
+/// Default staged-bio count that forces a flush ("unplug") even without an
+/// explicit [`RequestQueue::flush`], so a runaway producer cannot stage
+/// unboundedly.
+pub const DEFAULT_FLUSH_BACKSTOP: usize = 4096;
+
 /// One dispatched request, for instrumentation.
 #[derive(Clone, Copy, Debug)]
 pub struct DispatchRecord {
@@ -42,6 +47,7 @@ pub struct RequestQueue {
     node: Node,
     device: Rc<dyn BlockDevice>,
     max_request: u64,
+    flush_backstop: usize,
     staged: RefCell<Vec<Bio>>,
     /// Recycled batch buffer: `flush` swaps it with `staged` so the staging
     /// vector keeps its capacity across plug/unplug cycles.
@@ -72,13 +78,28 @@ impl RequestQueue {
         device: Rc<dyn BlockDevice>,
         max_request: u64,
     ) -> RequestQueue {
+        RequestQueue::with_limits(engine, cal, node, device, max_request, DEFAULT_FLUSH_BACKSTOP)
+    }
+
+    /// Create a queue with both batching limits explicit: the merge cap in
+    /// bytes and the staged-bio backstop that forces an unplug.
+    pub fn with_limits(
+        engine: Engine,
+        cal: Rc<Calibration>,
+        node: Node,
+        device: Rc<dyn BlockDevice>,
+        max_request: u64,
+        flush_backstop: usize,
+    ) -> RequestQueue {
         assert!(max_request > 0);
+        assert!(flush_backstop > 0);
         RequestQueue {
             engine,
             cal,
             node,
             device,
             max_request,
+            flush_backstop,
             staged: RefCell::new(Vec::new()),
             spare: Cell::new(Vec::new()),
             log: Rc::new(RefCell::new(Vec::new())),
@@ -119,7 +140,7 @@ impl RequestQueue {
         assert!(!bio.is_empty(), "zero-length bio");
         self.staged.borrow_mut().push(bio);
         // Backstop so a runaway producer cannot stage unboundedly.
-        if self.staged.borrow().len() >= 4096 {
+        if self.staged.borrow().len() >= self.flush_backstop {
             self.flush();
         }
     }

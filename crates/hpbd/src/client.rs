@@ -20,11 +20,13 @@
 use crate::config::{Distribution, HpbdConfig, StagingMode};
 use crate::pool::{PoolBuf, SimBufferPool};
 use crate::proto::{
-    PageOp, PageRequest, ReplyStatus, RevokeNotice, ServerMessage, REPLY_WIRE_SIZE,
+    MergedRequest, MergedSeg, PageOp, PageRequest, ReplyStatus, RevokeNotice, ServerMessage,
+    MAX_MERGE_SEGMENTS, REPLY_WIRE_SIZE,
 };
 use blockdev::{new_buffer, Bio, BlockDevice, DeviceHealth, FaultKind, IoError, IoOp, IoRequest};
 use ibsim::{
-    CompletionQueue, IbNode, MemoryRegion, Opcode, QueuePair, WcStatus, WorkKind, WorkRequest,
+    CompletionQueue, Cq, IbNode, MemoryRegion, Mr, Opcode, Pd, Qp, QueuePair, WcStatus, WorkKind,
+    WorkRequest,
 };
 use simcore::{Engine, EventId, SimDuration, SimTime};
 use simtrace::{intern, Counter, Histogram, LazyCounter, MarkKind, RequestCtx};
@@ -87,6 +89,11 @@ pub struct ClientStats {
     /// replies/notices decoded. The per-page ratio (messages / pages
     /// swapped) is the overhead the ROADMAP's batching item attacks.
     pub messages: u64,
+    /// Merged multi-extent messages posted (batching mode only).
+    pub merged_requests: u64,
+    /// Logical parts carried inside merged messages; the mean merge depth
+    /// is `merged_segments / merged_requests`.
+    pub merged_segments: u64,
 }
 
 impl ClientStats {
@@ -162,20 +169,62 @@ enum Staging {
     Ephemeral(MemoryRegion),
 }
 
-/// One physical request in flight or awaiting credits.
-struct Phys {
-    req_id: u64,
-    op: PageOp,
-    server_idx: usize,
+/// One logical part (a slice of one block request) carried by a physical
+/// wire message. An unmerged message carries exactly one; a merged message
+/// carries several, packed back-to-back in one staging span but free to
+/// address scattered extents of the server's store.
+struct Segment {
+    parent: Rc<Parent>,
+    parent_off: u64,
+    /// Store offset of this part inside the target server's swap area.
+    /// For single-segment requests this always equals `Phys::server_offset`
+    /// (failover remaps both together).
     server_offset: u64,
     len: u64,
     /// Write-fencing stamp (0 for reads). Retries and failover reissues
     /// keep the stamp they were born with: a reissue is the SAME logical
     /// write, and must lose to any newer write that overtook it.
     version: u64,
+    /// Lifecycle part index within the parent context (0 when off).
+    part: u16,
+}
+
+/// Segment storage for a physical request: the unmerged hot path keeps its
+/// one segment inline, with no heap allocation per request.
+enum Segs {
+    One(Segment),
+    Many(Vec<Segment>),
+}
+
+impl Segs {
+    fn as_slice(&self) -> &[Segment] {
+        match self {
+            Segs::One(seg) => std::slice::from_ref(seg),
+            Segs::Many(segs) => segs,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [Segment] {
+        match self {
+            Segs::One(seg) => std::slice::from_mut(seg),
+            Segs::Many(segs) => segs,
+        }
+    }
+}
+
+/// One physical request in flight or awaiting credits.
+struct Phys {
+    req_id: u64,
+    op: PageOp,
+    server_idx: usize,
+    /// Store offset of the FIRST segment (single-segment requests: the
+    /// whole message's offset). Merged messages carry per-segment offsets
+    /// in `segs`.
+    server_offset: u64,
+    /// Total transfer length — the sum of the segment lengths (the size
+    /// of the staging span and of the single RDMA operation).
+    len: u64,
     staging: Staging,
-    parent: Rc<Parent>,
-    parent_off: u64,
     /// Mirror copies do not scatter data back on reads and are counted
     /// separately in the stats.
     is_mirror: bool,
@@ -184,23 +233,69 @@ struct Phys {
     timer: Cell<Option<EventId>>,
     /// Delivery attempts so far; drives the retry backoff.
     attempts: u32,
-    /// Lifecycle part index within the parent context (0 when off).
-    part: u16,
     /// Lifecycle attempt counter: bumped on retries AND failover
     /// reissues, so each delivery attempt gets a distinct mark key
     /// (unlike `attempts`, which failover deliberately does not bump —
-    /// the reissue keeps its backoff budget).
+    /// the reissue keeps its backoff budget). A merged message retries,
+    /// fails over, and completes as a unit, so the counter lives here,
+    /// not per segment.
     trace_attempt: u16,
+    /// The logical parts this message carries.
+    segs: Segs,
+}
+
+impl Phys {
+    /// The fencing version the reply is expected to echo: the segment's
+    /// own stamp for a plain request, the maximum across segments for a
+    /// merged one (matching `MergedRequest::max_version`).
+    fn reply_version(&self) -> u64 {
+        self.segs
+            .as_slice()
+            .iter()
+            .map(|s| s.version)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether any carried part has a lifecycle context attached.
+    fn has_ctx(&self) -> bool {
+        self.segs.as_slice().iter().any(|s| s.parent.ctx.is_some())
+    }
+
+    /// Whether any carried segment overlaps the store range `[lo, hi)`.
+    /// Merged requests may span gaps, so `server_offset..+len` alone would
+    /// understate (and sometimes overstate) the touched extent.
+    fn touches_store(&self, lo: u64, hi: u64) -> bool {
+        self.segs
+            .as_slice()
+            .iter()
+            .any(|s| s.server_offset < hi && lo < s.server_offset + s.len)
+    }
+}
+
+/// A part parked in the per-server batch accumulator until its merge
+/// window closes (batching mode). The store offset lives in the segment.
+struct PendingPart {
+    op: PageOp,
+    is_mirror: bool,
+    seg: Segment,
+}
+
+/// Per-server merge accumulator (batching mode).
+struct BatchState {
+    pending: RefCell<Vec<PendingPart>>,
+    /// A flush event is already scheduled; dedups arming per window.
+    armed: Cell<bool>,
 }
 
 struct ServerConn {
-    qp: QueuePair,
+    qp: Qp,
     credits: Cell<usize>,
     queued: RefCell<VecDeque<Phys>>,
     /// High-water mark of the credit-stall queue, published as the
     /// per-server queue-depth gauge at stats time (never on the hot path).
     peak_queued: Cell<usize>,
-    recv_region: MemoryRegion,
+    recv_region: Mr,
     extent_len: u64,
     /// Marked on the first request timeout; all traffic re-routes to the
     /// buddy afterwards.
@@ -224,10 +319,12 @@ struct ClientInner {
     engine: Engine,
     config: HpbdConfig,
     ibnode: IbNode,
-    pool_mr: MemoryRegion,
+    /// Protection domain scoping the client's registrations and CQs.
+    pd: Pd,
+    pool_mr: Mr,
     pool: SimBufferPool,
-    send_cq: CompletionQueue,
-    recv_cq: CompletionQueue,
+    send_cq: Cq,
+    recv_cq: Cq,
     conns: RefCell<Vec<ServerConn>>,
     qp_to_conn: RefCell<BTreeMap<u32, usize>>,
     outstanding: RefCell<BTreeMap<u64, Phys>>,
@@ -259,6 +356,14 @@ struct ClientInner {
     /// Freelist of swap-in data buffers (filled from the pool MR, scattered
     /// back to the page frames, then recycled).
     data_pool: RefCell<Vec<Vec<u8>>>,
+    /// Per-server merge accumulators, indexed like `conns` (batching mode;
+    /// present but idle otherwise).
+    batch: RefCell<Vec<BatchState>>,
+    /// Flush-scoped doorbell spool: `(conn index, work request)` pairs
+    /// collected while a batch flush is on the stack, posted as chained
+    /// WRs — one doorbell per server per flush — when it unwinds.
+    spool: RefCell<Vec<(usize, WorkRequest)>>,
+    spool_active: Cell<bool>,
     /// Pre-resolved handles for metrics that are registered at construction
     /// anyway; hot emit sites bump these without a registry lookup.
     ctr_credit_stalls: Counter,
@@ -298,15 +403,17 @@ impl HpbdClient {
             .calibration()
             .registration_time(config.pool_size);
         ibnode.node().cpu().reserve(engine.now(), reg);
-        let pool_mr = ibnode.hca().register(config.pool_size as usize);
+        let pd = Pd::new(ibnode.clone());
+        let pool_mr = pd.register(config.pool_size as usize);
         let pool = SimBufferPool::new(config.pool_size);
-        let send_cq = ibnode.create_cq();
-        let recv_cq = ibnode.create_cq();
+        let send_cq = pd.create_cq();
+        let recv_cq = pd.create_cq();
         let client = HpbdClient {
             inner: Rc::new(ClientInner {
                 engine,
                 config,
                 ibnode,
+                pd,
                 pool_mr,
                 pool,
                 send_cq,
@@ -328,6 +435,9 @@ impl HpbdClient {
                 wire_scratch: RefCell::new(Vec::new()),
                 gather_scratch: RefCell::new(Vec::new()),
                 data_pool: RefCell::new(Vec::new()),
+                batch: RefCell::new(Vec::new()),
+                spool: RefCell::new(Vec::new()),
+                spool_active: Cell::new(false),
                 ctr_credit_stalls,
                 hist_swap_in,
                 hist_swap_out,
@@ -350,7 +460,7 @@ impl HpbdClient {
     /// CQs for the cluster builder to wire server QPs to:
     /// (send CQ, recv CQ) — shared among the QPs to all servers (paper §5).
     pub fn cqs(&self) -> (&CompletionQueue, &CompletionQueue) {
-        (&self.inner.send_cq, &self.inner.recv_cq)
+        (self.inner.send_cq.raw(), self.inner.recv_cq.raw())
     }
 
     /// Number of attached servers.
@@ -379,13 +489,14 @@ impl HpbdClient {
     /// the device (blocking distribution: extents are contiguous and in
     /// attach order). Pre-posts reply receive buffers on `qp`.
     pub fn attach_server(&self, qp: QueuePair, extent_len: u64) {
+        let qp = Qp::from(qp);
         let inner = &self.inner;
         let credits = inner.config.credits;
         // Two extra receives beyond the credit window absorb
         // server-initiated notices (revocations).
         let recvs = credits + 2;
         let wire = REPLY_WIRE_SIZE as u64 + 4;
-        let recv_region = inner.ibnode.hca().register((recvs as u64 * wire) as usize);
+        let recv_region = inner.pd.register((recvs as u64 * wire) as usize);
         for i in 0..recvs {
             qp.post_recv(i as u64, recv_region.slice(i as u64 * wire, wire))
                 // simlint: allow(I001): connection setup posts into an empty receive queue sized for exactly these buffers
@@ -403,6 +514,10 @@ impl HpbdClient {
             recv_region,
             extent_len,
             dead: Cell::new(false),
+        });
+        inner.batch.borrow_mut().push(BatchState {
+            pending: RefCell::new(Vec::new()),
+            armed: Cell::new(false),
         });
         inner.capacity.set(base + extent_len);
         // Device-chunk map entries for the new extent.
@@ -524,19 +639,25 @@ impl HpbdClient {
         match phys.op {
             PageOp::Write => {
                 // Copy the page data into the registered pool (the paper's
-                // copy-instead-of-register decision), then send.
+                // copy-instead-of-register decision), then send. A merged
+                // request packs its segments back-to-back so the server's
+                // single RDMA pull sees one contiguous span.
                 {
                     let mut data = inner.gather_scratch.borrow_mut();
-                    {
-                        let parent = phys.parent.req.borrow();
-                        // simlint: allow(I001): the Parent holds its request until the last part finishes; this part has not finished
-                        parent.as_ref().expect("parent alive").gather_range_into(
-                            phys.parent_off,
-                            phys.len,
-                            &mut data,
-                        );
+                    let mut at = pool_buf.offset as usize;
+                    for seg in phys.segs.as_slice() {
+                        {
+                            let parent = seg.parent.req.borrow();
+                            // simlint: allow(I001): the Parent holds its request until the last part finishes; this part has not finished
+                            parent.as_ref().expect("parent alive").gather_range_into(
+                                seg.parent_off,
+                                seg.len,
+                                &mut data,
+                            );
+                        }
+                        inner.pool_mr.write(at, &data);
+                        at += seg.len as usize;
                     }
-                    inner.pool_mr.write(pool_buf.offset as usize, &data);
                 }
                 let copy = inner.ibnode.memory_model().memcpy_time(phys.len);
                 let (_, t_copy) = inner.ibnode.node().cpu().reserve(inner.engine.now(), copy);
@@ -571,16 +692,20 @@ impl HpbdClient {
             // Zero-copy: the MR *is* the page memory (we mirror the bytes
             // into the simulated region without a timing charge).
             let mut data = inner.gather_scratch.borrow_mut();
-            {
-                let parent = phys.parent.req.borrow();
-                // simlint: allow(I001): the Parent holds its request until the last part finishes; this part has not finished
-                parent.as_ref().expect("parent alive").gather_range_into(
-                    phys.parent_off,
-                    phys.len,
-                    &mut data,
-                );
+            let mut at = 0usize;
+            for seg in phys.segs.as_slice() {
+                {
+                    let parent = seg.parent.req.borrow();
+                    // simlint: allow(I001): the Parent holds its request until the last part finishes; this part has not finished
+                    parent.as_ref().expect("parent alive").gather_range_into(
+                        seg.parent_off,
+                        seg.len,
+                        &mut data,
+                    );
+                }
+                mr.write(at, &data);
+                at += seg.len as usize;
             }
-            mr.write(0, &data);
         }
         let reg = inner
             .ibnode
@@ -617,11 +742,12 @@ impl HpbdClient {
                     // A pre-post re-route (the part never reached the dead
                     // server) counts as a failover but not a doomed attempt:
                     // its wait so far stays attributed to Queue.
-                    if let Some(ctx) = &phys.parent.ctx {
-                        ctx.note_failover();
+                    for seg in phys.segs.as_slice() {
+                        if let Some(ctx) = &seg.parent.ctx {
+                            ctx.note_failover();
+                        }
                     }
-                    phys.server_idx = buddy;
-                    phys.server_offset = offset;
+                    self.retarget(&mut phys, buddy, offset);
                 }
                 None => {
                     self.fail_phys(phys, IoError::Fault(FaultKind::ServerDead));
@@ -662,15 +788,35 @@ impl HpbdClient {
             Staging::Pool(buf) => (self.inner.pool_mr.rkey(), buf.offset),
             Staging::Ephemeral(mr) => (mr.rkey(), 0),
         };
-        let request = PageRequest::new(
-            phys.req_id,
-            phys.op,
-            phys.server_offset,
-            phys.len,
-            client_rkey,
-            client_offset,
-            phys.version,
-        );
+        let payload = match &phys.segs {
+            Segs::One(seg) => PageRequest::new(
+                phys.req_id,
+                phys.op,
+                phys.server_offset,
+                phys.len,
+                client_rkey,
+                client_offset,
+                seg.version,
+            )
+            .encode(),
+            Segs::Many(segs) => {
+                {
+                    let mut stats = self.inner.stats.borrow_mut();
+                    stats.merged_requests += 1;
+                    stats.merged_segments += segs.len() as u64;
+                }
+                MergedRequest::new(
+                    phys.req_id,
+                    phys.op,
+                    client_rkey,
+                    client_offset,
+                    segs.iter()
+                        .map(|s| MergedSeg::new(s.server_offset, s.len, s.version))
+                        .collect(),
+                )
+                .encode()
+            }
+        };
         {
             let mut stats = self.inner.stats.borrow_mut();
             stats.phys_requests += 1;
@@ -681,28 +827,30 @@ impl HpbdClient {
                 stats.mirrored_phys += 1;
             }
         }
-        if let Some(ctx) = &phys.parent.ctx {
-            ctx.mark(
-                phys.part,
-                phys.trace_attempt,
-                MarkKind::Posted,
-                self.inner.engine.now().as_nanos(),
-            );
-            self.inner.engine.lifecycle().register_phys(
-                phys.req_id,
-                ctx,
-                phys.part,
-                phys.trace_attempt,
-            );
+        let now_ns = self.inner.engine.now().as_nanos();
+        for seg in phys.segs.as_slice() {
+            if let Some(ctx) = &seg.parent.ctx {
+                ctx.mark(seg.part, phys.trace_attempt, MarkKind::Posted, now_ns);
+            }
         }
-        let posted = conn.qp.post_send(WorkRequest {
+        self.register_lifecycle(&phys);
+        let wr = WorkRequest {
             wr_id: phys.req_id,
-            kind: WorkKind::Send {
-                payload: request.encode(),
-            },
+            kind: WorkKind::Send { payload },
             // Solicited so the (possibly sleeping) server wakes.
             solicited: true,
-        });
+        };
+        let posted = if self.inner.spool_active.get() {
+            // A batch flush is on the stack: spool the WR so the whole
+            // flush rings one doorbell per server. Chain-post errors are
+            // recovered per-WR when the spool drains.
+            self.inner.spool.borrow_mut().push((phys.server_idx, wr));
+            Ok(1)
+        } else {
+            let mut chain = conn.qp.chain();
+            chain.push(wr);
+            chain.post()
+        };
         if posted.is_err() {
             // Send-queue overflow: treat like a lost send. The recovery
             // runs after `phys` lands in `outstanding` below, entering
@@ -735,6 +883,28 @@ impl HpbdClient {
             .insert(phys.req_id, phys);
     }
 
+    /// Bind a posted message's id to the lifecycle contexts of every part
+    /// it carries, so the netmodel wire/server marks fan out to each one.
+    fn register_lifecycle(&self, phys: &Phys) {
+        let lifecycle = self.inner.engine.lifecycle();
+        match &phys.segs {
+            Segs::One(seg) => {
+                if let Some(ctx) = &seg.parent.ctx {
+                    lifecycle.register_phys(phys.req_id, ctx, seg.part, phys.trace_attempt);
+                }
+            }
+            Segs::Many(segs) => lifecycle.register_phys_many(
+                phys.req_id,
+                segs.iter().filter_map(|s| {
+                    s.parent
+                        .ctx
+                        .as_ref()
+                        .map(|ctx| (ctx.clone(), s.part, phys.trace_attempt))
+                }),
+            ),
+        }
+    }
+
     /// The buddy server and replica offset for a physical request, if the
     /// deployment mirrors writes (replicas live in the upper half of the
     /// buddy's store). `None` when there is nowhere to fail over to.
@@ -751,6 +921,18 @@ impl HpbdClient {
         // offsets live past the extent), yielding the primary offset.
         let base = phys.server_offset % conns[buddy].extent_len;
         Some((buddy, conns[buddy].extent_len + base))
+    }
+
+    /// Re-target a physical request at its buddy's replica region. Every
+    /// carried segment gets the same extent transform as the head offset,
+    /// so merged requests land each extent on its own replica slot.
+    fn retarget(&self, phys: &mut Phys, buddy: usize, offset: u64) {
+        let extent_len = self.inner.conns.borrow()[buddy].extent_len;
+        phys.server_idx = buddy;
+        phys.server_offset = offset;
+        for seg in phys.segs.as_mut_slice() {
+            seg.server_offset = extent_len + (seg.server_offset % extent_len);
+        }
     }
 
     /// A request send errored in the fabric (injected link fault, or RNR
@@ -784,15 +966,17 @@ impl HpbdClient {
                 &[("req", req_id), ("server", phys.server_idx as u64)],
             );
         }
-        if let Some(ctx) = &phys.parent.ctx {
+        if phys.has_ctx() {
             // Dooms the attempt: the fold relabels its whole lifetime (and
             // the gap until the next attempt is queued) to RetryOverhead.
-            ctx.mark(
-                phys.part,
-                phys.trace_attempt,
-                MarkKind::TimedOut,
-                self.inner.engine.now().as_nanos(),
-            );
+            // A merged message times out as a unit, so every carried part
+            // is doomed together.
+            let now_ns = self.inner.engine.now().as_nanos();
+            for seg in phys.segs.as_slice() {
+                if let Some(ctx) = &seg.parent.ctx {
+                    ctx.mark(seg.part, phys.trace_attempt, MarkKind::TimedOut, now_ns);
+                }
+            }
             self.inner.engine.lifecycle().unregister_phys(req_id);
         }
         {
@@ -817,14 +1001,12 @@ impl HpbdClient {
                     &[("req", req_id), ("attempt", phys.attempts as u64)],
                 );
             }
-            if let Some(ctx) = &phys.parent.ctx {
-                ctx.note_retry();
-                ctx.mark(
-                    phys.part,
-                    phys.trace_attempt,
-                    MarkKind::Queued,
-                    self.inner.engine.now().as_nanos(),
-                );
+            let now_ns = self.inner.engine.now().as_nanos();
+            for seg in phys.segs.as_slice() {
+                if let Some(ctx) = &seg.parent.ctx {
+                    ctx.note_retry();
+                    ctx.mark(seg.part, phys.trace_attempt, MarkKind::Queued, now_ns);
+                }
             }
             self.enqueue_send(phys);
             return;
@@ -857,20 +1039,17 @@ impl HpbdClient {
                         &[("req", phys.req_id), ("buddy", buddy as u64)],
                     );
                 }
-                let reissued = Phys {
-                    server_idx: buddy,
-                    server_offset: offset,
+                let mut reissued = Phys {
                     trace_attempt: phys.trace_attempt + 1,
                     ..phys
                 };
-                if let Some(ctx) = &reissued.parent.ctx {
-                    ctx.note_failover();
-                    ctx.mark(
-                        reissued.part,
-                        reissued.trace_attempt,
-                        MarkKind::Queued,
-                        self.inner.engine.now().as_nanos(),
-                    );
+                self.retarget(&mut reissued, buddy, offset);
+                let now_ns = self.inner.engine.now().as_nanos();
+                for seg in reissued.segs.as_slice() {
+                    if let Some(ctx) = &seg.parent.ctx {
+                        ctx.note_failover();
+                        ctx.mark(seg.part, reissued.trace_attempt, MarkKind::Queued, now_ns);
+                    }
                 }
                 self.enqueue_send(reissued);
             }
@@ -897,32 +1076,53 @@ impl HpbdClient {
             );
         }
         self.release_staging(&phys);
-        self.finish_part_at(&phys, self.inner.engine.now());
+        self.finish_parts_at(&phys, self.inner.engine.now());
     }
 
-    /// Complete a physical request as failed.
+    /// Complete a physical request as failed: every carried part's parent
+    /// sees the error.
     fn fail_phys(&self, phys: Phys, error: IoError) {
-        phys.parent.error.set(Some(error));
+        for seg in phys.segs.as_slice() {
+            seg.parent.error.set(Some(error));
+        }
         self.release_staging(&phys);
-        if phys.parent.ctx.is_some() {
+        if phys.has_ctx() {
             self.inner.engine.lifecycle().unregister_phys(phys.req_id);
         }
-        self.finish_part_at(&phys, self.inner.engine.now());
+        self.finish_parts_at(&phys, self.inner.engine.now());
     }
 
-    /// Schedule the part's parent completion at `at`, appending the
-    /// lifecycle `Done` mark at that instant (inside the event, so the
-    /// context's mark log stays in execution order).
-    fn finish_part_at(&self, phys: &Phys, at: SimTime) {
-        let parent = phys.parent.clone();
+    /// Schedule the parent completion of every carried part at `at`,
+    /// appending the lifecycle `Done` marks at that instant (inside the
+    /// event, so the context's mark log stays in execution order).
+    fn finish_parts_at(&self, phys: &Phys, at: SimTime) {
         let engine = self.inner.engine.clone();
-        let (part, attempt) = (phys.part, phys.trace_attempt);
-        self.inner.engine.schedule_at(at, move || {
-            if let Some(ctx) = &parent.ctx {
-                ctx.mark(part, attempt, MarkKind::Done, engine.now().as_nanos());
+        let attempt = phys.trace_attempt;
+        match &phys.segs {
+            Segs::One(seg) => {
+                let parent = seg.parent.clone();
+                let part = seg.part;
+                self.inner.engine.schedule_at(at, move || {
+                    if let Some(ctx) = &parent.ctx {
+                        ctx.mark(part, attempt, MarkKind::Done, engine.now().as_nanos());
+                    }
+                    parent.finish_part(&engine);
+                });
             }
-            parent.finish_part(&engine);
-        });
+            Segs::Many(segs) => {
+                let parts: Vec<(Rc<Parent>, u16)> =
+                    segs.iter().map(|s| (s.parent.clone(), s.part)).collect();
+                self.inner.engine.schedule_at(at, move || {
+                    let now_ns = engine.now().as_nanos();
+                    for (parent, part) in &parts {
+                        if let Some(ctx) = &parent.ctx {
+                            ctx.mark(*part, attempt, MarkKind::Done, now_ns);
+                        }
+                        parent.finish_part(&engine);
+                    }
+                });
+            }
+        }
     }
 
     // -- receiver path --------------------------------------------------------
@@ -1053,13 +1253,13 @@ impl HpbdClient {
             inner.engine.cancel(timer);
         }
         inner.stats.borrow_mut().replies += 1;
-        if let Some(ctx) = &phys.parent.ctx {
-            ctx.mark(
-                phys.part,
-                phys.trace_attempt,
-                MarkKind::ReplyReceived,
-                inner.engine.now().as_nanos(),
-            );
+        if phys.has_ctx() {
+            let now_ns = inner.engine.now().as_nanos();
+            for seg in phys.segs.as_slice() {
+                if let Some(ctx) = &seg.parent.ctx {
+                    ctx.mark(seg.part, phys.trace_attempt, MarkKind::ReplyReceived, now_ns);
+                }
+            }
             inner.engine.lifecycle().unregister_phys(phys.req_id);
         }
         // Receiver-thread CPU cost per reply.
@@ -1087,7 +1287,7 @@ impl HpbdClient {
             // original delivery landed late, or a failover reissue racing
             // its own mirror copy.
             debug_assert_eq!(phys.op, PageOp::Write);
-            debug_assert_eq!(reply.version(), phys.version);
+            debug_assert_eq!(reply.version(), phys.reply_version());
             inner.stats.borrow_mut().stale_drops += 1;
             inner.engine.metrics().inc("hpbd.stale_drops");
             if inner.engine.trace_enabled() {
@@ -1095,11 +1295,11 @@ impl HpbdClient {
                     "hpbd",
                     "stale_write_dropped",
                     inner.engine.now().as_nanos(),
-                    &[("req", phys.req_id), ("version", phys.version)],
+                    &[("req", phys.req_id), ("version", phys.reply_version())],
                 );
             }
             self.release_staging(&phys);
-            self.finish_part_at(&phys, t_proc);
+            self.finish_parts_at(&phys, t_proc);
             return;
         }
 
@@ -1109,18 +1309,20 @@ impl HpbdClient {
                 ReplyStatus::TransferError => IoError::Fault(FaultKind::LinkDown),
                 _ => IoError::DeviceError("hpbd server error"),
             };
-            phys.parent.error.set(Some(error));
+            for seg in phys.segs.as_slice() {
+                seg.parent.error.set(Some(error));
+            }
             self.release_staging(&phys);
-            self.finish_part_at(&phys, t_proc);
+            self.finish_parts_at(&phys, t_proc);
             return;
         }
 
         match phys.op {
             PageOp::Write => {
-                debug_assert_eq!(reply.version(), phys.version);
+                debug_assert_eq!(reply.version(), phys.reply_version());
                 inner.stats.borrow_mut().bytes_out += phys.len;
                 self.release_staging(&phys);
-                self.finish_part_at(&phys, t_proc);
+                self.finish_parts_at(&phys, t_proc);
             }
             PageOp::Read => {
                 // Swap-in data was RDMA-WRITTEN into the staging buffer;
@@ -1152,25 +1354,30 @@ impl HpbdClient {
                 };
                 let this = self.clone();
                 inner.engine.schedule_at(t_data, move || {
-                    {
-                        let parent = phys.parent.req.borrow();
-                        parent
-                            .as_ref()
-                            // simlint: allow(I001): the Parent holds its request until the last part finishes; this part has not finished
-                            .expect("parent alive")
-                            .scatter_range(phys.parent_off, &data);
+                    // Scatter each carried part out of the contiguous span
+                    // at its running offset, then complete them all.
+                    let mut at = 0usize;
+                    for seg in phys.segs.as_slice() {
+                        let chunk = &data[at..at + seg.len as usize];
+                        {
+                            let parent = seg.parent.req.borrow();
+                            parent
+                                .as_ref()
+                                // simlint: allow(I001): the Parent holds its request until the last part finishes; this part has not finished
+                                .expect("parent alive")
+                                .scatter_range(seg.parent_off, chunk);
+                        }
+                        at += seg.len as usize;
                     }
                     this.recycle_data_buf(data);
                     this.release_staging(&phys);
-                    if let Some(ctx) = &phys.parent.ctx {
-                        ctx.mark(
-                            phys.part,
-                            phys.trace_attempt,
-                            MarkKind::Done,
-                            this.inner.engine.now().as_nanos(),
-                        );
+                    let now_ns = this.inner.engine.now().as_nanos();
+                    for seg in phys.segs.as_slice() {
+                        if let Some(ctx) = &seg.parent.ctx {
+                            ctx.mark(seg.part, phys.trace_attempt, MarkKind::Done, now_ns);
+                        }
+                        seg.parent.finish_part(&this.inner.engine);
                     }
-                    phys.parent.finish_part(&this.inner.engine);
                 });
             }
         }
@@ -1215,6 +1422,208 @@ impl HpbdClient {
             }
         }
     }
+
+    // -- hot-path batching (RDMAbox-style request merging) --------------------
+
+    fn alloc_req_id(&self) -> u64 {
+        let id = self.inner.next_req_id.get();
+        self.inner.next_req_id.set(id + 1);
+        id
+    }
+
+    /// Park a part in its target server's merge accumulator and arm the
+    /// window flush. Window 0 flushes at the same virtual instant, after
+    /// every already-queued event — so a same-tick burst coalesces without
+    /// delaying an isolated demand fault.
+    fn batch_part(&self, server_idx: usize, part: PendingPart) {
+        let inner = &self.inner;
+        let batch = inner.batch.borrow();
+        let state = &batch[server_idx];
+        state.pending.borrow_mut().push(part);
+        if !state.armed.get() {
+            state.armed.set(true);
+            let this = self.clone();
+            let window = SimDuration::from_nanos(inner.config.merge_window_ns);
+            inner
+                .engine
+                .schedule_in(window, move || this.flush_batch(server_idx));
+        }
+    }
+
+    /// Close a server's merge window: sort the parked parts, greedily merge
+    /// non-overlapping extents, and issue each group as one physical
+    /// request (scatter-gather: each segment keeps its own store offset). The
+    /// whole flush posts through the doorbell spool, so every request that
+    /// reaches the wire synchronously (reads with pool space) rides one
+    /// chained doorbell per server.
+    fn flush_batch(&self, server_idx: usize) {
+        let inner = &self.inner;
+        let mut parts = {
+            let batch = inner.batch.borrow();
+            let state = &batch[server_idx];
+            state.armed.set(false);
+            let taken = std::mem::take(&mut *state.pending.borrow_mut());
+            taken
+        };
+        if parts.is_empty() {
+            return;
+        }
+        // Stable sort: equal keys keep submission order, so duplicate
+        // same-page writes stay in fence order (they overlap and therefore
+        // never share a group).
+        parts.sort_by_key(|p| (p.op == PageOp::Write, p.is_mirror, p.seg.server_offset));
+        // A merged span must fit the client pool and the server staging
+        // pool with room to spare, or merging would manufacture pool
+        // stalls that separate requests never hit.
+        let cap = (inner.config.server_staging_size.min(inner.config.pool_size) / 2).max(4096);
+        let max_segs = inner.config.max_merge_segments.clamp(1, MAX_MERGE_SEGMENTS);
+        let keys: Vec<(bool, bool, u64, u64)> = parts
+            .iter()
+            .map(|p| (p.op == PageOp::Write, p.is_mirror, p.seg.server_offset, p.seg.len))
+            .collect();
+        let ends = plan_merge(&keys, cap, max_segs);
+        let spooling = !inner.spool_active.get();
+        if spooling {
+            inner.spool_active.set(true);
+        }
+        let mut rest = parts;
+        let mut prev = 0;
+        for end in ends {
+            let tail = rest.split_off(end - prev);
+            let group = std::mem::replace(&mut rest, tail);
+            prev = end;
+            self.issue_group(server_idx, group);
+        }
+        if spooling {
+            inner.spool_active.set(false);
+            self.drain_spool();
+        }
+    }
+
+    /// Issue one merged group (possibly a group of one) as a single
+    /// physical request through the normal staging path.
+    fn issue_group(&self, server_idx: usize, group: Vec<PendingPart>) {
+        let inner = &self.inner;
+        debug_assert!(!group.is_empty());
+        let op = group[0].op;
+        let is_mirror = group[0].is_mirror;
+        let server_offset = group[0].seg.server_offset;
+        let total: u64 = group.iter().map(|p| p.seg.len).sum();
+        let req_id = self.alloc_req_id();
+        let segs = if group.len() == 1 {
+            let mut it = group.into_iter();
+            // simlint: allow(I001): the branch condition just proved len == 1
+            Segs::One(it.next().unwrap().seg)
+        } else {
+            Segs::Many(group.into_iter().map(|p| p.seg).collect())
+        };
+        let had_space = inner.pool.free_bytes() >= total && inner.pool.queued_waiters() == 0;
+        if !had_space {
+            inner.stats.borrow_mut().pool_waits += 1;
+            inner.ctr_pool_waits.inc();
+            if inner.engine.trace_enabled() {
+                inner.engine.tracer().instant(
+                    "hpbd",
+                    "pool_wait",
+                    inner.engine.now().as_nanos(),
+                    &[("req", req_id), ("bytes", total)],
+                );
+            }
+        }
+        let this = self.clone();
+        inner.pool.alloc(total, move |pool_buf| {
+            this.stage_part(Phys {
+                req_id,
+                op,
+                server_idx,
+                server_offset,
+                len: total,
+                staging: Staging::Pool(pool_buf),
+                is_mirror,
+                timer: Cell::new(None),
+                attempts: 0,
+                trace_attempt: 0,
+                segs,
+            });
+        });
+    }
+
+    /// Post the spooled WRs, one chained doorbell per run of same-server
+    /// entries. A rejected chain is all-or-nothing: every WR in it already
+    /// sits in `outstanding` with its timer armed, so each one routes
+    /// through the ordinary send-failure recovery.
+    fn drain_spool(&self) {
+        let entries: Vec<(usize, WorkRequest)> = {
+            let mut spool = self.inner.spool.borrow_mut();
+            if spool.is_empty() {
+                return;
+            }
+            spool.drain(..).collect()
+        };
+        let conns = self.inner.conns.borrow();
+        let mut iter = entries.into_iter().peekable();
+        while let Some((conn_idx, wr)) = iter.next() {
+            let mut wr_ids = vec![wr.wr_id];
+            let conn = &conns[conn_idx];
+            let mut chain = conn.qp.chain();
+            chain.push(wr);
+            while let Some((next_idx, _)) = iter.peek() {
+                if *next_idx != conn_idx {
+                    break;
+                }
+                // simlint: allow(I001): peek() just returned Some for this entry
+                let (_, wr) = iter.next().unwrap();
+                wr_ids.push(wr.wr_id);
+                chain.push(wr);
+            }
+            if chain.post().is_err() {
+                let this = self.clone();
+                self.inner
+                    .engine
+                    .schedule_in(SimDuration::from_nanos(0), move || {
+                        for req_id in wr_ids {
+                            this.on_send_failed(req_id);
+                        }
+                    });
+            }
+        }
+    }
+}
+
+/// Greedy merge planner over a batch-sorted part list. `keys` holds
+/// `(is_write, is_mirror, server_offset, len)` per part, already sorted by
+/// exactly that tuple; returns the exclusive end index of each merged
+/// group. Parts merge while they share the operation and mirror-ness, do
+/// not overlap in server space (gaps are fine — the wire format carries a
+/// store offset per segment), and keep the group within `cap_bytes` and
+/// `max_segs`. Overlapping parts never merge: two versions of the same
+/// page must stay separate messages so the server's write fence sees them
+/// in order. The first part of a group is always accepted, so an oversized
+/// single part still travels (unmerged).
+fn plan_merge(keys: &[(bool, bool, u64, u64)], cap_bytes: u64, max_segs: usize) -> Vec<usize> {
+    let mut ends = Vec::new();
+    let mut i = 0;
+    while i < keys.len() {
+        let (op, mirror, _, len0) = keys[i];
+        let mut total = len0;
+        let mut j = i + 1;
+        while j < keys.len() && j - i < max_segs {
+            let (op2, mirror2, off2, len2) = keys[j];
+            let (_, _, prev_off, prev_len) = keys[j - 1];
+            if op2 != op
+                || mirror2 != mirror
+                || off2 < prev_off + prev_len
+                || total + len2 > cap_bytes
+            {
+                break;
+            }
+            total += len2;
+            j += 1;
+        }
+        ends.push(j);
+        i = j;
+    }
+    ends
 }
 
 impl HpbdClient {
@@ -1266,13 +1675,23 @@ impl HpbdClient {
         let busy = {
             let outstanding = self.inner.outstanding.borrow();
             let conns = self.inner.conns.borrow();
-            let queued_busy = conns[server].queued.borrow().iter().any(|p| {
-                p.server_idx == server && p.server_offset < hi && lo < p.server_offset + p.len
-            });
+            let queued_busy = conns[server]
+                .queued
+                .borrow()
+                .iter()
+                .any(|p| p.server_idx == server && p.touches_store(lo, hi));
+            // Parts parked in the merge accumulator are in flight too: they
+            // will hit the old location once their window closes.
+            let batch_busy = self.inner.batch.borrow()[server]
+                .pending
+                .borrow()
+                .iter()
+                .any(|p| p.seg.server_offset < hi && lo < p.seg.server_offset + p.seg.len);
             queued_busy
-                || outstanding.values().any(|p| {
-                    p.server_idx == server && p.server_offset < hi && lo < p.server_offset + p.len
-                })
+                || batch_busy
+                || outstanding
+                    .values()
+                    .any(|p| p.server_idx == server && p.touches_store(lo, hi))
         };
         if busy {
             let this = self.clone();
@@ -1471,8 +1890,6 @@ impl HpbdClient {
             };
             for (target, is_mirror, server_offset) in std::iter::once(primary).chain(mirror_replica)
             {
-                let req_id = inner.next_req_id.get();
-                inner.next_req_id.set(req_id + 1);
                 let parent = parent.clone();
                 // Part created: from here until it posts (pool wait, credit
                 // stall) its time is Queue.
@@ -1484,8 +1901,28 @@ impl HpbdClient {
                     }
                     None => 0,
                 };
+                let seg = Segment {
+                    parent,
+                    parent_off,
+                    server_offset,
+                    len,
+                    version,
+                    part,
+                };
                 match inner.config.staging {
+                    // Batching parks the part in the per-server accumulator;
+                    // the merge-window flush stages whole (possibly merged)
+                    // groups. Only the pool path batches: on-the-fly
+                    // registration has no contiguous staging span to merge
+                    // into.
+                    StagingMode::CopyToPool if inner.config.batching => {
+                        self.batch_part(
+                            target,
+                            PendingPart { op, is_mirror, seg },
+                        );
+                    }
                     StagingMode::CopyToPool => {
+                        let req_id = self.alloc_req_id();
                         let this = self.clone();
                         let had_space =
                             inner.pool.free_bytes() >= len && inner.pool.queued_waiters() == 0;
@@ -1508,34 +1945,28 @@ impl HpbdClient {
                                 server_idx: target,
                                 server_offset,
                                 len,
-                                version,
                                 staging: Staging::Pool(pool_buf),
-                                parent,
-                                parent_off,
                                 is_mirror,
                                 timer: Cell::new(None),
                                 attempts: 0,
-                                part,
                                 trace_attempt: 0,
+                                segs: Segs::One(seg),
                             });
                         });
                     }
                     StagingMode::RegisterOnFly => {
                         self.stage_registered(Phys {
-                            req_id,
+                            req_id: self.alloc_req_id(),
                             op,
                             server_idx: target,
                             server_offset,
                             len,
-                            version,
                             staging: Staging::Ephemeral(inner.ibnode.hca().register(len as usize)),
-                            parent,
-                            parent_off,
                             is_mirror,
                             timer: Cell::new(None),
                             attempts: 0,
-                            part,
                             trace_attempt: 0,
+                            segs: Segs::One(seg),
                         });
                     }
                 }
@@ -1649,5 +2080,104 @@ impl BlockDevice for HpbdClient {
                 failed_servers: failed,
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::plan_merge;
+
+    const PAGE: u64 = 4096;
+
+    /// Build keys for reads at the given page-granular offsets.
+    fn read_pages(pages: &[u64]) -> Vec<(bool, bool, u64, u64)> {
+        pages.iter().map(|p| (false, false, p * PAGE, PAGE)).collect()
+    }
+
+    #[test]
+    fn adjacent_parts_form_one_group() {
+        let keys = read_pages(&[0, 1, 2, 3]);
+        assert_eq!(plan_merge(&keys, u64::MAX, 32), vec![4]);
+    }
+
+    #[test]
+    fn gaps_merge_within_group() {
+        // Scatter-gather wire format: a hole in server space does not
+        // split the group — each segment carries its own store offset.
+        let keys = read_pages(&[0, 1, 3, 4]);
+        assert_eq!(plan_merge(&keys, u64::MAX, 32), vec![4]);
+    }
+
+    #[test]
+    fn op_boundary_splits_groups() {
+        // Sorted order puts reads (false) before writes (true); the op
+        // flip must break the group even though offsets stay adjacent.
+        let keys = vec![
+            (false, false, 0, PAGE),
+            (false, false, PAGE, PAGE),
+            (true, false, 2 * PAGE, PAGE),
+            (true, false, 3 * PAGE, PAGE),
+        ];
+        assert_eq!(plan_merge(&keys, u64::MAX, 32), vec![2, 4]);
+    }
+
+    #[test]
+    fn mirror_boundary_splits_groups() {
+        let keys = vec![
+            (true, false, 0, PAGE),
+            (true, true, PAGE, PAGE),
+        ];
+        assert_eq!(plan_merge(&keys, u64::MAX, 32), vec![1, 2]);
+    }
+
+    #[test]
+    fn max_segments_bounds_group_size() {
+        let keys = read_pages(&[0, 1, 2, 3, 4]);
+        assert_eq!(plan_merge(&keys, u64::MAX, 2), vec![2, 4, 5]);
+    }
+
+    #[test]
+    fn byte_cap_bounds_group_size() {
+        let keys = read_pages(&[0, 1, 2]);
+        // Two pages fit, the third would exceed the cap.
+        assert_eq!(plan_merge(&keys, 2 * PAGE, 32), vec![2, 3]);
+    }
+
+    #[test]
+    fn oversized_first_part_still_travels_alone() {
+        // A single part larger than the cap must not be dropped: the cap
+        // only bounds *merging*.
+        let keys = vec![(false, false, 0, 10 * PAGE), (false, false, 10 * PAGE, PAGE)];
+        assert_eq!(plan_merge(&keys, PAGE, 32), vec![1, 2]);
+    }
+
+    #[test]
+    fn duplicate_offsets_never_merge() {
+        // Two writes to the same page overlap, so they stay separate
+        // messages and fence ordering between them survives batching.
+        let keys = vec![(true, false, 0, PAGE), (true, false, 0, PAGE)];
+        assert_eq!(plan_merge(&keys, u64::MAX, 32), vec![1, 2]);
+    }
+
+    #[test]
+    fn overlapping_retry_never_merges() {
+        // An overlapping (but not identical) pair — e.g. a wide write and a
+        // narrower retry inside it — must also stay separate.
+        let keys = vec![(true, false, 0, 2 * PAGE), (true, false, PAGE, PAGE)];
+        assert_eq!(plan_merge(&keys, u64::MAX, 32), vec![1, 2]);
+    }
+
+    #[test]
+    fn groups_tile_the_input() {
+        let keys = vec![
+            (false, false, 0, PAGE),
+            (false, false, PAGE, PAGE),
+            (true, false, 5 * PAGE, PAGE),
+            (true, false, 20 * PAGE, PAGE),
+            (true, true, 21 * PAGE, PAGE),
+        ];
+        let ends = plan_merge(&keys, u64::MAX, 32);
+        assert_eq!(*ends.last().unwrap() as usize, keys.len());
+        assert!(ends.windows(2).all(|w| w[0] < w[1]));
     }
 }

@@ -154,6 +154,26 @@ impl ClusterBuilder {
         self
     }
 
+    /// Coalesce per-server request bursts into merged wire messages with
+    /// one doorbell per burst (off by default: paper-exact behaviour).
+    pub fn batching(mut self, on: bool) -> ClusterBuilder {
+        self.config.batching = on;
+        self
+    }
+
+    /// How long a batched part waits for mergeable neighbours (ns).
+    /// Implies nothing without `batching(true)`.
+    pub fn merge_window_ns(mut self, ns: u64) -> ClusterBuilder {
+        self.config.merge_window_ns = ns;
+        self
+    }
+
+    /// Cap on parts per merged message (clamped to the wire format limit).
+    pub fn max_merge_segments(mut self, segs: usize) -> ClusterBuilder {
+        self.config.max_merge_segments = segs;
+        self
+    }
+
     /// Attach a deterministic fault plan. An EMPTY plan (the default) arms
     /// nothing: no link-fault handles, no scheduled events — the built
     /// cluster is bit-for-bit the unfaulted one.

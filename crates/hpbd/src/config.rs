@@ -75,6 +75,21 @@ pub struct HpbdConfig {
     /// the first timeout declares the server dead, matching the pre-fault
     /// behaviour. Only meaningful with `request_timeout_ns`.
     pub max_retries: u32,
+    /// Coalesce per-server request bursts into merged multi-extent wire
+    /// messages served by one scatter-gather RDMA each, and ring one
+    /// doorbell per burst (RDMAbox-style batching). `false` (default):
+    /// one control message per split part, matching the paper exactly.
+    pub batching: bool,
+    /// How long a batched part may wait for mergeable neighbours, in ns.
+    /// 0 (default): same-tick coalescing only — parts staged at the same
+    /// virtual instant merge, an isolated demand fault is never delayed.
+    /// Larger windows trade first-part latency for bigger merges. Only
+    /// meaningful with `batching`.
+    pub merge_window_ns: u64,
+    /// Most parts one merged message may carry; clamped to the wire
+    /// format's `proto::MAX_MERGE_SEGMENTS`. Only meaningful with
+    /// `batching`.
+    pub max_merge_segments: usize,
 }
 
 impl Default for HpbdConfig {
@@ -93,6 +108,9 @@ impl Default for HpbdConfig {
             spare_chunks: 0,
             request_timeout_ns: None,
             max_retries: 0,
+            batching: false,
+            merge_window_ns: 0,
+            max_merge_segments: crate::proto::MAX_MERGE_SEGMENTS,
         }
     }
 }
@@ -118,5 +136,8 @@ mod tests {
             "copy beats register (§4.1)"
         );
         assert!(!c.mirror_writes, "mirroring is out of the paper's scope");
+        assert!(!c.batching, "batching is a post-paper optimisation");
+        assert_eq!(c.merge_window_ns, 0, "same-tick coalescing by default");
+        assert_eq!(c.max_merge_segments, crate::proto::MAX_MERGE_SEGMENTS);
     }
 }

@@ -18,12 +18,32 @@ pub const HPBD_MAGIC: u32 = 0x4850_4244; // "HPBD"
 /// Magic tag on server-initiated notices (dynamic-memory protocol).
 pub const NOTICE_MAGIC: u32 = 0x4850_4E54; // "HPNT"
 
+/// Magic tag on merged (multi-extent) page requests.
+pub const MERGED_MAGIC: u32 = 0x4850_424D; // "HPBM"
+
 /// Encoded size of a [`PageRequest`].
 pub const REQUEST_WIRE_SIZE: usize = 52;
 /// Encoded size of a [`PageReply`].
 pub const REPLY_WIRE_SIZE: usize = 28;
 /// Encoded size of a [`RevokeNotice`] (including its checksum).
 pub const NOTICE_WIRE_SIZE: usize = 24;
+
+/// Most extents one [`MergedRequest`] may carry. Bounds the control-message
+/// size (and the server's per-message work) the way a real adapter's
+/// max_send_sge / inline-data limit would.
+pub const MAX_MERGE_SEGMENTS: usize = 32;
+
+/// Encoded size of a [`MergedRequest`] carrying `n` segments, checksum
+/// included: a 32-byte header plus 24 bytes (server offset + length +
+/// version) per segment and the trailing 4-byte checksum.
+pub const fn merged_wire_size(n: usize) -> usize {
+    36 + 24 * n
+}
+
+/// Largest control message either direction can produce: a full
+/// [`MAX_MERGE_SEGMENTS`]-segment merged request. Receive buffers sized to
+/// this accept every client-side control message.
+pub const MERGED_MAX_WIRE_SIZE: usize = merged_wire_size(MAX_MERGE_SEGMENTS);
 
 /// Operation requested of the memory server.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -339,6 +359,13 @@ fn checksum(words: &[u32]) -> u32 {
         .fold(0u32, |acc, &w| acc.wrapping_mul(31).wrapping_add(w))
 }
 
+/// Extend a running [`checksum`] by one word — variable-length messages
+/// fold their tail segments without collecting a word vector.
+#[inline]
+fn checksum_push(acc: u32, w: u32) -> u32 {
+    acc.wrapping_mul(31).wrapping_add(w)
+}
+
 impl PageRequest {
     /// Serialise with magic and checksum.
     pub fn encode(&self) -> Bytes {
@@ -416,6 +443,250 @@ impl PageRequest {
             client_offset,
             version,
         })
+    }
+}
+
+/// One extent inside a [`MergedRequest`]: where it lives in the server's
+/// swap area, its transfer length, and the write-fencing version of the
+/// logical write it belongs to (0 for reads). In the *client pool* the
+/// extents are laid out back to back — segment `k` starts at the sum of
+/// the lengths before it — while the server offsets may leave gaps: the
+/// block layer has already swallowed exact adjacency, so what merging
+/// coalesces is same-server bursts of scattered extents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MergedSeg {
+    server_offset: u64,
+    len: u64,
+    version: u64,
+}
+
+impl MergedSeg {
+    /// Build a segment descriptor.
+    pub fn new(server_offset: u64, len: u64, version: u64) -> MergedSeg {
+        MergedSeg {
+            server_offset,
+            len,
+            version,
+        }
+    }
+
+    /// Byte offset of the extent inside the server's swap area.
+    pub fn server_offset(&self) -> u64 {
+        self.server_offset
+    }
+
+    /// Transfer length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the segment transfers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Write-fencing version (0 for reads).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// A merged page request: one control message carrying several extents of
+/// the same operation, RDMA-transferred as a single contiguous span of
+/// client pool bytes. The client coalesces same-window requests per server
+/// into these (RDMAbox-style request merging); the server serves the whole
+/// batch with ONE staging allocation, ONE RDMA operation, and ONE reply,
+/// scatter/gathering each segment at its own store offset and fencing each
+/// segment's version independently.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MergedRequest {
+    req_id: u64,
+    op: PageOp,
+    client_rkey: u32,
+    client_offset: u64,
+    segs: Vec<MergedSeg>,
+}
+
+impl MergedRequest {
+    /// Build a merged request. Panics when the segment count is outside
+    /// `1..=MAX_MERGE_SEGMENTS` — the merge planner owns that bound.
+    pub fn new(
+        req_id: u64,
+        op: PageOp,
+        client_rkey: u32,
+        client_offset: u64,
+        segs: Vec<MergedSeg>,
+    ) -> MergedRequest {
+        assert!(
+            (1..=MAX_MERGE_SEGMENTS).contains(&segs.len()),
+            "merged request with {} segments",
+            segs.len()
+        );
+        MergedRequest {
+            req_id,
+            op,
+            client_rkey,
+            client_offset,
+            segs,
+        }
+    }
+
+    /// Client-chosen request id, echoed in the reply.
+    pub fn req_id(&self) -> u64 {
+        self.req_id
+    }
+
+    /// Operation, shared by every segment.
+    pub fn op(&self) -> PageOp {
+        self.op
+    }
+
+    /// Byte offset of the first segment inside the server's swap area.
+    pub fn server_offset(&self) -> u64 {
+        self.segs[0].server_offset
+    }
+
+    /// rkey of the client's registered pool region.
+    pub fn client_rkey(&self) -> u32 {
+        self.client_rkey
+    }
+
+    /// Offset of the first segment's staging inside the client pool.
+    pub fn client_offset(&self) -> u64 {
+        self.client_offset
+    }
+
+    /// The merged extents, in server-offset order.
+    pub fn segs(&self) -> &[MergedSeg] {
+        &self.segs
+    }
+
+    /// Total bytes moved by the single RDMA span.
+    pub fn total_len(&self) -> u64 {
+        self.segs.iter().map(|s| s.len).sum()
+    }
+
+    /// Highest fencing version across segments — what the reply echoes.
+    pub fn max_version(&self) -> u64 {
+        self.segs.iter().map(|s| s.version).max().unwrap_or(0)
+    }
+
+    /// Serialise with magic and checksum.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(merged_wire_size(self.segs.len()));
+        b.put_u32_le(MERGED_MAGIC);
+        b.put_u64_le(self.req_id);
+        b.put_u32_le(self.op.code());
+        b.put_u32_le(self.client_rkey);
+        b.put_u64_le(self.client_offset);
+        b.put_u32_le(self.segs.len() as u32);
+        let mut sum = checksum(&[
+            self.req_id as u32,
+            (self.req_id >> 32) as u32,
+            self.op.code(),
+            self.client_rkey,
+            self.client_offset as u32,
+            (self.client_offset >> 32) as u32,
+            self.segs.len() as u32,
+        ]);
+        for s in &self.segs {
+            b.put_u64_le(s.server_offset);
+            b.put_u64_le(s.len);
+            b.put_u64_le(s.version);
+            sum = checksum_push(sum, s.server_offset as u32);
+            sum = checksum_push(sum, (s.server_offset >> 32) as u32);
+            sum = checksum_push(sum, s.len as u32);
+            sum = checksum_push(sum, (s.len >> 32) as u32);
+            sum = checksum_push(sum, s.version as u32);
+            sum = checksum_push(sum, (s.version >> 32) as u32);
+        }
+        b.put_u32_le(sum);
+        b.freeze()
+    }
+
+    /// Parse and validate.
+    pub fn decode(b: Bytes) -> Result<MergedRequest, ProtoError> {
+        MergedRequest::decode_slice(&b)
+    }
+
+    /// Parse and validate from a borrowed buffer.
+    pub fn decode_slice(b: &[u8]) -> Result<MergedRequest, ProtoError> {
+        if b.len() < merged_wire_size(1) {
+            return Err(ProtoError::Truncated);
+        }
+        if read_u32(b, 0)? != MERGED_MAGIC {
+            return Err(ProtoError::BadMagic);
+        }
+        let req_id = read_u64(b, 4)?;
+        let op_code = read_u32(b, 12)?;
+        let client_rkey = read_u32(b, 16)?;
+        let client_offset = read_u64(b, 20)?;
+        let count = read_u32(b, 28)? as usize;
+        if !(1..=MAX_MERGE_SEGMENTS).contains(&count) {
+            return Err(ProtoError::BadField("seg_count"));
+        }
+        if b.len() < merged_wire_size(count) {
+            return Err(ProtoError::Truncated);
+        }
+        let mut sum = checksum(&[
+            req_id as u32,
+            (req_id >> 32) as u32,
+            op_code,
+            client_rkey,
+            client_offset as u32,
+            (client_offset >> 32) as u32,
+            count as u32,
+        ]);
+        let mut segs = Vec::with_capacity(count);
+        for k in 0..count {
+            let server_offset = read_u64(b, 32 + 24 * k)?;
+            let len = read_u64(b, 40 + 24 * k)?;
+            let version = read_u64(b, 48 + 24 * k)?;
+            sum = checksum_push(sum, server_offset as u32);
+            sum = checksum_push(sum, (server_offset >> 32) as u32);
+            sum = checksum_push(sum, len as u32);
+            sum = checksum_push(sum, (len >> 32) as u32);
+            sum = checksum_push(sum, version as u32);
+            sum = checksum_push(sum, (version >> 32) as u32);
+            segs.push(MergedSeg {
+                server_offset,
+                len,
+                version,
+            });
+        }
+        if read_u32(b, 32 + 24 * count)? != sum {
+            return Err(ProtoError::BadChecksum);
+        }
+        Ok(MergedRequest {
+            req_id,
+            op: PageOp::from_code(op_code)?,
+            client_rkey,
+            client_offset,
+            segs,
+        })
+    }
+}
+
+/// Anything a client can send on the request channel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientMessage {
+    /// A single-extent page request.
+    Request(PageRequest),
+    /// A merged multi-extent request.
+    Merged(MergedRequest),
+}
+
+impl ClientMessage {
+    /// Parse either request kind by its magic.
+    pub fn decode_slice(b: &[u8]) -> Result<ClientMessage, ProtoError> {
+        if b.len() < 4 {
+            return Err(ProtoError::Truncated);
+        }
+        match read_u32(b, 0)? {
+            HPBD_MAGIC => Ok(ClientMessage::Request(PageRequest::decode_slice(b)?)),
+            MERGED_MAGIC => Ok(ClientMessage::Merged(MergedRequest::decode_slice(b)?)),
+            _ => Err(ProtoError::BadMagic),
+        }
     }
 }
 
@@ -686,6 +957,155 @@ mod tests {
             let _ = PageRequest::decode_slice(&raw);
             let _ = PageReply::decode_slice(&raw);
             let _ = ServerMessage::decode_slice(&raw);
+        });
+    }
+
+    // ---- merged multi-extent requests ----
+
+    fn random_merged(rng: &mut SimRng) -> MergedRequest {
+        let count = 1 + rng.below(MAX_MERGE_SEGMENTS as u64) as usize;
+        let op = if rng.below(2) == 0 {
+            PageOp::Write
+        } else {
+            PageOp::Read
+        };
+        let segs = (0..count)
+            .map(|_| {
+                MergedSeg::new(
+                    4096 * rng.below(1 << 20),
+                    4096 * (1 + rng.below(32)),
+                    if op == PageOp::Write {
+                        rng.next_u64()
+                    } else {
+                        0
+                    },
+                )
+            })
+            .collect();
+        MergedRequest::new(rng.next_u64(), op, rng.next_u32(), rng.next_u64(), segs)
+    }
+
+    #[test]
+    fn merged_roundtrip_all_counts() {
+        for count in 1..=MAX_MERGE_SEGMENTS {
+            let segs: Vec<MergedSeg> = (0..count)
+                .map(|k| MergedSeg::new(1 << 20, 4096 * (k as u64 + 1), k as u64 * 7))
+                .collect();
+            let m = MergedRequest::new(5, PageOp::Write, 42, 8192, segs);
+            let raw = m.encode();
+            assert_eq!(raw.len(), merged_wire_size(count));
+            assert_eq!(MergedRequest::decode(raw).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn merged_totals_and_max_version() {
+        let m = MergedRequest::new(
+            1,
+            PageOp::Write,
+            1,
+            0,
+            vec![
+                MergedSeg::new(0, 4096, 3),
+                MergedSeg::new(8192, 8192, 9),
+                MergedSeg::new(65536, 4096, 5),
+            ],
+        );
+        assert_eq!(m.total_len(), 16384);
+        assert_eq!(m.max_version(), 9);
+        assert_eq!(m.server_offset(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "merged request with 0 segments")]
+    fn merged_zero_segments_panics_at_build() {
+        MergedRequest::new(1, PageOp::Read, 1, 0, vec![]);
+    }
+
+    #[test]
+    fn merged_bad_seg_count_on_wire_rejected() {
+        let m = MergedRequest::new(1, PageOp::Read, 1, 0, vec![MergedSeg::new(0, 4096, 0)]);
+        let mut raw = m.encode().to_vec();
+        // Forge seg_count = 0 and = MAX+1; both must be rejected before any
+        // segment is trusted (the checksum would also fail, but the field
+        // check fires first and bounds the read loop).
+        raw[28..32].copy_from_slice(&0u32.to_le_bytes());
+        assert_eq!(
+            MergedRequest::decode_slice(&raw),
+            Err(ProtoError::BadField("seg_count"))
+        );
+        raw[28..32].copy_from_slice(&((MAX_MERGE_SEGMENTS as u32 + 1).to_le_bytes()));
+        assert_eq!(
+            MergedRequest::decode_slice(&raw),
+            Err(ProtoError::BadField("seg_count"))
+        );
+    }
+
+    #[test]
+    fn client_message_dispatches_by_magic() {
+        let single = request().encode();
+        let merged = MergedRequest::new(
+            9,
+            PageOp::Read,
+            7,
+            0,
+            vec![MergedSeg::new(4096, 4096, 0), MergedSeg::new(16384, 4096, 0)],
+        );
+        match ClientMessage::decode_slice(&single).unwrap() {
+            ClientMessage::Request(r) => assert_eq!(r, request()),
+            other => panic!("expected single request, got {other:?}"),
+        }
+        match ClientMessage::decode_slice(&merged.encode()).unwrap() {
+            ClientMessage::Merged(m) => assert_eq!(m, merged),
+            other => panic!("expected merged request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prop_merged_roundtrip() {
+        for_cases(256, |rng| {
+            let m = random_merged(rng);
+            let back = MergedRequest::decode(m.encode()).unwrap();
+            assert_eq!(back, m);
+            assert_eq!(back.total_len(), m.total_len());
+            assert_eq!(back.max_version(), m.max_version());
+        });
+    }
+
+    #[test]
+    fn prop_merged_truncation_every_cut_errors() {
+        for_cases(64, |rng| {
+            let raw = random_merged(rng).encode();
+            for cut in 0..raw.len() {
+                match MergedRequest::decode_slice(&raw[..cut]) {
+                    Err(ProtoError::Truncated) | Err(ProtoError::BadField("seg_count")) => {}
+                    other => panic!("cut {cut}: {other:?}"),
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn prop_merged_single_bit_corruption_rejected() {
+        for_cases(128, |rng| {
+            let m = random_merged(rng);
+            let mut raw = m.encode().to_vec();
+            let at = rng.below(raw.len() as u64) as usize;
+            raw[at] ^= 1u8 << rng.below(8);
+            match MergedRequest::decode_slice(&raw) {
+                Err(_) => {}
+                Ok(decoded) => assert_ne!(decoded, m, "corruption accepted"),
+            }
+        });
+    }
+
+    #[test]
+    fn prop_merged_garbage_never_panics() {
+        for_cases(256, |rng| {
+            let len = rng.below(2 * MERGED_MAX_WIRE_SIZE as u64) as usize;
+            let raw: Vec<u8> = (0..len).map(|_| rng.next_u32() as u8).collect();
+            let _ = MergedRequest::decode_slice(&raw);
+            let _ = ClientMessage::decode_slice(&raw);
         });
     }
 }

@@ -21,11 +21,12 @@
 use crate::config::HpbdConfig;
 use crate::pool::{PoolBuf, SimBufferPool};
 use crate::proto::{
-    PageOp, PageReply, PageRequest, ProtoError, ReplyStatus, RevokeNotice, REQUEST_WIRE_SIZE,
+    ClientMessage, MergedRequest, PageOp, PageReply, PageRequest, ProtoError, ReplyStatus,
+    RevokeNotice, MERGED_MAX_WIRE_SIZE,
 };
 use blockdev::Storage;
 use ibsim::{
-    CompletionQueue, Fabric, IbNode, MemoryRegion, Opcode, QueuePair, RemoteSlice, WcStatus,
+    CompletionQueue, Cq, Fabric, IbNode, Mr, Opcode, Pd, Qp, QueuePair, RemoteSlice, WcStatus,
     WorkKind, WorkRequest,
 };
 use simcore::{Engine, SimDuration, SimTime};
@@ -34,9 +35,76 @@ use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
+/// A validated unit of service: one wire message, one staging span, one
+/// RDMA operation, one reply — possibly carrying several independently
+/// write-fenced segments (a merged request).
+struct Job {
+    req_id: u64,
+    op: PageOp,
+    server_offset: u64,
+    client_rkey: u32,
+    client_offset: u64,
+    /// Total transfer length (sum of segment lengths); the size of the
+    /// staging span and of the single RDMA operation.
+    len: u64,
+    /// Per-segment `(server_offset, len, version)` in staging order;
+    /// `None` for a plain single request, which is treated as one segment
+    /// covering the whole span (and allocates nothing). Merged segments
+    /// may leave gaps between their store extents — staging positions run
+    /// back to back regardless.
+    segs: Option<Vec<(u64, u64, u64)>>,
+    /// Version echoed in the reply: the segment's own stamp for a plain
+    /// request, the maximum across segments for a merged one.
+    version: u64,
+}
+
+impl Job {
+    fn from_request(r: &PageRequest) -> Job {
+        Job {
+            req_id: r.req_id(),
+            op: r.op(),
+            server_offset: r.server_offset(),
+            client_rkey: r.client_rkey(),
+            client_offset: r.client_offset(),
+            len: r.len(),
+            segs: None,
+            version: r.version(),
+        }
+    }
+
+    fn from_merged(m: &MergedRequest) -> Job {
+        Job {
+            req_id: m.req_id(),
+            op: m.op(),
+            server_offset: m.server_offset(),
+            client_rkey: m.client_rkey(),
+            client_offset: m.client_offset(),
+            len: m.total_len(),
+            segs: Some(
+                m.segs()
+                    .iter()
+                    .map(|s| (s.server_offset(), s.len(), s.version()))
+                    .collect(),
+            ),
+            version: m.max_version(),
+        }
+    }
+
+    /// Iterate the fencing spans as `(server_offset, len, version)` in
+    /// staging order. Allocation-free either way.
+    fn spans(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        let single = self
+            .segs
+            .is_none()
+            .then_some((self.server_offset, self.len, self.version));
+        let many = self.segs.as_deref().unwrap_or(&[]).iter().copied();
+        single.into_iter().chain(many)
+    }
+}
+
 /// Per-request state while its RDMA is in flight.
 struct PendingRdma {
-    request: PageRequest,
+    job: Job,
     staging: PoolBuf,
     conn: usize,
     /// Request arrival instant (trace span start).
@@ -44,10 +112,10 @@ struct PendingRdma {
 }
 
 struct Conn {
-    qp: QueuePair,
-    /// Control-message receive buffers (slices of `ctrl_mr`), indexed by
-    /// recv wr_id.
-    recv_region: MemoryRegion,
+    qp: Qp,
+    /// Control-message receive buffers (slices of one registration),
+    /// indexed by recv wr_id.
+    recv_region: Mr,
 }
 
 /// Server statistics.
@@ -74,17 +142,19 @@ pub struct ServerStats {
     /// equal-or-newer version) and acknowledged with `StaleWrite`
     /// instead of being applied.
     pub stale_writes: u64,
+    /// Merged multi-extent requests served (client batching mode).
+    pub merged_requests: u64,
 }
 
 /// Write-fencing granularity: versions are tracked per 4 KiB page, the
 /// swap unit the client stamps.
 const VERSION_PAGE: u64 = 4096;
 
-/// The store pages a request's byte range touches.
-fn page_range(r: &PageRequest) -> std::ops::RangeInclusive<u64> {
+/// The store pages a byte range touches.
+fn page_range(offset: u64, len: u64) -> std::ops::RangeInclusive<u64> {
     // `validate` guarantees len > 0.
-    let first = r.server_offset() / VERSION_PAGE;
-    let last = (r.server_offset() + r.len() - 1) / VERSION_PAGE;
+    let first = offset / VERSION_PAGE;
+    let last = (offset + len - 1) / VERSION_PAGE;
     first..=last
 }
 
@@ -93,10 +163,12 @@ struct ServerInner {
     config: HpbdConfig,
     ibnode: IbNode,
     storage: Storage,
-    staging_mr: MemoryRegion,
+    /// Protection domain scoping the server's registrations and CQs.
+    pd: Pd,
+    staging_mr: Mr,
     staging_pool: SimBufferPool,
-    send_cq: CompletionQueue,
-    recv_cq: CompletionQueue,
+    send_cq: Cq,
+    recv_cq: Cq,
     conns: RefCell<Vec<Conn>>,
     qp_to_conn: RefCell<BTreeMap<u32, usize>>,
     pending: RefCell<BTreeMap<u64, PendingRdma>>,
@@ -141,10 +213,11 @@ impl HpbdServer {
             .calibration()
             .registration_time(config.server_staging_size);
         ibnode.node().cpu().reserve(engine.now(), reg_cost);
-        let staging_mr = ibnode.hca().register(config.server_staging_size as usize);
+        let pd = Pd::new(ibnode.clone());
+        let staging_mr = pd.register(config.server_staging_size as usize);
         let staging_pool = SimBufferPool::new(config.server_staging_size);
-        let send_cq = ibnode.create_cq();
-        let recv_cq = ibnode.create_cq();
+        let send_cq = pd.create_cq();
+        let recv_cq = pd.create_cq();
         let server = HpbdServer {
             inner: Rc::new(ServerInner {
                 wire_scratch: RefCell::new(Vec::new()),
@@ -155,6 +228,7 @@ impl HpbdServer {
                 config,
                 ibnode,
                 storage: Storage::new(capacity),
+                pd,
                 staging_mr,
                 staging_pool,
                 send_cq,
@@ -183,12 +257,12 @@ impl HpbdServer {
 
     /// The receive CQ (the cluster builder wires QPs to it).
     pub fn recv_cq(&self) -> &CompletionQueue {
-        &self.inner.recv_cq
+        self.inner.recv_cq.raw()
     }
 
     /// The send CQ.
     pub fn send_cq(&self) -> &CompletionQueue {
-        &self.inner.send_cq
+        self.inner.send_cq.raw()
     }
 
     /// Exported page-store capacity in bytes.
@@ -230,13 +304,10 @@ impl HpbdServer {
             // Best-effort: a notice squeezed out by a full send queue is
             // re-issued by the next reclaim pass, so a failed post is
             // dropped rather than treated as fatal.
-            let _ = conn.qp.post_send(WorkRequest {
-                wr_id: u64::MAX, // notices carry no request id
-                kind: WorkKind::Send {
-                    payload: notice.encode(),
-                },
-                solicited: true,
-            });
+            let mut chain = conn.qp.chain();
+            // Notices carry no request id.
+            chain.send(u64::MAX, notice.encode(), true);
+            let _ = chain.post();
         }
     }
 
@@ -300,7 +371,7 @@ impl HpbdServer {
             .registration_time(inner.config.server_staging_size);
         inner.ibnode.node().cpu().reserve(inner.engine.now(), reg);
         // Receives consumed by the dead process go back on the QPs.
-        let wire = (REQUEST_WIRE_SIZE + 4) as u64;
+        let wire = MERGED_MAX_WIRE_SIZE as u64;
         let lost: Vec<(usize, u64)> = inner.lost_recvs.borrow_mut().drain(..).collect();
         {
             let conns = inner.conns.borrow();
@@ -357,13 +428,13 @@ impl HpbdServer {
     /// receive buffers on `qp`. Called by the cluster builder after the QP
     /// exchange.
     pub fn attach_connection(&self, qp: QueuePair) {
+        let qp = Qp::from(qp);
         let inner = &self.inner;
         let credits = inner.config.credits;
-        let wire = (REQUEST_WIRE_SIZE + 4) as u64;
-        let recv_region = inner
-            .ibnode
-            .hca()
-            .register((credits as u64 * wire) as usize);
+        // Buffers are sized for the largest control message — a maximally
+        // merged request — so plain and merged requests share the pool.
+        let wire = MERGED_MAX_WIRE_SIZE as u64;
+        let recv_region = inner.pd.register((credits as u64 * wire) as usize);
         for i in 0..credits {
             qp.post_recv(i as u64, recv_region.slice(i as u64 * wire, wire))
                 // simlint: allow(I001): connection setup posts into an empty receive queue sized for exactly these buffers
@@ -441,15 +512,15 @@ impl HpbdServer {
 
     fn handle_request(&self, conn_idx: usize, buf_idx: u64) {
         let inner = &self.inner;
-        let wire = (REQUEST_WIRE_SIZE + 4) as u64;
-        let decoded: Result<PageRequest, ProtoError> = {
+        let wire = MERGED_MAX_WIRE_SIZE as u64;
+        let decoded: Result<ClientMessage, ProtoError> = {
             let conns = inner.conns.borrow();
             let conn = &conns[conn_idx];
             let mut raw = inner.wire_scratch.borrow_mut();
             raw.clear();
             raw.resize(wire as usize, 0);
             conn.recv_region.read((buf_idx * wire) as usize, &mut raw);
-            PageRequest::decode_slice(&raw)
+            ClientMessage::decode_slice(&raw)
         };
         // Buffer consumed: re-post it for the next request.
         {
@@ -460,8 +531,12 @@ impl HpbdServer {
                 // simlint: allow(I001): re-posting the buffer just consumed cannot overflow the fixed-size receive queue
                 .expect("re-posting control receive");
         }
-        let request = match decoded {
-            Ok(r) => r,
+        let job = match decoded {
+            Ok(ClientMessage::Request(r)) => Job::from_request(&r),
+            Ok(ClientMessage::Merged(m)) => {
+                self.inner.stats.borrow_mut().merged_requests += 1;
+                Job::from_merged(&m)
+            }
             Err(_) => {
                 inner.stats.borrow_mut().bad_messages += 1;
                 return;
@@ -472,115 +547,126 @@ impl HpbdServer {
         let started = inner.engine.now();
         if inner.engine.lifecycle_enabled() {
             // Route the mark back to the client-side span context by the
-            // physical request id; unknown ids (e.g. the context completed
-            // after a timeout) are a silent no-op.
-            inner.engine.lifecycle().mark_phys(
-                request.req_id(),
-                MarkKind::ServerReceived,
-                started.as_nanos(),
-            );
+            // physical request id; a merged id fans out to every carried
+            // part. Unknown ids (e.g. the context completed after a
+            // timeout) are a silent no-op.
+            inner
+                .engine
+                .lifecycle()
+                .mark_phys(job.req_id, MarkKind::ServerReceived, started.as_nanos());
         }
-        // CPU cost of parsing + dispatching the request.
+        // CPU cost of parsing + dispatching the message — paid once per
+        // wire message, which is exactly the overhead merging amortises.
         let proc = SimDuration::from_nanos(inner.config.request_proc_ns);
         let (_, t_proc) = inner.ibnode.node().cpu().reserve(started, proc);
 
-        if !self.validate(&request) {
+        if !self.validate(&job) {
             let this = self.clone();
             inner.engine.schedule_at(t_proc, move || {
-                this.send_reply(
-                    conn_idx,
-                    request.req_id(),
-                    ReplyStatus::OutOfRange,
-                    request.version(),
-                );
+                this.send_reply(conn_idx, job.req_id, ReplyStatus::OutOfRange, job.version);
             });
             return;
         }
 
         let this = self.clone();
         inner.engine.schedule_at(t_proc, move || {
-            this.serve(conn_idx, request, started);
+            this.serve(conn_idx, job, started);
         });
     }
 
-    fn validate(&self, r: &PageRequest) -> bool {
-        !r.is_empty()
-            && r.len() <= self.inner.config.server_staging_size
-            && self.inner.storage.in_range(r.server_offset(), r.len())
+    fn validate(&self, job: &Job) -> bool {
+        job.len > 0
+            && job.len <= self.inner.config.server_staging_size
+            && job
+                .spans()
+                .all(|(offset, len, _)| len > 0 && self.inner.storage.in_range(offset, len))
     }
 
-    /// Fencing check: true when every page the write covers already holds
-    /// data from an equal-or-newer version, so applying it could only
-    /// undo newer data (or redundantly rewrite identical data).
-    fn write_fully_stale(&self, r: &PageRequest) -> bool {
-        if r.op() != PageOp::Write || r.version() == 0 {
+    /// Fencing check: true when every page every segment covers already
+    /// holds data from an equal-or-newer version, so applying the write
+    /// could only undo newer data (or redundantly rewrite identical
+    /// data). A merged write with ANY live segment must still be served;
+    /// the apply-time fence then skips its stale segments page by page.
+    fn write_fully_stale(&self, job: &Job) -> bool {
+        if job.op != PageOp::Write {
             return false;
         }
         let versions = self.inner.versions.borrow();
-        page_range(r).all(|p| versions.get(&p).is_some_and(|&v| v >= r.version()))
+        job.spans().all(|(offset, len, version)| {
+            version > 0
+                && page_range(offset, len).all(|p| versions.get(&p).is_some_and(|&v| v >= version))
+        })
     }
 
     /// A write lost the fence race: acknowledge with `StaleWrite` so the
     /// client can retire it, without touching the store (and, when caught
     /// before the pull, without spending any RDMA).
-    fn drop_stale(&self, conn_idx: usize, request: &PageRequest, started: SimTime) {
+    fn drop_stale(&self, conn_idx: usize, job: &Job, started: SimTime) {
         self.inner.stats.borrow_mut().stale_writes += 1;
-        self.serve_span(request, started, true);
-        self.send_reply(
-            conn_idx,
-            request.req_id(),
-            ReplyStatus::StaleWrite,
-            request.version(),
-        );
+        self.serve_span(job, started, true);
+        self.send_reply(conn_idx, job.req_id, ReplyStatus::StaleWrite, job.version);
     }
 
     /// Dispatch a validated request: allocate staging, then drive the
     /// server-initiated RDMA state machine.
-    fn serve(&self, conn_idx: usize, request: PageRequest, started: SimTime) {
-        if self.write_fully_stale(&request) {
+    fn serve(&self, conn_idx: usize, job: Job, started: SimTime) {
+        if self.write_fully_stale(&job) {
             // Fenced before staging: a newer write already covers every
             // page; skip the staging wait and the RDMA pull entirely.
-            self.drop_stale(conn_idx, &request, started);
+            self.drop_stale(conn_idx, &job, started);
             return;
         }
         let this = self.clone();
         // Staging allocation may wait for in-flight requests to release
-        // buffers (the staging pool is its own wait queue).
-        self.inner
-            .staging_pool
-            .alloc(request.len(), move |staging| {
-                this.serve_with_staging(conn_idx, request, staging, started);
-            });
+        // buffers (the staging pool is its own wait queue). One span per
+        // message, merged or not.
+        self.inner.staging_pool.alloc(job.len, move |staging| {
+            this.serve_with_staging(conn_idx, job, staging, started);
+        });
     }
 
-    fn serve_with_staging(
-        &self,
-        conn_idx: usize,
-        request: PageRequest,
-        staging: PoolBuf,
-        started: SimTime,
-    ) {
+    fn serve_with_staging(&self, conn_idx: usize, job: Job, staging: PoolBuf, started: SimTime) {
         let inner = &self.inner;
         if inner.crashed.get() {
             // The daemon died while this request waited for staging.
             inner.staging_pool.free(staging);
             return;
         }
-        if self.write_fully_stale(&request) {
+        if self.write_fully_stale(&job) {
             // A newer write to every covered page landed while this one
             // waited for staging; fence it off before spending RDMA.
             inner.staging_pool.free(staging);
-            self.drop_stale(conn_idx, &request, started);
+            self.drop_stale(conn_idx, &job, started);
             return;
         }
         let token = inner.next_token.get();
         inner.next_token.set(token + 1);
+        let remote = RemoteSlice {
+            rkey: job.client_rkey,
+            offset: job.client_offset,
+            len: job.len,
+        };
+        let local = inner.staging_mr.slice(staging.offset, job.len);
+        let (req_id, op, len) = (job.req_id, job.op, job.len);
+        // Swap-in gathers store extents into one contiguous data buffer in
+        // staging order (merged segments may be scattered on the store).
+        let read_data = (op == PageOp::Read).then(|| {
+            let mut data = self.take_data_buf(len as usize);
+            let mut base = 0usize;
+            for (offset, seg_len, _) in job.spans() {
+                inner
+                    .storage
+                    .read_at(offset, &mut data[base..base + seg_len as usize]);
+                base += seg_len as usize;
+            }
+            data
+        });
         {
             let mut pending = inner.pending.borrow_mut();
             pending.insert(
                 token,
                 PendingRdma {
-                    request,
+                    job,
                     staging,
                     conn: conn_idx,
                     started,
@@ -590,19 +676,14 @@ impl HpbdServer {
                 .peak_pending
                 .set(inner.peak_pending.get().max(pending.len()));
         }
-        let remote = RemoteSlice {
-            rkey: request.client_rkey(),
-            offset: request.client_offset(),
-            len: request.len(),
-        };
-        let local = inner.staging_mr.slice(staging.offset, request.len());
-        match request.op() {
+        match op {
             PageOp::Write => {
-                // Swap-out: pull the page data from the client.
+                // Swap-out: pull the page data from the client — ONE
+                // scatter-gather read for the whole merged span.
                 inner.stats.borrow_mut().rdma_reads += 1;
                 if inner.engine.lifecycle_enabled() {
                     inner.engine.lifecycle().mark_phys(
-                        request.req_id(),
+                        req_id,
                         MarkKind::RdmaPosted,
                         inner.engine.now().as_nanos(),
                     );
@@ -618,9 +699,9 @@ impl HpbdServer {
             }
             PageOp::Read => {
                 // Swap-in: copy store -> staging, then push with RDMA WRITE.
-                let mut data = self.take_data_buf(request.len() as usize);
-                inner.storage.read_at(request.server_offset(), &mut data);
-                let copy = inner.ibnode.memory_model().memcpy_time(request.len());
+                // simlint: allow(I001): populated above for every Read op
+                let data = read_data.expect("gathered above for reads");
+                let copy = inner.ibnode.memory_model().memcpy_time(len);
                 let (_, t_copy) = inner.ibnode.node().cpu().reserve(inner.engine.now(), copy);
                 if inner.engine.trace_enabled() {
                     inner.engine.tracer().span(
@@ -628,7 +709,7 @@ impl HpbdServer {
                         "store_to_staging",
                         inner.engine.now().as_nanos(),
                         t_copy.as_nanos(),
-                        &[("bytes", request.len())],
+                        &[("bytes", len)],
                     );
                 }
                 let this = self.clone();
@@ -644,7 +725,7 @@ impl HpbdServer {
                     this.inner.stats.borrow_mut().rdma_writes += 1;
                     if this.inner.engine.lifecycle_enabled() {
                         this.inner.engine.lifecycle().mark_phys(
-                            request.req_id(),
+                            req_id,
                             MarkKind::RdmaPosted,
                             this.inner.engine.now().as_nanos(),
                         );
@@ -654,7 +735,7 @@ impl HpbdServer {
                         WorkRequest {
                             wr_id: token,
                             kind: WorkKind::RdmaWrite {
-                                local: this.inner.staging_mr.slice(staging.offset, request.len()),
+                                local: this.inner.staging_mr.slice(staging.offset, len),
                                 remote,
                             },
                             solicited: false,
@@ -669,7 +750,9 @@ impl HpbdServer {
         let token = wr.wr_id;
         let posted = {
             let conns = self.inner.conns.borrow();
-            conns[conn_idx].qp.post_send(wr)
+            let mut chain = conns[conn_idx].qp.chain();
+            chain.push(wr);
+            chain.post()
         };
         if posted.is_err() {
             // Send-queue overflow: fail the request instead of wedging it.
@@ -680,9 +763,9 @@ impl HpbdServer {
                 self.inner.staging_pool.free(p.staging);
                 self.send_reply(
                     p.conn,
-                    p.request.req_id(),
+                    p.job.req_id,
                     ReplyStatus::TransferError,
-                    p.request.version(),
+                    p.job.version,
                 );
             }
         }
@@ -714,7 +797,7 @@ impl HpbdServer {
     fn finish_pull(&self, token: u64, status: WcStatus) {
         let inner = &self.inner;
         let Some(PendingRdma {
-            request,
+            job,
             staging,
             conn,
             started,
@@ -724,25 +807,20 @@ impl HpbdServer {
         };
         if inner.engine.lifecycle_enabled() {
             inner.engine.lifecycle().mark_phys(
-                request.req_id(),
+                job.req_id,
                 MarkKind::RdmaDone,
                 inner.engine.now().as_nanos(),
             );
         }
         if status != WcStatus::Success {
             inner.staging_pool.free(staging);
-            self.serve_span(&request, started, false);
-            self.send_reply(
-                conn,
-                request.req_id(),
-                ReplyStatus::TransferError,
-                request.version(),
-            );
+            self.serve_span(&job, started, false);
+            self.send_reply(conn, job.req_id, ReplyStatus::TransferError, job.version);
             return;
         }
-        let mut data = self.take_data_buf(request.len() as usize);
+        let mut data = self.take_data_buf(job.len as usize);
         inner.staging_mr.read(staging.offset as usize, &mut data);
-        let copy = inner.ibnode.memory_model().memcpy_time(request.len());
+        let copy = inner.ibnode.memory_model().memcpy_time(job.len);
         let (_, t_copy) = inner.ibnode.node().cpu().reserve(inner.engine.now(), copy);
         if inner.engine.trace_enabled() {
             inner.engine.tracer().span(
@@ -750,7 +828,7 @@ impl HpbdServer {
                 "staging_to_store",
                 inner.engine.now().as_nanos(),
                 t_copy.as_nanos(),
-                &[("bytes", request.len())],
+                &[("bytes", job.len)],
             );
         }
         let this = self.clone();
@@ -765,48 +843,57 @@ impl HpbdServer {
             // The apply-time fence: the authoritative check. A newer write
             // may have been applied while this pull was on the wire, so
             // each page is re-checked at the moment it would be written.
-            let applied = this.apply_versioned(&request, &data);
+            let applied = this.apply_versioned(&job, &data);
             this.recycle_data_buf(data);
             this.inner.staging_pool.free(staging);
             if applied {
-                this.inner.stats.borrow_mut().bytes_in += request.len();
-                this.serve_span(&request, started, true);
-                this.send_reply(conn, request.req_id(), ReplyStatus::Ok, request.version());
+                this.inner.stats.borrow_mut().bytes_in += job.len;
+                this.serve_span(&job, started, true);
+                this.send_reply(conn, job.req_id, ReplyStatus::Ok, job.version);
             } else {
-                this.drop_stale(conn, &request, started);
+                this.drop_stale(conn, &job, started);
             }
         });
     }
 
     /// Apply pulled swap-out data page-by-page under the write fence: a
     /// page is written only when the incoming version is newer than the
-    /// version it holds. Returns whether any page was applied.
-    fn apply_versioned(&self, request: &PageRequest, data: &[u8]) -> bool {
+    /// version it holds. Each merged segment fences independently with its
+    /// own version, so a merged message carrying one stale and one live
+    /// write applies exactly the live one. Returns whether any page was
+    /// applied.
+    fn apply_versioned(&self, job: &Job, data: &[u8]) -> bool {
         let inner = &self.inner;
-        if request.version() == 0 {
-            // Unversioned write (a client that opted out of fencing):
-            // apply wholesale, as before versioning existed.
-            inner.storage.write_at(request.server_offset(), data);
-            return true;
-        }
-        let mut versions = inner.versions.borrow_mut();
         let mut applied_any = false;
-        for page in page_range(request) {
-            let stored = versions.get(&page).copied().unwrap_or(0);
-            if stored >= request.version() {
+        let mut data_base = 0usize;
+        for (offset, len, version) in job.spans() {
+            let span_data = &data[data_base..data_base + len as usize];
+            data_base += len as usize;
+            if version == 0 {
+                // Unversioned write (a client that opted out of fencing):
+                // apply wholesale, as before versioning existed.
+                inner.storage.write_at(offset, span_data);
+                applied_any = true;
                 continue;
             }
-            // Intersect the page with the request's byte range (the first
-            // and last pages may be partially covered).
-            let page_start = page * VERSION_PAGE;
-            let start = request.server_offset().max(page_start);
-            let end = (request.server_offset() + request.len()).min(page_start + VERSION_PAGE);
-            let src = (start - request.server_offset()) as usize;
-            inner
-                .storage
-                .write_at(start, &data[src..src + (end - start) as usize]);
-            versions.insert(page, request.version());
-            applied_any = true;
+            let mut versions = inner.versions.borrow_mut();
+            for page in page_range(offset, len) {
+                let stored = versions.get(&page).copied().unwrap_or(0);
+                if stored >= version {
+                    continue;
+                }
+                // Intersect the page with the span's byte range (the first
+                // and last pages may be partially covered).
+                let page_start = page * VERSION_PAGE;
+                let start = offset.max(page_start);
+                let end = (offset + len).min(page_start + VERSION_PAGE);
+                let src = (start - offset) as usize;
+                inner
+                    .storage
+                    .write_at(start, &span_data[src..src + (end - start) as usize]);
+                versions.insert(page, version);
+                applied_any = true;
+            }
         }
         applied_any
     }
@@ -816,7 +903,7 @@ impl HpbdServer {
     fn finish_push(&self, token: u64, status: WcStatus) {
         let inner = &self.inner;
         let Some(PendingRdma {
-            request,
+            job,
             staging,
             conn,
             started,
@@ -826,25 +913,20 @@ impl HpbdServer {
         };
         if inner.engine.lifecycle_enabled() {
             inner.engine.lifecycle().mark_phys(
-                request.req_id(),
+                job.req_id,
                 MarkKind::RdmaDone,
                 inner.engine.now().as_nanos(),
             );
         }
         inner.staging_pool.free(staging);
         if status != WcStatus::Success {
-            self.serve_span(&request, started, false);
-            self.send_reply(
-                conn,
-                request.req_id(),
-                ReplyStatus::TransferError,
-                request.version(),
-            );
+            self.serve_span(&job, started, false);
+            self.send_reply(conn, job.req_id, ReplyStatus::TransferError, job.version);
             return;
         }
-        inner.stats.borrow_mut().bytes_out += request.len();
-        self.serve_span(&request, started, true);
-        self.send_reply(conn, request.req_id(), ReplyStatus::Ok, request.version());
+        inner.stats.borrow_mut().bytes_out += job.len;
+        self.serve_span(&job, started, true);
+        self.send_reply(conn, job.req_id, ReplyStatus::Ok, job.version);
     }
 
     /// Pop a recycled data buffer (or grow a fresh one), sized to `len`.
@@ -864,24 +946,20 @@ impl HpbdServer {
     }
 
     /// Emit the request-arrival -> reply trace span for one served request.
-    fn serve_span(&self, request: &PageRequest, started: SimTime, ok: bool) {
+    fn serve_span(&self, job: &Job, started: SimTime, ok: bool) {
         let engine = &self.inner.engine;
         if !engine.trace_enabled() {
             return;
         }
         engine.tracer().span(
             "hpbd_server",
-            match request.op() {
+            match job.op {
                 PageOp::Write => "serve_write",
                 PageOp::Read => "serve_read",
             },
             started.as_nanos(),
             engine.now().as_nanos(),
-            &[
-                ("req", request.req_id()),
-                ("bytes", request.len()),
-                ("ok", ok as u64),
-            ],
+            &[("req", job.req_id), ("bytes", job.len), ("ok", ok as u64)],
         );
     }
 
@@ -900,16 +978,11 @@ impl HpbdServer {
         let conns = self.inner.conns.borrow();
         // Best-effort: a reply squeezed out by a full send queue is
         // indistinguishable from a lost ack, and the client's timeout
-        // machinery already recovers from that.
-        let _ = conns[conn_idx].qp.post_send(WorkRequest {
-            wr_id: req_id,
-            kind: WorkKind::Send {
-                payload: reply.encode(),
-            },
-            // Solicited so the client's sleeping receiver thread wakes
-            // (paper §5: the server sets the solicitation control field
-            // of the send descriptor).
-            solicited: true,
-        });
+        // machinery already recovers from that. Solicited so the client's
+        // sleeping receiver thread wakes (paper §5: the server sets the
+        // solicitation control field of the send descriptor).
+        let mut chain = conns[conn_idx].qp.chain();
+        chain.send(req_id, reply.encode(), true);
+        let _ = chain.post();
     }
 }

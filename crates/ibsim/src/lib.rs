@@ -39,6 +39,7 @@ pub mod fault;
 pub mod hca;
 pub mod mr;
 pub mod qp;
+pub mod types;
 
 pub use cq::{Completion, CompletionQueue, Opcode, WcStatus};
 pub use fabric::{Fabric, IbNode};
@@ -46,3 +47,4 @@ pub use fault::LinkFaults;
 pub use hca::Hca;
 pub use mr::{MemoryRegion, MrSlice, RemoteSlice};
 pub use qp::{PostError, QueuePair, WorkKind, WorkRequest};
+pub use types::{Cq, Mr, Pd, Qp, WrChain};

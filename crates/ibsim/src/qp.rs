@@ -260,6 +260,56 @@ impl QueuePair {
         // CPU builds and posts the descriptor.
         let post = SimDuration::from_nanos(inner.hca.params().post_ns);
         let (_, t_posted) = inner.node.cpu().reserve(now, post);
+        self.dispatch_wr(peer, now, t_posted, wr);
+        Ok(())
+    }
+
+    /// Post a chain of work requests with ONE doorbell
+    /// (`VAPI_post_sr_list` analogue). The posting CPU pays the full
+    /// descriptor+doorbell cost once plus the cheaper chained cost per
+    /// subsequent WQE; the HCA still processes every WQE individually and
+    /// every element completes on the send CQ exactly as if posted alone.
+    ///
+    /// All-or-nothing at the verbs interface: a chain that does not fit in
+    /// the send queue is rejected whole, with nothing posted. Returns the
+    /// number of WQEs posted.
+    pub fn post_send_many(&self, wrs: Vec<WorkRequest>) -> Result<usize, PostError> {
+        let inner = &self.inner;
+        let n = wrs.len();
+        if n == 0 {
+            return Ok(0);
+        }
+        let peer = inner
+            .peer
+            .borrow()
+            .upgrade()
+            .ok_or(PostError::NotConnected)?;
+        if inner.outstanding_send.get() + n > inner.max_send_wr {
+            return Err(PostError::SendQueueFull);
+        }
+        inner.outstanding_send.set(inner.outstanding_send.get() + n);
+
+        let now = inner.engine.now();
+        let params = inner.hca.params();
+        // One doorbell for the whole chain: full post cost for the head,
+        // chained cost for every linked WQE after it.
+        let post = SimDuration::from_nanos(
+            params.post_ns + (n as u64 - 1) * params.chained_post_ns,
+        );
+        let (_, t_posted) = inner.node.cpu().reserve(now, post);
+        for wr in wrs {
+            self.dispatch_wr(peer.clone(), now, t_posted, wr);
+        }
+        Ok(n)
+    }
+
+    /// Hand one posted WQE to the HCA pipeline: WQE processing, injected
+    /// fault errors, then the kind-specific wire state machine. Shared by
+    /// [`QueuePair::post_send`] and [`QueuePair::post_send_many`]; `posted`
+    /// is the post instant (trace span start), `t_posted` the instant the
+    /// posting CPU finished.
+    fn dispatch_wr(&self, peer: Rc<QpInner>, posted: SimTime, t_posted: SimTime, wr: WorkRequest) {
+        let inner = &self.inner;
         // Local HCA fetches and processes the WQE.
         let t_hca = inner.hca.process_wqe(t_posted, inner.qp_num);
 
@@ -277,15 +327,15 @@ impl QueuePair {
                 WorkKind::RdmaWrite { .. } => Opcode::RdmaWrite,
                 WorkKind::RdmaRead { .. } => Opcode::RdmaRead,
             };
-            self.complete_send(now, t_hca, wr.wr_id, opcode, WcStatus::RetryExceeded, 0);
-            return Ok(());
+            self.complete_send(posted, t_hca, wr.wr_id, opcode, WcStatus::RetryExceeded, 0);
+            return;
         }
 
         match wr.kind {
             WorkKind::Send { ref payload } => {
                 inner.sends_posted.set(inner.sends_posted.get() + 1);
                 inner.ctr_sends.inc();
-                self.do_send(peer, wr.wr_id, payload.clone(), wr.solicited, now, t_hca);
+                self.do_send(peer, wr.wr_id, payload.clone(), wr.solicited, posted, t_hca);
             }
             WorkKind::RdmaWrite {
                 ref local,
@@ -293,7 +343,7 @@ impl QueuePair {
             } => {
                 inner.rdma_writes.set(inner.rdma_writes.get() + 1);
                 inner.ctr_rdma_writes.inc();
-                self.do_rdma_write(peer, wr.wr_id, local.clone(), *remote, now, t_hca);
+                self.do_rdma_write(peer, wr.wr_id, local.clone(), *remote, posted, t_hca);
             }
             WorkKind::RdmaRead {
                 ref local,
@@ -301,10 +351,9 @@ impl QueuePair {
             } => {
                 inner.rdma_reads.set(inner.rdma_reads.get() + 1);
                 inner.ctr_rdma_reads.inc();
-                self.do_rdma_read(peer, wr.wr_id, local.clone(), *remote, now, t_hca);
+                self.do_rdma_read(peer, wr.wr_id, local.clone(), *remote, posted, t_hca);
             }
         }
-        Ok(())
     }
 
     /// Deliver a completion to this QP's send CQ and release a send-queue

@@ -12,8 +12,13 @@ use simcore::SimDuration;
 #[derive(Clone, Debug)]
 pub struct HcaParams {
     /// CPU cost of building + posting one work request descriptor
-    /// (`VAPI_post_sr` analogue).
+    /// (`VAPI_post_sr` analogue). For a chained post this is paid once,
+    /// by the head of the chain — the doorbell cost.
     pub post_ns: u64,
+    /// CPU cost of each work request after the first in a chained post:
+    /// descriptor build only, no doorbell MMIO. Amortizing the doorbell
+    /// across a chain is the point of posting linked WQE lists.
+    pub chained_post_ns: u64,
     /// Latency from a completion entering the CQ to the solicited-event
     /// handler running (interrupt + handler dispatch). The paper's client
     /// receiver thread and the server's idle wakeup both pay this.
@@ -175,6 +180,7 @@ impl Calibration {
             },
             hca: HcaParams {
                 post_ns: 300,
+                chained_post_ns: 120,
                 completion_event_ns: 4_000,
                 qp_cache_size: 8,
                 qp_ctx_reload_ns: 2_500,

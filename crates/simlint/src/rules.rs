@@ -58,6 +58,7 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo { id: "I003", summary: "crate roots must carry #![forbid(unsafe_code)]" },
     RuleInfo { id: "A001", summary: "no HpbdCluster::build/build_on remnants — use ClusterBuilder" },
     RuleInfo { id: "A002", summary: "no pub fields on wire/protocol structs" },
+    RuleInfo { id: "A003", summary: "no raw post_send outside ibsim — submit through the typed WrChain builder" },
     RuleInfo { id: "W000", summary: "waiver without a justification" },
     RuleInfo { id: "W001", summary: "waiver that matched no finding (stale)" },
 ];
@@ -356,7 +357,7 @@ pub fn check_file(ctx: &mut FileCtx, config: &Config, only: Option<&str>) -> Vec
     };
 
     // ---- token-pattern rules ------------------------------------------------
-    for id in ["D001", "D002", "D003", "D004", "I001", "A001"] {
+    for id in ["D001", "D002", "D003", "D004", "I001", "A001", "A003"] {
         if !enabled(id) || !rule_applies(&ctx.rel, &config.rule(id)) {
             continue;
         }
@@ -441,6 +442,15 @@ pub fn check_file(ctx: &mut FileCtx, config: &Config, only: Option<&str>) -> Vec
                     {
                         let what = ctx.tok(k + 3).text.clone();
                         push(ctx, "A001", line, format!("`HpbdCluster::{what}` is the removed positional API — use ClusterBuilder"));
+                    }
+                }
+                "A003" => {
+                    if k >= 1
+                        && ctx.punct_at(k - 1, '.')
+                        && ctx.ident_at(k, "post_send")
+                        && ctx.punct_at(k + 1, '(')
+                    {
+                        push(ctx, "A003", line, "raw `.post_send(...)` bypasses the typed WrChain builder — build a chain with Qp::chain() so doorbell accounting stays uniform".to_string());
                     }
                 }
                 _ => unreachable!("pattern rule list"),
@@ -640,6 +650,12 @@ fn check_emit_guards(ctx: &FileCtx) -> Vec<(u32, String)> {
                         saw_ctx = true;
                     }
                     if c.text == "Some" || c.text == "is_some" {
+                        saw_presence = true;
+                    }
+                    // `has_ctx()` helpers assert span-context presence by
+                    // name: they exist only to wrap the Some-check.
+                    if c.text == "has_ctx" {
+                        saw_ctx = true;
                         saw_presence = true;
                     }
                 }
@@ -906,6 +922,9 @@ mod tests {
         let is_some =
             "fn f() { if phys.parent.ctx.is_some() { e.lifecycle().unregister_phys(1); } }";
         assert!(run("crates/x/src/a.rs", is_some, "I002").is_empty());
+        // A has_ctx() presence helper proves the same thing.
+        let helper = "fn f() { if phys.has_ctx() { e.lifecycle().unregister_phys(1); } }";
+        assert!(run("crates/x/src/a.rs", helper, "I002").is_empty());
         // Naked hot-path emits are findings.
         let naked = "fn f() { e.lifecycle().note_fault(true); }";
         assert_eq!(run("crates/x/src/a.rs", naked, "I002").len(), 1);

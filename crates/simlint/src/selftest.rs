@@ -201,6 +201,28 @@ const FIXTURES: &[Fixture] = &[
         src: "pub struct PageRequest { req_id: u64, len: u32 }\nimpl PageRequest { pub fn req_id(&self) -> u64 { self.req_id } }\n",
         expect: 0,
     },
+    // ---- A003 ----
+    Fixture {
+        rule: "A003",
+        name: "raw-post-send",
+        path: "crates/x/src/a.rs",
+        src: "fn f(qp: &QueuePair, wr: WorkRequest) { qp.post_send(wr).ok(); }\n",
+        expect: 1,
+    },
+    Fixture {
+        rule: "A003",
+        name: "wrchain-clean",
+        path: "crates/x/src/a.rs",
+        src: "fn f(qp: &Qp, wr: WorkRequest) { let mut c = qp.chain(); c.push(wr); c.post().ok(); }\n",
+        expect: 0,
+    },
+    Fixture {
+        rule: "A003",
+        name: "post-recv-clean",
+        path: "crates/x/src/a.rs",
+        src: "fn f(qp: &Qp, s: Slice) { qp.post_recv(1, s).ok(); }\n",
+        expect: 0,
+    },
     // ---- W000 ----
     Fixture {
         rule: "W000",

@@ -601,10 +601,14 @@ struct PhysEntry {
     attempt: u16,
 }
 
+/// One physical request id can carry several logical parts at once when
+/// the client merges adjacent extents into a single wire message, so the
+/// registry maps each id to a *list* of bindings; a server-side mark for
+/// the merged message fans out to every logical part it transported.
 struct HubInner {
     ring_cap: usize,
     next_req: Cell<u64>,
-    registry: RefCell<BTreeMap<u64, PhysEntry>>,
+    registry: RefCell<BTreeMap<u64, Vec<PhysEntry>>>,
     recorders: RefCell<BTreeMap<&'static str, FlightRecorder>>,
     faults: Cell<u64>,
     major_faults: Cell<u64>,
@@ -701,12 +705,32 @@ impl LifecycleHub {
         if let Some(inner) = &self.inner {
             inner.registry.borrow_mut().insert(
                 phys,
-                PhysEntry {
+                vec![PhysEntry {
                     ctx: ctx.clone(),
                     part,
                     attempt,
-                },
+                }],
             );
+        }
+    }
+
+    /// Bind one physical request id to several `(ctx, part, attempt)`
+    /// triples at once — a merged wire message carrying multiple logical
+    /// parts. Marks routed to `phys` fan out to every binding with the
+    /// same timestamp, so each part's phase tiling stays exact.
+    pub fn register_phys_many(
+        &self,
+        phys: u64,
+        bindings: impl IntoIterator<Item = (Rc<RequestCtx>, u16, u16)>,
+    ) {
+        if let Some(inner) = &self.inner {
+            let entries: Vec<PhysEntry> = bindings
+                .into_iter()
+                .map(|(ctx, part, attempt)| PhysEntry { ctx, part, attempt })
+                .collect();
+            if !entries.is_empty() {
+                inner.registry.borrow_mut().insert(phys, entries);
+            }
         }
     }
 
@@ -722,8 +746,10 @@ impl LifecycleHub {
     pub fn mark_phys(&self, phys: u64, kind: MarkKind, ts_ns: u64) {
         if let Some(inner) = &self.inner {
             let registry = inner.registry.borrow();
-            if let Some(e) = registry.get(&phys) {
-                e.ctx.mark(e.part, e.attempt, kind, ts_ns);
+            if let Some(entries) = registry.get(&phys) {
+                for e in entries {
+                    e.ctx.mark(e.part, e.attempt, kind, ts_ns);
+                }
             }
         }
     }

@@ -26,7 +26,7 @@ use blockdev::{Bio, IoBuffer, IoOp, RequestQueue};
 use netmodel::{Calibration, Node};
 use simcore::{Engine, Signal, SimDuration, SimTime};
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// Free frames the swap-in readahead may not consume.
@@ -67,6 +67,67 @@ struct PageEntry {
     referenced: bool,
 }
 
+/// Dense per-asid page table. Asids and vpns are both small bump-allocated
+/// integers (`Vm::new_asid`, `AddressSpace::alloc_pages`), so a slab per
+/// address space resolves the fault-path lookup with two array indexings.
+/// Point lookups dominate — under swap pressure every element access of a
+/// `PagedVec` whose lookaside cache was invalidated lands here, and the
+/// previous `BTreeMap<PageKey, _>` walk was the largest single host cost
+/// of the memory-pressure figures.
+struct PageTable {
+    /// Slab per asid; index 0 stays empty (asids start at 1).
+    spaces: Vec<Vec<Option<PageEntry>>>,
+}
+
+impl PageTable {
+    fn new() -> PageTable {
+        PageTable { spaces: Vec::new() }
+    }
+
+    #[inline]
+    fn get(&self, key: &PageKey) -> Option<&PageEntry> {
+        self.spaces.get(key.0 as usize)?.get(key.1 as usize)?.as_ref()
+    }
+
+    #[inline]
+    fn get_mut(&mut self, key: &PageKey) -> Option<&mut PageEntry> {
+        self.spaces
+            .get_mut(key.0 as usize)?
+            .get_mut(key.1 as usize)?
+            .as_mut()
+    }
+
+    fn insert(&mut self, key: PageKey, entry: PageEntry) {
+        let (asid, vpn) = (key.0 as usize, key.1 as usize);
+        if self.spaces.len() <= asid {
+            self.spaces.resize_with(asid + 1, Vec::new);
+        }
+        let space = &mut self.spaces[asid];
+        if space.len() <= vpn {
+            space.resize_with(vpn + 1, || None);
+        }
+        space[vpn] = Some(entry);
+    }
+
+    fn remove(&mut self, key: &PageKey) -> Option<PageEntry> {
+        self.spaces
+            .get_mut(key.0 as usize)?
+            .get_mut(key.1 as usize)?
+            .take()
+    }
+
+    /// Live entries in `(asid, vpn)` order — same order the `BTreeMap`
+    /// used to iterate in.
+    fn iter(&self) -> impl Iterator<Item = (PageKey, &PageEntry)> {
+        self.spaces.iter().enumerate().flat_map(|(asid, space)| {
+            space
+                .iter()
+                .enumerate()
+                .filter_map(move |(vpn, e)| e.as_ref().map(|en| ((asid as u32, vpn as u64), en)))
+        })
+    }
+}
+
 /// Paging activity counters.
 #[derive(Clone, Debug, Default)]
 pub struct VmStats {
@@ -104,7 +165,7 @@ struct Throttle {
 struct VmInner {
     config: VmConfig,
     frames: FramePool,
-    table: BTreeMap<PageKey, PageEntry>,
+    table: PageTable,
     clock: VecDeque<PageKey>,
     swap: SwapManager,
     /// Signals to fire whenever forward progress happens (frame freed or
@@ -159,7 +220,7 @@ impl Vm {
             inner: Rc::new(RefCell::new(VmInner {
                 config,
                 frames,
-                table: BTreeMap::new(),
+                table: PageTable::new(),
                 clock: VecDeque::new(),
                 swap,
                 waiters: Vec::new(),
@@ -245,7 +306,7 @@ impl Vm {
         let mut frames_used = 0usize;
         let mut seen_frames = std::collections::BTreeSet::new();
         let mut seen_slots = std::collections::BTreeSet::new();
-        for (key, entry) in &inner.table {
+        for (key, entry) in inner.table.iter() {
             let (frame, slot) = match entry.state {
                 PageState::Resident { frame, slot, .. } => (Some(frame), slot),
                 PageState::Swapped { slot } => (None, Some(slot)),
@@ -266,7 +327,7 @@ impl Vm {
                 );
                 assert_eq!(
                     inner.swap.owner_of(s),
-                    Some(*key),
+                    Some(key),
                     "slot {s:?} rmap does not point back at {key:?}"
                 );
             }

@@ -71,6 +71,13 @@ pub struct ScenarioConfig {
     /// default: the hot-path marks cost time, so benchmarked runs keep it
     /// disabled and attribution runs are separate passes).
     pub record_lifecycle: bool,
+    /// Block-layer merge cap for the swap request queue, in bytes (the
+    /// Linux 2.4 single-request bound; default 128 KiB). Ablations shrink
+    /// or grow it without touching the queue code.
+    pub queue_max_request_bytes: u64,
+    /// Staged-bio count that forces an unplug even without an explicit
+    /// flush (default 4096).
+    pub queue_flush_backstop: usize,
 }
 
 impl ScenarioConfig {
@@ -85,6 +92,8 @@ impl ScenarioConfig {
             tracer: None,
             fault_plan: FaultPlan::new(),
             record_lifecycle: false,
+            queue_max_request_bytes: blockdev::MAX_REQUEST_BYTES,
+            queue_flush_backstop: blockdev::DEFAULT_FLUSH_BACKSTOP,
         }
     }
 }
@@ -178,11 +187,13 @@ impl Scenario {
                     .per_server_capacity(per_server)
                     .fault_plan(config.fault_plan.clone())
                     .build_on(&fabric, client_ibnode);
-                let queue = Rc::new(RequestQueue::new(
+                let queue = Rc::new(RequestQueue::with_limits(
                     engine.clone(),
                     cal.clone(),
                     node.clone(),
                     Rc::new(cluster.client.clone()),
+                    config.queue_max_request_bytes,
+                    config.queue_flush_backstop,
                 ));
                 let label = format!("HPBD-{servers}");
                 (node, Some(cluster), None, Some(queue), label)
@@ -197,11 +208,13 @@ impl Scenario {
                     config.swap_capacity,
                     &config.fault_plan,
                 );
-                let queue = Rc::new(RequestQueue::new(
+                let queue = Rc::new(RequestQueue::with_limits(
                     engine.clone(),
                     cal.clone(),
                     node.clone(),
                     Rc::new(dev),
+                    config.queue_max_request_bytes,
+                    config.queue_flush_backstop,
                 ));
                 let label = format!("NBD-{}", transport.label());
                 (node, None, None, Some(queue), label)
@@ -214,11 +227,13 @@ impl Scenario {
                     config.swap_capacity,
                     "hda",
                 ));
-                let queue = Rc::new(RequestQueue::new(
+                let queue = Rc::new(RequestQueue::with_limits(
                     engine.clone(),
                     cal.clone(),
                     node.clone(),
                     dev.clone(),
+                    config.queue_max_request_bytes,
+                    config.queue_flush_backstop,
                 ));
                 (node, None, Some(dev), Some(queue), "disk".to_string())
             }
