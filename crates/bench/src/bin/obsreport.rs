@@ -1,6 +1,8 @@
 //! obsreport — phase-latency attribution over the paper's figures.
 //!
-//! Re-runs the swap-heavy figures (5, 9, 10 and the recovery figure R)
+//! Re-runs the swap-heavy figures (5, 9, 10, the recovery figure R and
+//! the swap-path figure U — the latter covering the user-space direct
+//! path's collapsed-queue phase tiling on every cell)
 //! with the request-lifecycle flight recorder enabled and post-processes
 //! each cell into a phase-attribution table: per-phase p50/p95/p99, the
 //! share of total swap time each phase consumed, retry/failover cost
@@ -16,10 +18,11 @@
 //! retried or failed over. The check covers every request of the run via
 //! the recorder's aggregate mismatch counter, not just the bounded ring.
 
-use bench::figures::{fig10, fig5, fig9, figr};
+use bench::figures::{fig10, fig5, fig9, figr, figu};
 use bench::{CommonArgs, Runner};
 use simcore::{FlightSummary, TraceSession};
 use simtrace::{DeviceFlight, Phase};
+use workloads::SwapPath;
 
 fn main() {
     let mut common = CommonArgs::default();
@@ -86,6 +89,21 @@ fn main() {
             &format!("HPBD-{}", point.servers),
             point.report.lifecycle.as_ref(),
             hpbd_msgs_per_page(&point.report),
+            &mut verified,
+            &mut violations,
+        );
+    }
+
+    println!("\n=== figU: kernel block path vs user-space direct path ===");
+    for row in figu::run_parallel(&common, &runner).rows {
+        let path = match row.path {
+            SwapPath::Block => "block",
+            SwapPath::Direct => "direct",
+        };
+        print_cell(
+            &format!("{} {path}", row.label),
+            row.lifecycle.as_ref(),
+            Some(row.messages_per_page),
             &mut verified,
             &mut violations,
         );

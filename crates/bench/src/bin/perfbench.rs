@@ -28,12 +28,20 @@
 //! baseline gate also fails when that ratio grows more than 20 % over a
 //! baseline that carries the field; v1/v2 baselines (no such field) gate
 //! on events/sec only, so they keep working.
+//!
+//! Two per-swap-path rows (`figU-block`, `figU-direct`) run the figU
+//! fig9-style pair cell through each [`workloads::SwapPath`]. Their
+//! `swap_in_p99_us` — deterministic on the virtual clock — is gated like
+//! `messages_per_page`: growing more than 20 % over a baseline that
+//! carries the field fails the run, covering both swap paths. Baselines
+//! without these rows skip them gracefully.
 
-use bench::figures::{fig10, fig5, fig9};
+use bench::figures::{fig10, fig5, fig9, figu};
 use bench::{CommonArgs, Runner};
 use simcore::TraceSession;
 use std::path::PathBuf;
 use std::time::Instant;
+use workloads::SwapPath;
 
 /// Allowed events/sec drop vs the baseline before the run fails.
 const REGRESSION_TOLERANCE: f64 = 0.20;
@@ -166,6 +174,19 @@ fn main() {
         let p99 = hpbd.map_or(0.0, |p| swap_p99(&p.report));
         let mpp = hpbd.map_or(0.0, |p| msgs_page(&p.report));
         (runs.iter().map(|p| p.report.events).sum(), p99, mpp)
+    });
+    // Per-swap-path probes: the same fig9-style pair cell through the
+    // kernel block path and the user-space direct path. The p99 rows let
+    // the baseline gate catch a latency regression on either path.
+    measure("figU-block", &|| {
+        let row = figu::run_fig9_cell(&common, SwapPath::Block);
+        let p99 = row.device_swap_in_us.as_ref().map_or(0.0, |h| h.p99);
+        (row.events, p99, row.messages_per_page)
+    });
+    measure("figU-direct", &|| {
+        let row = figu::run_fig9_cell(&common, SwapPath::Direct);
+        let p99 = row.device_swap_in_us.as_ref().map_or(0.0, |h| h.p99);
+        (row.events, p99, row.messages_per_page)
     });
 
     // Phase attribution comes from one separate, small, lifecycle-enabled
@@ -440,6 +461,31 @@ fn check_baseline(path: &PathBuf, results: &[FigureResult]) -> Result<Vec<String
                         (ratio - 1.0) * 100.0,
                         r.msgs_per_page,
                         base_mpp,
+                        REGRESSION_TOLERANCE * 100.0
+                    ));
+                }
+            }
+        }
+        // Swap-in latency: virtual-clock deterministic like msgs/page, so
+        // it gates regardless of wall time — this is what holds BOTH swap
+        // paths (figU-block / figU-direct rows) to their baselines.
+        if let Some(base_p99) = base_field(r.name, "swap_in_p99_us") {
+            if base_p99 > 0.0 && r.swap_p99_us > 0.0 {
+                let ratio = r.swap_p99_us / base_p99;
+                lines.push(format!(
+                    "{}: {:.1} us swap-in p99 vs baseline {:.1} ({:+.1}%)",
+                    r.name,
+                    r.swap_p99_us,
+                    base_p99,
+                    (ratio - 1.0) * 100.0
+                ));
+                if ratio > 1.0 + REGRESSION_TOLERANCE {
+                    regressions.push(format!(
+                        "{}: swap-in p99 grew {:.1}% over baseline ({:.1} vs {:.1} us, tolerance {:.0}%)",
+                        r.name,
+                        (ratio - 1.0) * 100.0,
+                        r.swap_p99_us,
+                        base_p99,
                         REGRESSION_TOLERANCE * 100.0
                     ));
                 }

@@ -12,6 +12,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod figr;
+pub mod figu;
 
 use crate::args::CommonArgs;
 use workloads::{Scenario, ScenarioConfig, SwapKind};

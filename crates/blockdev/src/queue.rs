@@ -78,7 +78,14 @@ impl RequestQueue {
         device: Rc<dyn BlockDevice>,
         max_request: u64,
     ) -> RequestQueue {
-        RequestQueue::with_limits(engine, cal, node, device, max_request, DEFAULT_FLUSH_BACKSTOP)
+        RequestQueue::with_limits(
+            engine,
+            cal,
+            node,
+            device,
+            max_request,
+            DEFAULT_FLUSH_BACKSTOP,
+        )
     }
 
     /// Create a queue with both batching limits explicit: the merge cap in

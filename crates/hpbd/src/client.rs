@@ -1257,7 +1257,12 @@ impl HpbdClient {
             let now_ns = inner.engine.now().as_nanos();
             for seg in phys.segs.as_slice() {
                 if let Some(ctx) = &seg.parent.ctx {
-                    ctx.mark(seg.part, phys.trace_attempt, MarkKind::ReplyReceived, now_ns);
+                    ctx.mark(
+                        seg.part,
+                        phys.trace_attempt,
+                        MarkKind::ReplyReceived,
+                        now_ns,
+                    );
                 }
             }
             inner.engine.lifecycle().unregister_phys(phys.req_id);
@@ -1479,7 +1484,14 @@ impl HpbdClient {
         let max_segs = inner.config.max_merge_segments.clamp(1, MAX_MERGE_SEGMENTS);
         let keys: Vec<(bool, bool, u64, u64)> = parts
             .iter()
-            .map(|p| (p.op == PageOp::Write, p.is_mirror, p.seg.server_offset, p.seg.len))
+            .map(|p| {
+                (
+                    p.op == PageOp::Write,
+                    p.is_mirror,
+                    p.seg.server_offset,
+                    p.seg.len,
+                )
+            })
             .collect();
         let ends = plan_merge(&keys, cap, max_segs);
         let spooling = !inner.spool_active.get();
@@ -1916,10 +1928,7 @@ impl HpbdClient {
                     // registration has no contiguous staging span to merge
                     // into.
                     StagingMode::CopyToPool if inner.config.batching => {
-                        self.batch_part(
-                            target,
-                            PendingPart { op, is_mirror, seg },
-                        );
+                        self.batch_part(target, PendingPart { op, is_mirror, seg });
                     }
                     StagingMode::CopyToPool => {
                         let req_id = self.alloc_req_id();
@@ -2091,7 +2100,10 @@ mod tests {
 
     /// Build keys for reads at the given page-granular offsets.
     fn read_pages(pages: &[u64]) -> Vec<(bool, bool, u64, u64)> {
-        pages.iter().map(|p| (false, false, p * PAGE, PAGE)).collect()
+        pages
+            .iter()
+            .map(|p| (false, false, p * PAGE, PAGE))
+            .collect()
     }
 
     #[test]
@@ -2123,10 +2135,7 @@ mod tests {
 
     #[test]
     fn mirror_boundary_splits_groups() {
-        let keys = vec![
-            (true, false, 0, PAGE),
-            (true, true, PAGE, PAGE),
-        ];
+        let keys = vec![(true, false, 0, PAGE), (true, true, PAGE, PAGE)];
         assert_eq!(plan_merge(&keys, u64::MAX, 32), vec![1, 2]);
     }
 
@@ -2147,7 +2156,10 @@ mod tests {
     fn oversized_first_part_still_travels_alone() {
         // A single part larger than the cap must not be dropped: the cap
         // only bounds *merging*.
-        let keys = vec![(false, false, 0, 10 * PAGE), (false, false, 10 * PAGE, PAGE)];
+        let keys = vec![
+            (false, false, 0, 10 * PAGE),
+            (false, false, 10 * PAGE, PAGE),
+        ];
         assert_eq!(plan_merge(&keys, PAGE, 32), vec![1, 2]);
     }
 

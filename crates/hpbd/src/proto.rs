@@ -1049,7 +1049,10 @@ mod tests {
             PageOp::Read,
             7,
             0,
-            vec![MergedSeg::new(4096, 4096, 0), MergedSeg::new(16384, 4096, 0)],
+            vec![
+                MergedSeg::new(4096, 4096, 0),
+                MergedSeg::new(16384, 4096, 0),
+            ],
         );
         match ClientMessage::decode_slice(&single).unwrap() {
             ClientMessage::Request(r) => assert_eq!(r, request()),

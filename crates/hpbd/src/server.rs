@@ -550,10 +550,11 @@ impl HpbdServer {
             // physical request id; a merged id fans out to every carried
             // part. Unknown ids (e.g. the context completed after a
             // timeout) are a silent no-op.
-            inner
-                .engine
-                .lifecycle()
-                .mark_phys(job.req_id, MarkKind::ServerReceived, started.as_nanos());
+            inner.engine.lifecycle().mark_phys(
+                job.req_id,
+                MarkKind::ServerReceived,
+                started.as_nanos(),
+            );
         }
         // CPU cost of parsing + dispatching the message — paid once per
         // wire message, which is exactly the overhead merging amortises.

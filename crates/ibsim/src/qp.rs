@@ -293,9 +293,8 @@ impl QueuePair {
         let params = inner.hca.params();
         // One doorbell for the whole chain: full post cost for the head,
         // chained cost for every linked WQE after it.
-        let post = SimDuration::from_nanos(
-            params.post_ns + (n as u64 - 1) * params.chained_post_ns,
-        );
+        let post =
+            SimDuration::from_nanos(params.post_ns + (n as u64 - 1) * params.chained_post_ns);
         let (_, t_posted) = inner.node.cpu().reserve(now, post);
         for wr in wrs {
             self.dispatch_wr(peer.clone(), now, t_posted, wr);

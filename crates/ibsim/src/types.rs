@@ -295,12 +295,7 @@ mod tests {
         let fabric = Fabric::new(engine.clone(), cal);
         let a = Pd::new(fabric.add_node("a"));
         let b = Pd::new(fabric.add_node("b"));
-        let (acq, arcq, bcq, brcq) = (
-            a.create_cq(),
-            a.create_cq(),
-            b.create_cq(),
-            b.create_cq(),
-        );
+        let (acq, arcq, bcq, brcq) = (a.create_cq(), a.create_cq(), b.create_cq(), b.create_cq());
         let (qp_a, qp_b) = fabric.connect(
             a.node(),
             acq.raw(),
@@ -401,12 +396,7 @@ mod tests {
         let fabric = Fabric::new(engine.clone(), cal);
         let a = Pd::new(fabric.add_node("a"));
         let b = Pd::new(fabric.add_node("b"));
-        let (acq, arcq, bcq, brcq) = (
-            a.create_cq(),
-            a.create_cq(),
-            b.create_cq(),
-            b.create_cq(),
-        );
+        let (acq, arcq, bcq, brcq) = (a.create_cq(), a.create_cq(), b.create_cq(), b.create_cq());
         let (qp_a, _qp_b) = fabric.connect_with_depth(
             a.node(),
             acq.raw(),

@@ -59,6 +59,7 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo { id: "A001", summary: "no HpbdCluster::build/build_on remnants — use ClusterBuilder" },
     RuleInfo { id: "A002", summary: "no pub fields on wire/protocol structs" },
     RuleInfo { id: "A003", summary: "no raw post_send outside ibsim — submit through the typed WrChain builder" },
+    RuleInfo { id: "A004", summary: "no raw RequestQueue in vmsim outside the BlockBackend adapter — go through SwapBackend" },
     RuleInfo { id: "W000", summary: "waiver without a justification" },
     RuleInfo { id: "W001", summary: "waiver that matched no finding (stale)" },
 ];
@@ -329,6 +330,14 @@ fn rule_applies(rel: &str, policy: &RulePolicy) -> bool {
     true
 }
 
+/// A004 built-in scope: vmsim sources, minus the one adapter that is
+/// *supposed* to hold the queue. Hardcoded (not config `paths`) so the
+/// self-test exercises the real scope and a missing `simlint.toml`
+/// section cannot silently widen or disable it.
+fn a004_in_scope(rel: &str) -> bool {
+    rel.starts_with("crates/vmsim/") && rel != "crates/vmsim/src/backend.rs"
+}
+
 /// Crate-root check: `src/lib.rs` at the workspace root or in a crate.
 fn is_crate_root(rel: &str) -> bool {
     let segs: Vec<&str> = rel.split('/').collect();
@@ -357,7 +366,9 @@ pub fn check_file(ctx: &mut FileCtx, config: &Config, only: Option<&str>) -> Vec
     };
 
     // ---- token-pattern rules ------------------------------------------------
-    for id in ["D001", "D002", "D003", "D004", "I001", "A001", "A003"] {
+    for id in [
+        "D001", "D002", "D003", "D004", "I001", "A001", "A003", "A004",
+    ] {
         if !enabled(id) || !rule_applies(&ctx.rel, &config.rule(id)) {
             continue;
         }
@@ -451,6 +462,11 @@ pub fn check_file(ctx: &mut FileCtx, config: &Config, only: Option<&str>) -> Vec
                         && ctx.punct_at(k + 1, '(')
                     {
                         push(ctx, "A003", line, "raw `.post_send(...)` bypasses the typed WrChain builder — build a chain with Qp::chain() so doorbell accounting stays uniform".to_string());
+                    }
+                }
+                "A004" => {
+                    if a004_in_scope(&ctx.rel) && ctx.ident_at(k, "RequestQueue") {
+                        push(ctx, "A004", line, "raw `RequestQueue` inside vmsim bypasses the SwapBackend boundary — submit pages through a SwapBackend (BlockBackend wraps the queue)".to_string());
                     }
                 }
                 _ => unreachable!("pattern rule list"),

@@ -223,6 +223,35 @@ const FIXTURES: &[Fixture] = &[
         src: "fn f(qp: &Qp, s: Slice) { qp.post_recv(1, s).ok(); }\n",
         expect: 0,
     },
+    // ---- A004 ----
+    Fixture {
+        rule: "A004",
+        name: "raw-queue-in-vmsim",
+        path: "crates/vmsim/src/vm.rs",
+        src: "fn f(q: Rc<RequestQueue>) { q.flush(); }\n",
+        expect: 1,
+    },
+    Fixture {
+        rule: "A004",
+        name: "adapter-is-exempt",
+        path: "crates/vmsim/src/backend.rs",
+        src: "pub struct BlockBackend { queue: Rc<RequestQueue> }\n",
+        expect: 0,
+    },
+    Fixture {
+        rule: "A004",
+        name: "outside-vmsim-is-fine",
+        path: "crates/workloads/src/scenario.rs",
+        src: "fn f(q: Rc<RequestQueue>) { q.flush(); }\n",
+        expect: 0,
+    },
+    Fixture {
+        rule: "A004",
+        name: "vmsim-tests-are-covered-too",
+        path: "crates/vmsim/src/paged.rs",
+        src: "#[cfg(test)]\nmod tests { fn f() { let q = RequestQueue::new(); } }\n",
+        expect: 1,
+    },
     // ---- W000 ----
     Fixture {
         rule: "W000",

@@ -16,6 +16,11 @@
 //!   runs that merge into the ~120 KiB requests of Figure 6), 8-page
 //!   swap-in readahead, and a swap-cache-like "clean page keeps its slot"
 //!   rule so undirtied pages evict without I/O.
+//! * [`SwapBackend`] — the storage boundary. The VM submits page-sized
+//!   `store`/`load` operations and reaps completions; [`BlockBackend`]
+//!   routes them through the kernel's merging request queue (the paper's
+//!   path), [`DirectBackend`] is the frontswap-style user-space path with
+//!   busy-poll completion (DESIGN.md §16).
 //! * [`AddressSpace`] / [`PagedVec`] — how applications live on the
 //!   simulated VM: element accesses fault pages in through the full paging
 //!   path. Accesses come in a *try* flavour (returns the completion
@@ -28,12 +33,16 @@
 //! two-list active/inactive scan, and swap readahead that stops at
 //! unallocated slots.
 
+pub mod backend;
 pub mod config;
 pub mod frames;
 pub mod paged;
 pub mod swap;
 pub mod vm;
 
+pub use backend::{
+    BlockBackend, DirectBackend, DirectConfig, DirectStats, LoadKind, PageDone, SwapBackend,
+};
 pub use config::VmConfig;
 pub use frames::{FrameId, FramePool};
 pub use paged::{AddressSpace, Element, PagedVec};

@@ -7,7 +7,7 @@
 //! the block layer's merging turns into the large (~120 KiB) requests of
 //! Figure 6, and what makes disk swap partially sequential for testswap.
 
-use blockdev::RequestQueue;
+use crate::backend::SwapBackend;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
@@ -21,7 +21,7 @@ pub struct Slot {
 }
 
 struct SwapDevice {
-    queue: Rc<RequestQueue>,
+    backend: Rc<dyn SwapBackend>,
     priority: i32,
     bitmap: Vec<bool>,
     free: u64,
@@ -49,13 +49,13 @@ impl SwapManager {
         }
     }
 
-    /// Register a swap device (its capacity comes from the queue's device).
+    /// Register a swap backend (its capacity sets the slot count).
     /// Higher `priority` devices fill first. Returns the device id.
-    pub fn add_device(&mut self, queue: Rc<RequestQueue>, priority: i32) -> u32 {
-        let slots = queue.device().capacity() / self.page_size;
+    pub fn add_device(&mut self, backend: Rc<dyn SwapBackend>, priority: i32) -> u32 {
+        let slots = backend.capacity() / self.page_size;
         assert!(slots > 0, "swap device smaller than one page");
         self.devices.push(SwapDevice {
-            queue,
+            backend,
             priority,
             bitmap: vec![false; slots as usize],
             free: slots,
@@ -74,15 +74,15 @@ impl SwapManager {
         self.devices.iter().map(|d| d.free).sum()
     }
 
-    /// The request queue of device `dev`.
-    pub fn queue(&self, dev: u32) -> Rc<RequestQueue> {
-        self.devices[dev as usize].queue.clone()
+    /// The swap backend of device `dev`.
+    pub fn backend(&self, dev: u32) -> Rc<dyn SwapBackend> {
+        self.devices[dev as usize].backend.clone()
     }
 
-    /// Flush the request queues of every device (after staging a batch).
-    pub fn flush_all(&self) {
+    /// Reap every device's staged submissions (after staging a batch).
+    pub fn reap_all(&self) {
         for d in &self.devices {
-            d.queue.flush();
+            d.backend.reap();
         }
     }
 
@@ -169,24 +169,53 @@ impl SwapManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use blockdev::{RamDiskDevice, RequestQueue};
-    use netmodel::{Calibration, Node};
-    use simcore::Engine;
+    use crate::backend::{LoadKind, PageDone};
+    use blockdev::IoBuffer;
+    use simcore::OnlineStats;
+
+    /// Slot-allocation tests need only a capacity — a stub backend keeps
+    /// them free of any I/O machinery.
+    struct StubBackend {
+        capacity: u64,
+    }
+
+    impl SwapBackend for StubBackend {
+        fn capacity(&self) -> u64 {
+            self.capacity
+        }
+        fn device_name(&self) -> &str {
+            "stub"
+        }
+        fn store(&self, _offset: u64, _buf: IoBuffer, _done: PageDone) {
+            unreachable!("slot tests never issue I/O")
+        }
+        fn load(&self, _offset: u64, _kind: LoadKind, _buf: IoBuffer, _done: PageDone) {
+            unreachable!("slot tests never issue I/O")
+        }
+        fn reap(&self) {}
+        fn requests(&self) -> u64 {
+            0
+        }
+        fn mean_request_bytes(&self) -> f64 {
+            0.0
+        }
+        fn read_latency(&self) -> OnlineStats {
+            OnlineStats::new()
+        }
+        fn write_latency(&self) -> OnlineStats {
+            OnlineStats::new()
+        }
+    }
+
+    fn stub(slots: u64) -> Rc<dyn SwapBackend> {
+        Rc::new(StubBackend {
+            capacity: slots * 4096,
+        })
+    }
 
     fn manager_with_dev(slots: u64) -> SwapManager {
-        let engine = Engine::new();
-        let cal = Rc::new(Calibration::cluster_2005());
-        let node = Node::new("n", 0, 2);
-        let dev = Rc::new(RamDiskDevice::new(
-            engine.clone(),
-            cal.clone(),
-            node.clone(),
-            slots * 4096,
-            "swap-ram",
-        ));
-        let q = Rc::new(RequestQueue::new(engine, cal, node, dev));
         let mut m = SwapManager::new(4096);
-        m.add_device(q, 0);
+        m.add_device(stub(slots), 0);
         m
     }
 
@@ -232,27 +261,9 @@ mod tests {
 
     #[test]
     fn priority_device_fills_first() {
-        let engine = Engine::new();
-        let cal = Rc::new(Calibration::cluster_2005());
-        let node = Node::new("n", 0, 2);
-        let mk = |name: &str| {
-            let dev = Rc::new(RamDiskDevice::new(
-                engine.clone(),
-                cal.clone(),
-                node.clone(),
-                16 * 4096,
-                name,
-            ));
-            Rc::new(RequestQueue::new(
-                engine.clone(),
-                cal.clone(),
-                node.clone(),
-                dev,
-            ))
-        };
         let mut m = SwapManager::new(4096);
-        let low = m.add_device(mk("slow"), 0);
-        let high = m.add_device(mk("fast"), 10);
+        let low = m.add_device(stub(16), 0);
+        let high = m.add_device(stub(16), 10);
         let s = m.alloc_slot((1, 0)).unwrap();
         assert_eq!(s.dev, high);
         let _ = low;

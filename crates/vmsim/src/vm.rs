@@ -19,10 +19,11 @@
 //! over the next-fit-contiguous slots. Pages that came back clean from
 //! swap keep their slot and evict for free until re-dirtied.
 
+use crate::backend::{LoadKind, SwapBackend};
 use crate::config::VmConfig;
 use crate::frames::{FrameId, FramePool};
 use crate::swap::{PageKey, Slot, SwapManager};
-use blockdev::{Bio, IoBuffer, IoOp, RequestQueue};
+use blockdev::IoBuffer;
 use netmodel::{Calibration, Node};
 use simcore::{Engine, Signal, SimDuration, SimTime};
 use std::cell::{Cell, RefCell};
@@ -86,7 +87,10 @@ impl PageTable {
 
     #[inline]
     fn get(&self, key: &PageKey) -> Option<&PageEntry> {
-        self.spaces.get(key.0 as usize)?.get(key.1 as usize)?.as_ref()
+        self.spaces
+            .get(key.0 as usize)?
+            .get(key.1 as usize)?
+            .as_ref()
     }
 
     #[inline]
@@ -253,9 +257,9 @@ impl Vm {
         self.inner.borrow().config.page_size
     }
 
-    /// Register a swap device with `priority` (higher fills first).
-    pub fn add_swap_device(&self, queue: Rc<RequestQueue>, priority: i32) -> u32 {
-        self.inner.borrow_mut().swap.add_device(queue, priority)
+    /// Register a swap backend with `priority` (higher fills first).
+    pub fn add_swap_backend(&self, backend: Rc<dyn SwapBackend>, priority: i32) -> u32 {
+        self.inner.borrow_mut().swap.add_device(backend, priority)
     }
 
     /// Allocate a fresh address-space id.
@@ -500,8 +504,8 @@ impl Vm {
                 referenced: true,
             },
         );
-        let queue = inner.swap.queue(slot.dev);
-        self.stage_read(inner, key, frame, slot, &queue);
+        let backend = inner.swap.backend(slot.dev);
+        self.stage_read(inner, key, frame, slot, LoadKind::Demand, &backend);
 
         // Cluster readahead over contiguous allocated slots.
         let neighbors = inner
@@ -538,9 +542,9 @@ impl Vm {
                     referenced: false,
                 },
             );
-            self.stage_read(inner, nkey, nframe, nslot, &queue);
+            self.stage_read(inner, nkey, nframe, nslot, LoadKind::Readahead, &backend);
         }
-        queue.flush();
+        backend.reap();
         self.maybe_wake_kswapd(inner);
         Err(signal)
     }
@@ -551,15 +555,21 @@ impl Vm {
         key: PageKey,
         frame: FrameId,
         slot: Slot,
-        queue: &Rc<RequestQueue>,
+        kind: LoadKind,
+        backend: &Rc<dyn SwapBackend>,
     ) {
         let offset = inner.swap.offset_of(slot);
         let buf = inner.frames.buffer(frame);
         let vm = self.clone();
-        queue.submit(Bio::new(IoOp::Read, offset, buf, move |result| {
-            result.unwrap_or_else(|e| panic!("swap-in failed for page {key:?}: {e:?}"));
-            vm.finish_read(key);
-        }));
+        backend.load(
+            offset,
+            kind,
+            buf,
+            Box::new(move |result| {
+                result.unwrap_or_else(|e| panic!("swap-in failed for page {key:?}: {e:?}"));
+                vm.finish_read(key);
+            }),
+        );
     }
 
     fn finish_read(&self, key: PageKey) {
@@ -697,7 +707,7 @@ impl Vm {
             return None;
         }
         let issued = self.reclaim(inner, inner.config.reclaim_batch);
-        inner.swap.flush_all();
+        inner.swap.reap_all();
         if issued == 0 {
             // Clean evictions (or nothing evictable): no I/O to wait for.
             return None;
@@ -721,7 +731,7 @@ impl Vm {
         inner.waiters.push(sig.clone());
         let batch = inner.config.reclaim_batch;
         let _ = self.reclaim(inner, batch);
-        inner.swap.flush_all();
+        inner.swap.reap_all();
         self.maybe_wake_kswapd(inner);
         sig
     }
@@ -751,7 +761,7 @@ impl Vm {
             } else {
                 let batch = inner.config.kswapd_batch;
                 let writes = self.reclaim(&mut inner, batch);
-                inner.swap.flush_all();
+                inner.swap.reap_all();
                 self.ctrs.kswapd_batches.inc();
                 if self.engine.trace_enabled() {
                     self.engine.tracer().instant(
@@ -838,15 +848,20 @@ impl Vm {
                         },
                     );
                     inner.stats.swap_outs += 1;
-                    let queue = inner.swap.queue(slot.dev);
+                    let backend = inner.swap.backend(slot.dev);
                     let offset = inner.swap.offset_of(slot);
                     let buf = inner.frames.buffer(frame);
                     let vm = self.clone();
-                    queue.submit(Bio::new(IoOp::Write, offset, buf, move |result| {
-                        result
-                            .unwrap_or_else(|e| panic!("swap-out failed for page {key:?}: {e:?}"));
-                        vm.finish_write(key);
-                    }));
+                    backend.store(
+                        offset,
+                        buf,
+                        Box::new(move |result| {
+                            result.unwrap_or_else(|e| {
+                                panic!("swap-out failed for page {key:?}: {e:?}")
+                            });
+                            vm.finish_write(key);
+                        }),
+                    );
                     writes += 1;
                     progressed += 1;
                 }

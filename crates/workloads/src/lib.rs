@@ -14,7 +14,10 @@
 //!
 //! A fourth workload, [`kvstore`] (a database-like transaction mix over a
 //! paged hash table), goes beyond the paper's three programs to exercise
-//! random single-page faults — see EXPERIMENTS.md §KV.
+//! random single-page faults — see EXPERIMENTS.md §KV. A fifth, [`zipf`],
+//! samples pages from a Zipf(s=1) popularity distribution with hot pages
+//! scattered across the address range — the skewed-access variant figU
+//! uses to compare the kernel-block and user-space direct swap paths.
 //!
 //! testswap and quicksort are written as *resumable tasks*
 //! ([`task::Task`]): every paged-memory access can report "would block",
@@ -33,6 +36,7 @@ pub mod qsort;
 pub mod scenario;
 pub mod task;
 pub mod testswap;
+pub mod zipf;
 
-pub use scenario::{RunReport, Scenario, ScenarioConfig, SwapKind};
+pub use scenario::{RunReport, Scenario, ScenarioConfig, SwapKind, SwapPath};
 pub use task::{Scheduler, Step, Task};

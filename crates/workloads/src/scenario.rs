@@ -13,7 +13,8 @@ use crate::kvstore::{KvParams, KvStore};
 use crate::qsort::QsortTask;
 use crate::task::Scheduler;
 use crate::testswap::TestswapTask;
-use blockdev::{DispatchRecord, RequestQueue, SimDisk};
+use crate::zipf::{ZipfParams, ZipfTask};
+use blockdev::{BlockDevice, DispatchRecord, RequestQueue, SimDisk};
 use hpbd::{ClusterBuilder, HpbdCluster, HpbdConfig};
 use ibsim::Fabric;
 use netmodel::{Calibration, Node, Transport};
@@ -21,7 +22,9 @@ use simcore::{Engine, FlightSummary, LifecycleHub, MetricsSnapshot, SimDuration,
 use simfault::FaultPlan;
 use std::cell::RefCell;
 use std::rc::Rc;
-use vmsim::{AddressSpace, Vm, VmConfig, VmStats};
+use vmsim::{
+    AddressSpace, BlockBackend, DirectBackend, DirectConfig, SwapBackend, Vm, VmConfig, VmStats,
+};
 
 /// Which swap back-end a scenario uses.
 #[derive(Clone, Debug)]
@@ -41,6 +44,20 @@ pub enum SwapKind {
     },
     /// The local ATA disk.
     Disk,
+}
+
+/// How swap I/O reaches the device: through the kernel block layer (the
+/// paper's path) or the frontswap-style user-space path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SwapPath {
+    /// Kernel block-device path: bio staging, elevator merging, queue
+    /// plug/unplug, interrupt-style completion.
+    #[default]
+    Block,
+    /// User-space direct path: per-page submission straight to the
+    /// device, busy-poll completion with adaptive event fallback
+    /// ([`vmsim::DirectBackend`], figU).
+    Direct,
 }
 
 /// One experimental configuration.
@@ -78,6 +95,11 @@ pub struct ScenarioConfig {
     /// Staged-bio count that forces an unplug even without an explicit
     /// flush (default 4096).
     pub queue_flush_backstop: usize,
+    /// Kernel block path or user-space direct path (default: Block — every
+    /// paper figure; figU sweeps both).
+    pub swap_path: SwapPath,
+    /// Tuning for the direct path (ignored by [`SwapPath::Block`]).
+    pub direct: DirectConfig,
 }
 
 impl ScenarioConfig {
@@ -94,6 +116,8 @@ impl ScenarioConfig {
             record_lifecycle: false,
             queue_max_request_bytes: blockdev::MAX_REQUEST_BYTES,
             queue_flush_backstop: blockdev::DEFAULT_FLUSH_BACKSTOP,
+            swap_path: SwapPath::Block,
+            direct: DirectConfig::default(),
         }
     }
 }
@@ -145,10 +169,34 @@ pub struct Scenario {
     pub hpbd: Option<HpbdCluster>,
     /// Disk device, when `kind` is Disk.
     pub disk: Option<Rc<SimDisk>>,
-    /// The swap request queue (None for LocalOnly).
+    /// The swap request queue (None for LocalOnly and the direct path).
     pub swap_queue: Option<Rc<RequestQueue>>,
+    /// The swap backend the VM talks to (None for LocalOnly).
+    pub backend: Option<Rc<dyn SwapBackend>>,
+    /// The direct backend, when `swap_path` is Direct (poll statistics).
+    pub direct: Option<Rc<DirectBackend>>,
     label: String,
 }
+
+/// Raw device selection: the node it hangs off, the owning cluster /
+/// disk handles kept alive for stats, the device itself, and a label.
+type RawDevice = (
+    Node,
+    Option<HpbdCluster>,
+    Option<Rc<SimDisk>>,
+    Option<Rc<dyn BlockDevice>>,
+    String,
+);
+
+/// Swap-path wiring over a raw device: the kernel request queue (block
+/// path only), the backend handed to vmsim, the direct handle for
+/// poll-stats, and the path-qualified label.
+type SwapWiring = (
+    Option<Rc<RequestQueue>>,
+    Option<Rc<dyn SwapBackend>>,
+    Option<Rc<DirectBackend>>,
+    String,
+);
 
 impl Scenario {
     /// Build a machine per `config` with the 2005 calibration.
@@ -171,7 +219,9 @@ impl Scenario {
             vm_config.readahead_pages = ra;
         }
 
-        let (node, hpbd, disk, swap_queue, label) = match &config.kind {
+        // Each kind yields its raw device; the swap *path* below decides
+        // whether the kernel request queue sits in front of it.
+        let (node, hpbd, disk, device, label): RawDevice = match &config.kind {
             SwapKind::LocalOnly => {
                 let node = Node::new("client", 0, 2);
                 (node, None, None, None, "local".to_string())
@@ -187,16 +237,9 @@ impl Scenario {
                     .per_server_capacity(per_server)
                     .fault_plan(config.fault_plan.clone())
                     .build_on(&fabric, client_ibnode);
-                let queue = Rc::new(RequestQueue::with_limits(
-                    engine.clone(),
-                    cal.clone(),
-                    node.clone(),
-                    Rc::new(cluster.client.clone()),
-                    config.queue_max_request_bytes,
-                    config.queue_flush_backstop,
-                ));
+                let dev: Rc<dyn BlockDevice> = Rc::new(cluster.client.clone());
                 let label = format!("HPBD-{servers}");
-                (node, Some(cluster), None, Some(queue), label)
+                (node, Some(cluster), None, Some(dev), label)
             }
             SwapKind::Nbd { transport } => {
                 let node = Node::new("client", 0, 2);
@@ -208,16 +251,8 @@ impl Scenario {
                     config.swap_capacity,
                     &config.fault_plan,
                 );
-                let queue = Rc::new(RequestQueue::with_limits(
-                    engine.clone(),
-                    cal.clone(),
-                    node.clone(),
-                    Rc::new(dev),
-                    config.queue_max_request_bytes,
-                    config.queue_flush_backstop,
-                ));
                 let label = format!("NBD-{}", transport.label());
-                (node, None, None, Some(queue), label)
+                (node, None, None, Some(Rc::new(dev)), label)
             }
             SwapKind::Disk => {
                 let node = Node::new("client", 0, 2);
@@ -227,21 +262,45 @@ impl Scenario {
                     config.swap_capacity,
                     "hda",
                 ));
-                let queue = Rc::new(RequestQueue::with_limits(
-                    engine.clone(),
-                    cal.clone(),
-                    node.clone(),
-                    dev.clone(),
-                    config.queue_max_request_bytes,
-                    config.queue_flush_backstop,
-                ));
-                (node, None, Some(dev), Some(queue), "disk".to_string())
+                (node, None, Some(dev.clone()), Some(dev), "disk".to_string())
             }
         };
 
+        let (swap_queue, backend, direct, label): SwapWiring = match device {
+            None => (None, None, None, label),
+            Some(dev) => match config.swap_path {
+                SwapPath::Block => {
+                    let queue = Rc::new(RequestQueue::with_limits(
+                        engine.clone(),
+                        cal.clone(),
+                        node.clone(),
+                        dev,
+                        config.queue_max_request_bytes,
+                        config.queue_flush_backstop,
+                    ));
+                    let block = BlockBackend::new(queue.clone());
+                    (Some(queue), Some(block as Rc<dyn SwapBackend>), None, label)
+                }
+                SwapPath::Direct => {
+                    let direct = DirectBackend::new(
+                        engine.clone(),
+                        node.clone(),
+                        dev,
+                        config.direct.clone(),
+                    );
+                    (
+                        None,
+                        Some(direct.clone() as Rc<dyn SwapBackend>),
+                        Some(direct),
+                        format!("{label}-direct"),
+                    )
+                }
+            },
+        };
+
         let vm = Vm::new(engine.clone(), cal.clone(), node.clone(), vm_config);
-        if let Some(queue) = &swap_queue {
-            vm.add_swap_device(queue.clone(), 0);
+        if let Some(backend) = &backend {
+            vm.add_swap_backend(backend.clone(), 0);
         }
         Scenario {
             engine,
@@ -251,6 +310,8 @@ impl Scenario {
             hpbd,
             disk,
             swap_queue,
+            backend,
+            direct,
             label,
         }
     }
@@ -266,22 +327,13 @@ impl Scenario {
     }
 
     fn report(&self, workload: &str, elapsed: SimDuration) -> RunReport {
-        let (requests, mean) = match self.dispatch_log() {
-            Some(log) => {
-                let log = log.borrow();
-                let count = log.len() as u64;
-                let mean = if count == 0 {
-                    0.0
-                } else {
-                    log.iter().map(|r| r.len as f64).sum::<f64>() / count as f64
-                };
-                (count, mean)
-            }
+        let (requests, mean) = match &self.backend {
+            Some(b) => (b.requests(), b.mean_request_bytes()),
             None => (0, 0.0),
         };
         let lat = |s: simcore::OnlineStats| (s.mean(), s.max().unwrap_or(0.0), s.count());
-        let (read_latency_us, write_latency_us) = match &self.swap_queue {
-            Some(q) => (lat(q.read_latency()), lat(q.write_latency())),
+        let (read_latency_us, write_latency_us) = match &self.backend {
+            Some(b) => (lat(b.read_latency()), lat(b.write_latency())),
             None => ((0.0, 0.0, 0), (0.0, 0.0, 0)),
         };
         RunReport {
@@ -308,6 +360,18 @@ impl Scenario {
         Scheduler::new(self.engine.clone(), 2).with_node_cpu(self.node.cpu().clone())
     }
 
+    /// Run a debug-only verification proof with tracing detached: the
+    /// walk re-faults evicted pages, and that post-run traffic must not
+    /// make the trace buffer differ between build profiles (the block
+    /// differential test fingerprints it).
+    fn untraced_proof(&self, proof: impl FnOnce() -> bool) -> bool {
+        let saved = self.engine.tracer();
+        self.engine.set_tracer(Tracer::disabled());
+        let ok = proof();
+        self.engine.set_tracer(saved);
+        ok
+    }
+
     /// Run testswap over `elements` i32s.
     pub fn run_testswap(&self, elements: usize) -> RunReport {
         let space = AddressSpace::new(&self.vm);
@@ -329,8 +393,12 @@ impl Scenario {
         );
         let t0 = self.engine.now();
         let done = self.scheduler().run_one(&mut task);
-        debug_assert!(task.is_sorted());
-        self.report("quicksort", done - t0)
+        // Snapshot the report before the sortedness proof: the debug-only
+        // verification walk re-faults evicted pages, and that traffic must
+        // not make the metrics/trace differ between build profiles.
+        let report = self.report("quicksort", done - t0);
+        debug_assert!(self.untraced_proof(|| task.is_sorted()));
+        report
     }
 
     /// Run two concurrent quicksort instances (Figure 9). Returns the two
@@ -350,9 +418,10 @@ impl Scenario {
             let mut tasks: [&mut dyn crate::task::Task; 2] = [&mut a, &mut b];
             self.scheduler().run(&mut tasks)
         };
-        debug_assert!(a.is_sorted() && b.is_sorted());
         let (da, db) = (done[0] - t0, done[1] - t0);
+        // Report first, proof second — see run_qsort.
         let report = self.report("quicksort-x2", da.max(db));
+        debug_assert!(self.untraced_proof(|| a.is_sorted() && b.is_sorted()));
         (da, db, report)
     }
 
@@ -365,6 +434,18 @@ impl Scenario {
         assert!(result.hits > 0 || result.updates > 0);
         let elapsed = self.engine.now() - t0;
         self.report("kvstore", elapsed)
+    }
+
+    /// Run the Zipf-sampled page walker (the figU skewed-access variant).
+    /// Returns the report plus the task's data checksum for differential
+    /// verification across swap paths.
+    pub fn run_zipf(&self, params: ZipfParams) -> (RunReport, u64) {
+        let space = AddressSpace::new(&self.vm);
+        let mut task = ZipfTask::new(&space, params.clone());
+        let t0 = self.engine.now();
+        let done = self.scheduler().run_one(&mut task);
+        assert_eq!(task.progress(), params.operations);
+        (self.report("zipf", done - t0), task.checksum())
     }
 
     /// Run Barnes-Hut with the given parameters (Figure 8).

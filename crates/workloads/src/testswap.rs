@@ -77,7 +77,6 @@ impl Task for TestswapTask {
 mod tests {
     use super::*;
     use crate::task::Scheduler;
-    use blockdev::{RamDiskDevice, RequestQueue};
     use netmodel::{Calibration, Node};
     use simcore::Engine;
     use std::rc::Rc;
@@ -90,15 +89,9 @@ mod tests {
         let mut config = VmConfig::for_memory(frames as u64 * 4096);
         config.total_frames = frames;
         let vm = Vm::new(engine.clone(), cal.clone(), node.clone(), config);
-        let dev = Rc::new(RamDiskDevice::new(
-            engine.clone(),
-            cal.clone(),
-            node.clone(),
-            swap_pages * 4096,
-            "swap",
-        ));
-        let q = Rc::new(RequestQueue::new(engine.clone(), cal, node, dev));
-        vm.add_swap_device(q, 0);
+        let backend =
+            vmsim::BlockBackend::over_ramdisk(&engine, &cal, &node, swap_pages * 4096, "swap");
+        vm.add_swap_backend(backend, 0);
         (engine, vm)
     }
 

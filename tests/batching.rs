@@ -265,7 +265,9 @@ fn run_batched_oracle(name: &str, plan: FaultPlan) -> hpbd_suite::hpbd::ClientSt
             "[{name}] link {i} still has armed delay/dup budget at read-back"
         );
     }
-    let expected: Vec<(u64, u8)> = (0..slots).map(|p| (page_of(p), shadow[p as usize])).collect();
+    let expected: Vec<(u64, u8)> = (0..slots)
+        .map(|p| (page_of(p), shadow[p as usize]))
+        .collect();
     verify_pages(&engine, dev, &expected, name);
     let stats = dev.stats();
     assert!(
@@ -341,7 +343,10 @@ fn batching_off_is_byte_identical_to_default_config() {
     assert_eq!(default.0, explicit.0, "virtual time must match");
     assert_eq!(default.1, explicit.1, "event count must match");
     assert_eq!(default.2, explicit.2, "metrics rendering must match");
-    assert_eq!(default.3, explicit.3, "trace buffers must be byte-identical");
+    assert_eq!(
+        default.3, explicit.3,
+        "trace buffers must be byte-identical"
+    );
 }
 
 /// Batching on vs off over an identical burst workload: the on run must

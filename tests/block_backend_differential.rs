@@ -1,0 +1,123 @@
+//! Differential oracle for the `SwapBackend` redesign: routing vmsim's
+//! swap I/O through the `BlockBackend` adapter must reproduce the
+//! pre-redesign runs *byte-identically* — virtual time, event count, the
+//! full metrics rendering, and the entire trace buffer.
+//!
+//! The baseline in `tests/data/block_backend_baseline.txt` was blessed at
+//! the commit immediately before the trait landed (same scenarios, same
+//! seeds, the old `Rc<RequestQueue>` plumbing). Re-bless only when a
+//! deliberate, understood change shifts the figures:
+//!
+//! ```text
+//! BLESS_BLOCK_BACKEND=1 cargo test -q --test block_backend_differential
+//! ```
+
+use hpbd_suite::simcore::Tracer;
+use hpbd_suite::workloads::{Scenario, ScenarioConfig, SwapKind};
+use std::fmt::Write as _;
+
+const MB: u64 = 1 << 20;
+const BASELINE_PATH: &str = "tests/data/block_backend_baseline.txt";
+
+fn fnv(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0xcbf29ce484222325u64, |h, &b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
+}
+
+/// One scenario's complete observable fingerprint, rendered as text so a
+/// baseline diff is reviewable. The trace buffer is folded to a hash (it
+/// runs to megabytes) but over the `Debug` form of every event, so any
+/// reordering or attribute drift shows up.
+fn fingerprint(
+    label: &str,
+    config: &ScenarioConfig,
+    run: impl Fn(&Scenario) -> RunOutcome,
+) -> String {
+    let mut config = config.clone();
+    let tracer = Tracer::enabled();
+    config.tracer = Some(tracer.clone());
+    let scenario = Scenario::build(&config);
+    let outcome = run(&scenario);
+    let events = tracer.snapshot();
+    let mut trace_text = String::new();
+    for e in &events {
+        let _ = writeln!(trace_text, "{e:?}");
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {label} ==");
+    let _ = writeln!(out, "elapsed_ns {}", outcome.elapsed_ns);
+    let _ = writeln!(out, "engine_events {}", outcome.engine_events);
+    let _ = writeln!(out, "trace_events {}", events.len());
+    let _ = writeln!(out, "trace_fnv {:#018x}", fnv(trace_text.as_bytes()));
+    let _ = writeln!(out, "metrics:");
+    out.push_str(&outcome.metrics_text);
+    out
+}
+
+struct RunOutcome {
+    elapsed_ns: u64,
+    engine_events: u64,
+    metrics_text: String,
+}
+
+fn outcome_of(report: &hpbd_suite::workloads::RunReport) -> RunOutcome {
+    RunOutcome {
+        elapsed_ns: report.elapsed.as_nanos(),
+        engine_events: report.events,
+        metrics_text: report.metrics.render_text(),
+    }
+}
+
+/// The two scenarios the issue pins: a fig5-style testswap cell and a
+/// fig9-style concurrent-quicksort pair, both on the HPBD block path.
+fn render_all() -> String {
+    let mut out = String::new();
+
+    // fig5-style: sequential testswap writes through 2 HPBD servers.
+    let config = ScenarioConfig::new(2 * MB, 16 * MB, SwapKind::Hpbd { servers: 2 });
+    out.push_str(&fingerprint("fig5-testswap-hpbd2", &config, |s| {
+        outcome_of(&s.run_testswap(1_500_000))
+    }));
+
+    // fig9-style: two concurrent quicksort instances, batching on, same
+    // knobs as the figure harness (window 0 = same-tick coalescing).
+    let mut config = ScenarioConfig::new(4 * MB, 32 * MB, SwapKind::Hpbd { servers: 4 });
+    config.hpbd.batching = true;
+    config.hpbd.merge_window_ns = 0;
+    out.push_str(&fingerprint("fig9-qsort-pair-hpbd4", &config, |s| {
+        outcome_of(&s.run_qsort_pair(512 * 1024, 1234).2)
+    }));
+
+    // disk cell: the block path over the seek-model disk, readahead and
+    // elevator merging exercised without the fabric.
+    let config = ScenarioConfig::new(2 * MB, 16 * MB, SwapKind::Disk);
+    out.push_str(&fingerprint("fig5-testswap-disk", &config, |s| {
+        outcome_of(&s.run_testswap(1_000_000))
+    }));
+
+    out
+}
+
+#[test]
+fn block_backend_is_byte_identical_to_blessed_baseline() {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let path = manifest.join(BASELINE_PATH);
+    let got = render_all();
+    if std::env::var_os("BLESS_BLOCK_BACKEND").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("blessed {} ({} bytes)", path.display(), got.len());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing baseline {} ({e}); bless it with BLESS_BLOCK_BACKEND=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        want, got,
+        "BlockBackend run diverged from the pre-redesign baseline"
+    );
+}

@@ -2,10 +2,9 @@
 //! reclaim throttling, HCA multi-QP costs, readahead policy, and CPU
 //! contention between application quanta and kernel work.
 
-use hpbd_suite::blockdev::{RamDiskDevice, RequestQueue};
 use hpbd_suite::netmodel::{Calibration, Node};
 use hpbd_suite::simcore::Engine;
-use hpbd_suite::vmsim::{AddressSpace, PagedVec, Vm, VmConfig};
+use hpbd_suite::vmsim::{AddressSpace, BlockBackend, PagedVec, Vm, VmConfig};
 use hpbd_suite::workloads::{Scenario, ScenarioConfig, SwapKind};
 use std::rc::Rc;
 
@@ -18,15 +17,8 @@ fn vm_with_ram_swap(frames: usize, swap_pages: u64) -> (Engine, Vm) {
     let mut config = VmConfig::for_memory(frames as u64 * 4096);
     config.total_frames = frames;
     let vm = Vm::new(engine.clone(), cal.clone(), node.clone(), config);
-    let dev = Rc::new(RamDiskDevice::new(
-        engine.clone(),
-        cal.clone(),
-        node.clone(),
-        swap_pages * 4096,
-        "swap",
-    ));
-    let q = Rc::new(RequestQueue::new(engine.clone(), cal, node, dev));
-    vm.add_swap_device(q, 0);
+    let backend = BlockBackend::over_ramdisk(&engine, &cal, &node, swap_pages * 4096, "swap");
+    vm.add_swap_backend(backend, 0);
     (engine, vm)
 }
 

@@ -196,9 +196,8 @@ fn hpbd_request_detects_any_single_byte_corruption() {
 
 #[test]
 fn paged_vec_matches_reference_vec() {
-    use hpbd_suite::blockdev::{RamDiskDevice, RequestQueue};
     use hpbd_suite::netmodel::{Calibration, Node};
-    use hpbd_suite::vmsim::{AddressSpace, PagedVec, Vm, VmConfig};
+    use hpbd_suite::vmsim::{AddressSpace, BlockBackend, PagedVec, Vm, VmConfig};
 
     for_cases(12, |case, rng| {
         let frames = 24 + rng.below(40) as usize;
@@ -212,15 +211,8 @@ fn paged_vec_matches_reference_vec() {
         let mut config = VmConfig::for_memory(frames as u64 * 4096);
         config.total_frames = frames;
         let vm = Vm::new(engine.clone(), cal.clone(), node.clone(), config);
-        let dev = Rc::new(RamDiskDevice::new(
-            engine.clone(),
-            cal.clone(),
-            node.clone(),
-            64 << 20,
-            "swap",
-        ));
-        let q = Rc::new(RequestQueue::new(engine.clone(), cal, node, dev));
-        vm.add_swap_device(q, 0);
+        let backend = BlockBackend::over_ramdisk(&engine, &cal, &node, 64 << 20, "swap");
+        vm.add_swap_backend(backend, 0);
 
         let space = AddressSpace::new(&vm);
         let v: PagedVec<i32> = PagedVec::new(&space, 32 * 1024);
@@ -298,9 +290,8 @@ fn request_queue_completes_every_bio_exactly_once() {
 
 #[test]
 fn vm_invariants_hold_under_random_paging() {
-    use hpbd_suite::blockdev::{RamDiskDevice, RequestQueue};
     use hpbd_suite::netmodel::{Calibration, Node};
-    use hpbd_suite::vmsim::{Vm, VmConfig};
+    use hpbd_suite::vmsim::{BlockBackend, Vm, VmConfig};
 
     for_cases(16, |_case, rng| {
         let frames = 24 + rng.below(24) as usize;
@@ -314,15 +305,8 @@ fn vm_invariants_hold_under_random_paging() {
         let mut config = VmConfig::for_memory(frames as u64 * 4096);
         config.total_frames = frames;
         let vm = Vm::new(engine.clone(), cal.clone(), node.clone(), config);
-        let dev = Rc::new(RamDiskDevice::new(
-            engine.clone(),
-            cal.clone(),
-            node.clone(),
-            8 << 20,
-            "swap",
-        ));
-        let q = Rc::new(RequestQueue::new(engine.clone(), cal, node, dev));
-        vm.add_swap_device(q, 0);
+        let backend = BlockBackend::over_ramdisk(&engine, &cal, &node, 8 << 20, "swap");
+        vm.add_swap_backend(backend, 0);
 
         let asid = vm.new_asid();
         for (i, &(vpn, write)) in accesses.iter().enumerate() {
