@@ -284,6 +284,32 @@ impl RevokeNotice {
         b.put_u32_le(sum);
         b.freeze()
     }
+
+    /// Parse a full 24-byte notice (magic, range, checksum). The reply
+    /// channel dispatches here from [`ServerMessage::decode_slice`]; kept
+    /// public and symmetric with [`PageReply::decode_slice`] so the notice
+    /// wire form can be roundtrip-tested on its own.
+    pub fn decode_slice(b: &[u8]) -> Result<RevokeNotice, ProtoError> {
+        if b.len() < NOTICE_WIRE_SIZE {
+            return Err(ProtoError::Truncated);
+        }
+        if read_u32(b, 0)? != NOTICE_MAGIC {
+            return Err(ProtoError::BadMagic);
+        }
+        let offset = read_u64(b, 4)?;
+        let len = read_u64(b, 12)?;
+        let sum = read_u32(b, 20)?;
+        let expect = checksum(&[
+            offset as u32,
+            (offset >> 32) as u32,
+            len as u32,
+            (len >> 32) as u32,
+        ]);
+        if sum != expect {
+            return Err(ProtoError::BadChecksum);
+        }
+        Ok(RevokeNotice { offset, len })
+    }
 }
 
 /// Anything a server can send on the reply channel.
@@ -310,24 +336,7 @@ impl ServerMessage {
         }
         match read_u32(b, 0)? {
             HPBD_MAGIC => Ok(ServerMessage::Reply(PageReply::decode_slice(b)?)),
-            NOTICE_MAGIC => {
-                if b.len() < NOTICE_WIRE_SIZE {
-                    return Err(ProtoError::Truncated);
-                }
-                let offset = read_u64(b, 4)?;
-                let len = read_u64(b, 12)?;
-                let sum = read_u32(b, 20)?;
-                let expect = checksum(&[
-                    offset as u32,
-                    (offset >> 32) as u32,
-                    len as u32,
-                    (len >> 32) as u32,
-                ]);
-                if sum != expect {
-                    return Err(ProtoError::BadChecksum);
-                }
-                Ok(ServerMessage::Revoke(RevokeNotice { offset, len }))
-            }
+            NOTICE_MAGIC => Ok(ServerMessage::Revoke(RevokeNotice::decode_slice(b)?)),
             _ => Err(ProtoError::BadMagic),
         }
     }
@@ -900,6 +909,21 @@ mod tests {
             let back = PageReply::decode(r.encode()).unwrap();
             assert_eq!(back, r);
             assert_eq!(back.version(), r.version);
+        });
+    }
+
+    #[test]
+    fn prop_revoke_notice_roundtrip() {
+        for_cases(256, |rng| {
+            let notice = RevokeNotice::new(rng.next_u64(), rng.next_u64());
+            let back = RevokeNotice::decode_slice(&notice.encode()).unwrap();
+            assert_eq!(back, notice);
+            // The reply channel dispatches notices by magic: the enum
+            // decode must agree with the standalone decode.
+            assert_eq!(
+                ServerMessage::decode_slice(&notice.encode()).unwrap(),
+                ServerMessage::Revoke(notice)
+            );
         });
     }
 

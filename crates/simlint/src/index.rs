@@ -1,0 +1,1115 @@
+//! Pass 1 of the two-phase analysis: the workspace symbol index.
+//!
+//! Built once per lint run from the already-lexed token streams, before
+//! any linked rule fires. Per file it records the declarations and call
+//! sites the cross-file rules need — type/impl/method declarations with
+//! derive lists and field sets, `store`/`load`/`reap`/`chain`/`post`
+//! sites, metric registrations and emits, wall-clock `Duration` uses and
+//! virtual-clock touches — keyed by crate (the `crates/<name>/` path
+//! segment). Pass 2 (`linked.rs`) then runs D005/A005/X001/X002/X003
+//! against the index; no rule re-lexes anything.
+//!
+//! Everything here is a token-level heuristic, deliberately: simlint has
+//! no AST and no name resolution. Each extractor errs toward *lenience*
+//! (a binding it cannot track counts as used) so the linked rules stay
+//! low-noise, and the self-test fixtures pin both the fire and the
+//! no-fire side of every heuristic.
+
+use crate::lexer::TokKind;
+use crate::rules::FileCtx;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Idents whose presence (outside tests) marks a crate as driving the
+/// virtual clock — the anchor for D005.
+const CLOCK_IDENTS: &[&str] = &[
+    "Engine",
+    "SimTime",
+    "SimDuration",
+    "schedule_in",
+    "schedule_at",
+];
+
+/// Methods that register a named metric with simtrace (and return a
+/// handle). `declare_histogram` is deliberately absent: declaring a
+/// histogram with no samples yet is part of its contract.
+const METRIC_REGS: &[&str] = &["counter_handle", "lazy_counter", "histogram_handle"];
+
+/// Methods that emit a sample directly by metric name.
+const METRIC_EMITS: &[&str] = &["inc", "add", "observe", "set_gauge"];
+
+/// Test-context call names that prove a wire type's decode side is
+/// exercised (X001).
+const DECODE_CALLS: &[&str] = &["decode", "decode_slice", "from_wire"];
+
+/// A `struct`/`enum` declaration.
+pub struct TypeFact {
+    /// Type name.
+    pub name: String,
+    /// 1-based declaration line.
+    pub line: u32,
+    /// `struct` (as opposed to `enum`).
+    pub is_struct: bool,
+    /// Idents inside `#[derive(...)]` attributes on the declaration.
+    pub derives: Vec<String>,
+    /// Named fields (structs with brace bodies only): (name, line).
+    pub fields: Vec<(String, u32)>,
+}
+
+/// One metric registration site.
+pub struct MetricReg {
+    /// The metric name string literal.
+    pub name: String,
+    /// Local/field binding the handle was stored into, when the
+    /// backward scan could identify one.
+    pub binding: Option<String>,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// One `.chain()` construction site with the local lifecycle verdict.
+pub struct ChainSite {
+    /// 1-based line.
+    pub line: u32,
+    /// `.post` reached on the chain within the enclosing function.
+    pub posted_locally: bool,
+    /// The chain value flows out of the function (returned / passed as
+    /// an argument) — resolvable only at crate scope.
+    pub escapes: bool,
+}
+
+/// Everything pass 1 knows about one file.
+pub struct FileFacts {
+    /// Repo-relative path.
+    pub rel: String,
+    /// Owning crate: `crates/<name>/…` → `<name>`; top-level `src/`,
+    /// `tests/`, `examples/` each form their own group.
+    pub krate: String,
+    /// Type declarations.
+    pub types: Vec<TypeFact>,
+    /// Methods from `impl` blocks: (type, method, line).
+    pub methods: Vec<(String, String, u32)>,
+    /// Types `T` with a `T::decode`/`decode_slice`/`from_wire` call in
+    /// test context.
+    pub decode_tested: BTreeSet<String>,
+    /// Non-test wall-clock `Duration` sites (D005).
+    pub duration_sites: Vec<u32>,
+    /// Non-test virtual-clock ident count.
+    pub clock_sites: usize,
+    /// Non-test `<…backend>.store(` / `.load(` submission sites:
+    /// (method, line).
+    pub submit_sites: Vec<(String, u32)>,
+    /// Non-test `.reap(` call count.
+    pub reap_sites: usize,
+    /// Non-test `.chain()` construction sites.
+    pub chain_sites: Vec<ChainSite>,
+    /// Non-test `.post(` call count.
+    pub post_sites: usize,
+    /// Non-test metric registrations.
+    pub metric_regs: Vec<MetricReg>,
+    /// Metric names emitted directly (`.inc("n", …)` …), non-test.
+    pub emit_names: BTreeSet<String>,
+    /// Non-test `.counter("n")` read sites: (name, line).
+    pub read_sites: Vec<(String, u32)>,
+    /// Idents used adjacent to a `.` (receiver or field position) —
+    /// the "this handle binding is actually used" evidence.
+    pub handle_uses: BTreeSet<String>,
+    /// Idents read as `.<field>` (no call parens), non-test — the
+    /// workspace-wide "this config knob is read" evidence.
+    pub field_reads: BTreeSet<String>,
+    /// Mutable statics whose type names a `*Config`: (static name, line).
+    pub static_mut_configs: Vec<(String, u32)>,
+}
+
+/// The whole-workspace index pass 2 runs against.
+pub struct WorkspaceIndex {
+    files: Vec<FileFacts>,
+    by_rel: BTreeMap<String, usize>,
+    crate_clock: BTreeSet<String>,
+    crate_reaps: BTreeMap<String, usize>,
+    crate_posts: BTreeMap<String, usize>,
+    decode_tested: BTreeSet<String>,
+    field_reads: BTreeSet<String>,
+    emitted_names: BTreeSet<String>,
+}
+
+/// Owning crate of a repo-relative path (see [`FileFacts::krate`]).
+pub fn crate_of(rel: &str) -> String {
+    let mut segs = rel.split('/');
+    match segs.next() {
+        Some("crates") => segs.next().unwrap_or("crates").to_string(),
+        Some(first) => first.trim_end_matches(".rs").to_string(),
+        None => String::new(),
+    }
+}
+
+impl WorkspaceIndex {
+    /// Build the index over every lexed file of the run.
+    pub fn build(ctxs: &[FileCtx]) -> WorkspaceIndex {
+        let files: Vec<FileFacts> = ctxs.iter().map(extract).collect();
+        let mut by_rel = BTreeMap::new();
+        let mut crate_clock = BTreeSet::new();
+        let mut crate_reaps: BTreeMap<String, usize> = BTreeMap::new();
+        let mut crate_posts: BTreeMap<String, usize> = BTreeMap::new();
+        let mut decode_tested = BTreeSet::new();
+        let mut field_reads = BTreeSet::new();
+        let mut handle_uses: BTreeSet<String> = BTreeSet::new();
+        let mut emitted_names = BTreeSet::new();
+        for (i, f) in files.iter().enumerate() {
+            by_rel.insert(f.rel.clone(), i);
+            if f.clock_sites > 0 {
+                crate_clock.insert(f.krate.clone());
+            }
+            *crate_reaps.entry(f.krate.clone()).or_default() += f.reap_sites;
+            *crate_posts.entry(f.krate.clone()).or_default() += f.post_sites;
+            decode_tested.extend(f.decode_tested.iter().cloned());
+            field_reads.extend(f.field_reads.iter().cloned());
+            handle_uses.extend(f.handle_uses.iter().cloned());
+            emitted_names.extend(f.emit_names.iter().cloned());
+        }
+        // A registered metric counts as emitted when its handle binding
+        // is used anywhere — or when no binding could be tracked (the
+        // lenient direction).
+        for f in &files {
+            for reg in &f.metric_regs {
+                let used = reg
+                    .binding
+                    .as_ref()
+                    .map(|b| handle_uses.contains(b))
+                    .unwrap_or(true);
+                if used {
+                    emitted_names.insert(reg.name.clone());
+                }
+            }
+        }
+        WorkspaceIndex {
+            files,
+            by_rel,
+            crate_clock,
+            crate_reaps,
+            crate_posts,
+            decode_tested,
+            field_reads,
+            emitted_names,
+        }
+    }
+
+    /// Facts for one file, by repo-relative path.
+    pub fn facts(&self, rel: &str) -> Option<&FileFacts> {
+        self.by_rel.get(rel).map(|&i| &self.files[i])
+    }
+
+    /// Does this crate touch the virtual clock anywhere (non-test)?
+    pub fn crate_has_clock(&self, krate: &str) -> bool {
+        self.crate_clock.contains(krate)
+    }
+
+    /// Non-test `.reap(` sites in the crate.
+    pub fn crate_reaps(&self, krate: &str) -> usize {
+        self.crate_reaps.get(krate).copied().unwrap_or(0)
+    }
+
+    /// Non-test `.post(` sites in the crate.
+    pub fn crate_posts(&self, krate: &str) -> usize {
+        self.crate_posts.get(krate).copied().unwrap_or(0)
+    }
+
+    /// Is `T::decode`-style call present in any test context?
+    pub fn decode_tested(&self, type_name: &str) -> bool {
+        self.decode_tested.contains(type_name)
+    }
+
+    /// Is this field name read (`.name` without a call) anywhere?
+    pub fn field_read(&self, field: &str) -> bool {
+        self.field_reads.contains(field)
+    }
+
+    /// Is this metric name emitted (directly or through a used handle)?
+    pub fn metric_emitted(&self, name: &str) -> bool {
+        self.emitted_names.contains(name)
+    }
+
+    /// Serialize the index (schema `simlint-index-v1`) for the CI
+    /// artifact. Deterministic: files arrive sorted from the walk.
+    pub fn render_json(&self) -> String {
+        use crate::report::json_str;
+        let mut out = String::from("{\n  \"schema\": \"simlint-index-v1\",\n  \"files\": [");
+        for (i, f) in self.files.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"path\": {}, ", json_str(&f.rel)));
+            out.push_str(&format!("\"crate\": {}, ", json_str(&f.krate)));
+            out.push_str("\"types\": [");
+            for (j, t) in f.types.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let derives: Vec<String> = t.derives.iter().map(|d| json_str(d)).collect();
+                let fields: Vec<String> = t.fields.iter().map(|(n, _)| json_str(n)).collect();
+                out.push_str(&format!(
+                    "{{\"name\": {}, \"line\": {}, \"kind\": {}, \"derives\": [{}], \"fields\": [{}]}}",
+                    json_str(&t.name),
+                    t.line,
+                    json_str(if t.is_struct { "struct" } else { "enum" }),
+                    derives.join(", "),
+                    fields.join(", ")
+                ));
+            }
+            out.push_str("], \"methods\": [");
+            for (j, (ty, m, line)) in f.methods.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"type\": {}, \"fn\": {}, \"line\": {}}}",
+                    json_str(ty),
+                    json_str(m),
+                    line
+                ));
+            }
+            out.push_str("], ");
+            out.push_str(&format!("\"clock_sites\": {}, ", f.clock_sites));
+            let nums = |v: &[u32]| {
+                v.iter()
+                    .map(|n| n.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            out.push_str(&format!(
+                "\"duration_sites\": [{}], ",
+                nums(&f.duration_sites)
+            ));
+            let submits: Vec<String> = f
+                .submit_sites
+                .iter()
+                .map(|(m, l)| format!("{{\"method\": {}, \"line\": {l}}}", json_str(m)))
+                .collect();
+            out.push_str(&format!("\"submit_sites\": [{}], ", submits.join(", ")));
+            out.push_str(&format!("\"reap_sites\": {}, ", f.reap_sites));
+            out.push_str(&format!("\"post_sites\": {}, ", f.post_sites));
+            let chains: Vec<String> = f
+                .chain_sites
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{{\"line\": {}, \"posted_locally\": {}, \"escapes\": {}}}",
+                        c.line, c.posted_locally, c.escapes
+                    )
+                })
+                .collect();
+            out.push_str(&format!("\"chains\": [{}], ", chains.join(", ")));
+            let regs: Vec<String> = f
+                .metric_regs
+                .iter()
+                .map(|r| {
+                    let b = r
+                        .binding
+                        .as_deref()
+                        .map(json_str)
+                        .unwrap_or_else(|| "null".to_string());
+                    format!(
+                        "{{\"name\": {}, \"binding\": {b}, \"line\": {}}}",
+                        json_str(&r.name),
+                        r.line
+                    )
+                })
+                .collect();
+            let emits: Vec<String> = f.emit_names.iter().map(|n| json_str(n)).collect();
+            let reads: Vec<String> = f
+                .read_sites
+                .iter()
+                .map(|(n, l)| format!("{{\"name\": {}, \"line\": {l}}}", json_str(n)))
+                .collect();
+            out.push_str(&format!(
+                "\"metrics\": {{\"registered\": [{}], \"emitted\": [{}], \"reads\": [{}]}}, ",
+                regs.join(", "),
+                emits.join(", "),
+                reads.join(", ")
+            ));
+            let dec: Vec<String> = f.decode_tested.iter().map(|n| json_str(n)).collect();
+            out.push_str(&format!("\"decode_tested\": [{}]", dec.join(", ")));
+            out.push('}');
+        }
+        if !self.files.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Extract the per-file facts (the whole of pass 1 for one file).
+fn extract(ctx: &FileCtx) -> FileFacts {
+    let mut facts = FileFacts {
+        rel: ctx.rel.clone(),
+        krate: crate_of(&ctx.rel),
+        types: Vec::new(),
+        methods: Vec::new(),
+        decode_tested: BTreeSet::new(),
+        duration_sites: Vec::new(),
+        clock_sites: 0,
+        submit_sites: Vec::new(),
+        reap_sites: 0,
+        chain_sites: Vec::new(),
+        post_sites: 0,
+        metric_regs: Vec::new(),
+        emit_names: BTreeSet::new(),
+        read_sites: Vec::new(),
+        handle_uses: BTreeSet::new(),
+        field_reads: BTreeSet::new(),
+        static_mut_configs: Vec::new(),
+    };
+    let fn_spans = find_fn_spans(ctx);
+    collect_types(ctx, &mut facts);
+    collect_sites(ctx, &fn_spans, &mut facts);
+    collect_metrics(ctx, &mut facts);
+    facts
+}
+
+/// Code-index spans (open brace, close brace) of every `fn` body.
+fn find_fn_spans(ctx: &FileCtx) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let n = ctx.code_len();
+    for k in 0..n {
+        if !ctx.ident_at(k, "fn") {
+            continue;
+        }
+        let mut j = k + 1;
+        while j < n {
+            let t = ctx.tok(j);
+            if t.is_punct(';') {
+                break; // trait method declaration, no body
+            }
+            if t.is_punct('{') {
+                spans.push((j, ctx.matching_brace(j)));
+                break;
+            }
+            j += 1;
+        }
+    }
+    spans
+}
+
+/// Innermost `fn` body containing code index `k` (falls back to the
+/// whole file).
+fn enclosing_fn(spans: &[(usize, usize)], k: usize, file_len: usize) -> (usize, usize) {
+    spans
+        .iter()
+        .filter(|(o, c)| *o < k && k < *c)
+        .min_by_key(|(o, c)| c - o)
+        .copied()
+        .unwrap_or((0, file_len.saturating_sub(1)))
+}
+
+/// Walk type declarations: structs/enums with derives and fields, plus
+/// mutable `*Config` statics.
+fn collect_types(ctx: &FileCtx, facts: &mut FileFacts) {
+    let n = ctx.code_len();
+    let mut pending_derives: Vec<String> = Vec::new();
+    let mut k = 0usize;
+    while k < n {
+        // Attributes: harvest #[derive(...)], keep pending across others.
+        if ctx.punct_at(k, '#') && ctx.punct_at(k + 1, '[') {
+            let end = skip_attr(ctx, k);
+            if ctx.ident_at(k + 2, "derive") {
+                for j in k + 3..end {
+                    if ctx.tok(j).kind == TokKind::Ident {
+                        pending_derives.push(ctx.tok(j).text.clone());
+                    }
+                }
+            }
+            k = end;
+            continue;
+        }
+        if (ctx.ident_at(k, "struct") || ctx.ident_at(k, "enum"))
+            && k + 1 < n
+            && ctx.tok(k + 1).kind == TokKind::Ident
+        {
+            let is_struct = ctx.ident_at(k, "struct");
+            let name = ctx.tok(k + 1).text.clone();
+            let line = ctx.tok(k).line;
+            let derives = std::mem::take(&mut pending_derives);
+            // Find the body opener, stopping at `;` (unit struct).
+            let mut j = k + 2;
+            let mut open = None;
+            while j < n {
+                let t = ctx.tok(j);
+                if t.is_punct(';') {
+                    break;
+                }
+                if t.is_punct('{') {
+                    open = Some(j);
+                    break;
+                }
+                if is_struct && t.is_punct('(') {
+                    break; // tuple struct: no named fields
+                }
+                j += 1;
+            }
+            let mut fields = Vec::new();
+            let mut resume = j + 1;
+            if let Some(open) = open {
+                let close = ctx.matching_brace(open);
+                if is_struct {
+                    fields = struct_fields(ctx, open, close);
+                }
+                resume = close + 1;
+            }
+            facts.types.push(TypeFact {
+                name,
+                line,
+                is_struct,
+                derives,
+                fields,
+            });
+            k = resume;
+            continue;
+        }
+        if ctx.ident_at(k, "impl") {
+            pending_derives.clear();
+            k = collect_impl(ctx, k, facts);
+            continue;
+        }
+        if ctx.ident_at(k, "static") && !ctx.in_test_at(k) {
+            collect_static(ctx, k, facts);
+        }
+        // Visibility tokens between a derive and its item keep the
+        // pending list alive; anything else invalidates it.
+        let keeps = ctx.ident_at(k, "pub")
+            || ctx.ident_at(k, "crate")
+            || ctx.ident_at(k, "super")
+            || ctx.punct_at(k, '(')
+            || ctx.punct_at(k, ')');
+        if !keeps {
+            pending_derives.clear();
+        }
+        k += 1;
+    }
+}
+
+/// Named fields of a brace-body struct: idents at brace depth 1 followed
+/// by a single `:`.
+fn struct_fields(ctx: &FileCtx, open: usize, close: usize) -> Vec<(String, u32)> {
+    let mut fields = Vec::new();
+    let mut depth = 0i32;
+    for k in open..=close.min(ctx.code_len().saturating_sub(1)) {
+        let t = ctx.tok(k);
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 1
+            && t.kind == TokKind::Ident
+            && ctx.punct_at(k + 1, ':')
+            && !ctx.punct_at(k + 2, ':')
+            && !(k > open && ctx.punct_at(k - 1, ':'))
+        {
+            fields.push((t.text.clone(), t.line));
+        }
+    }
+    fields
+}
+
+/// Parse an `impl` header at `k`, record its methods, return the resume
+/// index.
+fn collect_impl(ctx: &FileCtx, k: usize, facts: &mut FileFacts) -> usize {
+    let n = ctx.code_len();
+    let mut j = k + 1;
+    if ctx.punct_at(j, '<') {
+        j = skip_angles(ctx, j);
+    }
+    let Some((first, after)) = parse_path(ctx, j) else {
+        return k + 1;
+    };
+    j = after;
+    let type_name = if ctx.ident_at(j, "for") {
+        match parse_path(ctx, j + 1) {
+            Some((ty, after)) => {
+                j = after;
+                ty
+            }
+            None => first,
+        }
+    } else {
+        first
+    };
+    // Skip any `where` clause to the body.
+    let mut open = None;
+    while j < n {
+        let t = ctx.tok(j);
+        if t.is_punct(';') {
+            break;
+        }
+        if t.is_punct('{') {
+            open = Some(j);
+            break;
+        }
+        j += 1;
+    }
+    let Some(open) = open else {
+        return j + 1;
+    };
+    let close = ctx.matching_brace(open);
+    for m in open + 1..close {
+        if ctx.ident_at(m, "fn") && m + 1 < n && ctx.tok(m + 1).kind == TokKind::Ident {
+            facts.methods.push((
+                type_name.clone(),
+                ctx.tok(m + 1).text.clone(),
+                ctx.tok(m + 1).line,
+            ));
+        }
+    }
+    close + 1
+}
+
+/// Last segment of a `path::like::This<...>` starting at `j`, plus the
+/// index just past it.
+fn parse_path(ctx: &FileCtx, mut j: usize) -> Option<(String, usize)> {
+    if j >= ctx.code_len() || ctx.tok(j).kind != TokKind::Ident {
+        return None;
+    }
+    let mut last = ctx.tok(j).text.clone();
+    j += 1;
+    loop {
+        if ctx.punct_at(j, ':')
+            && ctx.punct_at(j + 1, ':')
+            && j + 2 < ctx.code_len()
+            && ctx.tok(j + 2).kind == TokKind::Ident
+        {
+            last = ctx.tok(j + 2).text.clone();
+            j += 3;
+        } else if ctx.punct_at(j, '<') {
+            j = skip_angles(ctx, j);
+        } else {
+            break;
+        }
+    }
+    Some((last, j))
+}
+
+/// Skip a balanced `<...>` group starting at `j` (the `<`). `->` arrows
+/// inside do not close the group.
+fn skip_angles(ctx: &FileCtx, j: usize) -> usize {
+    let mut depth = 0i32;
+    let mut m = j;
+    while m < ctx.code_len() {
+        let t = ctx.tok(m);
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') && !(m > 0 && ctx.punct_at(m - 1, '-')) {
+            depth -= 1;
+            if depth == 0 {
+                return m + 1;
+            }
+        }
+        m += 1;
+    }
+    m
+}
+
+/// Given code index of `#`, return the code index just past the `]`.
+fn skip_attr(ctx: &FileCtx, k: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = k + 1;
+    while j < ctx.code_len() {
+        let t = ctx.tok(j);
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// `static` item at `k`: record it when it is mutable (or
+/// interior-mutable) and its type names a `*Config`.
+fn collect_static(ctx: &FileCtx, k: usize, facts: &mut FileFacts) {
+    let n = ctx.code_len();
+    let (name_at, is_mut) = if ctx.ident_at(k + 1, "mut") {
+        (k + 2, true)
+    } else {
+        (k + 1, false)
+    };
+    if name_at >= n || ctx.tok(name_at).kind != TokKind::Ident || !ctx.punct_at(name_at + 1, ':') {
+        return;
+    }
+    let name = ctx.tok(name_at).text.clone();
+    let mut has_config = false;
+    let mut has_cell = false;
+    let mut j = name_at + 2;
+    while j < n {
+        let t = ctx.tok(j);
+        if t.is_punct('=') || t.is_punct(';') {
+            break;
+        }
+        if t.kind == TokKind::Ident {
+            if t.text.ends_with("Config") {
+                has_config = true;
+            }
+            if matches!(
+                t.text.as_str(),
+                "RefCell" | "Cell" | "Mutex" | "RwLock" | "UnsafeCell" | "AtomicPtr"
+            ) {
+                has_cell = true;
+            }
+        }
+        j += 1;
+    }
+    if has_config && (is_mut || has_cell) {
+        facts.static_mut_configs.push((name, ctx.tok(k).line));
+    }
+}
+
+/// Walk call/use sites: clock and Duration touches, swap submissions,
+/// reap/post/chain, and test-context decode calls.
+fn collect_sites(ctx: &FileCtx, fn_spans: &[(usize, usize)], facts: &mut FileFacts) {
+    let n = ctx.code_len();
+    for k in 0..n {
+        let t = ctx.tok(k);
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let non_test = !ctx.in_test_at(k);
+        if non_test && CLOCK_IDENTS.contains(&t.text.as_str()) {
+            facts.clock_sites += 1;
+        }
+        // Wall-clock Duration: full path, brace-group import, or a bare
+        // `Duration::` path head after an import.
+        if non_test
+            && (ctx.path2(k, "std", "time") || ctx.path2(k, "core", "time"))
+            && ctx.punct_at(k + 4, ':')
+            && ctx.punct_at(k + 5, ':')
+        {
+            if ctx.ident_at(k + 6, "Duration") {
+                facts.duration_sites.push(ctx.tok(k + 6).line);
+            } else if ctx.punct_at(k + 6, '{') {
+                let close = ctx.matching_brace(k + 6);
+                for j in k + 7..close {
+                    if ctx.ident_at(j, "Duration") {
+                        facts.duration_sites.push(ctx.tok(j).line);
+                    }
+                }
+            }
+        }
+        if non_test
+            && t.is_ident("Duration")
+            && ctx.punct_at(k + 1, ':')
+            && ctx.punct_at(k + 2, ':')
+            && !(k >= 1 && ctx.punct_at(k - 1, ':'))
+        {
+            facts.duration_sites.push(t.line);
+        }
+        // Test-context `T::decode(...)` — attributes the decode to `T`.
+        if ctx.in_test_at(k)
+            && t.text.chars().next().is_some_and(|c| c.is_uppercase())
+            && ctx.punct_at(k + 1, ':')
+            && ctx.punct_at(k + 2, ':')
+            && k + 3 < n
+            && DECODE_CALLS.contains(&ctx.tok(k + 3).text.as_str())
+            && ctx.punct_at(k + 4, '(')
+        {
+            facts.decode_tested.insert(t.text.clone());
+        }
+        // Dot-call families.
+        if !non_test || k == 0 || !ctx.punct_at(k - 1, '.') || !ctx.punct_at(k + 1, '(') {
+            continue;
+        }
+        match t.text.as_str() {
+            // A swap submission only when the receiver is a `…backend`
+            // binding — `value.store(...)` codec writes don't count.
+            "store" | "load"
+                if k >= 2
+                    && ctx.tok(k - 2).kind == TokKind::Ident
+                    && ctx
+                        .tok(k - 2)
+                        .text
+                        .to_ascii_lowercase()
+                        .ends_with("backend") =>
+            {
+                facts.submit_sites.push((t.text.clone(), t.line));
+            }
+            "reap" => facts.reap_sites += 1,
+            "post" => facts.post_sites += 1,
+            "chain" if ctx.punct_at(k + 2, ')') => {
+                facts.chain_sites.push(analyze_chain(ctx, fn_spans, k));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Local lifecycle analysis of one `.chain()` site at code index `k`.
+fn analyze_chain(ctx: &FileCtx, fn_spans: &[(usize, usize)], k: usize) -> ChainSite {
+    let n = ctx.code_len();
+    let line = ctx.tok(k).line;
+    let (_, fn_close) = enclosing_fn(fn_spans, k, n);
+    let binding = backward_binding(ctx, k.saturating_sub(2));
+    if let Some(name) = binding {
+        // Statement end, then scan the rest of the function for uses of
+        // the binding.
+        let mut j = k + 3;
+        let mut depth = 0i32;
+        while j < fn_close {
+            let t = ctx.tok(j);
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if t.is_punct(';') && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        let mut posted = false;
+        let mut escapes = false;
+        for m in j..fn_close {
+            if !ctx.tok(m).is_ident(&name) {
+                continue;
+            }
+            if ctx.punct_at(m + 1, '.') {
+                if ctx.ident_at(m + 2, "post") {
+                    posted = true;
+                }
+            } else {
+                escapes = true;
+            }
+        }
+        return ChainSite {
+            line,
+            posted_locally: posted,
+            escapes: escapes && !posted,
+        };
+    }
+    // No binding: either consumed inline (`qp.chain().…`), dropped on
+    // the spot (`qp.chain();`), or flowing out as part of a larger
+    // expression.
+    let mut j = k + 3;
+    let mut depth = 0i32;
+    let mut posted = false;
+    let mut escapes = true; // tail expression / argument by default
+    while j < fn_close {
+        let t = ctx.tok(j);
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+            if depth < 0 {
+                break; // part of an enclosing call: escapes
+            }
+        } else if t.is_punct('}') {
+            depth -= 1;
+        } else if t.is_ident("post") && depth >= 0 {
+            posted = true;
+            escapes = false;
+            break;
+        } else if (t.is_punct(';') || t.is_punct(',')) && depth <= 0 {
+            // `,` hands the chain to an enclosing call; a bare `;`
+            // drops it un-posted.
+            escapes = t.is_punct(',');
+            break;
+        }
+        j += 1;
+    }
+    ChainSite {
+        line,
+        posted_locally: posted,
+        escapes,
+    }
+}
+
+/// Walk metric registrations, direct emits, `.counter("…")` reads, and
+/// the two workspace-wide use sets (handle uses, field reads).
+fn collect_metrics(ctx: &FileCtx, facts: &mut FileFacts) {
+    let n = ctx.code_len();
+    for k in 0..n {
+        let t = ctx.tok(k);
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let non_test = !ctx.in_test_at(k);
+        let after_dot = k >= 1 && ctx.punct_at(k - 1, '.');
+        // Dot-adjacent idents are "used as a value/receiver" — the
+        // evidence a registered handle binding is alive. Ranges
+        // (`lo..hi`) are not adjacency.
+        let before_dot = ctx.punct_at(k + 1, '.') && !ctx.punct_at(k + 2, '.');
+        if non_test && (after_dot || before_dot) {
+            facts.handle_uses.insert(t.text.clone());
+        }
+        if non_test && after_dot && !ctx.punct_at(k + 1, '(') {
+            facts.field_reads.insert(t.text.clone());
+        }
+        if !after_dot || !ctx.punct_at(k + 1, '(') || !non_test {
+            continue;
+        }
+        let name_tok = if k + 2 < n && ctx.tok(k + 2).kind == TokKind::Str {
+            Some(ctx.tok(k + 2))
+        } else {
+            None
+        };
+        if METRIC_REGS.contains(&t.text.as_str()) {
+            if let Some(name) = name_tok {
+                facts.metric_regs.push(MetricReg {
+                    name: name.text.clone(),
+                    binding: backward_binding(ctx, k.saturating_sub(2)),
+                    line: t.line,
+                });
+            }
+        } else if METRIC_EMITS.contains(&t.text.as_str()) {
+            if let Some(name) = name_tok {
+                facts.emit_names.insert(name.text.clone());
+            }
+        } else if t.is_ident("counter") {
+            if let Some(name) = name_tok {
+                facts.read_sites.push((name.text.clone(), t.line));
+            }
+        }
+    }
+}
+
+/// Walk backwards from `start` to find the `let` / struct-field binding
+/// this expression is assigned into, if any. Bounded and heuristic:
+/// anything it cannot resolve returns `None` (treated leniently by the
+/// rules).
+fn backward_binding(ctx: &FileCtx, start: usize) -> Option<String> {
+    let mut depth = 0i32;
+    let mut j = start as isize;
+    let mut steps = 0usize;
+    while j >= 0 && steps < 64 {
+        let t = ctx.tok(j as usize);
+        if t.is_punct(')') || t.is_punct(']') {
+            depth += 1;
+        } else if t.is_punct('(') || t.is_punct('[') {
+            depth -= 1;
+        } else if t.is_punct('{')
+            || t.is_punct('}')
+            || t.is_punct(';')
+            || (t.is_punct(',') && depth <= 0)
+        {
+            return None;
+        } else if t.is_punct('=') && depth <= 0 {
+            // `let name = …` (skip `==`, `>=`-style operators).
+            if j >= 1 && ctx.tok((j - 1) as usize).is_punct('=') {
+                return None;
+            }
+            let mut m = j - 1;
+            // Rewind to a `let` within the statement (skipping a
+            // `: Type` annotation between name and `=`).
+            let mut guard = 0usize;
+            while m >= 1 && guard < 16 && !ctx.tok((m - 1) as usize).is_ident("let") {
+                m -= 1;
+                guard += 1;
+            }
+            if m >= 1 && ctx.tok((m - 1) as usize).is_ident("let") {
+                let name_at = if ctx.tok(m as usize).is_ident("mut") {
+                    (m + 1) as usize
+                } else {
+                    m as usize
+                };
+                let cand = ctx.tok(name_at);
+                if cand.kind == TokKind::Ident {
+                    return Some(cand.text.clone());
+                }
+            }
+            // No `let` found nearby: plain assignment `name = …`.
+            let cand = ctx.tok((j - 1) as usize);
+            if cand.kind == TokKind::Ident {
+                return Some(cand.text.clone());
+            }
+            return None;
+        } else if t.is_punct(':') && depth <= 0 {
+            // Struct-literal field init `name: …` — but not a `::` path.
+            if (j >= 1 && ctx.tok((j - 1) as usize).is_punct(':'))
+                || ctx.punct_at((j + 1) as usize, ':')
+            {
+                j -= 2;
+                steps += 1;
+                continue;
+            }
+            if j >= 1 {
+                let cand = ctx.tok((j - 1) as usize);
+                if cand.kind == TokKind::Ident {
+                    return Some(cand.text.clone());
+                }
+            }
+            return None;
+        }
+        j -= 1;
+        steps += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts(rel: &str, src: &str) -> FileFacts {
+        extract(&FileCtx::new(rel, src))
+    }
+
+    #[test]
+    fn crate_attribution() {
+        assert_eq!(crate_of("crates/vmsim/src/vm.rs"), "vmsim");
+        assert_eq!(crate_of("src/lib.rs"), "src");
+        assert_eq!(crate_of("tests/properties.rs"), "tests");
+    }
+
+    #[test]
+    fn types_with_derives_and_fields() {
+        let f = facts(
+            "crates/x/src/a.rs",
+            "#[derive(Clone, Debug)]\npub struct FooConfig { depth: u32, width: Vec<u32> }\n#[derive(Clone)]\nenum Mode { A, B }\n",
+        );
+        assert_eq!(f.types.len(), 2);
+        assert_eq!(f.types[0].name, "FooConfig");
+        assert_eq!(f.types[0].derives, ["Clone", "Debug"]);
+        let names: Vec<&str> = f.types[0].fields.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["depth", "width"]);
+        assert_eq!(f.types[1].name, "Mode");
+        assert!(!f.types[1].is_struct);
+    }
+
+    #[test]
+    fn impl_methods_including_trait_impls() {
+        let f = facts(
+            "crates/x/src/a.rs",
+            "impl Frame { pub fn encode(&self) {} }\nimpl SwapBackend for StubBackend { fn store(&mut self) {} }\n",
+        );
+        assert!(f.methods.contains(&("Frame".into(), "encode".into(), 1)));
+        assert!(f
+            .methods
+            .iter()
+            .any(|(t, m, _)| t == "StubBackend" && m == "store"));
+    }
+
+    #[test]
+    fn duration_and_clock_sites() {
+        let f = facts(
+            "crates/x/src/a.rs",
+            "use std::time::Duration;\nfn f(e: &Engine) { let d = Duration::from_millis(1); }\n",
+        );
+        assert_eq!(f.duration_sites, [1, 2]);
+        assert_eq!(f.clock_sites, 1);
+        // Test code is exempt on the Duration side.
+        let f = facts(
+            "crates/x/src/a.rs",
+            "#[cfg(test)]\nmod tests { use std::time::Duration; }\n",
+        );
+        assert!(f.duration_sites.is_empty());
+    }
+
+    #[test]
+    fn submission_requires_backend_receiver() {
+        let f = facts(
+            "crates/x/src/a.rs",
+            "fn f(backend: &mut B, value: &V) { backend.store(1, 2, cb); value.store(buf); }\n",
+        );
+        assert_eq!(f.submit_sites.len(), 1);
+    }
+
+    #[test]
+    fn chain_lifecycle_verdicts() {
+        let posted = facts(
+            "crates/x/src/a.rs",
+            "fn f(qp: &Qp) { let mut c = qp.chain(); c.push(wr); c.post().ok(); }\n",
+        );
+        assert!(posted.chain_sites[0].posted_locally);
+        let leaked = facts(
+            "crates/x/src/a.rs",
+            "fn f(qp: &Qp) { let c = qp.chain(); c.push(wr); }\n",
+        );
+        assert!(!leaked.chain_sites[0].posted_locally);
+        assert!(!leaked.chain_sites[0].escapes);
+        let escaping = facts(
+            "crates/x/src/a.rs",
+            "fn build(qp: &Qp) -> WrChain { qp.chain() }\n",
+        );
+        assert!(escaping.chain_sites[0].escapes);
+        let inline = facts(
+            "crates/x/src/a.rs",
+            "fn f(qp: &Qp) { qp.chain().push(wr).post().ok(); }\n",
+        );
+        assert!(inline.chain_sites[0].posted_locally);
+        let dropped = facts("crates/x/src/a.rs", "fn f(qp: &Qp) { qp.chain(); }\n");
+        assert!(!dropped.chain_sites[0].posted_locally);
+        assert!(!dropped.chain_sites[0].escapes);
+    }
+
+    #[test]
+    fn metric_registration_bindings() {
+        let f = facts(
+            "crates/x/src/a.rs",
+            "fn s(m: &Metrics) { let ctr = m.counter_handle(\"a.b\"); let h = Rc::new(m.histogram_handle(\"c.d\"));\n    Stats { e: m.lazy_counter(\"e.f\") };\n}\n",
+        );
+        let got: Vec<(&str, Option<&str>)> = f
+            .metric_regs
+            .iter()
+            .map(|r| (r.name.as_str(), r.binding.as_deref()))
+            .collect();
+        assert_eq!(
+            got,
+            [("a.b", Some("ctr")), ("c.d", Some("h")), ("e.f", Some("e"))]
+        );
+    }
+
+    #[test]
+    fn emits_reads_and_uses() {
+        let f = facts(
+            "crates/x/src/a.rs",
+            "fn f(m: &M, s: &S) { m.inc(\"x.y\", 1); let v = m.counter(\"p.q\"); s.ctr.observe(3); }\n",
+        );
+        assert!(f.emit_names.contains("x.y"));
+        assert_eq!(f.read_sites, [("p.q".to_string(), 1)]);
+        assert!(f.handle_uses.contains("ctr"));
+        assert!(f.field_reads.contains("ctr"));
+    }
+
+    #[test]
+    fn static_mut_config_detection() {
+        let f = facts(
+            "crates/x/src/a.rs",
+            "static mut CURRENT: Option<VmConfig> = None;\nstatic OK: u32 = 1;\nstatic SHARED: Mutex<HpbdConfig> = Mutex::new(c);\n",
+        );
+        let names: Vec<&str> = f
+            .static_mut_configs
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(names, ["CURRENT", "SHARED"]);
+    }
+
+    #[test]
+    fn decode_calls_count_only_in_tests() {
+        let f = facts(
+            "crates/x/src/a.rs",
+            "fn f() { let a = Frame::decode(buf); }\n#[cfg(test)]\nmod tests { fn t() { let b = Frame::decode(buf); let c = Reply::decode_slice(buf); } }\n",
+        );
+        assert!(f.decode_tested.contains("Frame"));
+        assert!(f.decode_tested.contains("Reply"));
+        assert_eq!(f.decode_tested.len(), 2);
+    }
+
+    #[test]
+    fn index_links_across_files() {
+        let a = FileCtx::new("crates/x/src/a.rs", "fn f(e: &Engine) {}\n");
+        let b = FileCtx::new(
+            "crates/x/src/b.rs",
+            "fn g() -> Duration { Duration::from_millis(1) }\n",
+        );
+        let idx = WorkspaceIndex::build(&[a, b]);
+        assert!(idx.crate_has_clock("x"));
+        assert_eq!(
+            idx.facts("crates/x/src/b.rs").unwrap().duration_sites.len(),
+            1
+        );
+        let json = idx.render_json();
+        assert!(json.contains("simlint-index-v1"));
+        assert!(json.contains("crates/x/src/a.rs"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Pass 2 of the two-phase analysis: linked rules over the workspace
+//! index.
+//!
+//! Each rule runs per file (against that file's [`FileFacts`]) but
+//! judges with workspace-wide evidence from the [`WorkspaceIndex`], so
+//! waivers keep working exactly like file-local rules: a finding lands
+//! on the line that must change, in the file that owns it.
+//!
+//! * **D005** — wall-clock `Duration` in a crate that also drives the
+//!   virtual clock.
+//! * **A005** — `*Config` struct hygiene: derives, dead knobs, mutable
+//!   statics.
+//! * **X001** — wire types with an `encode`/`to_wire` need a decode
+//!   call in some test.
+//! * **X002** — completion-lifecycle leaks: swap submissions without a
+//!   reap loop, `WrChain`s that are never posted.
+//! * **X003** — registered metrics must be emitted; `.counter(...)`
+//!   reads must name something emitted.
+
+use crate::index::{FileFacts, WorkspaceIndex};
+
+/// Encode-side method names that make a type a sealed wire struct for
+/// X001.
+const ENCODE_METHODS: &[&str] = &["encode", "to_wire"];
+
+/// Run one linked rule over `facts`, returning (line, message) pairs.
+pub(crate) fn check_linked(
+    id: &str,
+    facts: &FileFacts,
+    index: &WorkspaceIndex,
+) -> Vec<(u32, String)> {
+    match id {
+        "D005" => d005(facts, index),
+        "A005" => a005(facts, index),
+        "X001" => x001(facts, index),
+        "X002" => x002(facts, index),
+        "X003" => x003(facts, index),
+        _ => Vec::new(),
+    }
+}
+
+/// Wall-clock `Duration` arithmetic in a crate that also touches
+/// `Engine`/`SimTime` — the two time bases must not mix.
+fn d005(facts: &FileFacts, index: &WorkspaceIndex) -> Vec<(u32, String)> {
+    if !index.crate_has_clock(&facts.krate) {
+        return Vec::new();
+    }
+    facts
+        .duration_sites
+        .iter()
+        .map(|&line| {
+            (
+                line,
+                format!(
+                    "wall-clock `std::time::Duration` in crate `{}` which also drives the virtual clock — model latencies in SimDuration ticks so simulated time stays deterministic",
+                    facts.krate
+                ),
+            )
+        })
+        .collect()
+}
+
+/// `*Config` struct hygiene: Clone + Debug derives, no dead knobs, no
+/// mutable statics holding configs.
+fn a005(facts: &FileFacts, index: &WorkspaceIndex) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for t in facts.types.iter().filter(|t| t.is_struct) {
+        if !t.name.ends_with("Config") {
+            continue;
+        }
+        let mut missing = Vec::new();
+        for want in ["Clone", "Debug"] {
+            if !t.derives.iter().any(|d| d == want) {
+                missing.push(want);
+            }
+        }
+        if !missing.is_empty() {
+            out.push((
+                t.line,
+                format!(
+                    "config struct `{}` must derive Clone + Debug (missing {}) — configs are copied into scenario matrices and logged on failure",
+                    t.name,
+                    missing.join(" + ")
+                ),
+            ));
+        }
+        for (field, line) in &t.fields {
+            if !index.field_read(field) {
+                out.push((
+                    *line,
+                    format!(
+                        "config knob `{}.{}` is never read anywhere in the workspace — a dead knob silently drifts from the behaviour it claims to control; wire it up or remove it",
+                        t.name, field
+                    ),
+                ));
+            }
+        }
+    }
+    for (name, line) in &facts.static_mut_configs {
+        out.push((
+            *line,
+            format!(
+                "mutable static `{name}` holds a config — config flows by value through builders, never through ambient mutable state"
+            ),
+        ));
+    }
+    out
+}
+
+/// Every sealed wire type with an encode side needs a decode call in
+/// some test, somewhere in the workspace.
+fn x001(facts: &FileFacts, index: &WorkspaceIndex) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for t in &facts.types {
+        let enc = facts
+            .methods
+            .iter()
+            .find(|(ty, m, _)| *ty == t.name && ENCODE_METHODS.contains(&m.as_str()));
+        let Some((_, method, line)) = enc else {
+            continue;
+        };
+        if !index.decode_tested(&t.name) {
+            out.push((
+                *line,
+                format!(
+                    "wire type `{}` has `{}` but no `{}::decode`/`decode_slice`/`from_wire` call inside any test — add a roundtrip test so the encode and decode sides cannot drift apart",
+                    t.name, method, t.name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Completion-lifecycle leaks: submissions that no reap loop can
+/// complete, chains that never reach a doorbell.
+fn x002(facts: &FileFacts, index: &WorkspaceIndex) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    if index.crate_reaps(&facts.krate) == 0 {
+        for (method, line) in &facts.submit_sites {
+            out.push((
+                *line,
+                format!(
+                    "SwapBackend `.{method}(...)` submission in crate `{}` which has no `.reap(...)` loop — completions would never be drained (PageDone contract)",
+                    facts.krate
+                ),
+            ));
+        }
+    }
+    for c in &facts.chain_sites {
+        if c.posted_locally {
+            continue;
+        }
+        if c.escapes {
+            if index.crate_posts(&facts.krate) == 0 {
+                out.push((
+                    c.line,
+                    format!(
+                        "WrChain built here flows out of the function but crate `{}` has no `.post(...)` site — every constructed chain must reach a doorbell",
+                        facts.krate
+                    ),
+                ));
+            }
+        } else {
+            out.push((
+                c.line,
+                "WrChain built here is never posted — a constructed chain must reach `.post()` or its work requests silently vanish".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Registered metrics must be emitted at least once; `.counter("…")`
+/// reads must name a metric something emits.
+fn x003(facts: &FileFacts, index: &WorkspaceIndex) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for reg in &facts.metric_regs {
+        if !index.metric_emitted(&reg.name) {
+            out.push((
+                reg.line,
+                format!(
+                    "metric `{}` is registered but never emitted (its handle is never used and nothing emits the name directly) — dead metrics erode trust in the dashboard",
+                    reg.name
+                ),
+            ));
+        }
+    }
+    for (name, line) in &facts.read_sites {
+        if !index.metric_emitted(name) {
+            out.push((
+                *line,
+                format!(
+                    "metric `{name}` is read via `.counter(...)` but nothing in the workspace emits it — the read will always observe zero"
+                ),
+            ));
+        }
+    }
+    out
+}

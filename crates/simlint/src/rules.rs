@@ -60,9 +60,19 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo { id: "A002", summary: "no pub fields on wire/protocol structs" },
     RuleInfo { id: "A003", summary: "no raw post_send outside ibsim — submit through the typed WrChain builder" },
     RuleInfo { id: "A004", summary: "no raw RequestQueue in vmsim outside the BlockBackend adapter — go through SwapBackend" },
+    RuleInfo { id: "D005", summary: "no wall-clock Duration in crates that drive the virtual clock (linked: needs the workspace index)" },
+    RuleInfo { id: "A005", summary: "*Config hygiene: derive Clone + Debug, no mutable statics, every knob read somewhere (linked)" },
+    RuleInfo { id: "X001", summary: "every wire type with encode/to_wire needs a decode call in some test (linked)" },
+    RuleInfo { id: "X002", summary: "completion-lifecycle leaks: swap submissions need a reap loop, WrChains must be posted (linked)" },
+    RuleInfo { id: "X003", summary: "registered metrics must be emitted; counter reads must name an emitted metric (linked)" },
     RuleInfo { id: "W000", summary: "waiver without a justification" },
     RuleInfo { id: "W001", summary: "waiver that matched no finding (stale)" },
+    RuleInfo { id: "W002", summary: "waiver naming a rule id that does not exist (typo — the allow can never match)" },
 ];
+
+/// Rule ids that need the pass-1 workspace index (pass 2 skips them when
+/// no index was built, e.g. in single-rule unit tests).
+pub const LINKED_RULES: &[&str] = &["D005", "A005", "X001", "X002", "X003"];
 
 /// An inline waiver comment.
 #[derive(Debug)]
@@ -117,28 +127,33 @@ impl FileCtx {
         self.rel.split('/').any(|seg| seg == "tests")
     }
 
+    /// Number of non-comment tokens (the index the pass-1 walk runs over).
+    pub(crate) fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
     /// Token (not code-index) accessor.
-    fn tok(&self, code_idx: usize) -> &Tok {
+    pub(crate) fn tok(&self, code_idx: usize) -> &Tok {
         &self.toks[self.code[code_idx]]
     }
 
-    fn ident_at(&self, code_idx: usize, name: &str) -> bool {
+    pub(crate) fn ident_at(&self, code_idx: usize, name: &str) -> bool {
         code_idx < self.code.len() && self.tok(code_idx).is_ident(name)
     }
 
-    fn punct_at(&self, code_idx: usize, c: char) -> bool {
+    pub(crate) fn punct_at(&self, code_idx: usize, c: char) -> bool {
         code_idx < self.code.len() && self.tok(code_idx).is_punct(c)
     }
 
     /// `a :: b` path-segment test: ident `a` at k, `::`, ident `b`.
-    fn path2(&self, k: usize, a: &str, b: &str) -> bool {
+    pub(crate) fn path2(&self, k: usize, a: &str, b: &str) -> bool {
         self.ident_at(k, a)
             && self.punct_at(k + 1, ':')
             && self.punct_at(k + 2, ':')
             && self.ident_at(k + 3, b)
     }
 
-    fn in_test_at(&self, code_idx: usize) -> bool {
+    pub(crate) fn in_test_at(&self, code_idx: usize) -> bool {
         self.in_test[self.code[code_idx]]
     }
 
@@ -227,7 +242,7 @@ impl FileCtx {
     }
 
     /// Code index of the `}` matching the `{` at `open`.
-    fn matching_brace(&self, open: usize) -> usize {
+    pub(crate) fn matching_brace(&self, open: usize) -> usize {
         let mut depth = 0i32;
         let mut j = open;
         while j < self.code.len() {
@@ -346,8 +361,15 @@ fn is_crate_root(rel: &str) -> bool {
 }
 
 /// Run every enabled rule over one file. `only` restricts to a single rule
-/// id (used by the self-test); pass `None` for all.
-pub fn check_file(ctx: &mut FileCtx, config: &Config, only: Option<&str>) -> Vec<Finding> {
+/// id (used by the self-test); pass `None` for all. `index` is the pass-1
+/// workspace symbol index: linked rules (D005/A005/X001/X002/X003) run
+/// only when it is present.
+pub fn check_file(
+    ctx: &mut FileCtx,
+    config: &Config,
+    only: Option<&str>,
+    index: Option<&crate::index::WorkspaceIndex>,
+) -> Vec<Finding> {
     let mut out: Vec<Finding> = Vec::new();
     let enabled = |id: &str| only.map(|o| o == id).unwrap_or(true);
     let rel = ctx.rel.clone();
@@ -515,11 +537,42 @@ pub fn check_file(ctx: &mut FileCtx, config: &Config, only: Option<&str>) -> Vec
         }
     }
 
-    // ---- W000 / W001: waiver police -----------------------------------------
-    if only.is_none() || only == Some("W000") || only == Some("W001") {
+    // ---- linked rules (pass 2, need the workspace index) --------------------
+    // These run BEFORE the waiver police so a justified waiver on a
+    // linked finding is marked used and does not trip W001.
+    if let Some(index) = index {
+        if let Some(facts) = index.facts(&ctx.rel) {
+            for info in RULES.iter().filter(|r| LINKED_RULES.contains(&r.id)) {
+                let id = info.id;
+                if !enabled(id) || !rule_applies(&ctx.rel, &config.rule(id)) {
+                    continue;
+                }
+                for (line, message) in crate::linked::check_linked(id, facts, index) {
+                    push(ctx, id, line, message);
+                }
+            }
+        }
+    }
+
+    // ---- W000 / W001 / W002: waiver police ----------------------------------
+    if only.is_none() || matches!(only, Some("W000") | Some("W001") | Some("W002")) {
         let mut meta: Vec<(&'static str, u32, String)> = Vec::new();
         for w in &ctx.waivers {
-            if w.justification.is_empty() && (only.is_none() || only == Some("W000")) {
+            let known = RULES.iter().any(|r| r.id == w.rule);
+            if !known {
+                // A typo'd rule id can never match a finding — W001's
+                // "stale" message would misdiagnose it, so W002 owns it.
+                if only.is_none() || only == Some("W002") {
+                    meta.push((
+                        "W002",
+                        w.line,
+                        format!(
+                            "waiver names unknown rule `{}` — no such rule exists, so this allow can never match (typo?)",
+                            w.rule
+                        ),
+                    ));
+                }
+            } else if w.justification.is_empty() && (only.is_none() || only == Some("W000")) {
                 meta.push((
                     "W000",
                     w.line,
@@ -857,7 +910,7 @@ mod tests {
 
     fn run(rel: &str, src: &str, only: &str) -> Vec<Finding> {
         let mut ctx = FileCtx::new(rel, src);
-        check_file(&mut ctx, &Config::builtin(), Some(only))
+        check_file(&mut ctx, &Config::builtin(), Some(only), None)
     }
 
     #[test]
@@ -987,7 +1040,7 @@ mod tests {
     fn w000_flags_missing_justification() {
         let src = "// simlint: allow(I001)\nfn f() { x.unwrap(); }\n";
         let mut ctx = FileCtx::new("crates/x/src/a.rs", src);
-        let f = check_file(&mut ctx, &Config::builtin(), None);
+        let f = check_file(&mut ctx, &Config::builtin(), None, None);
         assert!(f.iter().any(|f| f.rule == "W000"));
         // ...and the unjustified waiver does not actually waive.
         assert!(f.iter().any(|f| f.rule == "I001" && f.waived.is_none()));
@@ -997,15 +1050,55 @@ mod tests {
     fn w001_flags_stale_waivers() {
         let src = "// simlint: allow(I001): nothing here needs it\nfn f() { ok(); }\n";
         let mut ctx = FileCtx::new("crates/x/src/a.rs", src);
-        let f = check_file(&mut ctx, &Config::builtin(), None);
+        let f = check_file(&mut ctx, &Config::builtin(), None, None);
         assert!(f.iter().any(|f| f.rule == "W001"));
+    }
+
+    #[test]
+    fn w002_flags_unknown_rule_ids() {
+        // The classic typo: I0O1 for I001. Justified or not, it can
+        // never match — W002, not W000/W001.
+        let src = "// simlint: allow(I0O1): looks plausible\nfn f() { x.unwrap(); }\n";
+        let mut ctx = FileCtx::new("crates/x/src/a.rs", src);
+        let f = check_file(&mut ctx, &Config::builtin(), None, None);
+        assert!(f.iter().any(|f| f.rule == "W002"), "{f:?}");
+        assert!(!f.iter().any(|f| f.rule == "W000" || f.rule == "W001"));
+    }
+
+    #[test]
+    fn linked_rules_run_only_with_an_index() {
+        use crate::index::WorkspaceIndex;
+        let src = "use std::time::Duration;\nfn f(e: &Engine) { e.schedule_in(1); }\n";
+        // Without an index the linked pass is skipped entirely.
+        let f = run("crates/x/src/a.rs", src, "D005");
+        assert!(f.is_empty());
+        // With one, the same file fires (its own crate has clock sites).
+        let ctx = FileCtx::new("crates/x/src/a.rs", src);
+        let index = WorkspaceIndex::build(std::slice::from_ref(&ctx));
+        let mut ctx = ctx;
+        let f = check_file(&mut ctx, &Config::builtin(), Some("D005"), Some(&index));
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn linked_findings_are_waivable_without_tripping_w001() {
+        use crate::index::WorkspaceIndex;
+        let src = "fn f(e: &Engine) {\n    // simlint: allow(D005): interop with a host API that wants Duration\n    let d = std::time::Duration::from_millis(1);\n}\n";
+        let ctx = FileCtx::new("crates/x/src/a.rs", src);
+        let index = WorkspaceIndex::build(std::slice::from_ref(&ctx));
+        let mut ctx = ctx;
+        let f = check_file(&mut ctx, &Config::builtin(), None, Some(&index));
+        let d005: Vec<_> = f.iter().filter(|f| f.rule == "D005").collect();
+        assert_eq!(d005.len(), 1);
+        assert!(d005[0].waived.is_some());
+        assert!(!f.iter().any(|f| f.rule == "W001"), "{f:?}");
     }
 
     #[test]
     fn trailing_same_line_waiver() {
         let src = "fn f() { x.unwrap(); } // simlint: allow(I001): boot-time invariant\n";
         let mut ctx = FileCtx::new("crates/x/src/a.rs", src);
-        let f = check_file(&mut ctx, &Config::builtin(), Some("I001"));
+        let f = check_file(&mut ctx, &Config::builtin(), Some("I001"), None);
         assert_eq!(f.len(), 1);
         assert!(f[0].waived.is_some());
     }
