@@ -7,7 +7,7 @@
 //! from `/proc/self/status` (`VmHWM`) where available.
 //!
 //! ```text
-//! perfbench [--smoke] [--scale N] [--seed N] [--threads N]
+//! perfbench [--smoke] [--scale N] [--seed N] [--threads N] [--sim-threads N]
 //!           [--out PATH] [--baseline PATH]
 //! ```
 //!
@@ -33,8 +33,15 @@
 //! fig9-style pair cell through each [`workloads::SwapPath`]. Their
 //! `swap_in_p99_us` — deterministic on the virtual clock — is gated like
 //! `messages_per_page`: growing more than 20 % over a baseline that
-//! carries the field fails the run, covering both swap paths. Baselines
-//! without these rows skip them gracefully.
+//! carries the field fails the run, covering both swap paths.
+//!
+//! The v4 report records `sim_threads` (`--sim-threads` routes each
+//! figure's cells through the conservative parallel engine; deterministic
+//! rows are identical at any value) and the baseline check is **strict**:
+//! a baseline whose schema version is not v3/v4 or whose figure set
+//! doesn't exactly match the current run fails loudly instead of silently
+//! comparing the rows that happen to line up — silently-skipped rows are
+//! how a stale baseline once hid a regression.
 
 use bench::figures::{fig10, fig5, fig9, figu};
 use bench::{CommonArgs, Runner};
@@ -92,12 +99,13 @@ fn main() {
             "--scale" => common.scale = take("--scale").parse().unwrap_or(16).max(1),
             "--seed" => common.seed = take("--seed").parse().unwrap_or(42),
             "--threads" => common.threads = take("--threads").parse().unwrap_or(1),
+            "--sim-threads" => common.sim_threads = take("--sim-threads").parse().unwrap_or(1),
             "--out" => out = Some(PathBuf::from(take("--out"))),
             "--baseline" => baseline = Some(PathBuf::from(take("--baseline"))),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: perfbench [--smoke] [--scale N] [--seed N] [--threads N] \
-                     [--out PATH] [--baseline PATH]"
+                     [--sim-threads N] [--out PATH] [--baseline PATH]"
                 );
                 std::process::exit(0);
             }
@@ -110,7 +118,7 @@ fn main() {
     if smoke {
         common.scale = common.scale.max(256);
     }
-    let runner = Runner::with_threads(common.threads);
+    let runner = Runner::with_threads(common.threads).with_sim_threads(common.sim_threads);
 
     let mut results: Vec<FigureResult> = Vec::new();
     let mut measure = |name: &'static str, f: &dyn Fn() -> (u64, f64, f64)| {
@@ -313,11 +321,12 @@ fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"hpbd-perfbench-v3\",\n");
+    s.push_str("  \"schema\": \"hpbd-perfbench-v4\",\n");
     s.push_str(&format!("  \"smoke\": {smoke},\n"));
     s.push_str(&format!("  \"scale\": {},\n", common.scale));
     s.push_str(&format!("  \"seed\": {},\n", common.seed));
     s.push_str(&format!("  \"threads\": {},\n", runner.threads()));
+    s.push_str(&format!("  \"sim_threads\": {},\n", runner.sim_threads()));
     s.push_str("  \"figures\": [\n");
     for (i, r) in results.iter().enumerate() {
         s.push_str(&format!(
@@ -346,6 +355,12 @@ fn render_json(
     s
 }
 
+/// Baseline schema versions this binary knows how to compare against. A v3
+/// baseline is a strict field subset of v4 (no `sim_threads`), so both are
+/// accepted; anything else — older reports, hand-edited files — must be
+/// regenerated, not silently half-compared.
+const ACCEPTED_SCHEMAS: [&str; 2] = ["hpbd-perfbench-v3", "hpbd-perfbench-v4"];
+
 /// Compare per-figure events/sec against a prior report. `Ok` carries the
 /// per-figure comparison lines; `Err` the regression messages.
 fn check_baseline(path: &PathBuf, results: &[FigureResult]) -> Result<Vec<String>, Vec<String>> {
@@ -367,16 +382,70 @@ fn check_baseline(path: &PathBuf, results: &[FigureResult]) -> Result<Vec<String
             )])
         }
     };
+    compare_to_baseline(&doc, results)
+}
+
+/// The pure comparison half of [`check_baseline`], split out so the
+/// mismatch paths are unit-testable. Fails loudly — before comparing any
+/// row — when the baseline's schema version is unknown or its figure set
+/// differs from the current run's in either direction.
+fn compare_to_baseline(
+    doc: &simtrace::json::Value,
+    results: &[FigureResult],
+) -> Result<Vec<String>, Vec<String>> {
+    let schema = doc
+        .as_object()
+        .and_then(|o| o.get("schema"))
+        .and_then(|s| s.as_string());
+    match schema {
+        Some(s) if ACCEPTED_SCHEMAS.contains(&s) => {}
+        Some(s) => {
+            return Err(vec![format!(
+                "baseline schema \"{s}\" is not comparable to this binary (accepted: {}); \
+                 regenerate the baseline with --out",
+                ACCEPTED_SCHEMAS.join(", ")
+            )])
+        }
+        None => {
+            return Err(vec![format!(
+                "baseline has no \"schema\" field (accepted: {}); regenerate it with --out",
+                ACCEPTED_SCHEMAS.join(", ")
+            )])
+        }
+    }
     let figures = doc
         .as_object()
         .and_then(|o| o.get("figures"))
         .and_then(|f| f.as_array());
     let Some(figures) = figures else {
-        return Err(vec![format!(
-            "baseline {} has no \"figures\" array",
-            path.display()
-        )]);
+        return Err(vec!["baseline has no \"figures\" array".to_string()]);
     };
+    // The figure sets must match exactly. A baseline row the run no longer
+    // produces, or a run row the baseline never measured, means the
+    // baseline belongs to a different perfbench — comparing the overlap
+    // would quietly un-gate the rest (the PR 6 stale-baseline trap).
+    let base_names: Vec<&str> = figures
+        .iter()
+        .filter_map(|f| f.as_object()?.get("name")?.as_string())
+        .collect();
+    let missing: Vec<&str> = results
+        .iter()
+        .map(|r| r.name)
+        .filter(|n| !base_names.contains(n))
+        .collect();
+    let extra: Vec<&str> = base_names
+        .iter()
+        .copied()
+        .filter(|n| !results.iter().any(|r| r.name == *n))
+        .collect();
+    if !missing.is_empty() || !extra.is_empty() {
+        return Err(vec![format!(
+            "baseline figure set does not match this run (missing from baseline: [{}]; \
+             not produced by this run: [{}]); regenerate the baseline with --out",
+            missing.join(", "),
+            extra.join(", ")
+        )]);
+    }
     let base_field = |name: &str, field: &str| -> Option<f64> {
         figures.iter().find_map(|f| {
             let o = f.as_object()?;
@@ -430,7 +499,11 @@ fn check_baseline(path: &PathBuf, results: &[FigureResult]) -> Result<Vec<String
     let mut regressions = Vec::new();
     for r in results {
         let Some(base) = base_eps(r.name) else {
-            lines.push(format!("{}: no baseline entry, skipped", r.name));
+            // The name matched above, so the row exists but is malformed.
+            regressions.push(format!(
+                "{}: baseline row has no events_per_sec; regenerate the baseline with --out",
+                r.name
+            ));
             continue;
         };
         gate(
@@ -506,5 +579,114 @@ fn check_baseline(path: &PathBuf, results: &[FigureResult]) -> Result<Vec<String
         Ok(lines)
     } else {
         Err(regressions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &'static str, wall_s: f64, events: u64) -> FigureResult {
+        FigureResult {
+            name,
+            wall_s,
+            events,
+            swap_p99_us: 100.0,
+            msgs_per_page: 0.25,
+        }
+    }
+
+    fn baseline_json(schema: &str, figures: &[(&str, f64)]) -> simtrace::json::Value {
+        let rows: Vec<String> = figures
+            .iter()
+            .map(|(name, eps)| {
+                format!(
+                    "{{\"name\": \"{name}\", \"wall_s\": 10.0, \"events\": 1000, \
+                     \"events_per_sec\": {eps:.0}, \"swap_in_p99_us\": 100.0, \
+                     \"messages_per_page\": 0.25}}"
+                )
+            })
+            .collect();
+        let doc = format!(
+            "{{\"schema\": \"{schema}\", \"figures\": [{}], \
+             \"total\": {{\"wall_s\": 10.0, \"events\": 1000, \"events_per_sec\": 100}}}}",
+            rows.join(", ")
+        );
+        simtrace::json::parse(&doc).unwrap()
+    }
+
+    #[test]
+    fn matching_v4_baseline_passes() {
+        let results = [row("fig5", 10.0, 1000), row("fig9", 10.0, 1000)];
+        let doc = baseline_json("hpbd-perfbench-v4", &[("fig5", 100.0), ("fig9", 100.0)]);
+        assert!(compare_to_baseline(&doc, &results).is_ok());
+    }
+
+    #[test]
+    fn v3_baseline_is_still_accepted() {
+        let results = [row("fig5", 10.0, 1000)];
+        let doc = baseline_json("hpbd-perfbench-v3", &[("fig5", 100.0)]);
+        assert!(compare_to_baseline(&doc, &results).is_ok());
+    }
+
+    #[test]
+    fn unknown_schema_fails_loudly() {
+        let results = [row("fig5", 10.0, 1000)];
+        let doc = baseline_json("hpbd-perfbench-v2", &[("fig5", 100.0)]);
+        let err = compare_to_baseline(&doc, &results).unwrap_err();
+        assert!(err[0].contains("schema"), "{err:?}");
+        assert!(err[0].contains("hpbd-perfbench-v2"), "{err:?}");
+    }
+
+    #[test]
+    fn missing_schema_fails_loudly() {
+        let doc = simtrace::json::parse("{\"figures\": []}").unwrap();
+        let err = compare_to_baseline(&doc, &[row("fig5", 10.0, 1000)]).unwrap_err();
+        assert!(err[0].contains("no \"schema\""), "{err:?}");
+    }
+
+    #[test]
+    fn baseline_missing_a_run_figure_fails_instead_of_skipping() {
+        // The PR 6 trap: the run produces figU rows the stale baseline
+        // predates. That must be a hard failure, not a silent skip.
+        let results = [row("fig5", 10.0, 1000), row("figU-direct", 10.0, 1000)];
+        let doc = baseline_json("hpbd-perfbench-v4", &[("fig5", 100.0)]);
+        let err = compare_to_baseline(&doc, &results).unwrap_err();
+        assert!(
+            err[0].contains("missing from baseline: [figU-direct]"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn baseline_with_extra_figures_fails() {
+        let results = [row("fig5", 10.0, 1000)];
+        let doc = baseline_json("hpbd-perfbench-v4", &[("fig5", 100.0), ("fig77", 100.0)]);
+        let err = compare_to_baseline(&doc, &results).unwrap_err();
+        assert!(
+            err[0].contains("not produced by this run: [fig77]"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn regression_gate_still_fires_on_matching_sets() {
+        // 50 events/s against a 100 events/s baseline on a gated (>=1 s)
+        // figure: well past the 20% tolerance.
+        let results = [row("fig5", 10.0, 500)];
+        let doc = baseline_json("hpbd-perfbench-v4", &[("fig5", 100.0)]);
+        let err = compare_to_baseline(&doc, &results).unwrap_err();
+        assert!(err.iter().any(|m| m.contains("events/sec fell")), "{err:?}");
+    }
+
+    #[test]
+    fn malformed_row_is_an_error_not_a_skip() {
+        let doc = simtrace::json::parse(
+            "{\"schema\": \"hpbd-perfbench-v4\", \
+             \"figures\": [{\"name\": \"fig5\"}]}",
+        )
+        .unwrap();
+        let err = compare_to_baseline(&doc, &[row("fig5", 10.0, 1000)]).unwrap_err();
+        assert!(err[0].contains("no events_per_sec"), "{err:?}");
     }
 }

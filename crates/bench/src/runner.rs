@@ -17,40 +17,70 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+fn auto_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Thread-count policy for a sweep.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Runner {
     threads: usize,
+    sim_threads: usize,
 }
 
 impl Runner {
     /// Run cells inline on the calling thread, in order (the default for
     /// the figure binaries — identical to the pre-runner behaviour).
     pub fn sequential() -> Runner {
-        Runner { threads: 1 }
+        Runner {
+            threads: 1,
+            sim_threads: 1,
+        }
     }
 
     /// Use exactly `threads` workers (0 means auto).
     pub fn with_threads(threads: usize) -> Runner {
-        if threads == 0 {
-            Runner::auto()
-        } else {
-            Runner { threads }
+        Runner {
+            threads: if threads == 0 {
+                auto_threads()
+            } else {
+                threads
+            },
+            sim_threads: 1,
         }
     }
 
     /// One worker per available core.
     pub fn auto() -> Runner {
-        Runner {
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-        }
+        Runner::with_threads(auto_threads())
+    }
+
+    /// Route this runner's cells through the conservative parallel engine
+    /// (`simcore::parallel`) with `sim_threads` workers (0 means auto).
+    /// The federation claims cells exactly like the sweep pool but runs
+    /// them as logical processes of one [`ParallelEngine`]
+    /// (`simcore::parallel::ParallelEngine`) — same deterministic
+    /// cell-order reassembly, so output stays byte-identical. A value of 1
+    /// leaves the plain sweep path untouched.
+    pub fn with_sim_threads(mut self, sim_threads: usize) -> Runner {
+        self.sim_threads = if sim_threads == 0 {
+            auto_threads()
+        } else {
+            sim_threads
+        };
+        self
     }
 
     /// Worker count this runner will use.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Parallel-engine worker count (1 = sweep path).
+    pub fn sim_threads(&self) -> usize {
+        self.sim_threads
     }
 
     /// Run `cells` independent cells through `f`, returning results in
@@ -62,6 +92,9 @@ impl Runner {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        if self.sim_threads > 1 {
+            return simcore::parallel::run_cells(self.sim_threads, cells, f);
+        }
         if self.threads <= 1 || cells <= 1 {
             return (0..cells).map(f).collect();
         }
@@ -134,5 +167,21 @@ mod tests {
         let seq = Runner::sequential().run_cells(13, f);
         let par = Runner::with_threads(3).run_cells(13, f);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn sim_threads_route_matches_sequential() {
+        let f = |i: usize| (i as u64 + 1) * 7;
+        let seq = Runner::sequential().run_cells(13, f);
+        for t in [2, 4, 8] {
+            let fed = Runner::sequential().with_sim_threads(t).run_cells(13, f);
+            assert_eq!(seq, fed, "sim_threads={t}");
+        }
+    }
+
+    #[test]
+    fn zero_sim_threads_means_auto() {
+        assert!(Runner::sequential().with_sim_threads(0).sim_threads() >= 1);
+        assert_eq!(Runner::sequential().sim_threads(), 1);
     }
 }

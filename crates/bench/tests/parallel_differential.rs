@@ -1,0 +1,209 @@
+//! Parallel-differential oracle: sharding a figure's cells across the
+//! conservative parallel engine must be *observationally invisible*. For
+//! fig5, fig9, and figR (fault plans included) every observable — the full
+//! debug-formatted reports (metrics snapshots, event counts, flight-recorder
+//! dumps) and the byte-exact Chrome trace export with its FNV fingerprint —
+//! must be identical between the sequential reference runner and
+//! `--sim-threads` at 1, 2, 4, and 8.
+//!
+//! The final test is the counter-oracle: a deliberately perturbed
+//! cross-partition merge order *must* change the observables, proving the
+//! differential would catch a racy or mis-keyed merge rather than passing
+//! vacuously.
+
+use bench::figures::{fig5, fig9, figr};
+use bench::{CommonArgs, Runner};
+use simcore::TraceSession;
+
+/// FNV-1a over a rendered export: a compact fingerprint that pins every
+/// byte (the kind CI uploads next to the figure artifacts).
+fn fnv(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0xcbf29ce484222325u64, |h, &b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
+}
+
+/// Small-scale figure args with the flight recorder on, so the differential
+/// also covers the lifecycle dumps embedded in each report.
+fn args(scale: u64, seed: u64) -> CommonArgs {
+    CommonArgs {
+        scale,
+        seed,
+        lifecycle: true,
+        ..CommonArgs::default()
+    }
+}
+
+fn fig5_under(runner: &Runner) -> (String, String) {
+    let args = args(256, 7);
+    let mut session = TraceSession::new(true);
+    let reports = fig5::run_parallel(&args, &mut session, runner);
+    (format!("{reports:#?}"), session.to_chrome_json())
+}
+
+fn fig9_under(runner: &Runner) -> (String, String) {
+    // Scale 1024 keeps the five-way sweep fast; byte-identity is the
+    // oracle here, and it is scale-invariant.
+    let args = args(1024, 3);
+    let mut session = TraceSession::new(true);
+    let reports = fig9::run_parallel(&args, &mut session, runner);
+    (format!("{reports:#?}"), session.to_chrome_json())
+}
+
+fn figr_under(runner: &Runner) -> String {
+    format!("{:#?}", figr::run_parallel(&args(1024, 3), runner))
+}
+
+const SIM_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+#[test]
+fn fig5_is_byte_identical_at_any_sim_thread_count() {
+    let (want_reports, want_trace) = fig5_under(&Runner::sequential());
+    assert!(
+        want_trace.len() > 10_000,
+        "trace must be non-trivial for the comparison to mean anything"
+    );
+    assert!(
+        want_reports.contains("FlightSummary"),
+        "reports must embed the flight-recorder dumps"
+    );
+    let want_fnv = fnv(want_trace.as_bytes());
+    for t in SIM_THREADS {
+        let (reports, trace) = fig5_under(&Runner::sequential().with_sim_threads(t));
+        assert_eq!(
+            reports, want_reports,
+            "fig5 reports diverged at {t} sim threads"
+        );
+        assert_eq!(
+            fnv(trace.as_bytes()),
+            want_fnv,
+            "fig5 trace fingerprint diverged at {t} sim threads"
+        );
+        assert_eq!(
+            trace, want_trace,
+            "fig5 trace bytes diverged at {t} sim threads"
+        );
+    }
+}
+
+#[test]
+fn fig9_is_byte_identical_at_any_sim_thread_count() {
+    let (want_reports, want_trace) = fig9_under(&Runner::sequential());
+    assert!(want_trace.len() > 10_000);
+    let want_fnv = fnv(want_trace.as_bytes());
+    for t in SIM_THREADS {
+        let (reports, trace) = fig9_under(&Runner::sequential().with_sim_threads(t));
+        assert_eq!(
+            reports, want_reports,
+            "fig9 reports diverged at {t} sim threads"
+        );
+        assert_eq!(
+            fnv(trace.as_bytes()),
+            want_fnv,
+            "fig9 trace fingerprint diverged at {t} sim threads"
+        );
+        assert_eq!(
+            trace, want_trace,
+            "fig9 trace bytes diverged at {t} sim threads"
+        );
+    }
+}
+
+#[test]
+fn figr_with_fault_plans_is_byte_identical_at_any_sim_thread_count() {
+    let want = figr_under(&Runner::sequential());
+    assert!(
+        want.contains("fault_ms: Some"),
+        "the crash cell must actually have faulted"
+    );
+    for t in SIM_THREADS {
+        let got = figr_under(&Runner::sequential().with_sim_threads(t));
+        assert_eq!(got, want, "figR diverged at {t} sim threads");
+    }
+}
+
+/// Counter-oracle: prove the harness *can* fail. A topology whose sink is
+/// hammered by same-tick cross-partition sends is run once clean and once
+/// with the engine's test-only merge perturbation (tie-break by inverted
+/// source id). The perturbed observables must differ from the reference —
+/// if they did not, every assertion above would be vacuous.
+#[test]
+fn a_perturbed_merge_order_is_caught_by_the_differential() {
+    use simcore::parallel::{
+        LogicalProcess, Message, ParallelEngine, PartitionCtx, PartitionId, Topology,
+    };
+    use simcore::{SimDuration, SimTime};
+    use std::sync::{Arc, Mutex};
+
+    struct Sender {
+        sink: PartitionId,
+        me: u64,
+        rounds: u64,
+    }
+    impl LogicalProcess for Sender {
+        fn init(&mut self, ctx: &mut PartitionCtx<'_, '_>) {
+            ctx.send_self(SimDuration::ZERO, Box::new(0u64));
+        }
+        fn handle(&mut self, _now: SimTime, msg: Message, ctx: &mut PartitionCtx<'_, '_>) {
+            let round = *msg.downcast::<u64>().unwrap();
+            ctx.send(
+                self.sink,
+                SimDuration::from_nanos(10),
+                Box::new(self.me * 1000 + round),
+            );
+            if round + 1 < self.rounds {
+                ctx.send_self(SimDuration::from_nanos(10), Box::new(round + 1));
+            }
+        }
+    }
+    struct Sink {
+        log: Arc<Mutex<Vec<u64>>>,
+    }
+    impl LogicalProcess for Sink {
+        fn handle(&mut self, _now: SimTime, msg: Message, _ctx: &mut PartitionCtx<'_, '_>) {
+            self.log
+                .lock()
+                .unwrap()
+                .push(*msg.downcast::<u64>().unwrap());
+        }
+    }
+
+    let run = |perturb: bool, threads: Option<usize>| -> Vec<u64> {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut topo = Topology::new();
+        let senders = 4;
+        let sink_id = PartitionId(senders);
+        for me in 0..senders {
+            topo.add_partition(Box::new(Sender {
+                sink: sink_id,
+                me: me as u64,
+                rounds: 16,
+            }));
+        }
+        let sink = topo.add_partition(Box::new(Sink { log: log.clone() }));
+        for me in 0..senders {
+            topo.connect(PartitionId(me), sink, SimDuration::from_nanos(10));
+        }
+        let mut engine = ParallelEngine::new(topo);
+        if perturb {
+            engine.perturb_merge_for_test();
+        }
+        match threads {
+            Some(t) => engine.run(t),
+            None => engine.run_sequential(),
+        };
+        let out = log.lock().unwrap().clone();
+        out
+    };
+
+    let reference = run(false, None);
+    assert_eq!(reference.len(), 4 * 16);
+    for t in SIM_THREADS {
+        assert_eq!(run(false, Some(t)), reference, "clean run diverged at {t}");
+    }
+    let perturbed = run(true, Some(4));
+    assert_ne!(
+        perturbed, reference,
+        "the perturbed merge must be observable, or the oracle is vacuous"
+    );
+}

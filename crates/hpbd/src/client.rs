@@ -94,6 +94,12 @@ pub struct ClientStats {
     /// Logical parts carried inside merged messages; the mean merge depth
     /// is `merged_segments / merged_requests`.
     pub merged_segments: u64,
+    /// Replies whose storage generation differed from the one learned at
+    /// connect time: the server restarted (wiping its store) inside our
+    /// timeout window. The connection is retired and the request recovered
+    /// from the mirror/buddy, exactly like a timeout — but *detected*, not
+    /// waited for.
+    pub epoch_wipes: u64,
 }
 
 impl ClientStats {
@@ -300,6 +306,11 @@ struct ServerConn {
     /// Marked on the first request timeout; all traffic re-routes to the
     /// buddy afterwards.
     dead: Cell<bool>,
+    /// The server storage generation learned in the connect handshake. A
+    /// reply carrying a different generation exposes an amnesiac restart
+    /// (the store was wiped inside our timeout window): its data must not
+    /// be trusted, and the connection is retired like a timed-out one.
+    generation: Cell<u64>,
 }
 
 /// One entry of the device-to-server mapping (dynamic-memory indirection).
@@ -488,7 +499,10 @@ impl HpbdClient {
     /// Attach a server whose extent covers the next `extent_len` bytes of
     /// the device (blocking distribution: extents are contiguous and in
     /// attach order). Pre-posts reply receive buffers on `qp`.
-    pub fn attach_server(&self, qp: QueuePair, extent_len: u64) {
+    /// `generation` is the server's storage generation from the connect
+    /// handshake; replies carrying any other value reveal an in-window
+    /// restart (see [`ClientStats::epoch_wipes`]).
+    pub fn attach_server(&self, qp: QueuePair, extent_len: u64, generation: u64) {
         let qp = Qp::from(qp);
         let inner = &self.inner;
         let credits = inner.config.credits;
@@ -514,6 +528,7 @@ impl HpbdClient {
             recv_region,
             extent_len,
             dead: Cell::new(false),
+            generation: Cell::new(generation),
         });
         inner.batch.borrow_mut().push(BatchState {
             pending: RefCell::new(Vec::new()),
@@ -1251,6 +1266,59 @@ impl HpbdClient {
         };
         if let Some(timer) = phys.timer.take() {
             inner.engine.cancel(timer);
+        }
+        // Server epochs (DESIGN.md §13): a reply stamped with a generation
+        // other than the one learned at connect time means the server
+        // restarted — and lost every page — within this request's window.
+        // Whatever this reply claims, the store behind it is empty. Adopt
+        // the new generation (so detection fires once, not per reply) and
+        // force the request down the timeout path with its retry budget
+        // exhausted: the server is dead-marked and the mirror/buddy serves
+        // the data, exactly as if the restart had been noticed by a timer.
+        let gen_mismatch = {
+            let conns = inner.conns.borrow();
+            let conn = &conns[conn_idx];
+            let mismatch = reply.generation() != conn.generation.get();
+            if mismatch {
+                conn.generation.set(reply.generation());
+            }
+            mismatch
+        };
+        if gen_mismatch {
+            inner.stats.borrow_mut().epoch_wipes += 1;
+            inner.engine.metrics().inc("hpbd.epoch_wipes");
+            if inner.engine.trace_enabled() {
+                inner.engine.tracer().instant(
+                    "hpbd",
+                    "epoch_wipe",
+                    inner.engine.now().as_nanos(),
+                    &[("req", reply.req_id()), ("server", conn_idx as u64)],
+                );
+            }
+            let mut phys = phys;
+            phys.attempts = inner.config.max_retries;
+            let req_id = phys.req_id;
+            // Every other in-flight request to this conn is equally doomed:
+            // now that the expected generation is updated, their replies
+            // would pass the check and a read could hand back stale-empty
+            // pages. Retire them all through the same path, in req-id
+            // order (the map is a BTreeMap, so this is deterministic).
+            let doomed: Vec<u64> = {
+                let mut outstanding = inner.outstanding.borrow_mut();
+                outstanding.insert(req_id, phys);
+                outstanding
+                    .iter_mut()
+                    .filter(|(_, p)| p.server_idx == conn_idx)
+                    .map(|(id, p)| {
+                        p.attempts = inner.config.max_retries;
+                        *id
+                    })
+                    .collect()
+            };
+            for id in doomed {
+                self.on_timeout(id);
+            }
+            return;
         }
         inner.stats.borrow_mut().replies += 1;
         if phys.has_ctx() {

@@ -248,7 +248,9 @@ impl ClusterBuilder {
                 qp_s.set_link_faults(link.clone());
                 links.push(link);
             }
-            client.attach_server(qp_c, per_server_capacity);
+            // The connect handshake carries the server's boot generation so
+            // the client can spot an in-window amnesiac restart (§13).
+            client.attach_server(qp_c, per_server_capacity, server.generation());
             server.attach_connection(qp_s);
             servers.push(server);
         }
@@ -1022,32 +1024,48 @@ mod tests {
     }
 
     #[test]
-    fn restarted_server_serves_again_with_empty_store() {
+    fn restarted_server_is_detected_as_amnesiac() {
         let (engine, cluster) = cluster(1, 1 << 20);
         // Store a page, then crash + restart with no traffic in flight
-        // (the client never marks the server dead).
+        // (the client never marks the server dead, so without epochs it
+        // would keep talking to the amnesiac as if nothing happened).
         write_read_roundtrip(&engine, &cluster.client, 0, 4096, 0x42);
         cluster.servers[0].crash();
         engine.advance(simcore::SimDuration::from_millis(1));
         cluster.servers[0].restart();
         engine.run_until_idle();
         assert!(!cluster.servers[0].is_crashed());
-        // The daemon answers again — but the crash dropped its chunks.
+        // The daemon answers again, but its replies carry a bumped
+        // generation (DESIGN.md §13): the client must refuse the
+        // stale-empty read instead of handing back zeros where 0x42 used
+        // to live. With no mirror to fail over to, the I/O errors out.
+        let failed = Rc::new(Cell::new(false));
         let rbuf = new_buffer(4096);
         rbuf.borrow_mut().fill(0xFF);
-        cluster.client.submit(IoRequest::single(Bio::new(
-            IoOp::Read,
-            0,
-            rbuf.clone(),
-            |r| r.unwrap(),
-        )));
+        {
+            let failed = failed.clone();
+            cluster.client.submit(IoRequest::single(Bio::new(
+                IoOp::Read,
+                0,
+                rbuf.clone(),
+                move |r| {
+                    assert!(r.is_err(), "a stale-empty read must not succeed");
+                    failed.set(true);
+                },
+            )));
+        }
         engine.run_until_idle();
+        assert!(failed.get(), "read completed (with an error)");
         assert!(
-            rbuf.borrow().iter().all(|&b| b == 0),
-            "a restarted server starts from an empty store"
+            rbuf.borrow().iter().all(|&b| b == 0xFF),
+            "the buffer must not be overwritten with stale zeros"
         );
-        // And it stores fresh data fine.
-        write_read_roundtrip(&engine, &cluster.client, 4096, 4096, 0x77);
+        assert_eq!(cluster.client.stats().epoch_wipes, 1);
+        assert_eq!(
+            cluster.client.health(),
+            blockdev::DeviceHealth::Failed,
+            "the sole server is retired once its wipe is detected"
+        );
     }
 
     #[test]

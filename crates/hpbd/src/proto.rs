@@ -24,7 +24,7 @@ pub const MERGED_MAGIC: u32 = 0x4850_424D; // "HPBM"
 /// Encoded size of a [`PageRequest`].
 pub const REQUEST_WIRE_SIZE: usize = 52;
 /// Encoded size of a [`PageReply`].
-pub const REPLY_WIRE_SIZE: usize = 28;
+pub const REPLY_WIRE_SIZE: usize = 36;
 /// Encoded size of a [`RevokeNotice`] (including its checksum).
 pub const NOTICE_WIRE_SIZE: usize = 24;
 
@@ -208,15 +208,17 @@ pub struct PageReply {
     req_id: u64,
     status: ReplyStatus,
     version: u64,
+    generation: u64,
 }
 
 impl PageReply {
     /// Build a reply.
-    pub fn new(req_id: u64, status: ReplyStatus, version: u64) -> PageReply {
+    pub fn new(req_id: u64, status: ReplyStatus, version: u64, generation: u64) -> PageReply {
         PageReply {
             req_id,
             status,
             version,
+            generation,
         }
     }
 
@@ -234,6 +236,17 @@ impl PageReply {
     /// cross-check that the completion belongs to the stamp it issued.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// The server's storage generation (DESIGN.md §13): starts at 1 and is
+    /// bumped on every restart, which wipes the in-memory store. A client
+    /// that learned generation G at connect time and sees G' != G in a
+    /// reply is talking to an amnesiac — the server restarted inside the
+    /// client's timeout window and every page it held is gone, so the
+    /// reply data must not be trusted even though the QP-level connection
+    /// looks healthy.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 }
 
@@ -707,12 +720,15 @@ impl PageReply {
         b.put_u64_le(self.req_id);
         b.put_u32_le(self.status.code());
         b.put_u64_le(self.version);
+        b.put_u64_le(self.generation);
         let sum = checksum(&[
             self.req_id as u32,
             (self.req_id >> 32) as u32,
             self.status.code(),
             self.version as u32,
             (self.version >> 32) as u32,
+            self.generation as u32,
+            (self.generation >> 32) as u32,
         ]);
         b.put_u32_le(sum);
         b.freeze()
@@ -734,13 +750,16 @@ impl PageReply {
         let req_id = read_u64(b, 4)?;
         let status_code = read_u32(b, 12)?;
         let version = read_u64(b, 16)?;
-        let sum = read_u32(b, 24)?;
+        let generation = read_u64(b, 24)?;
+        let sum = read_u32(b, 32)?;
         let expect = checksum(&[
             req_id as u32,
             (req_id >> 32) as u32,
             status_code,
             version as u32,
             (version >> 32) as u32,
+            generation as u32,
+            (generation >> 32) as u32,
         ]);
         if sum != expect {
             return Err(ProtoError::BadChecksum);
@@ -749,6 +768,7 @@ impl PageReply {
             req_id,
             status: ReplyStatus::from_code(status_code)?,
             version,
+            generation,
         })
     }
 }
@@ -787,6 +807,7 @@ mod tests {
                 req_id: 99,
                 status,
                 version: 17,
+                generation: 3,
             };
             assert_eq!(PageReply::decode(r.encode()).unwrap(), r);
         }
@@ -825,6 +846,7 @@ mod tests {
             req_id: 1,
             status: ReplyStatus::Ok,
             version: 5,
+            generation: 1,
         }
         .encode()
         .to_vec();
@@ -841,10 +863,28 @@ mod tests {
             req_id: 1,
             status: ReplyStatus::Ok,
             version: 5,
+            generation: 1,
         }
         .encode()
         .to_vec();
         raw[16] = 9; // version low byte: 5 -> 9
+        assert_eq!(
+            PageReply::decode(Bytes::from(raw)),
+            Err(ProtoError::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn reply_checksum_catches_generation_tamper() {
+        let mut raw = PageReply {
+            req_id: 1,
+            status: ReplyStatus::Ok,
+            version: 5,
+            generation: 2,
+        }
+        .encode()
+        .to_vec();
+        raw[24] = 7; // generation low byte: 2 -> 7
         assert_eq!(
             PageReply::decode(Bytes::from(raw)),
             Err(ProtoError::BadChecksum)
@@ -889,6 +929,7 @@ mod tests {
             req_id: rng.next_u64(),
             status,
             version: rng.next_u64(),
+            generation: rng.next_u64(),
         }
     }
 
@@ -909,6 +950,7 @@ mod tests {
             let back = PageReply::decode(r.encode()).unwrap();
             assert_eq!(back, r);
             assert_eq!(back.version(), r.version);
+            assert_eq!(back.generation(), r.generation);
         });
     }
 

@@ -183,6 +183,10 @@ struct ServerInner {
     next_token: Cell<u64>,
     last_activity: Cell<SimTime>,
     crashed: Cell<bool>,
+    /// Storage generation (DESIGN.md §13): 1 at boot, bumped by every
+    /// restart. Echoed in each reply so clients can detect an amnesiac
+    /// restart that happened inside their timeout window.
+    generation: Cell<u64>,
     stats: RefCell<ServerStats>,
     name: String,
     /// High-water mark of concurrently pending RDMA operations, published
@@ -241,6 +245,7 @@ impl HpbdServer {
                 next_token: Cell::new(1),
                 last_activity: Cell::new(SimTime::ZERO),
                 crashed: Cell::new(false),
+                generation: Cell::new(1),
                 stats: RefCell::new(ServerStats::default()),
                 name: name.to_string(),
                 peak_pending: Cell::new(0),
@@ -268,6 +273,13 @@ impl HpbdServer {
     /// Exported page-store capacity in bytes.
     pub fn capacity(&self) -> u64 {
         self.inner.storage.capacity()
+    }
+
+    /// Current storage generation: 1 at boot, +1 per restart. The cluster
+    /// builder hands this to the client at connect time (the handshake's
+    /// generation exchange), and every reply echoes it.
+    pub fn generation(&self) -> u64 {
+        self.inner.generation.get()
     }
 
     /// Statistics snapshot. Also publishes the peak pending-RDMA depth
@@ -383,6 +395,10 @@ impl HpbdServer {
                     .expect("re-posting receives at restart");
             }
         }
+        // The store this process serves is a fresh, empty one: advertise a
+        // new generation so clients can tell its replies come from after
+        // the wipe, even if they never noticed the daemon was gone.
+        inner.generation.set(inner.generation.get() + 1);
         inner.crashed.set(false);
         inner.last_activity.set(inner.engine.now());
         inner.recv_cq.req_notify(true);
@@ -975,7 +991,7 @@ impl HpbdServer {
                 self.inner.engine.now().as_nanos(),
             );
         }
-        let reply = PageReply::new(req_id, status, version);
+        let reply = PageReply::new(req_id, status, version, self.inner.generation.get());
         let conns = self.inner.conns.borrow();
         // Best-effort: a reply squeezed out by a full send queue is
         // indistinguishable from a lost ack, and the client's timeout

@@ -1,0 +1,267 @@
+//! Model-based property test for the conservative parallel engine.
+//!
+//! Builds randomized topologies (random link graphs, random lookaheads) of
+//! logical processes that fan out randomized self-sends and cross-partition
+//! sends from a per-partition [`SimRng`], then checks three invariants the
+//! windowed executor must uphold at every thread count:
+//!
+//! 1. **Lookahead** — every cross-partition message arrives at least its
+//!    link's declared lookahead after it was sent (asserted in the handler
+//!    from data carried inside the message).
+//! 2. **Safe time** — no partition ever executes an event older than one it
+//!    already executed (its local clock is monotone), i.e. the barrier
+//!    window never releases an event that a straggler message could precede.
+//! 3. **Determinism** — the complete per-partition delivery log (time, tag,
+//!    local-vs-remote) of the windowed executor at 1/2/4/8 threads equals
+//!    the sequential reference executor's log *exactly*, including FIFO
+//!    order among same-tick cross-partition arrivals from different
+//!    sources. This subsumes the "same-tick cross-partition FIFO matches
+//!    the sequential model" requirement.
+
+use simcore::parallel::{
+    LogicalProcess, Message, ParallelEngine, PartitionCtx, PartitionId, Topology,
+};
+use simcore::{SimDuration, SimRng, SimTime};
+use std::sync::{Arc, Mutex};
+
+/// What a node observes for one delivered event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Obs {
+    now: u64,
+    tag: u64,
+    remote: bool,
+}
+
+/// Cross-partition payload: carries enough provenance to check lookahead on
+/// arrival.
+struct Remote {
+    sent: u64,
+    lookahead: u64,
+    tag: u64,
+}
+
+struct Node {
+    rng: SimRng,
+    /// Outgoing links as `(dest, lookahead_ns)`.
+    peers: Vec<(PartitionId, u64)>,
+    log: Arc<Mutex<Vec<Obs>>>,
+    /// Remaining sends; bounds the run.
+    budget: u32,
+    last_now: u64,
+}
+
+impl Node {
+    fn fan_out(&mut self, ctx: &mut PartitionCtx<'_, '_>) {
+        let fan = self.rng.below(3) as u32 + 1;
+        for _ in 0..fan {
+            if self.budget == 0 {
+                return;
+            }
+            self.budget -= 1;
+            let tag = self.rng.next_u64();
+            let pick = self.rng.below(self.peers.len() as u64 + 1);
+            if pick == 0 || self.peers.is_empty() {
+                ctx.send_self(SimDuration::from_nanos(self.rng.below(30)), Box::new(tag));
+            } else {
+                let (dest, lookahead) = self.peers[(pick as usize - 1) % self.peers.len()];
+                let delay = lookahead + self.rng.below(50);
+                ctx.send(
+                    dest,
+                    SimDuration::from_nanos(delay),
+                    Box::new(Remote {
+                        sent: ctx.now().as_nanos(),
+                        lookahead,
+                        tag,
+                    }),
+                );
+            }
+        }
+    }
+}
+
+impl LogicalProcess for Node {
+    fn init(&mut self, ctx: &mut PartitionCtx<'_, '_>) {
+        ctx.send_self(SimDuration::ZERO, Box::new(self.rng.next_u64()));
+    }
+
+    fn handle(&mut self, now: SimTime, msg: Message, ctx: &mut PartitionCtx<'_, '_>) {
+        // Invariant 2: the partition's clock never runs backwards.
+        assert!(
+            now.as_nanos() >= self.last_now,
+            "partition executed an event at {} after one at {}",
+            now.as_nanos(),
+            self.last_now
+        );
+        self.last_now = now.as_nanos();
+        let obs = match msg.downcast::<Remote>() {
+            Ok(remote) => {
+                // Invariant 1: arrival respects the link's lookahead.
+                assert!(
+                    now.as_nanos() - remote.sent >= remote.lookahead,
+                    "message sent at {} arrived at {} under lookahead {}",
+                    remote.sent,
+                    now.as_nanos(),
+                    remote.lookahead
+                );
+                Obs {
+                    now: now.as_nanos(),
+                    tag: remote.tag,
+                    remote: true,
+                }
+            }
+            Err(local) => Obs {
+                now: now.as_nanos(),
+                tag: *local.downcast::<u64>().unwrap(),
+                remote: false,
+            },
+        };
+        self.log.lock().unwrap().push(obs);
+        self.fan_out(ctx);
+    }
+}
+
+/// Deterministically derived random topology: node count, link graph, and
+/// lookaheads all come from `seed`.
+fn build(seed: u64, threads: Option<usize>) -> (Vec<Vec<Obs>>, u64) {
+    let mut rng = SimRng::new(seed);
+    let n = 4 + rng.below(5) as usize;
+    let mut links: Vec<Vec<(PartitionId, u64)>> = vec![Vec::new(); n];
+    for (from, out) in links.iter_mut().enumerate() {
+        for to in 0..n {
+            if from != to && rng.below(3) == 0 {
+                out.push((PartitionId(to), 5 + rng.below(20)));
+            }
+        }
+    }
+    let logs: Vec<Arc<Mutex<Vec<Obs>>>> =
+        (0..n).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+    let mut topo = Topology::new();
+    for (i, log) in logs.iter().enumerate() {
+        topo.add_partition(Box::new(Node {
+            rng: SimRng::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            peers: links[i].clone(),
+            log: log.clone(),
+            budget: 200,
+            last_now: 0,
+        }));
+    }
+    for (from, out) in links.iter().enumerate() {
+        for &(to, lookahead) in out {
+            topo.connect(PartitionId(from), to, SimDuration::from_nanos(lookahead));
+        }
+    }
+    let mut engine = ParallelEngine::new(topo);
+    let stats = match threads {
+        Some(t) => engine.run(t),
+        None => engine.run_sequential(),
+    };
+    let out = logs
+        .iter()
+        .map(|l| l.lock().unwrap().clone())
+        .collect::<Vec<_>>();
+    (out, stats.events)
+}
+
+#[test]
+fn windowed_executor_matches_sequential_reference() {
+    for seed in [1, 2, 3, 42, 0xDEAD_BEEF] {
+        let (expect, expect_events) = build(seed, None);
+        assert!(
+            expect.iter().map(Vec::len).sum::<usize>() > 100,
+            "seed {seed}: workload too small to be interesting"
+        );
+        for threads in [1, 2, 4, 8] {
+            let (got, got_events) = build(seed, Some(threads));
+            assert_eq!(
+                got_events, expect_events,
+                "seed {seed} threads {threads}: event count diverged"
+            );
+            for (pid, (g, e)) in got.iter().zip(&expect).enumerate() {
+                assert_eq!(
+                    g, e,
+                    "seed {seed} threads {threads}: partition {pid} delivery log diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn same_tick_remote_fifo_matches_sequential() {
+    // Dedicated many-senders-one-sink shape: every sender fires at the same
+    // instants, so the sink's log is dominated by same-tick cross-partition
+    // ties — exactly the case a racy merge would scramble.
+    struct Sender {
+        sink: PartitionId,
+        me: u64,
+        rounds: u64,
+    }
+    impl LogicalProcess for Sender {
+        fn init(&mut self, ctx: &mut PartitionCtx<'_, '_>) {
+            ctx.send_self(SimDuration::ZERO, Box::new(0u64));
+        }
+        fn handle(&mut self, _now: SimTime, msg: Message, ctx: &mut PartitionCtx<'_, '_>) {
+            let round = *msg.downcast::<u64>().unwrap();
+            ctx.send(
+                self.sink,
+                SimDuration::from_nanos(10),
+                Box::new(Remote {
+                    sent: ctx.now().as_nanos(),
+                    lookahead: 10,
+                    tag: self.me * 1000 + round,
+                }),
+            );
+            if round + 1 < self.rounds {
+                ctx.send_self(SimDuration::from_nanos(10), Box::new(round + 1));
+            }
+        }
+    }
+    struct Sink {
+        log: Arc<Mutex<Vec<Obs>>>,
+    }
+    impl LogicalProcess for Sink {
+        fn handle(&mut self, now: SimTime, msg: Message, _ctx: &mut PartitionCtx<'_, '_>) {
+            let remote = msg.downcast::<Remote>().unwrap();
+            self.log.lock().unwrap().push(Obs {
+                now: now.as_nanos(),
+                tag: remote.tag,
+                remote: true,
+            });
+        }
+    }
+    let run = |threads: Option<usize>| -> Vec<Obs> {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut topo = Topology::new();
+        let senders = 6;
+        let sink_id = PartitionId(senders);
+        for me in 0..senders {
+            topo.add_partition(Box::new(Sender {
+                sink: sink_id,
+                me: me as u64,
+                rounds: 20,
+            }));
+        }
+        let sink = topo.add_partition(Box::new(Sink { log: log.clone() }));
+        for me in 0..senders {
+            topo.connect(PartitionId(me), sink, SimDuration::from_nanos(10));
+        }
+        let mut engine = ParallelEngine::new(topo);
+        match threads {
+            Some(t) => engine.run(t),
+            None => engine.run_sequential(),
+        };
+        let out = log.lock().unwrap().clone();
+        out
+    };
+    let expect = run(None);
+    assert_eq!(expect.len(), 6 * 20);
+    // Same-tick ties must land in source-id order in the reference too.
+    for pair in expect.windows(2) {
+        if pair[0].now == pair[1].now {
+            assert!(pair[0].tag / 1000 <= pair[1].tag / 1000);
+        }
+    }
+    for threads in [1, 2, 4, 8] {
+        assert_eq!(run(Some(threads)), expect, "threads {threads}");
+    }
+}

@@ -299,9 +299,6 @@ fn oracle_survives_crash_then_restart() {
     // client's retry/dead-marking window (~6 ms: 2 ms timeout + backed-off
     // 4 ms retry), so the client has written the server off and keeps
     // serving its extent from the replicas, never from the amnesiac store.
-    // A restart *inside* the window is unrecoverable without server
-    // epochs — the client would re-trust a store that silently lost
-    // acked data (DESIGN.md §13 documents the limitation).
     let stats = run_consistency_oracle(
         "crash+restart",
         FaultPlan::new()
@@ -309,6 +306,33 @@ fn oracle_survives_crash_then_restart() {
             .server_restart(20_000_000, 0),
     );
     assert!(stats.failovers > 0, "crash must force failovers: {stats:?}");
+}
+
+#[test]
+fn oracle_survives_in_window_crash_restart() {
+    // The nastiest restart: the server dies and comes back *inside* the
+    // client's timeout window, before any timer fires or retry budget
+    // drains. No timeout ever declares it dead — from the client's
+    // timers' point of view nothing happened; only the store is now
+    // silently empty. Server epochs (DESIGN.md §13) close this hole: the
+    // restarted daemon's replies carry a bumped generation, the client
+    // spots the mismatch on the very first reply, retires the amnesiac,
+    // and serves its extent from the mirror — the oracle's byte-exact
+    // read-back proves no stale-empty page ever reaches the caller.
+    let stats = run_consistency_oracle(
+        "in-window restart",
+        FaultPlan::new()
+            .server_crash(50_000, 0)
+            .server_restart(500_000, 0),
+    );
+    assert!(
+        stats.epoch_wipes > 0,
+        "the generation bump must be detected: {stats:?}"
+    );
+    assert!(
+        stats.failovers > 0,
+        "the amnesiac's extent must be served by the mirror: {stats:?}"
+    );
 }
 
 #[test]
